@@ -1,0 +1,158 @@
+//! The answer-tree result model shared by all baselines.
+//!
+//! Under the distinct-root assumption an answer is a tree rooted at some
+//! vertex (the presumed answer) with one path from the root to a match of
+//! every keyword. The tree's weight is the total length of those paths —
+//! the path-length scoring also used as C1 in the main system.
+
+use std::collections::BTreeSet;
+
+use kwsearch_rdf::{DataGraph, VertexId};
+
+/// One answer tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerTree {
+    /// The distinct root (the presumed answer).
+    pub root: VertexId,
+    /// One vertex path per keyword, each starting at a keyword match and
+    /// ending at the root.
+    pub paths: Vec<Vec<VertexId>>,
+    /// Total weight (sum of path edge counts).
+    pub weight: f64,
+}
+
+impl AnswerTree {
+    /// Builds a tree from per-keyword paths, deriving the weight from the
+    /// paths' edge counts.
+    pub fn new(root: VertexId, paths: Vec<Vec<VertexId>>) -> Self {
+        let weight = paths
+            .iter()
+            .map(|p| p.len().saturating_sub(1) as f64)
+            .sum();
+        Self {
+            root,
+            paths,
+            weight,
+        }
+    }
+
+    /// All distinct vertices of the tree.
+    pub fn vertices(&self) -> BTreeSet<VertexId> {
+        self.paths.iter().flatten().copied().collect()
+    }
+
+    /// The keyword matches covered by the tree (first vertex of every path).
+    pub fn keyword_vertices(&self) -> Vec<VertexId> {
+        self.paths
+            .iter()
+            .filter_map(|p| p.first().copied())
+            .collect()
+    }
+
+    /// A readable rendering using the graph's labels.
+    pub fn describe(&self, graph: &DataGraph) -> String {
+        let mut out = format!("root: {}\n", graph.vertex_label(self.root));
+        for (i, path) in self.paths.iter().enumerate() {
+            let labels: Vec<&str> = path.iter().map(|&v| graph.vertex_label(v)).collect();
+            out.push_str(&format!("  keyword {i}: {}\n", labels.join(" -> ")));
+        }
+        out.push_str(&format!("weight: {}", self.weight));
+        out
+    }
+}
+
+/// The outcome of one baseline run.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineResult {
+    /// The answer trees found, in ascending weight order.
+    pub trees: Vec<AnswerTree>,
+    /// Number of vertex visits performed by the search.
+    pub visited: usize,
+}
+
+impl BaselineResult {
+    /// The best tree, if any.
+    pub fn best(&self) -> Option<&AnswerTree> {
+        self.trees.first()
+    }
+
+    /// Whether no tree was found.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+/// Sorts trees by weight and truncates to the best `k`, deduplicating trees
+/// with identical vertex sets.
+pub(crate) fn finalize_trees(mut trees: Vec<AnswerTree>, k: usize) -> Vec<AnswerTree> {
+    trees.sort_by(|a, b| a.weight.total_cmp(&b.weight));
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for tree in trees {
+        if seen.insert(tree.vertices()) {
+            out.push(tree);
+            if out.len() >= k {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwsearch_rdf::fixtures::figure1_graph;
+
+    #[test]
+    fn weight_counts_edges_not_vertices() {
+        let g = figure1_graph();
+        let pub1 = g.entity("pub1URI").unwrap();
+        let re1 = g.entity("re1URI").unwrap();
+        let v2006 = g.value("2006").unwrap();
+        let tree = AnswerTree::new(pub1, vec![vec![v2006, pub1], vec![re1, pub1]]);
+        assert_eq!(tree.weight, 2.0);
+        assert_eq!(tree.vertices().len(), 3);
+        assert_eq!(tree.keyword_vertices(), vec![v2006, re1]);
+    }
+
+    #[test]
+    fn finalize_sorts_dedupes_and_truncates() {
+        let g = figure1_graph();
+        let pub1 = g.entity("pub1URI").unwrap();
+        let re1 = g.entity("re1URI").unwrap();
+        let re2 = g.entity("re2URI").unwrap();
+        let heavy = AnswerTree::new(pub1, vec![vec![re1, re2, pub1]]);
+        let light = AnswerTree::new(pub1, vec![vec![re1, pub1]]);
+        let duplicate = AnswerTree::new(pub1, vec![vec![re1, pub1]]);
+        let trees = finalize_trees(vec![heavy.clone(), light.clone(), duplicate], 5);
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0], light);
+        assert_eq!(trees[1], heavy);
+        let only_one = finalize_trees(vec![heavy, light.clone()], 1);
+        assert_eq!(only_one, vec![light]);
+    }
+
+    #[test]
+    fn describe_uses_labels() {
+        let g = figure1_graph();
+        let pub1 = g.entity("pub1URI").unwrap();
+        let v2006 = g.value("2006").unwrap();
+        let tree = AnswerTree::new(pub1, vec![vec![v2006, pub1]]);
+        let text = tree.describe(&g);
+        assert!(text.contains("pub1URI"));
+        assert!(text.contains("2006"));
+    }
+
+    #[test]
+    fn baseline_result_accessors() {
+        let mut result = BaselineResult::default();
+        assert!(result.is_empty());
+        assert!(result.best().is_none());
+        let g = figure1_graph();
+        let pub1 = g.entity("pub1URI").unwrap();
+        result.trees.push(AnswerTree::new(pub1, vec![vec![pub1]]));
+        assert!(!result.is_empty());
+        assert_eq!(result.best().unwrap().root, pub1);
+    }
+}

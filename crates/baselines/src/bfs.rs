@@ -1,0 +1,72 @@
+//! BFS candidate search.
+//!
+//! The simplest answer-tree baseline: unweighted breadth-first expansion
+//! from every keyword vertex in both edge directions, without any
+//! prioritisation heuristics. Corresponds to the "BFS" graph-index variants
+//! of [2] when run on the unpartitioned graph.
+
+use kwsearch_rdf::{DataGraph, VertexId};
+
+use crate::answer_tree::BaselineResult;
+use crate::search_core::{multi_source_search, SearchParams};
+
+/// Runs BFS candidate search for the given keyword-vertex groups.
+pub fn bfs_search(
+    graph: &DataGraph,
+    keyword_groups: &[Vec<VertexId>],
+    k: usize,
+    dmax: usize,
+) -> BaselineResult {
+    let params = SearchParams {
+        k,
+        dmax,
+        follow_incoming: true,
+        follow_outgoing: true,
+        degree_penalty: false,
+        ..SearchParams::default()
+    };
+    multi_source_search(graph, keyword_groups, &params, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyword_match::match_keywords;
+    use kwsearch_rdf::fixtures::figure1_graph;
+
+    #[test]
+    fn finds_the_running_example_connection() {
+        let g = figure1_graph();
+        let groups = match_keywords(&g, &["2006", "Cimiano", "AIFB"]);
+        let result = bfs_search(&g, &groups, 10, 8);
+        assert!(!result.is_empty());
+        let best = result.best().unwrap();
+        assert_eq!(best.paths.len(), 3);
+    }
+
+    #[test]
+    fn bfs_weight_equals_total_path_length() {
+        let g = figure1_graph();
+        let groups = match_keywords(&g, &["2006", "Publication"]);
+        let result = bfs_search(&g, &groups, 5, 6);
+        assert!(!result.is_empty());
+        for tree in &result.trees {
+            let expected: f64 = tree
+                .paths
+                .iter()
+                .map(|p| (p.len() - 1) as f64)
+                .sum();
+            assert_eq!(tree.weight, expected);
+        }
+    }
+
+    #[test]
+    fn single_keyword_roots_are_the_matches_themselves() {
+        let g = figure1_graph();
+        let groups = match_keywords(&g, &["AIFB"]);
+        let result = bfs_search(&g, &groups, 3, 4);
+        assert!(!result.is_empty());
+        assert_eq!(result.best().unwrap().root, g.value("AIFB").unwrap());
+        assert_eq!(result.best().unwrap().weight, 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Exact keyword-to-vertex matching for the baselines.
+//!
+//! The systems the paper compares against "perform an exact matching
+//! between keywords and labels of data elements": a keyword selects the
+//! data-graph vertices whose label contains it as a word (case-insensitive).
+//! Only C-vertices and V-vertices are considered — entity URIs are opaque,
+//! as in the main system.
+
+use kwsearch_rdf::{DataGraph, VertexId, VertexKind};
+
+/// Maps every keyword to the data-graph vertices it matches.
+///
+/// The result has one entry per keyword, in input order; keywords without
+/// any match yield an empty list.
+pub fn match_keywords<S: AsRef<str>>(graph: &DataGraph, keywords: &[S]) -> Vec<Vec<VertexId>> {
+    let lowered: Vec<String> = keywords
+        .iter()
+        .map(|k| k.as_ref().to_lowercase())
+        .collect();
+    let mut result = vec![Vec::new(); keywords.len()];
+    for v in graph.vertices() {
+        let kind = graph.vertex_kind(v);
+        if kind == VertexKind::Entity {
+            continue;
+        }
+        let label = graph.vertex_label(v).to_lowercase();
+        for (i, keyword) in lowered.iter().enumerate() {
+            if keyword.is_empty() {
+                continue;
+            }
+            let word_match = label == *keyword
+                || label
+                    .split(|c: char| !c.is_alphanumeric())
+                    .any(|w| w == keyword);
+            if word_match {
+                result[i].push(v);
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwsearch_rdf::fixtures::figure1_graph;
+
+    #[test]
+    fn values_and_classes_are_matched_exactly() {
+        let g = figure1_graph();
+        let matches = match_keywords(&g, &["AIFB", "Publication", "2006"]);
+        assert_eq!(matches.len(), 3);
+        assert_eq!(matches[0], vec![g.value("AIFB").unwrap()]);
+        assert_eq!(matches[1], vec![g.class("Publication").unwrap()]);
+        assert_eq!(matches[2], vec![g.value("2006").unwrap()]);
+    }
+
+    #[test]
+    fn word_level_matching_inside_longer_labels() {
+        let g = figure1_graph();
+        let matches = match_keywords(&g, &["Cimiano"]);
+        assert_eq!(matches[0], vec![g.value("P. Cimiano").unwrap()]);
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let g = figure1_graph();
+        let matches = match_keywords(&g, &["aifb", "publication"]);
+        assert!(!matches[0].is_empty());
+        assert!(!matches[1].is_empty());
+    }
+
+    #[test]
+    fn entity_uris_and_unknown_keywords_do_not_match() {
+        let g = figure1_graph();
+        let matches = match_keywords(&g, &["pub1URI", "nonexistent", ""]);
+        assert!(matches[0].is_empty());
+        assert!(matches[1].is_empty());
+        assert!(matches[2].is_empty());
+    }
+
+    #[test]
+    fn no_fuzzy_matching_for_baselines() {
+        let g = figure1_graph();
+        let matches = match_keywords(&g, &["cimano"]);
+        assert!(matches[0].is_empty(), "baselines match exactly, no typo tolerance");
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of conjunctive-query evaluation (the query
+//! processing stage) and of the baseline searches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kwsearch_baselines::{bidirectional_search, match_keywords};
+use kwsearch_bench::{dblp_dataset, ScaleProfile};
+use kwsearch_core::KeywordSearchEngine;
+use kwsearch_query::{Evaluator, QueryBuilder};
+
+fn bench_query_evaluation(c: &mut Criterion) {
+    let dataset = dblp_dataset(ScaleProfile::Small);
+    let evaluator = Evaluator::new(&dataset.graph);
+    let author = dataset.author_names[0].clone();
+    let year = dataset.years[0].clone();
+
+    let by_author_and_year = QueryBuilder::new()
+        .class_pattern("x", "Publication")
+        .attribute_pattern("x", "year", &year)
+        .relation_pattern("x", "author", "y")
+        .class_pattern("y", "Person")
+        .attribute_pattern("y", "name", &author)
+        .distinguish_all()
+        .build();
+    let all_publications = QueryBuilder::new()
+        .class_pattern("x", "Publication")
+        .relation_pattern("x", "author", "y")
+        .distinguish_all()
+        .build();
+
+    let mut group = c.benchmark_group("query_evaluation");
+    group.bench_function("selective_join", |b| {
+        b.iter(|| evaluator.evaluate(&by_author_and_year).unwrap())
+    });
+    group.bench_function("broad_join_limited", |b| {
+        b.iter(|| {
+            evaluator
+                .evaluate_with_limit(&all_publications, Some(10))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_vs_baseline(c: &mut Criterion) {
+    let dataset = dblp_dataset(ScaleProfile::Small);
+    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let keywords = vec![dataset.author_names[0].clone(), dataset.years[0].clone()];
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.bench_function("ours_search_and_answer", |b| {
+        b.iter(|| engine.search_and_answer(&keywords, 10))
+    });
+    group.bench_function("bidirectional_baseline", |b| {
+        b.iter(|| {
+            let groups = match_keywords(&dataset.graph, &keywords);
+            bidirectional_search(&dataset.graph, &groups, 10, 6)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_evaluation, bench_end_to_end_vs_baseline);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the top-k exploration (Algorithms 1 and 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kwsearch_bench::{dblp_dataset, ScaleProfile};
+use kwsearch_core::{KeywordSearchEngine, ScoringFunction, SearchConfig};
+use kwsearch_datagen::workload::dblp_performance_queries;
+
+fn bench_search_by_keyword_count(c: &mut Criterion) {
+    let dataset = dblp_dataset(ScaleProfile::Small);
+    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let queries = dblp_performance_queries(&dataset);
+
+    let mut group = c.benchmark_group("top_k_search");
+    for query in queries.iter().filter(|q| ["Q1", "Q4", "Q7"].contains(&q.id.as_str())) {
+        group.bench_with_input(
+            BenchmarkId::new("keywords", query.keywords.len()),
+            query,
+            |b, query| {
+                b.iter(|| engine.search(&query.keywords));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_search_by_k(c: &mut Criterion) {
+    let dataset = dblp_dataset(ScaleProfile::Small);
+    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let queries = dblp_performance_queries(&dataset);
+    let query = &queries[3]; // three keywords
+
+    let mut group = c.benchmark_group("top_k_by_k");
+    for k in [1usize, 10, 50] {
+        let config = SearchConfig::with_k(k);
+        group.bench_with_input(BenchmarkId::new("k", k), &config, |b, config| {
+            b.iter(|| engine.search_with(&query.keywords, config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scoring_functions(c: &mut Criterion) {
+    let dataset = dblp_dataset(ScaleProfile::Small);
+    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let queries = dblp_performance_queries(&dataset);
+    let query = &queries[0];
+
+    let mut group = c.benchmark_group("scoring_functions");
+    for scoring in ScoringFunction::all() {
+        let config = SearchConfig::with_k(10).scoring(scoring);
+        group.bench_with_input(
+            BenchmarkId::new("scoring", scoring.short_name()),
+            &config,
+            |b, config| {
+                b.iter(|| engine.search_with(&query.keywords, config));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_search_by_keyword_count,
+    bench_search_by_k,
+    bench_scoring_functions
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks of the off-line preprocessing: keyword index,
+//! summary graph and triple store construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kwsearch_bench::{dblp_dataset, lubm_dataset, tap_dataset, ScaleProfile};
+use kwsearch_keyword_index::KeywordIndex;
+use kwsearch_rdf::TripleStore;
+use kwsearch_summary::SummaryGraph;
+
+fn bench_index_construction(c: &mut Criterion) {
+    let dblp = dblp_dataset(ScaleProfile::Small);
+    let lubm = lubm_dataset(ScaleProfile::Small);
+    let tap = tap_dataset(ScaleProfile::Small);
+
+    let mut group = c.benchmark_group("indexing");
+    group.bench_function("keyword_index_dblp", |b| {
+        b.iter(|| KeywordIndex::build(&dblp.graph))
+    });
+    group.bench_function("summary_graph_dblp", |b| {
+        b.iter(|| SummaryGraph::build(&dblp.graph))
+    });
+    group.bench_function("triple_store_dblp", |b| {
+        b.iter(|| TripleStore::build(&dblp.graph))
+    });
+    group.bench_function("summary_graph_lubm", |b| {
+        b.iter(|| SummaryGraph::build(&lubm.graph))
+    });
+    group.bench_function("summary_graph_tap", |b| {
+        b.iter(|| SummaryGraph::build(&tap.graph))
+    });
+    group.finish();
+}
+
+fn bench_keyword_lookup(c: &mut Criterion) {
+    let dblp = dblp_dataset(ScaleProfile::Small);
+    let index = KeywordIndex::build(&dblp.graph);
+    let author = dblp.author_names[0].clone();
+
+    let mut group = c.benchmark_group("keyword_lookup");
+    group.bench_function("exact_author_name", |b| b.iter(|| index.lookup(&author)));
+    group.bench_function("year", |b| b.iter(|| index.lookup("2003")));
+    group.bench_function("fuzzy_typo", |b| b.iter(|| index.lookup("pubication")));
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_construction, bench_keyword_lookup);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Fig. 6b — index sizes and indexing time for DBLP, LUBM and TAP.
+//!
+//! For each dataset the harness reports the size of the keyword index
+//! (terms, postings, approximate bytes), the size of the graph index
+//! (summary-graph nodes/edges, approximate bytes) and the preprocessing
+//! time.
+//!
+//! Expected shape (paper): the keyword index is largest for DBLP (it has by
+//! far the most V-vertices), while the graph index is largest for TAP (it
+//! has by far the most classes); preprocessing stays affordable throughout.
+
+use kwsearch_bench::{dblp_dataset, format_duration, lubm_dataset, tap_dataset, ScaleProfile, Table};
+use kwsearch_keyword_index::KeywordIndex;
+use kwsearch_rdf::{DataGraph, GraphStats};
+use kwsearch_summary::SummaryGraph;
+
+fn report_row(name: &str, graph: &DataGraph, table: &mut Table) {
+    let stats = GraphStats::compute(graph);
+    let (keyword_index, keyword_time) = kwsearch_bench::time(|| KeywordIndex::build(graph));
+    let (summary, summary_time) = kwsearch_bench::time(|| SummaryGraph::build(graph));
+
+    table.row([
+        name.to_string(),
+        stats.total_triples().to_string(),
+        stats.values.to_string(),
+        stats.classes.to_string(),
+        keyword_index.term_count().to_string(),
+        keyword_index.posting_count().to_string(),
+        (keyword_index.heap_bytes() / 1024).to_string(),
+        summary.node_count().to_string(),
+        summary.edge_count().to_string(),
+        (summary.heap_bytes() / 1024).to_string(),
+        format_duration(keyword_time + summary_time),
+    ]);
+}
+
+fn main() {
+    let profile = ScaleProfile::from_env();
+    println!("== Fig. 6b: index sizes and indexing time per dataset ==\n");
+
+    let mut table = Table::new([
+        "dataset",
+        "triples",
+        "V-vertices",
+        "classes",
+        "kw terms",
+        "kw postings",
+        "kw index KiB",
+        "graph nodes",
+        "graph edges",
+        "graph index KiB",
+        "index time ms",
+    ]);
+
+    let dblp = dblp_dataset(profile);
+    report_row("DBLP-like", &dblp.graph, &mut table);
+    let lubm = lubm_dataset(profile);
+    report_row("LUBM-like", &lubm.graph, &mut table);
+    let tap = tap_dataset(profile);
+    report_row("TAP-like", &tap.graph, &mut table);
+
+    table.print();
+    println!(
+        "\nexpected shape: DBLP-like has the largest keyword index (most V-vertices); \
+         TAP-like has the largest graph index (most classes)."
+    );
+}

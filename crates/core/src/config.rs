@@ -1,0 +1,106 @@
+//! Search configuration.
+
+use crate::scoring::ScoringFunction;
+
+/// Tuning knobs of the top-k query computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Number of queries to compute (`k` in Algorithm 1/2).
+    pub k: usize,
+    /// Maximum exploration distance `d_max`: paths longer than this are not
+    /// expanded, bounding the neighbourhood that is searched.
+    pub dmax: u32,
+    /// The cost function used to rank subgraphs (C1, C2 or C3).
+    pub scoring: ScoringFunction,
+    /// Upper bound on the number of cursor expansions, a safety valve against
+    /// pathological graphs (the paper's worst case is `|G|^dmax` cursors).
+    pub max_cursors: usize,
+    /// At most this many paths per (element, keyword) pair are retained. The
+    /// paper's space bound (`k · |K| · |G|`) relies on keeping only the `k`
+    /// cheapest paths, which preserves the top-k guarantee because any
+    /// subgraph built from a pruned path is dominated by `k` cheaper
+    /// alternatives through the same element. `None` (the default) uses `k`.
+    pub max_paths_per_element: Option<usize>,
+    /// Whether cursors whose path was *not* retained (the cap above was
+    /// already reached for their element/keyword pair) are still expanded to
+    /// their neighbours. The default (`false`) matches the paper's space
+    /// bound and keeps the number of cursors linear in the summary-graph
+    /// size; enabling it explores every distinct path up to `dmax`, which is
+    /// exhaustive but can be exponentially slower on dense summary graphs.
+    pub expand_pruned_paths: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            dmax: 8,
+            scoring: ScoringFunction::PopularityAndMatch,
+            max_cursors: 1_000_000,
+            max_paths_per_element: None,
+            expand_pruned_paths: false,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Default configuration with a different `k`.
+    pub fn with_k(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the scoring function.
+    pub fn scoring(mut self, scoring: ScoringFunction) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
+    /// Sets the exploration distance bound.
+    pub fn dmax(mut self, dmax: u32) -> Self {
+        self.dmax = dmax;
+        self
+    }
+
+    /// The per-(element, keyword) path cap that actually applies: the
+    /// explicit setting, or `k` when unset but pruning is beneficial.
+    pub fn effective_path_cap(&self) -> usize {
+        self.max_paths_per_element.unwrap_or(self.k.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_papers_setup() {
+        let config = SearchConfig::default();
+        assert_eq!(config.k, 10, "the paper computes the top-10 queries");
+        assert_eq!(config.scoring, ScoringFunction::PopularityAndMatch);
+        assert!(config.dmax >= 4, "dmax must allow multi-hop connections");
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let config = SearchConfig::with_k(5)
+            .scoring(ScoringFunction::PathLength)
+            .dmax(3);
+        assert_eq!(config.k, 5);
+        assert_eq!(config.scoring, ScoringFunction::PathLength);
+        assert_eq!(config.dmax, 3);
+    }
+
+    #[test]
+    fn effective_path_cap_defaults_to_k() {
+        let config = SearchConfig::with_k(7);
+        assert_eq!(config.effective_path_cap(), 7);
+        let config = SearchConfig {
+            max_paths_per_element: Some(3),
+            ..SearchConfig::default()
+        };
+        assert_eq!(config.effective_path_cap(), 3);
+    }
+}

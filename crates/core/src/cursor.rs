@@ -1,0 +1,291 @@
+//! Cursors: the unit of exploration in Algorithm 1.
+//!
+//! A cursor `c(n, k, p, d, w)` records that the exploration reached graph
+//! element `n`, starting from a keyword element of keyword `k`, by extending
+//! the parent cursor `p`, after `d` steps and with accumulated path cost
+//! `w`. The path represented by a cursor is recovered by walking the parent
+//! chain; cursors are stored in an arena so parent links are cheap indices.
+
+use kwsearch_summary::SummaryElement;
+
+/// Index of a cursor in a [`CursorArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CursorId(u32);
+
+impl CursorId {
+    /// Dense index of the cursor.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One exploration cursor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cursor {
+    /// The element the cursor currently visits (`n`).
+    pub element: SummaryElement,
+    /// Index of the keyword whose keyword element the path originates from
+    /// (`k`).
+    pub keyword: usize,
+    /// The parent cursor (`p`), `None` for the cursor created on the keyword
+    /// element itself.
+    pub parent: Option<CursorId>,
+    /// The path length so far (`d`).
+    pub distance: u32,
+    /// The accumulated path cost (`w`).
+    pub cost: f64,
+}
+
+/// Arena of all cursors created during one exploration.
+#[derive(Debug, Default, Clone)]
+pub struct CursorArena {
+    cursors: Vec<Cursor>,
+}
+
+impl CursorArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a new cursor and returns its id.
+    pub fn push(&mut self, cursor: Cursor) -> CursorId {
+        let id = CursorId(self.cursors.len() as u32);
+        self.cursors.push(cursor);
+        id
+    }
+
+    /// The cursor record.
+    pub fn get(&self, id: CursorId) -> Cursor {
+        self.cursors[id.index()]
+    }
+
+    /// Number of cursors allocated so far.
+    pub fn len(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Whether no cursor has been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.cursors.is_empty()
+    }
+
+    /// The path represented by a cursor, from the keyword element (origin)
+    /// to the element currently visited.
+    pub fn path(&self, id: CursorId) -> Vec<SummaryElement> {
+        let mut elements = Vec::new();
+        let mut current = Some(id);
+        while let Some(c) = current {
+            let cursor = self.get(c);
+            elements.push(cursor.element);
+            current = cursor.parent;
+        }
+        elements.reverse();
+        elements
+    }
+
+    /// Whether `element` already occurs on the path of `id`. Used to prevent
+    /// cyclic cursor expansions (Algorithm 1, line 17).
+    pub fn path_contains(&self, id: CursorId, element: SummaryElement) -> bool {
+        let mut current = Some(id);
+        while let Some(c) = current {
+            let cursor = self.get(c);
+            if cursor.element == element {
+                return true;
+            }
+            current = cursor.parent;
+        }
+        false
+    }
+
+    /// The element visited by the parent of `id`, if any. Expansion skips
+    /// this element (Algorithm 1, line 13: "all neighbors except parent
+    /// element").
+    pub fn parent_element(&self, id: CursorId) -> Option<SummaryElement> {
+        self.get(id).parent.map(|p| self.get(p).element)
+    }
+}
+
+/// A total order over `f64` costs for use in priority queues: lower cost
+/// first, ties broken deterministically by the companion id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostOrdered {
+    /// The cost to order by.
+    pub cost: f64,
+    /// The cursor this entry refers to.
+    pub cursor: CursorId,
+}
+
+impl Eq for CostOrdered {}
+
+impl PartialOrd for CostOrdered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CostOrdered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the cheapest on top.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.cursor.cmp(&self.cursor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwsearch_summary::{SummaryEdgeId, SummaryNodeId};
+    use std::collections::BinaryHeap;
+
+    fn node(i: u32) -> SummaryElement {
+        // Safe constructor detour: SummaryNodeId fields are crate-private, so
+        // build elements through the public enum.
+        SummaryElement::Node(node_id(i))
+    }
+
+    fn node_id(i: u32) -> SummaryNodeId {
+        // The only way to obtain ids outside the summary crate is from a
+        // graph; for the arena tests we only need distinct opaque values, so
+        // we transmute-free fake them via a tiny helper graph.
+        fixture_ids()[i as usize]
+    }
+
+    fn fixture_ids() -> Vec<SummaryNodeId> {
+        use kwsearch_rdf::fixtures::figure1_graph;
+        use kwsearch_summary::SummaryGraph;
+        let g = figure1_graph();
+        let s = SummaryGraph::build(&g);
+        s.nodes().collect()
+    }
+
+    fn edge_ids() -> Vec<SummaryEdgeId> {
+        use kwsearch_rdf::fixtures::figure1_graph;
+        use kwsearch_summary::SummaryGraph;
+        let g = figure1_graph();
+        let s = SummaryGraph::build(&g);
+        s.edges().collect()
+    }
+
+    #[test]
+    fn paths_are_recovered_through_parent_links() {
+        let mut arena = CursorArena::new();
+        let edges = edge_ids();
+        let origin = arena.push(Cursor {
+            element: node(0),
+            keyword: 0,
+            parent: None,
+            distance: 0,
+            cost: 1.0,
+        });
+        let middle = arena.push(Cursor {
+            element: SummaryElement::Edge(edges[0]),
+            keyword: 0,
+            parent: Some(origin),
+            distance: 1,
+            cost: 1.5,
+        });
+        let tip = arena.push(Cursor {
+            element: node(1),
+            keyword: 0,
+            parent: Some(middle),
+            distance: 2,
+            cost: 2.5,
+        });
+        let path = arena.path(tip);
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], node(0));
+        assert_eq!(path[2], node(1));
+        assert_eq!(arena.parent_element(tip), Some(SummaryElement::Edge(edges[0])));
+        assert_eq!(arena.parent_element(origin), None);
+    }
+
+    #[test]
+    fn cycle_detection_checks_the_whole_path() {
+        let mut arena = CursorArena::new();
+        let origin = arena.push(Cursor {
+            element: node(0),
+            keyword: 0,
+            parent: None,
+            distance: 0,
+            cost: 0.5,
+        });
+        let tip = arena.push(Cursor {
+            element: node(1),
+            keyword: 0,
+            parent: Some(origin),
+            distance: 1,
+            cost: 1.0,
+        });
+        assert!(arena.path_contains(tip, node(0)));
+        assert!(arena.path_contains(tip, node(1)));
+        assert!(!arena.path_contains(tip, node(2)));
+    }
+
+    #[test]
+    fn arena_bookkeeping() {
+        let mut arena = CursorArena::new();
+        assert!(arena.is_empty());
+        let id = arena.push(Cursor {
+            element: node(0),
+            keyword: 3,
+            parent: None,
+            distance: 0,
+            cost: 0.25,
+        });
+        assert_eq!(arena.len(), 1);
+        let cursor = arena.get(id);
+        assert_eq!(cursor.keyword, 3);
+        assert_eq!(cursor.cost, 0.25);
+    }
+
+    #[test]
+    fn cost_ordering_puts_cheapest_on_top_of_the_heap() {
+        let mut arena = CursorArena::new();
+        let a = arena.push(Cursor {
+            element: node(0),
+            keyword: 0,
+            parent: None,
+            distance: 0,
+            cost: 2.0,
+        });
+        let b = arena.push(Cursor {
+            element: node(1),
+            keyword: 0,
+            parent: None,
+            distance: 0,
+            cost: 0.5,
+        });
+        let c = arena.push(Cursor {
+            element: node(2),
+            keyword: 0,
+            parent: None,
+            distance: 0,
+            cost: 1.0,
+        });
+        let mut heap = BinaryHeap::new();
+        for &(id, cost) in &[(a, 2.0), (b, 0.5), (c, 1.0)] {
+            heap.push(CostOrdered { cost, cursor: id });
+        }
+        assert_eq!(heap.pop().unwrap().cursor, b);
+        assert_eq!(heap.pop().unwrap().cursor, c);
+        assert_eq!(heap.pop().unwrap().cursor, a);
+    }
+
+    #[test]
+    fn cost_ordering_breaks_ties_deterministically() {
+        let x = CostOrdered {
+            cost: 1.0,
+            cursor: CursorId(0),
+        };
+        let y = CostOrdered {
+            cost: 1.0,
+            cursor: CursorId(1),
+        };
+        // Lower id wins the tie (is "greater" in max-heap terms).
+        assert!(x > y);
+    }
+}

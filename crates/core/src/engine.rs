@@ -1,0 +1,380 @@
+//! The end-to-end keyword-search engine.
+//!
+//! [`KeywordSearchEngine`] wires the whole pipeline of Fig. 2 together:
+//!
+//! * **off-line**: build the keyword index, the summary graph and the triple
+//!   store for a data graph,
+//! * **on-line** ([`KeywordSearchEngine::search`]): map keywords to
+//!   elements, augment the summary graph, explore it for the top-k matching
+//!   subgraphs, and map each subgraph to a conjunctive query,
+//! * **query processing** ([`KeywordSearchEngine::answers`] /
+//!   [`KeywordSearchEngine::search_and_answer`]): evaluate a chosen query on
+//!   the data graph with the conjunctive-query engine, mirroring the paper's
+//!   evaluation which measures "the time for computing the top-10 queries
+//!   plus the time for processing several queries (the top ones) until
+//!   finding at least 10 answers".
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use kwsearch_keyword_index::{KeywordIndex, KeywordIndexConfig};
+use kwsearch_query::{AnswerSet, ConjunctiveQuery, EvalError, Evaluator};
+use kwsearch_rdf::{DataGraph, GraphStats, TripleStore};
+use kwsearch_summary::{AugmentedSummaryGraph, SummaryGraph};
+
+use crate::config::SearchConfig;
+use crate::exploration::{ExplorationStats, Explorer};
+use crate::query_map::map_subgraph_to_query;
+use crate::result::RankedQuery;
+
+/// The result of one keyword search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The top-k queries in ascending cost order (rank 1 first).
+    pub queries: Vec<RankedQuery>,
+    /// Keywords (by position in the input) that did not match any graph
+    /// element and were ignored.
+    pub unmatched_keywords: Vec<usize>,
+    /// Statistics of the exploration run.
+    pub exploration: ExplorationStats,
+    /// Size of the augmented summary graph that was explored.
+    pub augmented_elements: usize,
+    /// Time spent mapping keywords to elements.
+    pub keyword_mapping_time: Duration,
+    /// Time spent augmenting the summary graph and exploring it.
+    pub exploration_time: Duration,
+}
+
+impl SearchOutcome {
+    /// The best (rank-1) query, if any.
+    pub fn best(&self) -> Option<&RankedQuery> {
+        self.queries.first()
+    }
+
+    /// Total query-computation time (mapping + exploration).
+    pub fn computation_time(&self) -> Duration {
+        self.keyword_mapping_time + self.exploration_time
+    }
+}
+
+/// The keyword-search engine: data graph + indices + configuration.
+pub struct KeywordSearchEngine {
+    graph: DataGraph,
+    keyword_index: KeywordIndex,
+    summary: SummaryGraph,
+    store: TripleStore,
+    config: SearchConfig,
+    index_build_time: Duration,
+}
+
+impl KeywordSearchEngine {
+    /// Indexes `graph` with the default configuration.
+    pub fn new(graph: DataGraph) -> Self {
+        Self::with_config(graph, SearchConfig::default())
+    }
+
+    /// Indexes `graph` with a custom search configuration.
+    pub fn with_config(graph: DataGraph, config: SearchConfig) -> Self {
+        Self::with_configs(graph, config, KeywordIndexConfig::default())
+    }
+
+    /// Indexes `graph` with custom search and keyword-index configurations.
+    pub fn with_configs(
+        graph: DataGraph,
+        config: SearchConfig,
+        keyword_config: KeywordIndexConfig,
+    ) -> Self {
+        let start = Instant::now();
+        let keyword_index = KeywordIndex::build_with(
+            &graph,
+            kwsearch_keyword_index::Analyzer::new(),
+            kwsearch_keyword_index::Thesaurus::builtin(),
+            keyword_config,
+        );
+        let summary = SummaryGraph::build(&graph);
+        let store = TripleStore::build(&graph);
+        let index_build_time = start.elapsed();
+        Self {
+            graph,
+            keyword_index,
+            summary,
+            store,
+            config,
+            index_build_time,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The indexed data graph.
+    pub fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    /// The keyword index.
+    pub fn keyword_index(&self) -> &KeywordIndex {
+        &self.keyword_index
+    }
+
+    /// The summary graph (graph index).
+    pub fn summary(&self) -> &SummaryGraph {
+        &self.summary
+    }
+
+    /// The triple store used for query processing.
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Replaces the search configuration.
+    pub fn set_config(&mut self, config: SearchConfig) {
+        self.config = config;
+    }
+
+    /// How long the off-line preprocessing (keyword index + summary graph +
+    /// triple store) took.
+    pub fn index_build_time(&self) -> Duration {
+        self.index_build_time
+    }
+
+    /// Structural statistics of the indexed data graph.
+    pub fn graph_stats(&self) -> GraphStats {
+        GraphStats::compute(&self.graph)
+    }
+
+    // ------------------------------------------------------------------
+    // Query computation
+    // ------------------------------------------------------------------
+
+    /// Computes the top-k conjunctive queries for a keyword query using the
+    /// engine's configuration.
+    pub fn search<S: AsRef<str>>(&self, keywords: &[S]) -> SearchOutcome {
+        self.search_with(keywords, &self.config)
+    }
+
+    /// Computes the top-k conjunctive queries with an explicit configuration
+    /// (used by the benchmark harness to sweep `k` and the scoring function).
+    pub fn search_with<S: AsRef<str>>(
+        &self,
+        keywords: &[S],
+        config: &SearchConfig,
+    ) -> SearchOutcome {
+        // 1. Keyword-to-element mapping.
+        let mapping_start = Instant::now();
+        let all_matches = self.keyword_index.lookup_all(keywords);
+        let keyword_mapping_time = mapping_start.elapsed();
+
+        let mut unmatched_keywords = Vec::new();
+        let mut matches = Vec::new();
+        for (i, m) in all_matches.into_iter().enumerate() {
+            if m.is_empty() {
+                unmatched_keywords.push(i);
+            } else {
+                matches.push(m);
+            }
+        }
+
+        // 2 + 3 + 4. Augmentation, exploration, top-k.
+        let exploration_start = Instant::now();
+        let augmented = AugmentedSummaryGraph::build(&self.graph, &self.summary, &matches);
+        let outcome = Explorer::new(&augmented, config.clone()).run();
+
+        // 5. Query mapping, deduplicating queries that different subgraphs
+        // normalise to.
+        let mut queries: Vec<RankedQuery> = Vec::new();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for subgraph in outcome.subgraphs {
+            let query = map_subgraph_to_query(&augmented, &subgraph);
+            let canonical = query.canonicalized().to_string();
+            if !seen.insert(canonical) {
+                continue;
+            }
+            queries.push(RankedQuery {
+                rank: queries.len() + 1,
+                cost: subgraph.cost,
+                query,
+                subgraph,
+            });
+            if queries.len() >= config.k {
+                break;
+            }
+        }
+        let exploration_time = exploration_start.elapsed();
+
+        SearchOutcome {
+            queries,
+            unmatched_keywords,
+            exploration: outcome.stats,
+            augmented_elements: augmented.element_count(),
+            keyword_mapping_time,
+            exploration_time,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Query processing
+    // ------------------------------------------------------------------
+
+    /// Evaluates a conjunctive query on the data graph, optionally stopping
+    /// after `limit` answers.
+    pub fn answers(
+        &self,
+        query: &ConjunctiveQuery,
+        limit: Option<usize>,
+    ) -> Result<AnswerSet, EvalError> {
+        Evaluator::with_borrowed_store(&self.graph, &self.store)
+            .evaluate_with_limit(query, limit)
+    }
+
+    /// The full interaction measured in the paper's Fig. 5: compute the
+    /// top-k queries, then process them in rank order until at least
+    /// `min_answers` answers have been retrieved. Returns the search outcome,
+    /// the collected answers and the number of queries that were processed.
+    pub fn search_and_answer<S: AsRef<str>>(
+        &self,
+        keywords: &[S],
+        min_answers: usize,
+    ) -> (SearchOutcome, Vec<AnswerSet>, usize) {
+        let outcome = self.search(keywords);
+        let mut answers = Vec::new();
+        let mut total = 0usize;
+        let mut processed = 0usize;
+        for ranked in &outcome.queries {
+            match self.answers(&ranked.query, Some(min_answers.saturating_sub(total))) {
+                Ok(set) => {
+                    total += set.len();
+                    processed += 1;
+                    answers.push(set);
+                }
+                Err(_) => {
+                    processed += 1;
+                }
+            }
+            if total >= min_answers {
+                break;
+            }
+        }
+        (outcome, answers, processed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::ScoringFunction;
+    use kwsearch_rdf::fixtures::figure1_graph;
+
+    fn engine() -> KeywordSearchEngine {
+        KeywordSearchEngine::new(figure1_graph())
+    }
+
+    #[test]
+    fn end_to_end_running_example() {
+        let engine = engine();
+        let outcome = engine.search(&["2006", "cimiano", "aifb"]);
+        assert!(!outcome.queries.is_empty());
+        let best = outcome.best().unwrap();
+        assert_eq!(best.rank, 1);
+        assert!(best.query.predicates().contains("author"));
+        assert!(best.query.constants().contains("AIFB"));
+        // The best query answers with the publication from the fixture.
+        let answers = engine.answers(&best.query, None).unwrap();
+        assert!(!answers.is_empty());
+        let pub1 = engine.graph().entity("pub1URI").unwrap();
+        assert!(answers.rows().iter().any(|row| row.contains(&pub1)));
+    }
+
+    #[test]
+    fn ranks_are_sequential_and_costs_non_decreasing() {
+        let engine = engine();
+        let outcome = engine.search(&["cimiano", "publication"]);
+        for (i, q) in outcome.queries.iter().enumerate() {
+            assert_eq!(q.rank, i + 1);
+        }
+        for pair in outcome.queries.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost + 1e-12);
+        }
+    }
+
+    #[test]
+    fn queries_are_deduplicated() {
+        let engine = engine();
+        let outcome = engine.search(&["cimiano", "aifb"]);
+        let mut canonical: Vec<String> = outcome
+            .queries
+            .iter()
+            .map(|q| q.query.canonicalized().to_string())
+            .collect();
+        let before = canonical.len();
+        canonical.sort();
+        canonical.dedup();
+        assert_eq!(before, canonical.len());
+    }
+
+    #[test]
+    fn unmatched_keywords_are_reported_and_ignored() {
+        let engine = engine();
+        let outcome = engine.search(&["cimiano", "xyzzy-unknown"]);
+        assert_eq!(outcome.unmatched_keywords, vec![1]);
+        assert!(
+            !outcome.queries.is_empty(),
+            "the matched keyword still produces queries"
+        );
+    }
+
+    #[test]
+    fn k_bounds_the_number_of_queries() {
+        let engine = KeywordSearchEngine::with_config(figure1_graph(), SearchConfig::with_k(2));
+        let outcome = engine.search(&["cimiano", "publication"]);
+        assert!(outcome.queries.len() <= 2);
+    }
+
+    #[test]
+    fn scoring_function_can_be_swept_per_search() {
+        let engine = engine();
+        for scoring in ScoringFunction::all() {
+            let config = SearchConfig::default().scoring(scoring);
+            let outcome = engine.search_with(&["2006", "cimiano", "aifb"], &config);
+            assert!(
+                !outcome.queries.is_empty(),
+                "scoring {scoring} must produce queries"
+            );
+        }
+    }
+
+    #[test]
+    fn search_and_answer_collects_enough_answers() {
+        let engine = engine();
+        let (outcome, answers, processed) = engine.search_and_answer(&["publications"], 2);
+        assert!(!outcome.queries.is_empty());
+        assert!(processed >= 1);
+        let total: usize = answers.iter().map(AnswerSet::len).sum();
+        assert!(total >= 2, "two publications exist in the fixture");
+    }
+
+    #[test]
+    fn timings_and_sizes_are_recorded() {
+        let engine = engine();
+        assert!(engine.index_build_time() > Duration::ZERO);
+        let outcome = engine.search(&["2006", "aifb"]);
+        assert!(outcome.augmented_elements > 0);
+        assert!(outcome.computation_time() >= outcome.exploration_time);
+        let stats = engine.graph_stats();
+        assert_eq!(stats.entities, 8);
+    }
+
+    #[test]
+    fn empty_keyword_list_produces_no_queries() {
+        let engine = engine();
+        let outcome = engine.search::<&str>(&[]);
+        assert!(outcome.queries.is_empty());
+        assert!(outcome.unmatched_keywords.is_empty());
+    }
+}

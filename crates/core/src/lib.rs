@@ -1,0 +1,45 @@
+//! Top-k exploration of query candidates (the paper's core contribution).
+//!
+//! Given a keyword query, this crate computes the **top-k conjunctive
+//! queries** whose answers connect the keywords on the data graph:
+//!
+//! 1. the keywords are mapped to graph elements by the keyword index
+//!    (`kwsearch-keyword-index`),
+//! 2. the summary graph is augmented with those elements
+//!    (`kwsearch-summary`),
+//! 3. [`exploration`] (Algorithm 1) explores the augmented summary graph
+//!    with cost-ordered cursors, starting simultaneously from all keyword
+//!    elements and traversing vertices *and* edges in both directions,
+//! 4. [`topk`] (Algorithm 2) maintains the candidate subgraphs and the
+//!    Threshold-Algorithm-style termination test that guarantees the
+//!    returned subgraphs really are the k cheapest,
+//! 5. [`query_map`] translates each matching subgraph into a conjunctive
+//!    query (Section VI-D),
+//! 6. [`engine`] packages the whole pipeline — including answering the
+//!    selected query with the `kwsearch-query` evaluator — behind the
+//!    [`KeywordSearchEngine`] facade.
+//!
+//! Scoring (Section V) is configurable through [`ScoringFunction`]: path
+//! length (C1), popularity (C2), or popularity weighted by the keyword
+//! matching score (C3).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod cursor;
+pub mod engine;
+pub mod exploration;
+pub mod query_map;
+pub mod result;
+pub mod scoring;
+pub mod subgraph;
+pub mod topk;
+
+pub use config::SearchConfig;
+pub use engine::{KeywordSearchEngine, SearchOutcome};
+pub use exploration::{ExplorationOutcome, ExplorationStats, Explorer};
+pub use query_map::map_subgraph_to_query;
+pub use result::RankedQuery;
+pub use scoring::ScoringFunction;
+pub use subgraph::{MatchingSubgraph, SubgraphPath};

@@ -1,0 +1,94 @@
+//! Ranked query results.
+
+use kwsearch_query::{sparql, ConjunctiveQuery};
+
+use crate::subgraph::MatchingSubgraph;
+
+/// One entry of the top-k result list: a conjunctive query, its cost and the
+/// matching subgraph it was derived from.
+#[derive(Debug, Clone)]
+pub struct RankedQuery {
+    /// Rank (1-based) within the result list.
+    pub rank: usize,
+    /// The computed conjunctive query.
+    pub query: ConjunctiveQuery,
+    /// The cost of the underlying matching subgraph (lower is better).
+    pub cost: f64,
+    /// The matching subgraph the query was derived from.
+    pub subgraph: MatchingSubgraph,
+}
+
+impl RankedQuery {
+    /// The SPARQL rendering of the query (Fig. 1c style).
+    pub fn sparql(&self) -> String {
+        sparql::to_sparql(&self.query)
+    }
+
+    /// A short natural-language-like description of the query, as shown to
+    /// users by the paper's demo system.
+    pub fn description(&self) -> String {
+        sparql::to_description(&self.query)
+    }
+}
+
+impl std::fmt::Display for RankedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{} (cost {:.3}): {}", self.rank, self.cost, self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subgraph::SubgraphPath;
+    use kwsearch_query::QueryBuilder;
+    use kwsearch_summary::SummaryElement;
+
+    fn sample() -> RankedQuery {
+        // A minimal subgraph handle is enough for formatting tests; real
+        // subgraphs are covered by the engine tests.
+        let element = sample_element();
+        RankedQuery {
+            rank: 1,
+            cost: 2.5,
+            query: QueryBuilder::new()
+                .class_pattern("x", "Publication")
+                .attribute_pattern("x", "year", "2006")
+                .distinguished(["x"])
+                .build(),
+            subgraph: MatchingSubgraph::new(
+                element,
+                vec![SubgraphPath {
+                    keyword: 0,
+                    elements: vec![element],
+                    cost: 2.5,
+                }],
+            ),
+        }
+    }
+
+    fn sample_element() -> SummaryElement {
+        use kwsearch_rdf::fixtures::figure1_graph;
+        use kwsearch_summary::SummaryGraph;
+        let g = figure1_graph();
+        let s = SummaryGraph::build(&g);
+        let first = s.nodes().next().unwrap();
+        SummaryElement::Node(first)
+    }
+
+    #[test]
+    fn sparql_and_description_are_derived_from_the_query() {
+        let ranked = sample();
+        assert!(ranked.sparql().contains("SELECT ?x"));
+        assert!(ranked.sparql().contains("?x year '2006'"));
+        assert!(ranked.description().contains("Publication"));
+    }
+
+    #[test]
+    fn display_shows_rank_and_cost() {
+        let text = sample().to_string();
+        assert!(text.starts_with("#1"));
+        assert!(text.contains("2.500"));
+        assert!(text.contains("type(?x, Publication)"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the top-k exploration: result validity,
+//! cost ordering, the prefix property of increasing k, and agreement across
+//! configurations on randomly generated graphs.
+
+use proptest::prelude::*;
+
+use kwsearch_core::{Explorer, KeywordSearchEngine, ScoringFunction, SearchConfig};
+use kwsearch_keyword_index::KeywordIndex;
+use kwsearch_rdf::{DataGraph, Triple};
+use kwsearch_summary::{AugmentedSummaryGraph, SummaryGraph};
+
+/// A compact random data graph: a handful of classes, entities with
+/// attributes drawn from a small label pool, and random relations.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    triples: Vec<Triple>,
+    value_labels: Vec<String>,
+}
+
+fn random_graph() -> impl Strategy<Value = RandomGraph> {
+    let classes = ["Alpha", "Beta", "Gamma"];
+    let values = ["red", "green", "blue", "cyan", "amber"];
+    let relations = ["linksTo", "near", "uses"];
+
+    (
+        proptest::collection::vec((0usize..12, 0usize..classes.len()), 3..12),
+        proptest::collection::vec((0usize..12, 0usize..values.len()), 2..12),
+        proptest::collection::vec((0usize..12, 0usize..relations.len(), 0usize..12), 0..16),
+    )
+        .prop_map(move |(types, attrs, rels)| {
+            let mut triples = Vec::new();
+            let mut used_values = Vec::new();
+            for (e, c) in &types {
+                triples.push(Triple::typed(format!("e{e}"), classes[*c]));
+            }
+            for (e, v) in &attrs {
+                triples.push(Triple::attribute(format!("e{e}"), "label", values[*v]));
+                if !used_values.contains(&values[*v].to_string()) {
+                    used_values.push(values[*v].to_string());
+                }
+            }
+            for (s, r, o) in &rels {
+                triples.push(Triple::relation(format!("e{s}"), relations[*r], format!("e{o}")));
+            }
+            RandomGraph {
+                triples,
+                value_labels: used_values,
+            }
+        })
+}
+
+fn build(graph_spec: &RandomGraph) -> DataGraph {
+    let mut graph = DataGraph::new();
+    for t in &graph_spec.triples {
+        graph.insert_triple(t).expect("generated triples are well-formed");
+    }
+    graph
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every returned subgraph is connected, covers every keyword, and the
+    /// result list is sorted by non-decreasing cost — for all three scoring
+    /// functions.
+    #[test]
+    fn results_are_valid_and_sorted(spec in random_graph()) {
+        prop_assume!(spec.value_labels.len() >= 2);
+        let graph = build(&spec);
+        let keywords: Vec<String> = spec.value_labels.iter().take(2).cloned().collect();
+
+        let base = SummaryGraph::build(&graph);
+        let index = KeywordIndex::build(&graph);
+        let matches = index.lookup_all(&keywords);
+        let augmented = AugmentedSummaryGraph::build(&graph, &base, &matches);
+
+        for scoring in ScoringFunction::all() {
+            let config = SearchConfig::with_k(5).scoring(scoring);
+            let outcome = Explorer::new(&augmented, config).run();
+            let mut previous = 0.0f64;
+            for subgraph in &outcome.subgraphs {
+                prop_assert!(subgraph.cost >= previous - 1e-9);
+                previous = subgraph.cost;
+                prop_assert!(subgraph.is_connected(&augmented));
+                prop_assert_eq!(subgraph.keyword_count(), keywords.len());
+                // Path costs are consistent with the scoring function.
+                for path in &subgraph.paths {
+                    let recomputed = scoring.path_cost(&augmented, &path.elements);
+                    prop_assert!((recomputed - path.cost).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Increasing k never changes the cheaper prefix of the result list
+    /// (the top-k guarantee), and never returns more than k results.
+    #[test]
+    fn larger_k_extends_the_result_list(spec in random_graph()) {
+        prop_assume!(!spec.value_labels.is_empty());
+        let graph = build(&spec);
+        let keywords: Vec<String> = spec.value_labels.iter().take(2).cloned().collect();
+        let engine = KeywordSearchEngine::new(graph);
+
+        let small = engine.search_with(&keywords, &SearchConfig::with_k(2));
+        let large = engine.search_with(&keywords, &SearchConfig::with_k(6));
+        prop_assert!(small.queries.len() <= 2);
+        prop_assert!(large.queries.len() <= 6);
+        prop_assert!(large.queries.len() >= small.queries.len());
+        for (a, b) in small.queries.iter().zip(large.queries.iter()) {
+            prop_assert!((a.cost - b.cost).abs() < 1e-9);
+        }
+    }
+
+    /// The engine is deterministic: searching twice yields identical
+    /// queries and costs.
+    #[test]
+    fn search_is_deterministic(spec in random_graph()) {
+        prop_assume!(!spec.value_labels.is_empty());
+        let graph = build(&spec);
+        let keywords: Vec<String> = spec.value_labels.iter().take(2).cloned().collect();
+        let engine = KeywordSearchEngine::new(graph);
+        let first = engine.search(&keywords);
+        let second = engine.search(&keywords);
+        prop_assert_eq!(first.queries.len(), second.queries.len());
+        for (a, b) in first.queries.iter().zip(second.queries.iter()) {
+            prop_assert_eq!(a.query.canonicalized(), b.query.canonicalized());
+            prop_assert!((a.cost - b.cost).abs() < 1e-12);
+        }
+    }
+
+    /// Generated queries never contain unknown predicates: every predicate
+    /// of every result exists as an edge label of the data graph (or is the
+    /// reserved `type`/`subclass`).
+    #[test]
+    fn generated_queries_use_existing_vocabulary(spec in random_graph()) {
+        prop_assume!(!spec.value_labels.is_empty());
+        let graph = build(&spec);
+        let keywords: Vec<String> = spec.value_labels.iter().take(2).cloned().collect();
+        let engine = KeywordSearchEngine::new(graph);
+        let outcome = engine.search(&keywords);
+        for ranked in &outcome.queries {
+            for predicate in ranked.query.predicates() {
+                prop_assert!(
+                    !engine.graph().edge_labels_named(&predicate).is_empty(),
+                    "unknown predicate {} in generated query",
+                    predicate
+                );
+            }
+            prop_assert!(!ranked.query.distinguished().is_empty());
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! A DBLP-like bibliographic dataset generator.
+//!
+//! Structure (mirroring the RDF export of DBLP used in the paper's
+//! evaluation): few classes, many entities, and a very large number of
+//! V-vertices (titles, names, years, page ranges) — which is why DBLP's
+//! keyword index dwarfs its graph index in Fig. 6b.
+//!
+//! Classes: `Publication` (with subclasses `Article` and `InProceedings`),
+//! `Person`, `Venue` (with subclasses `Journal` and `Conference`).
+//! Relations: `author`, `publishedIn`, `cites`, `editedBy`.
+//! Attributes: `title`, `year`, `pages`, `name`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kwsearch_rdf::{DataGraph, GraphBuilder};
+
+use crate::names::{person_name, TITLE_TERMS, VENUE_STEMS};
+use crate::zipf::ZipfSampler;
+
+/// Configuration of the DBLP-like generator.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of publication entities.
+    pub publications: usize,
+    /// Number of person entities.
+    pub authors: usize,
+    /// Number of venue entities.
+    pub venues: usize,
+    /// Inclusive year range for the `year` attribute.
+    pub year_range: (u32, u32),
+    /// Maximum number of authors per publication (at least 1 is used).
+    pub max_authors_per_publication: usize,
+    /// Probability that a publication cites another one.
+    pub citation_probability: f64,
+    /// Fraction of publications that additionally carry a subclass type
+    /// (`Article` or `InProceedings`).
+    pub subclass_fraction: f64,
+    /// RNG seed; the generator is deterministic for a given configuration.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        Self {
+            publications: 2_000,
+            authors: 800,
+            venues: 16,
+            year_range: (1990, 2008),
+            max_authors_per_publication: 4,
+            citation_probability: 0.3,
+            subclass_fraction: 0.2,
+            seed: 20090001,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// A configuration scaled by the number of publications (authors and
+    /// venues follow proportionally).
+    pub fn with_scale(publications: usize) -> Self {
+        Self {
+            publications,
+            authors: (publications * 2 / 5).max(4),
+            venues: (publications / 125).clamp(4, 64),
+            ..Self::default()
+        }
+    }
+}
+
+/// The generated dataset: the data graph plus the label pools the workload
+/// generator draws keywords from.
+#[derive(Debug, Clone)]
+pub struct DblpDataset {
+    /// The generated data graph.
+    pub graph: DataGraph,
+    /// All person names, indexed by author number.
+    pub author_names: Vec<String>,
+    /// All venue names.
+    pub venue_names: Vec<String>,
+    /// All publication titles, indexed by publication number.
+    pub titles: Vec<String>,
+    /// The year (as text) of every publication.
+    pub years: Vec<String>,
+    /// Author indices of every publication (first author first).
+    pub authorship: Vec<Vec<usize>>,
+    /// Venue index of every publication.
+    pub publication_venue: Vec<usize>,
+    /// The configuration used.
+    pub config: DblpConfig,
+}
+
+impl DblpDataset {
+    /// Generates a dataset from a configuration.
+    pub fn generate(config: DblpConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut builder = GraphBuilder::new();
+
+        // Class hierarchy.
+        builder.subclass("Article", "Publication");
+        builder.subclass("InProceedings", "Publication");
+        builder.subclass("Journal", "Venue");
+        builder.subclass("Conference", "Venue");
+        builder.subclass("Publication", "Thing");
+        builder.subclass("Person", "Thing");
+        builder.subclass("Venue", "Thing");
+
+        // People.
+        let author_names: Vec<String> = (0..config.authors).map(person_name).collect();
+        for (i, name) in author_names.iter().enumerate() {
+            let iri = format!("person{i}");
+            builder.entity(&iri, "Person");
+            builder.attribute(&iri, "name", name);
+        }
+
+        // Venues.
+        let mut venue_names = Vec::with_capacity(config.venues);
+        for i in 0..config.venues {
+            let stem = VENUE_STEMS[i % VENUE_STEMS.len()];
+            let series = i / VENUE_STEMS.len() + 1;
+            let name = if series == 1 {
+                stem.to_string()
+            } else {
+                format!("{stem} {series}")
+            };
+            let iri = format!("venue{i}");
+            let class = if i % 2 == 0 { "Conference" } else { "Journal" };
+            builder.entity(&iri, class);
+            builder.add_type(&iri, "Venue");
+            builder.attribute(&iri, "name", &name);
+            venue_names.push(name);
+        }
+
+        // Publications: Zipfian author productivity and venue popularity.
+        let author_sampler = ZipfSampler::new(config.authors.max(1), 1.0);
+        let venue_sampler = ZipfSampler::new(config.venues.max(1), 0.9);
+        let term_sampler = ZipfSampler::new(TITLE_TERMS.len(), 0.8);
+
+        let mut titles = Vec::with_capacity(config.publications);
+        let mut years = Vec::with_capacity(config.publications);
+        let mut authorship = Vec::with_capacity(config.publications);
+        let mut publication_venue = Vec::with_capacity(config.publications);
+        for p in 0..config.publications {
+            let iri = format!("pub{p}");
+            builder.entity(&iri, "Publication");
+            if rng.gen_bool(config.subclass_fraction) {
+                let sub = if rng.gen_bool(0.5) { "Article" } else { "InProceedings" };
+                builder.add_type(&iri, sub);
+            }
+
+            // Title: 3–6 Zipf-sampled terms, capitalised.
+            let term_count = rng.gen_range(3..=6);
+            let mut words = Vec::with_capacity(term_count);
+            for _ in 0..term_count {
+                let term = TITLE_TERMS[term_sampler.sample(&mut rng)];
+                let mut cap = term.to_string();
+                if let Some(first) = cap.get_mut(0..1) {
+                    first.make_ascii_uppercase();
+                }
+                words.push(cap);
+            }
+            let title = words.join(" ");
+            builder.attribute(&iri, "title", &title);
+            titles.push(title);
+
+            // Year.
+            let year = rng.gen_range(config.year_range.0..=config.year_range.1);
+            let year_text = year.to_string();
+            builder.attribute(&iri, "year", &year_text);
+            years.push(year_text);
+
+            // Pages (adds V-vertices without further structure).
+            let first_page = rng.gen_range(1..500);
+            builder.attribute(
+                &iri,
+                "pages",
+                &format!("{first_page}-{}", first_page + rng.gen_range(5..20)),
+            );
+
+            // Authors.
+            let author_count = rng.gen_range(1..=config.max_authors_per_publication.max(1));
+            let mut pub_authors = Vec::with_capacity(author_count);
+            while pub_authors.len() < author_count {
+                let a = author_sampler.sample(&mut rng);
+                if !pub_authors.contains(&a) {
+                    pub_authors.push(a);
+                }
+                if pub_authors.len() >= config.authors {
+                    break;
+                }
+            }
+            for &a in &pub_authors {
+                builder.relation(&iri, "author", &format!("person{a}"));
+            }
+            authorship.push(pub_authors);
+
+            // Venue.
+            let v = venue_sampler.sample(&mut rng);
+            builder.relation(&iri, "publishedIn", &format!("venue{v}"));
+            publication_venue.push(v);
+
+            // Citations to already-generated publications.
+            if p > 0 && rng.gen_bool(config.citation_probability) {
+                let cited = rng.gen_range(0..p);
+                builder.relation(&iri, "cites", &format!("pub{cited}"));
+            }
+        }
+
+        // A few venues have editors.
+        for i in 0..config.venues.min(config.authors) {
+            if i % 3 == 0 {
+                builder.relation(&format!("venue{i}"), "editedBy", &format!("person{i}"));
+            }
+        }
+
+        Self {
+            graph: builder.finish(),
+            author_names,
+            venue_names,
+            titles,
+            years,
+            authorship,
+            publication_venue,
+            config,
+        }
+    }
+
+    /// Generates a dataset with roughly `publications` publications and
+    /// proportional numbers of authors and venues.
+    pub fn scaled(publications: usize) -> Self {
+        Self::generate(DblpConfig::with_scale(publications))
+    }
+
+    /// A small dataset used by unit tests throughout the workspace.
+    pub fn small() -> Self {
+        Self::generate(DblpConfig {
+            publications: 120,
+            authors: 60,
+            venues: 6,
+            ..DblpConfig::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwsearch_rdf::{GraphStats, VertexKind};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DblpDataset::small();
+        let b = DblpDataset::small();
+        assert_eq!(a.graph.vertex_count(), b.graph.vertex_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.titles, b.titles);
+    }
+
+    #[test]
+    fn sizes_match_the_configuration() {
+        let d = DblpDataset::small();
+        assert_eq!(d.titles.len(), 120);
+        assert_eq!(d.author_names.len(), 60);
+        assert_eq!(d.venue_names.len(), 6);
+        assert_eq!(d.authorship.len(), 120);
+        let stats = GraphStats::compute(&d.graph);
+        // 120 publications + 60 people + 6 venues entities.
+        assert_eq!(stats.entities, 186);
+        assert!(stats.values > 150, "titles, names, years, pages");
+    }
+
+    #[test]
+    fn dblp_shape_has_many_values_and_few_classes() {
+        let d = DblpDataset::small();
+        let stats = GraphStats::compute(&d.graph);
+        assert!(stats.classes <= 10);
+        assert!(
+            stats.values > stats.classes * 10,
+            "DBLP is V-vertex heavy: {} values vs {} classes",
+            stats.values,
+            stats.classes
+        );
+    }
+
+    #[test]
+    fn every_publication_has_author_year_and_venue() {
+        let d = DblpDataset::small();
+        for p in 0..d.titles.len() {
+            let iri = format!("pub{p}");
+            let v = d.graph.entity(&iri).expect("publication exists");
+            let out = d.graph.out_edges(v);
+            let labels: Vec<&str> = out
+                .iter()
+                .map(|&e| d.graph.edge_label_name(d.graph.edge(e).label))
+                .collect();
+            assert!(labels.contains(&"author"), "pub{p} has an author");
+            assert!(labels.contains(&"year"));
+            assert!(labels.contains(&"publishedIn"));
+            assert!(labels.contains(&"title"));
+        }
+    }
+
+    #[test]
+    fn authorship_is_skewed() {
+        let d = DblpDataset::generate(DblpConfig {
+            publications: 400,
+            authors: 100,
+            ..DblpConfig::default()
+        });
+        // Count publications per author.
+        let mut counts = vec![0usize; 100];
+        for authors in &d.authorship {
+            for &a in authors {
+                counts[a] += 1;
+            }
+        }
+        let max = *counts.iter().max().unwrap();
+        let median = {
+            let mut sorted = counts.clone();
+            sorted.sort_unstable();
+            sorted[50]
+        };
+        assert!(
+            max >= median * 3,
+            "Zipfian authorship expected: max {max}, median {median}"
+        );
+    }
+
+    #[test]
+    fn labels_exist_as_value_vertices() {
+        let d = DblpDataset::small();
+        assert!(d.graph.value(&d.author_names[0]).is_some());
+        assert!(d.graph.value(&d.titles[0]).is_some());
+        assert!(d.graph.value(&d.years[0]).is_some());
+        assert!(d.graph.vertices_of_kind(VertexKind::Value).count() > 0);
+    }
+
+    #[test]
+    fn scaled_configurations_grow() {
+        let small = DblpConfig::with_scale(200);
+        let large = DblpConfig::with_scale(2000);
+        assert!(large.authors > small.authors);
+        assert!(large.venues >= small.venues);
+    }
+}

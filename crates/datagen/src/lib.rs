@@ -1,0 +1,37 @@
+//! Synthetic dataset generators and benchmark workloads.
+//!
+//! The paper evaluates on three datasets — DBLP (26M triples, bibliographic),
+//! TAP (220k triples, broad general-knowledge ontology) and LUBM(50, 0)
+//! (university benchmark) — plus two workloads: 30 DBLP / 9 TAP keyword
+//! queries collected from 12 participants (effectiveness, Fig. 4) and the
+//! queries Q1–Q10 of the BLINKS evaluation (performance, Fig. 5).
+//!
+//! The original dumps are not redistributable and far exceed laptop scale,
+//! so this crate generates structurally equivalent datasets at a
+//! configurable scale (see DESIGN.md for the substitution rationale):
+//!
+//! * [`dblp`] — publications/authors/venues with Zipfian label reuse: few
+//!   classes, very many V-vertices (large keyword index),
+//! * [`lubm`] — the LUBM schema (universities, departments, professors,
+//!   students, courses) generated from its published class/relation layout,
+//! * [`tap`] — a class-rich, broad ontology (large graph index),
+//! * [`workload`] — keyword queries with gold-standard conjunctive queries
+//!   for the MRR study, and the Q1–Q10 performance queries.
+//!
+//! All generators are deterministic given a seed.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dblp;
+pub mod lubm;
+pub mod names;
+pub mod tap;
+pub mod workload;
+pub mod zipf;
+
+pub use dblp::{DblpConfig, DblpDataset};
+pub use lubm::{LubmConfig, LubmDataset};
+pub use tap::{TapConfig, TapDataset};
+pub use workload::{EffectivenessQuery, PerformanceQuery};
+pub use zipf::ZipfSampler;

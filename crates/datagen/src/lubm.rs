@@ -1,0 +1,313 @@
+//! A LUBM-like university dataset generator.
+//!
+//! LUBM (the Lehigh University Benchmark) is itself a synthetic generator;
+//! this module reproduces its published schema — universities, departments,
+//! professors, students, courses, publications — at a configurable scale.
+//! Compared with the DBLP-like dataset it has more classes and relations per
+//! entity, and far fewer distinct attribute values.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kwsearch_rdf::{DataGraph, GraphBuilder};
+
+use crate::names::{person_name, RESEARCH_AREAS};
+
+/// Configuration of the LUBM-like generator.
+#[derive(Debug, Clone)]
+pub struct LubmConfig {
+    /// Number of universities (the paper uses LUBM(50, 0), i.e. 50).
+    pub universities: usize,
+    /// Departments per university.
+    pub departments_per_university: usize,
+    /// Professors per department (split across the three professor classes).
+    pub professors_per_department: usize,
+    /// Students per department (split into undergraduate/graduate).
+    pub students_per_department: usize,
+    /// Courses per department.
+    pub courses_per_department: usize,
+    /// Publications per professor.
+    pub publications_per_professor: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        Self {
+            universities: 2,
+            departments_per_university: 3,
+            professors_per_department: 5,
+            students_per_department: 20,
+            courses_per_department: 8,
+            publications_per_professor: 2,
+            seed: 50,
+        }
+    }
+}
+
+impl LubmConfig {
+    /// Scales the generator by the number of universities.
+    pub fn with_universities(universities: usize) -> Self {
+        Self {
+            universities,
+            ..Self::default()
+        }
+    }
+}
+
+/// The generated LUBM-like dataset.
+#[derive(Debug, Clone)]
+pub struct LubmDataset {
+    /// The generated data graph.
+    pub graph: DataGraph,
+    /// Names of all universities.
+    pub university_names: Vec<String>,
+    /// Names of all departments.
+    pub department_names: Vec<String>,
+    /// Names of all professors.
+    pub professor_names: Vec<String>,
+    /// Names of all courses.
+    pub course_names: Vec<String>,
+    /// The configuration used.
+    pub config: LubmConfig,
+}
+
+impl LubmDataset {
+    /// Generates a dataset from a configuration.
+    pub fn generate(config: LubmConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut builder = GraphBuilder::new();
+
+        // Class hierarchy (subset of the LUBM ontology).
+        builder.subclass("University", "Organization");
+        builder.subclass("Department", "Organization");
+        builder.subclass("ResearchGroup", "Organization");
+        builder.subclass("Organization", "Thing");
+        builder.subclass("FullProfessor", "Professor");
+        builder.subclass("AssociateProfessor", "Professor");
+        builder.subclass("AssistantProfessor", "Professor");
+        builder.subclass("Professor", "Faculty");
+        builder.subclass("Lecturer", "Faculty");
+        builder.subclass("Faculty", "Person");
+        builder.subclass("UndergraduateStudent", "Student");
+        builder.subclass("GraduateStudent", "Student");
+        builder.subclass("Student", "Person");
+        builder.subclass("Person", "Thing");
+        builder.subclass("GraduateCourse", "Course");
+        builder.subclass("Course", "Work");
+        builder.subclass("Publication", "Work");
+        builder.subclass("Work", "Thing");
+
+        let professor_classes = ["FullProfessor", "AssociateProfessor", "AssistantProfessor"];
+
+        let mut university_names = Vec::new();
+        let mut department_names = Vec::new();
+        let mut professor_names = Vec::new();
+        let mut course_names = Vec::new();
+
+        let mut person_counter = 0usize;
+        let mut publication_counter = 0usize;
+
+        for u in 0..config.universities {
+            let uni_iri = format!("university{u}");
+            let uni_name = format!("University{u}");
+            builder.entity(&uni_iri, "University");
+            builder.attribute(&uni_iri, "name", &uni_name);
+            university_names.push(uni_name);
+
+            for d in 0..config.departments_per_university {
+                let dept_iri = format!("department{u}_{d}");
+                let dept_name = format!(
+                    "{} Department {d} of University{u}",
+                    RESEARCH_AREAS[(u * config.departments_per_university + d) % RESEARCH_AREAS.len()]
+                );
+                builder.entity(&dept_iri, "Department");
+                builder.attribute(&dept_iri, "name", &dept_name);
+                builder.relation(&dept_iri, "subOrganizationOf", &uni_iri);
+                department_names.push(dept_name);
+
+                // A research group per department.
+                let group_iri = format!("group{u}_{d}");
+                builder.entity(&group_iri, "ResearchGroup");
+                builder.relation(&group_iri, "subOrganizationOf", &dept_iri);
+
+                // Courses.
+                let mut dept_courses = Vec::new();
+                for c in 0..config.courses_per_department {
+                    let course_iri = format!("course{u}_{d}_{c}");
+                    let class = if c % 3 == 0 { "GraduateCourse" } else { "Course" };
+                    let course_name = format!(
+                        "{} Course {c}",
+                        RESEARCH_AREAS[(c + d) % RESEARCH_AREAS.len()]
+                    );
+                    builder.entity(&course_iri, class);
+                    builder.attribute(&course_iri, "name", &course_name);
+                    course_names.push(course_name);
+                    dept_courses.push(course_iri);
+                }
+
+                // Professors.
+                let mut dept_professors = Vec::new();
+                for p in 0..config.professors_per_department {
+                    let prof_iri = format!("professor{u}_{d}_{p}");
+                    let class = professor_classes[p % professor_classes.len()];
+                    let name = person_name(person_counter);
+                    person_counter += 1;
+                    builder.entity(&prof_iri, class);
+                    builder.attribute(&prof_iri, "name", &name);
+                    builder.attribute(
+                        &prof_iri,
+                        "emailAddress",
+                        &format!("{}@u{u}.edu", prof_iri),
+                    );
+                    builder.attribute(
+                        &prof_iri,
+                        "researchInterest",
+                        RESEARCH_AREAS[rng.gen_range(0..RESEARCH_AREAS.len())],
+                    );
+                    builder.relation(&prof_iri, "worksFor", &dept_iri);
+                    builder.relation(
+                        &prof_iri,
+                        "undergraduateDegreeFrom",
+                        &format!("university{}", rng.gen_range(0..config.universities)),
+                    );
+                    if p == 0 {
+                        builder.relation(&prof_iri, "headOf", &dept_iri);
+                    }
+                    // Teaching.
+                    if !dept_courses.is_empty() {
+                        let course = &dept_courses[rng.gen_range(0..dept_courses.len())];
+                        builder.relation(&prof_iri, "teacherOf", course);
+                    }
+                    // Publications.
+                    for _ in 0..config.publications_per_professor {
+                        let pub_iri = format!("lubmpub{publication_counter}");
+                        publication_counter += 1;
+                        builder.entity(&pub_iri, "Publication");
+                        builder.attribute(
+                            &pub_iri,
+                            "name",
+                            &format!("Publication {publication_counter} on {}",
+                                RESEARCH_AREAS[rng.gen_range(0..RESEARCH_AREAS.len())]),
+                        );
+                        builder.relation(&pub_iri, "publicationAuthor", &prof_iri);
+                    }
+                    professor_names.push(name);
+                    dept_professors.push(prof_iri);
+                }
+
+                // Students.
+                for s in 0..config.students_per_department {
+                    let student_iri = format!("student{u}_{d}_{s}");
+                    let class = if s % 4 == 0 {
+                        "GraduateStudent"
+                    } else {
+                        "UndergraduateStudent"
+                    };
+                    builder.entity(&student_iri, class);
+                    builder.attribute(&student_iri, "name", &person_name(person_counter));
+                    person_counter += 1;
+                    builder.relation(&student_iri, "memberOf", &dept_iri);
+                    if !dept_professors.is_empty() {
+                        let advisor = &dept_professors[rng.gen_range(0..dept_professors.len())];
+                        builder.relation(&student_iri, "advisor", advisor);
+                    }
+                    for _ in 0..2 {
+                        if !dept_courses.is_empty() {
+                            let course = &dept_courses[rng.gen_range(0..dept_courses.len())];
+                            builder.relation(&student_iri, "takesCourse", course);
+                        }
+                    }
+                }
+            }
+        }
+
+        Self {
+            graph: builder.finish(),
+            university_names,
+            department_names,
+            professor_names,
+            course_names,
+            config,
+        }
+    }
+
+    /// A small dataset used by unit tests.
+    pub fn small() -> Self {
+        Self::generate(LubmConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwsearch_rdf::GraphStats;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = LubmDataset::small();
+        let b = LubmDataset::small();
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.professor_names, b.professor_names);
+    }
+
+    #[test]
+    fn entity_counts_follow_the_configuration() {
+        let d = LubmDataset::small();
+        let c = &d.config;
+        assert_eq!(d.university_names.len(), c.universities);
+        assert_eq!(
+            d.department_names.len(),
+            c.universities * c.departments_per_university
+        );
+        assert_eq!(
+            d.professor_names.len(),
+            c.universities * c.departments_per_university * c.professors_per_department
+        );
+    }
+
+    #[test]
+    fn schema_has_a_rich_class_hierarchy() {
+        let d = LubmDataset::small();
+        let stats = GraphStats::compute(&d.graph);
+        assert!(stats.classes >= 15, "LUBM has many classes, got {}", stats.classes);
+        assert!(stats.subclass_edges >= 15);
+        assert!(stats.relation_labels >= 8);
+    }
+
+    #[test]
+    fn structural_relations_exist() {
+        let d = LubmDataset::small();
+        let g = &d.graph;
+        for name in ["worksFor", "memberOf", "advisor", "takesCourse", "teacherOf",
+                     "subOrganizationOf", "publicationAuthor", "headOf"] {
+            assert!(
+                !g.edge_labels_named(name).is_empty(),
+                "relation {name} must exist"
+            );
+        }
+        assert!(g.class("FullProfessor").is_some());
+        assert!(g.class("UndergraduateStudent").is_some());
+    }
+
+    #[test]
+    fn departments_belong_to_their_university() {
+        let d = LubmDataset::small();
+        let g = &d.graph;
+        let dept = g.entity("department0_0").unwrap();
+        let uni = g.entity("university0").unwrap();
+        let connected = g.out_edges(dept).iter().any(|&e| {
+            let edge = g.edge(e);
+            g.edge_label_name(edge.label) == "subOrganizationOf" && edge.to == uni
+        });
+        assert!(connected);
+    }
+
+    #[test]
+    fn scaling_by_universities_grows_the_graph() {
+        let small = LubmDataset::generate(LubmConfig::with_universities(1));
+        let large = LubmDataset::generate(LubmConfig::with_universities(3));
+        assert!(large.graph.edge_count() > 2 * small.graph.edge_count());
+    }
+}

@@ -1,0 +1,112 @@
+//! Label vocabulary for the generators.
+//!
+//! The generators need human-readable labels (person names, title terms,
+//! venue names, place names) so that keyword queries look like the ones real
+//! users typed in the paper's study. The vocabulary is fixed and the
+//! generators combine entries deterministically from a seeded RNG.
+
+/// Given names used for person labels.
+pub const GIVEN_NAMES: &[&str] = &[
+    "Anna", "Bernd", "Carla", "Daniel", "Elena", "Frank", "Grace", "Hannes", "Ines", "Jorge",
+    "Katja", "Liam", "Maria", "Nina", "Oliver", "Petra", "Quentin", "Rosa", "Stefan", "Tanja",
+    "Ulrich", "Vera", "Walter", "Xenia", "Yusuf", "Zoe", "Philipp", "Thanh", "Sebastian", "Haofen",
+];
+
+/// Family names used for person labels.
+pub const FAMILY_NAMES: &[&str] = &[
+    "Mueller", "Schmidt", "Schneider", "Fischer", "Weber", "Meyer", "Wagner", "Becker", "Schulz",
+    "Hoffmann", "Koch", "Bauer", "Richter", "Klein", "Wolf", "Neumann", "Schwarz", "Zimmermann",
+    "Braun", "Krueger", "Tran", "Cimiano", "Rudolph", "Wang", "Lopez", "Silva", "Tanaka", "Kumar",
+    "Ivanov", "Haddad",
+];
+
+/// Terms used to build publication titles (computer-science flavoured, so
+/// that keyword queries like "keyword search graph" hit many titles).
+pub const TITLE_TERMS: &[&str] = &[
+    "keyword", "search", "graph", "data", "query", "processing", "efficient", "scalable",
+    "semantic", "web", "database", "index", "ranking", "optimization", "distributed", "parallel",
+    "stream", "mining", "learning", "knowledge", "ontology", "schema", "storage", "retrieval",
+    "algorithm", "structure", "network", "analysis", "system", "engine", "exploration",
+    "integration", "evaluation", "benchmark", "cache", "transaction", "recovery", "clustering",
+    "classification", "embedding",
+];
+
+/// Venue name stems.
+pub const VENUE_STEMS: &[&str] = &[
+    "VLDB", "SIGMOD", "ICDE", "EDBT", "CIKM", "WWW", "ISWC", "ESWC", "KDD", "SIGIR", "PODS",
+    "TKDE", "JWS", "TODS", "DEXA", "WISE",
+];
+
+/// Research-area names (used by LUBM and TAP).
+pub const RESEARCH_AREAS: &[&str] = &[
+    "Databases", "Information Retrieval", "Semantic Web", "Machine Learning", "Networks",
+    "Operating Systems", "Compilers", "Graphics", "Security", "Theory", "Bioinformatics",
+    "Human Computer Interaction",
+];
+
+/// City names (used by TAP and LUBM).
+pub const CITIES: &[&str] = &[
+    "Karlsruhe", "Shanghai", "Delft", "Berlin", "Vienna", "Madrid", "Lyon", "Porto", "Krakow",
+    "Oslo", "Boston", "Seattle", "Kyoto", "Melbourne", "Toronto", "Nairobi",
+];
+
+/// Country names (used by TAP).
+pub const COUNTRIES: &[&str] = &[
+    "Germany", "China", "Netherlands", "Austria", "Spain", "France", "Portugal", "Poland",
+    "Norway", "United States", "Japan", "Australia", "Canada", "Kenya", "Brazil", "India",
+];
+
+/// Sports team stems, music artist stems and film stems (used by TAP).
+pub const TEAM_STEMS: &[&str] = &[
+    "Rhinos", "Falcons", "Mariners", "Titans", "Comets", "Wolves", "Dragons", "Pioneers",
+];
+
+/// Music artist name stems (used by TAP).
+pub const ARTIST_STEMS: &[&str] = &[
+    "Aurora", "Cascade", "Delta", "Echo", "Fjord", "Glacier", "Harbor", "Ion",
+];
+
+/// Film title stems (used by TAP).
+pub const FILM_STEMS: &[&str] = &[
+    "Horizon", "Eclipse", "Voyage", "Labyrinth", "Monsoon", "Satellite", "Harvest", "Midnight",
+];
+
+/// Builds the i-th person name deterministically (round-robin over the name
+/// tables with a numeric suffix once combinations are exhausted).
+pub fn person_name(i: usize) -> String {
+    let given = GIVEN_NAMES[i % GIVEN_NAMES.len()];
+    let family = FAMILY_NAMES[(i / GIVEN_NAMES.len()) % FAMILY_NAMES.len()];
+    let round = i / (GIVEN_NAMES.len() * FAMILY_NAMES.len());
+    if round == 0 {
+        format!("{given} {family}")
+    } else {
+        format!("{given} {family} {round}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn person_names_are_unique() {
+        let names: HashSet<String> = (0..2000).map(person_name).collect();
+        assert_eq!(names.len(), 2000);
+    }
+
+    #[test]
+    fn person_names_reuse_the_vocabulary() {
+        assert_eq!(person_name(0), "Anna Mueller");
+        assert!(person_name(1).starts_with("Bernd"));
+    }
+
+    #[test]
+    fn vocabularies_are_nonempty_and_distinct() {
+        assert!(GIVEN_NAMES.len() >= 20);
+        assert!(FAMILY_NAMES.len() >= 20);
+        assert!(TITLE_TERMS.len() >= 30);
+        let set: HashSet<&str> = TITLE_TERMS.iter().copied().collect();
+        assert_eq!(set.len(), TITLE_TERMS.len());
+    }
+}

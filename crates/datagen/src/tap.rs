@@ -1,0 +1,275 @@
+//! A TAP-like general-knowledge ontology generator.
+//!
+//! TAP is a broad Stanford ontology (~220k triples) describing "knowledge
+//! about sports, geography, music and many other fields". Its defining
+//! structural property in the paper's evaluation is a **large number of
+//! classes and relation labels** relative to its instance count, which makes
+//! the *graph index* (summary graph) much larger than for DBLP or LUBM
+//! (Fig. 6b). This generator reproduces exactly that shape: a wide class
+//! hierarchy over several domains with a modest number of instances per
+//! class.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kwsearch_rdf::{DataGraph, GraphBuilder};
+
+use crate::names::{person_name, ARTIST_STEMS, CITIES, COUNTRIES, FILM_STEMS, TEAM_STEMS};
+
+/// Configuration of the TAP-like generator.
+#[derive(Debug, Clone)]
+pub struct TapConfig {
+    /// Instances generated per leaf class.
+    pub instances_per_class: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TapConfig {
+    fn default() -> Self {
+        Self {
+            instances_per_class: 6,
+            seed: 2220,
+        }
+    }
+}
+
+/// The generated TAP-like dataset.
+#[derive(Debug, Clone)]
+pub struct TapDataset {
+    /// The generated data graph.
+    pub graph: DataGraph,
+    /// Names of all generated instances, grouped by class name.
+    pub instances: Vec<(String, Vec<String>)>,
+    /// The configuration used.
+    pub config: TapConfig,
+}
+
+/// `(class, superclass)` pairs of the TAP-like schema.
+const CLASS_HIERARCHY: &[(&str, &str)] = &[
+    // People.
+    ("Person", "Thing"),
+    ("Athlete", "Person"),
+    ("Musician", "Person"),
+    ("Actor", "Person"),
+    ("Director", "Person"),
+    ("Politician", "Person"),
+    ("Scientist", "Person"),
+    ("Author", "Person"),
+    // Organisations.
+    ("Organization", "Thing"),
+    ("SportsTeam", "Organization"),
+    ("Band", "Organization"),
+    ("Company", "Organization"),
+    ("University", "Organization"),
+    ("GovernmentBody", "Organization"),
+    // Places.
+    ("Place", "Thing"),
+    ("City", "Place"),
+    ("Country", "Place"),
+    ("River", "Place"),
+    ("Mountain", "Place"),
+    ("Stadium", "Place"),
+    ("Museum", "Place"),
+    // Creative works.
+    ("CreativeWork", "Thing"),
+    ("Album", "CreativeWork"),
+    ("Song", "CreativeWork"),
+    ("Movie", "CreativeWork"),
+    ("Book", "CreativeWork"),
+    ("Painting", "CreativeWork"),
+    // Sports.
+    ("Sport", "Thing"),
+    ("SportsLeague", "Thing"),
+    ("SportsEvent", "Thing"),
+    // Misc.
+    ("Award", "Thing"),
+    ("Language", "Thing"),
+    ("Cuisine", "Thing"),
+];
+
+/// Leaf classes that receive instances, with the label pool used for them.
+const INSTANCE_CLASSES: &[&str] = &[
+    "Athlete", "Musician", "Actor", "Director", "Politician", "Scientist", "Author",
+    "SportsTeam", "Band", "Company", "University", "City", "Country", "River", "Mountain",
+    "Stadium", "Museum", "Album", "Song", "Movie", "Book", "Sport", "SportsLeague", "Award",
+    "Language",
+];
+
+impl TapDataset {
+    /// Generates a dataset from a configuration.
+    pub fn generate(config: TapConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut builder = GraphBuilder::new();
+
+        for (class, superclass) in CLASS_HIERARCHY {
+            builder.subclass(class, superclass);
+        }
+
+        // Instances with readable labels.
+        let mut instances: Vec<(String, Vec<String>)> = Vec::new();
+        let mut person_counter = 0usize;
+        for &class in INSTANCE_CLASSES {
+            let mut labels = Vec::with_capacity(config.instances_per_class);
+            for i in 0..config.instances_per_class {
+                let iri = format!("{}{}", class.to_lowercase(), i);
+                let label = Self::label_for(class, i, &mut person_counter);
+                builder.entity(&iri, class);
+                builder.attribute(&iri, "name", &label);
+                labels.push(label);
+            }
+            instances.push((class.to_string(), labels));
+        }
+
+        let n = config.instances_per_class;
+        let pick = |rng: &mut StdRng| rng.gen_range(0..n);
+
+        // Domain relations; each is applied to every instance of its subject
+        // class so that the summary graph gains many distinct edge labels.
+        for i in 0..n {
+            let j = pick(&mut rng);
+            builder.relation(&format!("athlete{i}"), "playsFor", &format!("sportsteam{j}"));
+            builder.relation(&format!("athlete{i}"), "playsSport", &format!("sport{}", pick(&mut rng)));
+            builder.relation(&format!("sportsteam{i}"), "basedIn", &format!("city{}", pick(&mut rng)));
+            builder.relation(&format!("sportsteam{i}"), "memberOfLeague", &format!("sportsleague{}", pick(&mut rng)));
+            builder.relation(&format!("musician{i}"), "memberOf", &format!("band{}", pick(&mut rng)));
+            builder.relation(&format!("song{i}"), "performedBy", &format!("musician{}", pick(&mut rng)));
+            builder.relation(&format!("song{i}"), "partOfAlbum", &format!("album{}", pick(&mut rng)));
+            builder.relation(&format!("album{i}"), "recordedBy", &format!("band{}", pick(&mut rng)));
+            builder.relation(&format!("movie{i}"), "directedBy", &format!("director{}", pick(&mut rng)));
+            builder.relation(&format!("actor{i}"), "actsIn", &format!("movie{}", pick(&mut rng)));
+            builder.relation(&format!("book{i}"), "writtenBy", &format!("author{}", pick(&mut rng)));
+            builder.relation(&format!("city{i}"), "locatedIn", &format!("country{}", pick(&mut rng)));
+            builder.relation(&format!("stadium{i}"), "locatedIn", &format!("city{}", pick(&mut rng)));
+            builder.relation(&format!("museum{i}"), "locatedIn", &format!("city{}", pick(&mut rng)));
+            builder.relation(&format!("river{i}"), "flowsThrough", &format!("country{}", pick(&mut rng)));
+            builder.relation(&format!("mountain{i}"), "locatedIn", &format!("country{}", pick(&mut rng)));
+            builder.relation(&format!("university{i}"), "locatedIn", &format!("city{}", pick(&mut rng)));
+            builder.relation(&format!("scientist{i}"), "worksAt", &format!("university{}", pick(&mut rng)));
+            builder.relation(&format!("politician{i}"), "governs", &format!("country{}", pick(&mut rng)));
+            builder.relation(&format!("company{i}"), "headquarteredIn", &format!("city{}", pick(&mut rng)));
+            builder.relation(&format!("movie{i}"), "wonAward", &format!("award{}", pick(&mut rng)));
+            builder.relation(&format!("musician{i}"), "wonAward", &format!("award{}", pick(&mut rng)));
+            builder.relation(&format!("country{i}"), "officialLanguage", &format!("language{}", pick(&mut rng)));
+
+            // Attributes beyond names.
+            builder.attribute(&format!("city{i}"), "population", &format!("{}", 50_000 + 17 * i));
+            builder.attribute(&format!("country{i}"), "population", &format!("{}", 1_000_000 + 31 * i));
+            builder.attribute(&format!("movie{i}"), "releaseYear", &format!("{}", 1980 + (i % 30)));
+            builder.attribute(&format!("album{i}"), "releaseYear", &format!("{}", 1970 + (i % 40)));
+            builder.attribute(&format!("company{i}"), "foundedYear", &format!("{}", 1900 + (i % 100)));
+        }
+
+        Self {
+            graph: builder.finish(),
+            instances,
+            config,
+        }
+    }
+
+    fn label_for(class: &str, i: usize, person_counter: &mut usize) -> String {
+        let person_classes = [
+            "Athlete", "Musician", "Actor", "Director", "Politician", "Scientist", "Author",
+        ];
+        if person_classes.contains(&class) {
+            let name = person_name(*person_counter + 5000);
+            *person_counter += 1;
+            return name;
+        }
+        match class {
+            "City" => CITIES[i % CITIES.len()].to_string(),
+            "Country" => COUNTRIES[i % COUNTRIES.len()].to_string(),
+            "SportsTeam" => format!("{} {}", CITIES[i % CITIES.len()], TEAM_STEMS[i % TEAM_STEMS.len()]),
+            "Band" => format!("The {}", ARTIST_STEMS[i % ARTIST_STEMS.len()]),
+            "Album" => format!("{} Album", ARTIST_STEMS[(i + 3) % ARTIST_STEMS.len()]),
+            "Song" => format!("{} Song", FILM_STEMS[(i + 1) % FILM_STEMS.len()]),
+            "Movie" => format!("{} {}", FILM_STEMS[i % FILM_STEMS.len()], i),
+            "Book" => format!("Book of {}", FILM_STEMS[(i + 2) % FILM_STEMS.len()]),
+            "University" => format!("University of {}", CITIES[i % CITIES.len()]),
+            "Stadium" => format!("{} Stadium", CITIES[(i + 5) % CITIES.len()]),
+            "Museum" => format!("{} Museum", CITIES[(i + 7) % CITIES.len()]),
+            "River" => format!("River {}", ARTIST_STEMS[i % ARTIST_STEMS.len()]),
+            "Mountain" => format!("Mount {}", ARTIST_STEMS[(i + 4) % ARTIST_STEMS.len()]),
+            "Company" => format!("{} Corp {}", ARTIST_STEMS[(i + 2) % ARTIST_STEMS.len()], i),
+            "Sport" => ["Football", "Basketball", "Tennis", "Rowing", "Cycling", "Judo", "Golf", "Cricket"]
+                [i % 8]
+                .to_string(),
+            "SportsLeague" => format!("{} League", CITIES[(i + 2) % CITIES.len()]),
+            "Award" => format!("{} Prize", COUNTRIES[(i + 1) % COUNTRIES.len()]),
+            "Language" => ["German", "Mandarin", "Dutch", "Spanish", "French", "Portuguese", "Japanese", "Swahili"]
+                [i % 8]
+                .to_string(),
+            _ => format!("{class} {i}"),
+        }
+    }
+
+    /// A small dataset used by unit tests.
+    pub fn small() -> Self {
+        Self::generate(TapConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwsearch_rdf::GraphStats;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TapDataset::small();
+        let b = TapDataset::small();
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.instances, b.instances);
+    }
+
+    #[test]
+    fn tap_is_class_rich() {
+        let d = TapDataset::small();
+        let stats = GraphStats::compute(&d.graph);
+        assert!(stats.classes >= 30, "TAP has many classes, got {}", stats.classes);
+        assert!(stats.relation_labels >= 15);
+        // Class-richness relative to instances: far fewer instances per class
+        // than DBLP.
+        assert!(stats.entities < stats.classes * 20);
+    }
+
+    #[test]
+    fn instances_have_names_and_relations() {
+        let d = TapDataset::small();
+        let g = &d.graph;
+        let athlete = g.entity("athlete0").unwrap();
+        let labels: Vec<&str> = g
+            .out_edges(athlete)
+            .iter()
+            .map(|&e| g.edge_label_name(g.edge(e).label))
+            .collect();
+        assert!(labels.contains(&"name"));
+        assert!(labels.contains(&"playsFor"));
+        assert!(labels.contains(&"type"));
+    }
+
+    #[test]
+    fn instance_registry_matches_the_graph() {
+        let d = TapDataset::small();
+        for (class, labels) in &d.instances {
+            assert!(d.graph.class(class).is_some(), "class {class} exists");
+            for label in labels {
+                assert!(
+                    d.graph.value(label).is_some(),
+                    "label {label} of class {class} is a V-vertex"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_reaches_thing() {
+        let d = TapDataset::small();
+        let g = &d.graph;
+        let athlete = g.class("Athlete").unwrap();
+        let person = g.class("Person").unwrap();
+        assert!(g.superclasses_of(athlete).contains(&person));
+        let thing = g.class("Thing").unwrap();
+        assert!(g.superclasses_of(person).contains(&thing));
+    }
+}

@@ -1,0 +1,146 @@
+//! A generic term → posting-list inverted index.
+//!
+//! The keyword-element map of Section IV-A is "implemented as an inverted
+//! index": every analysed term of every indexed label points to the list of
+//! graph elements whose label produced the term. The index is generic over
+//! the posting payload so it can be unit-tested independently of the graph
+//! model.
+
+use std::collections::HashMap;
+
+/// A term → postings map.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex<T> {
+    postings: HashMap<String, Vec<T>>,
+    posting_count: usize,
+}
+
+impl<T> Default for InvertedIndex<T> {
+    fn default() -> Self {
+        Self {
+            postings: HashMap::new(),
+            posting_count: 0,
+        }
+    }
+}
+
+impl<T: Clone + PartialEq> InvertedIndex<T> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `payload` to the posting list of `term`, ignoring exact
+    /// duplicates.
+    pub fn insert(&mut self, term: &str, payload: T) {
+        let list = self.postings.entry(term.to_string()).or_default();
+        if !list.contains(&payload) {
+            list.push(payload);
+            self.posting_count += 1;
+        }
+    }
+
+    /// The posting list of `term` (empty slice if unknown).
+    pub fn get(&self, term: &str) -> &[T] {
+        self.postings.get(term).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether `term` has at least one posting.
+    pub fn contains_term(&self, term: &str) -> bool {
+        self.postings.contains_key(term)
+    }
+
+    /// Iterates over the vocabulary.
+    pub fn terms(&self) -> impl Iterator<Item = &str> + '_ {
+        self.postings.keys().map(String::as_str)
+    }
+
+    /// Iterates over `(term, postings)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[T])> + '_ {
+        self.postings.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total number of postings across all terms.
+    pub fn posting_count(&self) -> usize {
+        self.posting_count
+    }
+
+    /// Whether the index holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Approximate heap usage in bytes (Fig. 6b index-size report).
+    pub fn heap_bytes(&self) -> usize {
+        let term_bytes: usize = self.postings.keys().map(|k| k.len() + std::mem::size_of::<String>()).sum();
+        let posting_bytes = self.posting_count * std::mem::size_of::<T>();
+        term_bytes + posting_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut idx = InvertedIndex::new();
+        idx.insert("publication", 1u32);
+        idx.insert("publication", 2);
+        idx.insert("author", 3);
+        assert_eq!(idx.get("publication"), &[1, 2]);
+        assert_eq!(idx.get("author"), &[3]);
+        assert!(idx.get("missing").is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut idx = InvertedIndex::new();
+        idx.insert("term", 7u32);
+        idx.insert("term", 7);
+        assert_eq!(idx.get("term").len(), 1);
+        assert_eq!(idx.posting_count(), 1);
+    }
+
+    #[test]
+    fn counts_and_vocabulary() {
+        let mut idx = InvertedIndex::new();
+        assert!(idx.is_empty());
+        idx.insert("a", 1u32);
+        idx.insert("b", 1);
+        idx.insert("b", 2);
+        assert_eq!(idx.term_count(), 2);
+        assert_eq!(idx.posting_count(), 3);
+        let mut terms: Vec<&str> = idx.terms().collect();
+        terms.sort_unstable();
+        assert_eq!(terms, vec!["a", "b"]);
+        assert!(idx.contains_term("a"));
+        assert!(!idx.contains_term("c"));
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_content() {
+        let mut small = InvertedIndex::new();
+        small.insert("x", 1u64);
+        let mut large = InvertedIndex::new();
+        for i in 0..100u64 {
+            large.insert(&format!("term-{i}"), i);
+        }
+        assert!(large.heap_bytes() > small.heap_bytes());
+    }
+
+    #[test]
+    fn entries_expose_all_postings() {
+        let mut idx = InvertedIndex::new();
+        idx.insert("a", 1u32);
+        idx.insert("a", 2);
+        idx.insert("b", 3);
+        let total: usize = idx.entries().map(|(_, p)| p.len()).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,655 @@
+//! The keyword-to-element map of Section IV-A.
+//!
+//! For every keyword the index returns the graph elements whose labels are
+//! syntactically or semantically similar, together with a matching score
+//! `s_m ∈ [0, 1]` and — for V-vertices and A-edges — the neighbourhood data
+//! structures (`[V-vertex, A-edge, (C-vertex1…n)]` and
+//! `[A-edge, (C-vertex1…n)]`) that the summary-graph augmentation
+//! (Definition 5) needs in order to attach the matched element to the right
+//! classes.
+//!
+//! E-vertices are not indexed; classes, values, relation labels and
+//! attribute labels are.
+
+use std::collections::HashMap;
+
+use kwsearch_rdf::{DataGraph, EdgeLabel, EdgeLabelId, VertexId, VertexKind};
+
+use crate::analyzer::Analyzer;
+use crate::inverted::InvertedIndex;
+use crate::levenshtein::bounded_levenshtein;
+use crate::thesaurus::Thesaurus;
+
+/// Reference to an indexable graph element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElementRef {
+    /// A class (C-vertex).
+    Class(VertexId),
+    /// A data value (V-vertex).
+    Value(VertexId),
+    /// A relation edge label (R-edge label).
+    Relation(EdgeLabelId),
+    /// An attribute edge label (A-edge label).
+    Attribute(EdgeLabelId),
+}
+
+/// How a matched V-vertex connects to the schema: through which attribute
+/// edge, into entities of which classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueConnection {
+    /// The A-edge label connecting an entity to the matched value.
+    pub attribute: EdgeLabelId,
+    /// The classes of the entities carrying that attribute value.
+    pub classes: Vec<VertexId>,
+    /// Whether at least one of those entities has no `type` edge (it will be
+    /// attached to `Thing` during augmentation).
+    pub has_untyped_source: bool,
+}
+
+/// A matched graph element, enriched with the neighbourhood information
+/// required by the summary-graph augmentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchedElement {
+    /// The keyword matched a class label.
+    Class {
+        /// The matched C-vertex.
+        class: VertexId,
+    },
+    /// The keyword matched a relation (R-edge) label.
+    Relation {
+        /// The matched relation label.
+        label: EdgeLabelId,
+    },
+    /// The keyword matched an attribute (A-edge) label.
+    Attribute {
+        /// The matched attribute label.
+        label: EdgeLabelId,
+        /// Classes of the entities using this attribute.
+        classes: Vec<VertexId>,
+        /// Whether some entity using this attribute is untyped.
+        has_untyped_source: bool,
+    },
+    /// The keyword matched a data value (V-vertex).
+    Value {
+        /// The matched V-vertex.
+        value: VertexId,
+        /// The `[V-vertex, A-edge, (C-vertex…)]` structures: one entry per
+        /// attribute label through which the value is reachable.
+        connections: Vec<ValueConnection>,
+    },
+}
+
+impl MatchedElement {
+    /// The bare element reference (without neighbourhood data).
+    pub fn element_ref(&self) -> ElementRef {
+        match self {
+            MatchedElement::Class { class } => ElementRef::Class(*class),
+            MatchedElement::Relation { label } => ElementRef::Relation(*label),
+            MatchedElement::Attribute { label, .. } => ElementRef::Attribute(*label),
+            MatchedElement::Value { value, .. } => ElementRef::Value(*value),
+        }
+    }
+}
+
+/// One keyword → element match with its score `s_m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeywordMatch {
+    /// The matched element with neighbourhood data.
+    pub element: MatchedElement,
+    /// The matching score in `[0, 1]` combining syntactic and semantic
+    /// similarity (Section V, used by the C3 cost function).
+    pub score: f64,
+}
+
+/// Configuration of the matching behaviour.
+#[derive(Debug, Clone)]
+pub struct KeywordIndexConfig {
+    /// Enable Levenshtein-based fuzzy matching.
+    pub fuzzy: bool,
+    /// Maximum accepted edit distance for fuzzy matches.
+    pub max_edit_distance: usize,
+    /// Minimum normalised similarity for fuzzy matches.
+    pub min_fuzzy_similarity: f64,
+    /// Enable thesaurus-based semantic expansion.
+    pub semantic: bool,
+    /// Maximum number of matches returned per keyword.
+    pub max_matches_per_keyword: usize,
+}
+
+impl Default for KeywordIndexConfig {
+    fn default() -> Self {
+        Self {
+            fuzzy: true,
+            max_edit_distance: 2,
+            min_fuzzy_similarity: 0.7,
+            semantic: true,
+            max_matches_per_keyword: 20,
+        }
+    }
+}
+
+/// The keyword index: an IR engine over the labels of the data graph.
+#[derive(Debug, Clone)]
+pub struct KeywordIndex {
+    analyzer: Analyzer,
+    thesaurus: Thesaurus,
+    config: KeywordIndexConfig,
+    index: InvertedIndex<ElementRef>,
+    value_connections: HashMap<VertexId, Vec<ValueConnection>>,
+    attribute_classes: HashMap<EdgeLabelId, (Vec<VertexId>, bool)>,
+    indexed_elements: usize,
+}
+
+impl KeywordIndex {
+    /// Builds the keyword index with the default analyzer, thesaurus and
+    /// configuration.
+    pub fn build(graph: &DataGraph) -> Self {
+        Self::build_with(
+            graph,
+            Analyzer::new(),
+            Thesaurus::builtin(),
+            KeywordIndexConfig::default(),
+        )
+    }
+
+    /// Builds the keyword index with custom components.
+    pub fn build_with(
+        graph: &DataGraph,
+        analyzer: Analyzer,
+        thesaurus: Thesaurus,
+        config: KeywordIndexConfig,
+    ) -> Self {
+        let mut index = InvertedIndex::new();
+        let mut indexed_elements = 0usize;
+
+        // Classes.
+        for class in graph.vertices_of_kind(VertexKind::Class) {
+            let label = graph.vertex_label(class);
+            for term in analyzer.analyze_unique(label) {
+                index.insert(&term, ElementRef::Class(class));
+            }
+            indexed_elements += 1;
+        }
+
+        // Values, together with their [V-vertex, A-edge, (C-vertex…)] data.
+        let mut value_connections: HashMap<VertexId, Vec<ValueConnection>> = HashMap::new();
+        for value in graph.vertices_of_kind(VertexKind::Value) {
+            let label = graph.vertex_label(value);
+            for term in analyzer.analyze_unique(label) {
+                index.insert(&term, ElementRef::Value(value));
+            }
+            indexed_elements += 1;
+            value_connections.insert(value, Self::connections_of_value(graph, value));
+        }
+
+        // Edge labels (relations and attributes), together with the
+        // [A-edge, (C-vertex…)] data for attributes.
+        let mut attribute_classes: HashMap<EdgeLabelId, (Vec<VertexId>, bool)> = HashMap::new();
+        for (label_id, label) in graph.edge_labels() {
+            match label {
+                EdgeLabel::Relation(sym) => {
+                    let name = graph.resolve(sym);
+                    for term in analyzer.analyze_unique(name) {
+                        index.insert(&term, ElementRef::Relation(label_id));
+                    }
+                    indexed_elements += 1;
+                }
+                EdgeLabel::Attribute(sym) => {
+                    let name = graph.resolve(sym);
+                    for term in analyzer.analyze_unique(name) {
+                        index.insert(&term, ElementRef::Attribute(label_id));
+                    }
+                    indexed_elements += 1;
+                    attribute_classes
+                        .insert(label_id, Self::classes_of_attribute(graph, label_id));
+                }
+                EdgeLabel::Type | EdgeLabel::SubClass => {}
+            }
+        }
+
+        Self {
+            analyzer,
+            thesaurus,
+            config,
+            index,
+            value_connections,
+            attribute_classes,
+            indexed_elements,
+        }
+    }
+
+    /// Collects, for one V-vertex, the attribute labels and source-entity
+    /// classes through which it is reachable.
+    fn connections_of_value(graph: &DataGraph, value: VertexId) -> Vec<ValueConnection> {
+        let mut per_attribute: HashMap<EdgeLabelId, (Vec<VertexId>, bool)> = HashMap::new();
+        for &e in graph.in_edges(value) {
+            let edge = graph.edge(e);
+            let entry = per_attribute.entry(edge.label).or_default();
+            let classes = graph.classes_of(edge.from);
+            if classes.is_empty() {
+                entry.1 = true;
+            }
+            for c in classes {
+                if !entry.0.contains(&c) {
+                    entry.0.push(c);
+                }
+            }
+        }
+        let mut connections: Vec<ValueConnection> = per_attribute
+            .into_iter()
+            .map(|(attribute, (classes, has_untyped_source))| ValueConnection {
+                attribute,
+                classes,
+                has_untyped_source,
+            })
+            .collect();
+        connections.sort_by_key(|c| c.attribute);
+        connections
+    }
+
+    /// Collects the classes of all entities that carry the given attribute.
+    fn classes_of_attribute(graph: &DataGraph, label: EdgeLabelId) -> (Vec<VertexId>, bool) {
+        let mut classes = Vec::new();
+        let mut has_untyped = false;
+        for e in graph.edges() {
+            let edge = graph.edge(e);
+            if edge.label != label {
+                continue;
+            }
+            let entity_classes = graph.classes_of(edge.from);
+            if entity_classes.is_empty() {
+                has_untyped = true;
+            }
+            for c in entity_classes {
+                if !classes.contains(&c) {
+                    classes.push(c);
+                }
+            }
+        }
+        classes.sort();
+        (classes, has_untyped)
+    }
+
+    /// Looks up one keyword, returning matches sorted by descending score.
+    pub fn lookup(&self, keyword: &str) -> Vec<KeywordMatch> {
+        let raw_tokens: Vec<String> = self
+            .analyzer
+            .tokenize(keyword)
+            .into_iter()
+            .filter(|t| !crate::stopwords::is_stop_word(t))
+            .collect();
+        if raw_tokens.is_empty() {
+            return Vec::new();
+        }
+
+        // element -> per-query-term best score
+        let mut per_element: HashMap<ElementRef, Vec<f64>> = HashMap::new();
+        let num_terms = raw_tokens.len();
+
+        for (term_idx, raw) in raw_tokens.iter().enumerate() {
+            let stemmed = crate::stemmer::porter_stem(raw);
+
+            // 1. Exact (post-analysis) matches.
+            for &element in self.index.get(&stemmed) {
+                record(&mut per_element, element, term_idx, num_terms, 1.0);
+            }
+
+            // 2. Fuzzy matches against the vocabulary.
+            if self.config.fuzzy {
+                for vocab_term in self.index.terms() {
+                    if vocab_term == stemmed {
+                        continue;
+                    }
+                    let Some(distance) =
+                        bounded_levenshtein(&stemmed, vocab_term, self.config.max_edit_distance)
+                    else {
+                        continue;
+                    };
+                    let longest = stemmed.chars().count().max(vocab_term.chars().count());
+                    if longest == 0 {
+                        continue;
+                    }
+                    let sim = 1.0 - distance as f64 / longest as f64;
+                    if sim < self.config.min_fuzzy_similarity {
+                        continue;
+                    }
+                    for &element in self.index.get(vocab_term) {
+                        record(&mut per_element, element, term_idx, num_terms, sim);
+                    }
+                }
+            }
+
+            // 3. Semantic expansion through the thesaurus. The thesaurus is
+            // keyed by full (unstemmed) words, so besides the raw token we
+            // also try its stem and a naive singular form.
+            if self.config.semantic {
+                let mut variants = vec![raw.clone(), stemmed.clone()];
+                if let Some(singular) = raw.strip_suffix('s') {
+                    variants.push(singular.to_string());
+                }
+                variants.dedup();
+                for variant in variants {
+                    for related in self.thesaurus.related(&variant) {
+                        let weight = related.relation.weight();
+                        for expanded in self.analyzer.analyze_unique(&related.term) {
+                            for &element in self.index.get(&expanded) {
+                                record(&mut per_element, element, term_idx, num_terms, weight);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Aggregate: the score of an element is the mean over the query terms
+        // of the best per-term score, so an element matching every keyword
+        // token scores higher than one matching only some.
+        let mut matches: Vec<KeywordMatch> = per_element
+            .into_iter()
+            .map(|(element, term_scores)| {
+                let score = term_scores.iter().sum::<f64>() / num_terms as f64;
+                KeywordMatch {
+                    element: self.enrich(element),
+                    score,
+                }
+            })
+            .collect();
+        matches.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.element.element_ref().cmp(&b.element.element_ref()))
+        });
+        matches.truncate(self.config.max_matches_per_keyword);
+        matches
+    }
+
+    /// Looks up several keywords at once; the result has one entry per
+    /// keyword (empty if the keyword matched nothing).
+    pub fn lookup_all<S: AsRef<str>>(&self, keywords: &[S]) -> Vec<Vec<KeywordMatch>> {
+        keywords.iter().map(|k| self.lookup(k.as_ref())).collect()
+    }
+
+    fn enrich(&self, element: ElementRef) -> MatchedElement {
+        match element {
+            ElementRef::Class(class) => MatchedElement::Class { class },
+            ElementRef::Relation(label) => MatchedElement::Relation { label },
+            ElementRef::Attribute(label) => {
+                let (classes, has_untyped_source) = self
+                    .attribute_classes
+                    .get(&label)
+                    .cloned()
+                    .unwrap_or_default();
+                MatchedElement::Attribute {
+                    label,
+                    classes,
+                    has_untyped_source,
+                }
+            }
+            ElementRef::Value(value) => MatchedElement::Value {
+                value,
+                connections: self
+                    .value_connections
+                    .get(&value)
+                    .cloned()
+                    .unwrap_or_default(),
+            },
+        }
+    }
+
+    /// Number of distinct terms in the inverted index.
+    pub fn term_count(&self) -> usize {
+        self.index.term_count()
+    }
+
+    /// Number of indexed graph elements.
+    pub fn element_count(&self) -> usize {
+        self.indexed_elements
+    }
+
+    /// Total number of postings.
+    pub fn posting_count(&self) -> usize {
+        self.index.posting_count()
+    }
+
+    /// Approximate heap size in bytes (Fig. 6b index-size report).
+    pub fn heap_bytes(&self) -> usize {
+        let connections: usize = self
+            .value_connections
+            .values()
+            .map(|v| {
+                v.len() * std::mem::size_of::<ValueConnection>()
+                    + v.iter().map(|c| c.classes.len() * 4).sum::<usize>()
+            })
+            .sum();
+        let attributes: usize = self
+            .attribute_classes
+            .values()
+            .map(|(c, _)| c.len() * 4 + std::mem::size_of::<EdgeLabelId>())
+            .sum();
+        self.index.heap_bytes() + connections + attributes
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &KeywordIndexConfig {
+        &self.config
+    }
+}
+
+fn record(
+    per_element: &mut HashMap<ElementRef, Vec<f64>>,
+    element: ElementRef,
+    term_idx: usize,
+    num_terms: usize,
+    score: f64,
+) {
+    let scores = per_element
+        .entry(element)
+        .or_insert_with(|| vec![0.0; num_terms]);
+    if score > scores[term_idx] {
+        scores[term_idx] = score;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwsearch_rdf::fixtures::figure1_graph;
+
+    fn index() -> (KeywordIndex, DataGraph) {
+        let g = figure1_graph();
+        (KeywordIndex::build(&g), g)
+    }
+
+    fn top_match<'a>(matches: &'a [KeywordMatch]) -> &'a MatchedElement {
+        &matches.first().expect("expected at least one match").element
+    }
+
+    #[test]
+    fn class_keywords_match_classes() {
+        let (idx, g) = index();
+        let matches = idx.lookup("publications");
+        match top_match(&matches) {
+            MatchedElement::Class { class } => {
+                assert_eq!(g.vertex_label(*class), "Publication");
+            }
+            other => panic!("expected class match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_keywords_return_neighbourhood_structures() {
+        let (idx, g) = index();
+        let matches = idx.lookup("AIFB");
+        match top_match(&matches) {
+            MatchedElement::Value { value, connections } => {
+                assert_eq!(g.vertex_label(*value), "AIFB");
+                assert_eq!(connections.len(), 1);
+                let conn = &connections[0];
+                assert_eq!(g.edge_label_name(conn.attribute), "name");
+                let classes: Vec<&str> =
+                    conn.classes.iter().map(|&c| g.vertex_label(c)).collect();
+                assert_eq!(classes, vec!["Institute"]);
+                assert!(!conn.has_untyped_source);
+            }
+            other => panic!("expected value match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relation_and_attribute_labels_are_matched() {
+        let (idx, g) = index();
+        let matches = idx.lookup("author");
+        assert!(matches.iter().any(|m| matches!(
+            &m.element,
+            MatchedElement::Relation { label } if g.edge_label_name(*label) == "author"
+        )));
+
+        let matches = idx.lookup("year");
+        let attr = matches
+            .iter()
+            .find_map(|m| match &m.element {
+                MatchedElement::Attribute { label, classes, .. }
+                    if g.edge_label_name(*label) == "year" =>
+                {
+                    Some(classes)
+                }
+                _ => None,
+            })
+            .expect("year should match the attribute label");
+        let class_labels: Vec<&str> = attr.iter().map(|&c| g.vertex_label(c)).collect();
+        assert_eq!(class_labels, vec!["Publication"]);
+    }
+
+    #[test]
+    fn entity_uris_are_not_indexed() {
+        let (idx, _) = index();
+        assert!(idx.lookup("pub1URI").iter().all(|m| !matches!(
+            m.element,
+            MatchedElement::Value { .. } | MatchedElement::Class { .. }
+        ) || m.score < 1.0));
+        // A keyword that only occurs as an entity URI yields nothing exact.
+        let matches = idx.lookup("inst2URI");
+        assert!(matches.iter().all(|m| m.score < 1.0));
+    }
+
+    #[test]
+    fn multi_word_keywords_score_by_coverage() {
+        let (idx, g) = index();
+        let matches = idx.lookup("Thanh Tran");
+        match top_match(&matches) {
+            MatchedElement::Value { value, .. } => {
+                assert_eq!(g.vertex_label(*value), "Thanh Tran");
+            }
+            other => panic!("expected value match, got {other:?}"),
+        }
+        assert!((matches[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fuzzy_matching_tolerates_typos() {
+        let (idx, g) = index();
+        let matches = idx.lookup("cimano"); // missing the second "i"
+        let found = matches.iter().any(|m| match &m.element {
+            MatchedElement::Value { value, .. } => g.vertex_label(*value) == "P. Cimiano",
+            _ => false,
+        });
+        assert!(found, "typo should still match P. Cimiano");
+        assert!(matches[0].score < 1.0, "fuzzy matches score below exact matches");
+    }
+
+    #[test]
+    fn semantic_matching_uses_the_thesaurus() {
+        let (idx, g) = index();
+        // "paper" is a synonym of "publication" in the built-in thesaurus.
+        let matches = idx.lookup("papers");
+        let found = matches.iter().any(|m| match &m.element {
+            MatchedElement::Class { class } => g.vertex_label(*class) == "Publication",
+            _ => false,
+        });
+        assert!(found, "synonym should match the Publication class");
+    }
+
+    #[test]
+    fn scores_are_within_bounds_and_sorted() {
+        let (idx, _) = index();
+        for keyword in ["publication", "cimiano", "2006", "name", "agent"] {
+            let matches = idx.lookup(keyword);
+            for w in matches.windows(2) {
+                assert!(w[0].score >= w[1].score, "matches must be sorted by score");
+            }
+            for m in &matches {
+                assert!(m.score > 0.0 && m.score <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_keywords_return_nothing() {
+        let (idx, _) = index();
+        assert!(idx.lookup("quetzalcoatl").is_empty());
+        assert!(idx.lookup("").is_empty());
+        assert!(idx.lookup("the of and").is_empty());
+    }
+
+    #[test]
+    fn lookup_all_preserves_keyword_order() {
+        let (idx, _) = index();
+        let all = idx.lookup_all(&["2006", "cimiano", "aifb"]);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|m| !m.is_empty()));
+    }
+
+    #[test]
+    fn max_matches_is_respected() {
+        let g = figure1_graph();
+        let config = KeywordIndexConfig {
+            max_matches_per_keyword: 1,
+            ..KeywordIndexConfig::default()
+        };
+        let idx = KeywordIndex::build_with(&g, Analyzer::new(), Thesaurus::builtin(), config);
+        assert!(idx.lookup("name").len() <= 1);
+    }
+
+    #[test]
+    fn untyped_sources_are_flagged() {
+        let mut g = DataGraph::new();
+        g.insert_triple(&kwsearch_rdf::Triple::attribute("x", "label", "orphan"))
+            .unwrap();
+        let idx = KeywordIndex::build(&g);
+        let matches = idx.lookup("orphan");
+        match top_match(&matches) {
+            MatchedElement::Value { connections, .. } => {
+                assert_eq!(connections.len(), 1);
+                assert!(connections[0].has_untyped_source);
+                assert!(connections[0].classes.is_empty());
+            }
+            other => panic!("expected value match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_statistics_are_populated() {
+        let (idx, _) = index();
+        assert!(idx.term_count() > 10);
+        assert!(idx.element_count() > 10);
+        assert!(idx.posting_count() >= idx.term_count());
+        assert!(idx.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn disabling_fuzzy_and_semantic_matching_works() {
+        let g = figure1_graph();
+        let config = KeywordIndexConfig {
+            fuzzy: false,
+            semantic: false,
+            ..KeywordIndexConfig::default()
+        };
+        let idx = KeywordIndex::build_with(&g, Analyzer::new(), Thesaurus::builtin(), config);
+        assert!(idx.lookup("cimano").is_empty(), "no fuzzy matching");
+        assert!(
+            !idx.lookup("cimiano").is_empty(),
+            "exact matching still works"
+        );
+    }
+}

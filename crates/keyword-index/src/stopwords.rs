@@ -1,0 +1,40 @@
+//! English stop words removed during lexical analysis.
+
+/// The built-in stop-word list. Kept deliberately small: labels in RDF data
+/// are short, so aggressive stop-wording would delete informative terms.
+pub const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "in",
+    "into", "is", "it", "its", "of", "on", "or", "that", "the", "their", "then", "there", "these",
+    "this", "to", "was", "were", "which", "will", "with",
+];
+
+/// Returns `true` if `word` (already lower-cased) is a stop word.
+pub fn is_stop_word(word: &str) -> bool {
+    STOP_WORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        let mut sorted = STOP_WORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOP_WORDS, "STOP_WORDS must stay sorted");
+    }
+
+    #[test]
+    fn common_stop_words_are_detected() {
+        for w in ["the", "and", "of", "with"] {
+            assert!(is_stop_word(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_are_kept() {
+        for w in ["publication", "cimiano", "algorithm", "1999", "aifb"] {
+            assert!(!is_stop_word(w), "{w} should not be a stop word");
+        }
+    }
+}

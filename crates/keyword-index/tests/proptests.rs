@@ -1,0 +1,94 @@
+//! Property-based tests of the keyword index: analyzer normalisation,
+//! Levenshtein metric properties and lookup guarantees.
+
+use proptest::prelude::*;
+
+use kwsearch_keyword_index::{levenshtein, porter_stem, Analyzer, KeywordIndex};
+use kwsearch_rdf::{DataGraph, Triple};
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-zA-Z]{1,12}"
+}
+
+fn phrase() -> impl Strategy<Value = String> {
+    proptest::collection::vec(word(), 1..5).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The Levenshtein distance is a metric: identity, symmetry and the
+    /// triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(a in word(), b in word(), c in word()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// The bounded variant agrees with the exact distance whenever it
+    /// returns a value, and only gives up when the bound is truly exceeded.
+    #[test]
+    fn bounded_levenshtein_is_consistent(a in word(), b in word(), max in 0usize..6) {
+        let exact = levenshtein(&a, &b);
+        match kwsearch_keyword_index::bounded_levenshtein(&a, &b, max) {
+            Some(d) => {
+                prop_assert_eq!(d, exact);
+                prop_assert!(d <= max);
+            }
+            None => prop_assert!(exact > max),
+        }
+    }
+
+    /// Analysis produces lower-case terms, never stop words, and is
+    /// idempotent on its own output.
+    #[test]
+    fn analyzer_output_is_normalised(text in phrase()) {
+        let analyzer = Analyzer::new();
+        let terms = analyzer.analyze(&text);
+        for term in &terms {
+            prop_assert_eq!(term, &term.to_lowercase());
+            prop_assert!(!term.is_empty());
+        }
+        // Re-analysing the joined output never produces *more* terms.
+        let reanalyzed = analyzer.analyze(&terms.join(" "));
+        prop_assert!(reanalyzed.len() <= terms.len());
+    }
+
+    /// Stemming never produces an empty string for non-empty alphabetic
+    /// input and never grows the word.
+    #[test]
+    fn stemming_shrinks_words(w in word()) {
+        let lower = w.to_lowercase();
+        let stem = porter_stem(&lower);
+        prop_assert!(!stem.is_empty());
+        prop_assert!(stem.len() <= lower.len());
+    }
+
+    /// Every value vertex can be found again through the keyword index by
+    /// querying with its own label (exact self-retrieval), and all returned
+    /// scores stay within (0, 1].
+    #[test]
+    fn values_are_self_retrievable(labels in proptest::collection::btree_set("[a-z]{3,10}", 1..8)) {
+        let mut graph = DataGraph::new();
+        for (i, label) in labels.iter().enumerate() {
+            let subject = format!("e{i}");
+            graph.insert_triple(&Triple::typed(&subject, "Item")).unwrap();
+            graph.insert_triple(&Triple::attribute(&subject, "label", label)).unwrap();
+        }
+        let index = KeywordIndex::build(&graph);
+        for label in &labels {
+            let matches = index.lookup(label);
+            prop_assert!(!matches.is_empty(), "label {} must be retrievable", label);
+            let value_vertex = graph.value(label).unwrap();
+            let found = matches.iter().any(|m| match &m.element {
+                kwsearch_keyword_index::MatchedElement::Value { value, .. } => *value == value_vertex,
+                _ => false,
+            });
+            prop_assert!(found, "the exact value vertex must be among the matches");
+            for m in &matches {
+                prop_assert!(m.score > 0.0 && m.score <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Variable bindings and answer sets.
+//!
+//! An answer to a conjunctive query (Definition 3) is a mapping from the
+//! distinguished variables to graph vertices such that the mapping extends to
+//! all variables consistently with the data graph. During evaluation we carry
+//! full bindings (all variables); the final [`AnswerSet`] is the projection
+//! onto the distinguished variables, deduplicated.
+
+use std::collections::BTreeSet;
+
+use kwsearch_rdf::{DataGraph, VertexId};
+
+/// A single (complete or partial) variable assignment. Variables are indexed
+/// positionally against the evaluator's variable table.
+pub(crate) type Row = Vec<Option<VertexId>>;
+
+/// The result of evaluating a conjunctive query: the distinguished variables
+/// and one row per answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnswerSet {
+    variables: Vec<String>,
+    rows: Vec<Vec<VertexId>>,
+}
+
+impl AnswerSet {
+    /// Creates an answer set from already-projected rows, deduplicating them.
+    pub fn new(variables: Vec<String>, rows: Vec<Vec<VertexId>>) -> Self {
+        let mut seen = BTreeSet::new();
+        let mut deduped = Vec::new();
+        for row in rows {
+            debug_assert_eq!(row.len(), variables.len());
+            if seen.insert(row.clone()) {
+                deduped.push(row);
+            }
+        }
+        Self {
+            variables,
+            rows: deduped,
+        }
+    }
+
+    /// An empty answer set over the given variables.
+    pub fn empty(variables: Vec<String>) -> Self {
+        Self {
+            variables,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The projected (distinguished) variables.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// The answer rows (vertex ids, positionally matching `variables`).
+    pub fn rows(&self) -> &[Vec<VertexId>] {
+        &self.rows
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no answers.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders each answer as `(variable, label)` pairs using the graph's
+    /// vertex labels.
+    pub fn labelled_rows<'g>(&self, graph: &'g DataGraph) -> Vec<Vec<(String, &'g str)>> {
+        self.rows
+            .iter()
+            .map(|row| {
+                self.variables
+                    .iter()
+                    .zip(row)
+                    .map(|(var, &v)| (var.clone(), graph.vertex_label(v)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The bindings of a single variable across all answers.
+    pub fn column(&self, variable: &str) -> Option<Vec<VertexId>> {
+        let idx = self.variables.iter().position(|v| v == variable)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwsearch_rdf::fixtures::figure1_graph;
+
+    #[test]
+    fn duplicate_rows_are_removed() {
+        let g = figure1_graph();
+        let v1 = g.entity("pub1URI").unwrap();
+        let v2 = g.entity("re1URI").unwrap();
+        let answers = AnswerSet::new(
+            vec!["x".into(), "y".into()],
+            vec![vec![v1, v2], vec![v1, v2], vec![v2, v1]],
+        );
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn labelled_rows_resolve_vertex_labels() {
+        let g = figure1_graph();
+        let v = g.entity("pub1URI").unwrap();
+        let answers = AnswerSet::new(vec!["x".into()], vec![vec![v]]);
+        let labelled = answers.labelled_rows(&g);
+        assert_eq!(labelled.len(), 1);
+        assert_eq!(labelled[0][0], ("x".to_string(), "pub1URI"));
+    }
+
+    #[test]
+    fn column_extraction() {
+        let g = figure1_graph();
+        let a = g.entity("re1URI").unwrap();
+        let b = g.entity("re2URI").unwrap();
+        let answers = AnswerSet::new(vec!["y".into()], vec![vec![a], vec![b]]);
+        assert_eq!(answers.column("y").unwrap(), vec![a, b]);
+        assert!(answers.column("missing").is_none());
+    }
+
+    #[test]
+    fn empty_answer_set() {
+        let answers = AnswerSet::empty(vec!["x".into()]);
+        assert!(answers.is_empty());
+        assert_eq!(answers.variables(), &["x".to_string()]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Fluent construction of conjunctive queries.
+
+use crate::model::{Atom, ConjunctiveQuery, QueryTerm};
+
+/// A fluent builder for [`ConjunctiveQuery`].
+///
+/// ```
+/// use kwsearch_query::QueryBuilder;
+///
+/// let query = QueryBuilder::new()
+///     .class_pattern("x", "Publication")
+///     .attribute_pattern("x", "year", "2006")
+///     .relation_pattern("x", "author", "y")
+///     .attribute_pattern("y", "name", "P. Cimiano")
+///     .distinguished(["x", "y"])
+///     .build();
+/// assert_eq!(query.atoms().len(), 4);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct QueryBuilder {
+    query: ConjunctiveQuery,
+}
+
+impl QueryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a raw atom.
+    pub fn atom(mut self, predicate: &str, subject: QueryTerm, object: QueryTerm) -> Self {
+        self.query.add_atom(Atom::new(predicate, subject, object));
+        self
+    }
+
+    /// Adds a `type(?var, Class)` atom.
+    pub fn class_pattern(self, var: &str, class: &str) -> Self {
+        self.atom("type", QueryTerm::var(var), QueryTerm::iri(class))
+    }
+
+    /// Adds an `attr(?var, 'value')` atom.
+    pub fn attribute_pattern(self, var: &str, attribute: &str, value: &str) -> Self {
+        self.atom(attribute, QueryTerm::var(var), QueryTerm::literal(value))
+    }
+
+    /// Adds an `attr(?var, ?value_var)` atom binding the value to a variable.
+    pub fn attribute_variable(self, var: &str, attribute: &str, value_var: &str) -> Self {
+        self.atom(attribute, QueryTerm::var(var), QueryTerm::var(value_var))
+    }
+
+    /// Adds a `relation(?s, ?o)` atom between two variables.
+    pub fn relation_pattern(self, subject_var: &str, relation: &str, object_var: &str) -> Self {
+        self.atom(relation, QueryTerm::var(subject_var), QueryTerm::var(object_var))
+    }
+
+    /// Adds a `subclass(Class, SuperClass)` atom.
+    pub fn subclass_pattern(self, class: &str, super_class: &str) -> Self {
+        self.atom("subclass", QueryTerm::iri(class), QueryTerm::iri(super_class))
+    }
+
+    /// Declares distinguished variables.
+    pub fn distinguished<I, S>(mut self, vars: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for v in vars {
+            self.query.add_distinguished(v);
+        }
+        self
+    }
+
+    /// Declares every variable distinguished.
+    pub fn distinguish_all(mut self) -> Self {
+        self.query.distinguish_all();
+        self
+    }
+
+    /// Finalises the query.
+    pub fn build(self) -> ConjunctiveQuery {
+        self.query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_atoms() {
+        let q = QueryBuilder::new()
+            .class_pattern("x", "Publication")
+            .attribute_pattern("x", "year", "2006")
+            .relation_pattern("x", "author", "y")
+            .subclass_pattern("Researcher", "Person")
+            .attribute_variable("y", "name", "n")
+            .distinguished(["x"])
+            .build();
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.distinguished(), &["x".to_string()]);
+        assert!(q.constants().contains("Researcher"));
+        assert_eq!(
+            q.variables().into_iter().collect::<Vec<_>>(),
+            vec!["n", "x", "y"]
+        );
+    }
+
+    #[test]
+    fn distinguish_all_is_available_on_the_builder() {
+        let q = QueryBuilder::new()
+            .relation_pattern("a", "knows", "b")
+            .distinguish_all()
+            .build();
+        assert_eq!(q.distinguished().len(), 2);
+    }
+}

@@ -1,0 +1,474 @@
+//! Evaluation of conjunctive queries against a data graph (Definition 3).
+//!
+//! The evaluator performs an index-nested-loop join over the atoms of the
+//! query, in the order chosen by [`crate::plan`]. Every atom is answered by
+//! a range scan on the [`TripleStore`]; partial bindings are extended and
+//! filtered for consistency. The final answers are the projections onto the
+//! distinguished variables.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use kwsearch_rdf::triple::EdgeKind;
+use kwsearch_rdf::{DataGraph, TriplePattern, TripleStore, VertexId};
+
+use crate::bindings::{AnswerSet, Row};
+use crate::model::{Atom, ConjunctiveQuery, QueryTerm};
+use crate::plan::plan_atoms;
+
+/// Default cap on intermediate join results; prevents accidental cross
+/// products from exhausting memory.
+pub const DEFAULT_MAX_INTERMEDIATE_ROWS: usize = 5_000_000;
+
+/// Errors raised during query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A distinguished variable does not occur in any atom and can therefore
+    /// never be bound.
+    UnboundDistinguishedVariable(String),
+    /// The intermediate result exceeded the configured row limit.
+    TooManyIntermediateRows {
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundDistinguishedVariable(v) => {
+                write!(f, "distinguished variable ?{v} does not occur in the query body")
+            }
+            EvalError::TooManyIntermediateRows { limit } => {
+                write!(f, "evaluation exceeded the intermediate result limit of {limit} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Resolves a constant appearing in subject position to a vertex, respecting
+/// the vertex kind implied by the edge kind.
+pub(crate) fn resolve_subject_constant(
+    graph: &DataGraph,
+    kind: EdgeKind,
+    constant: &str,
+) -> Option<VertexId> {
+    match kind {
+        EdgeKind::SubClass => graph.class(constant),
+        _ => graph.entity(constant),
+    }
+}
+
+/// Resolves a constant appearing in object position to a vertex, respecting
+/// the vertex kind implied by the edge kind.
+pub(crate) fn resolve_object_constant(
+    graph: &DataGraph,
+    kind: EdgeKind,
+    constant: &str,
+) -> Option<VertexId> {
+    match kind {
+        EdgeKind::Relation => graph.entity(constant),
+        EdgeKind::Attribute => graph.value(constant),
+        EdgeKind::Type | EdgeKind::SubClass => graph.class(constant),
+    }
+}
+
+/// Owned or borrowed triple store backing an [`Evaluator`].
+enum StoreHolder<'g> {
+    Owned(TripleStore),
+    Borrowed(&'g TripleStore),
+}
+
+impl StoreHolder<'_> {
+    fn get(&self) -> &TripleStore {
+        match self {
+            StoreHolder::Owned(s) => s,
+            StoreHolder::Borrowed(s) => s,
+        }
+    }
+}
+
+/// A reusable evaluator bound to one data graph.
+pub struct Evaluator<'g> {
+    graph: &'g DataGraph,
+    store: StoreHolder<'g>,
+    max_intermediate_rows: usize,
+}
+
+impl<'g> Evaluator<'g> {
+    /// Creates an evaluator, building the triple-store index for `graph`.
+    pub fn new(graph: &'g DataGraph) -> Self {
+        Self::with_store(graph, TripleStore::build(graph))
+    }
+
+    /// Creates an evaluator reusing an existing store (the store must have
+    /// been built from the same graph).
+    pub fn with_store(graph: &'g DataGraph, store: TripleStore) -> Self {
+        Self {
+            graph,
+            store: StoreHolder::Owned(store),
+            max_intermediate_rows: DEFAULT_MAX_INTERMEDIATE_ROWS,
+        }
+    }
+
+    /// Creates an evaluator borrowing an existing store (the store must have
+    /// been built from the same graph). Useful when many queries are
+    /// evaluated against the same data, e.g. by the keyword-search engine.
+    pub fn with_borrowed_store(graph: &'g DataGraph, store: &'g TripleStore) -> Self {
+        Self {
+            graph,
+            store: StoreHolder::Borrowed(store),
+            max_intermediate_rows: DEFAULT_MAX_INTERMEDIATE_ROWS,
+        }
+    }
+
+    /// Overrides the intermediate-result safety cap.
+    pub fn with_max_intermediate_rows(mut self, limit: usize) -> Self {
+        self.max_intermediate_rows = limit;
+        self
+    }
+
+    /// The underlying triple store (exposed for benchmarks).
+    pub fn store(&self) -> &TripleStore {
+        self.store.get()
+    }
+
+    /// Evaluates `query`, returning all answers.
+    pub fn evaluate(&self, query: &ConjunctiveQuery) -> Result<AnswerSet, EvalError> {
+        self.evaluate_with_limit(query, None)
+    }
+
+    /// Evaluates `query`, stopping once `limit` answers have been found (the
+    /// paper's Fig. 5 experiment processes queries "until finding at least 10
+    /// answers").
+    pub fn evaluate_with_limit(
+        &self,
+        query: &ConjunctiveQuery,
+        limit: Option<usize>,
+    ) -> Result<AnswerSet, EvalError> {
+        // Variable table.
+        let variables: Vec<String> = query.variables().into_iter().collect();
+        let var_index: HashMap<&str, usize> = variables
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
+
+        // Distinguished variables default to all variables (paper Section VI-D).
+        let distinguished: Vec<String> = if query.distinguished().is_empty() {
+            variables.clone()
+        } else {
+            query.distinguished().to_vec()
+        };
+        for d in &distinguished {
+            if !var_index.contains_key(d.as_str()) {
+                return Err(EvalError::UnboundDistinguishedVariable(d.clone()));
+            }
+        }
+
+        if query.is_empty() {
+            return Ok(AnswerSet::empty(distinguished));
+        }
+
+        let plan = plan_atoms(query, self.graph, self.store.get());
+        let mut rows: Vec<Row> = vec![vec![None; variables.len()]];
+        for &atom_idx in &plan.order {
+            let atom = &query.atoms()[atom_idx];
+            rows = self.join_atom(atom, &var_index, rows)?;
+            if rows.is_empty() {
+                return Ok(AnswerSet::empty(distinguished));
+            }
+        }
+
+        // Project onto the distinguished variables.
+        let proj_indices: Vec<usize> = distinguished
+            .iter()
+            .map(|d| var_index[d.as_str()])
+            .collect();
+        let mut projected = Vec::with_capacity(rows.len());
+        for row in rows {
+            let out: Option<Vec<VertexId>> = proj_indices.iter().map(|&i| row[i]).collect();
+            // Every distinguished variable occurs in some atom, and all atoms
+            // have been joined, so the projection is always complete.
+            let out = out.expect("all query variables are bound after the final join");
+            projected.push(out);
+            if let Some(limit) = limit {
+                // Deduplication happens in AnswerSet::new; over-collect a bit
+                // so that a limit of `n` survives duplicate projections.
+                if projected.len() >= limit.saturating_mul(4).max(limit) {
+                    break;
+                }
+            }
+        }
+        let mut answers = AnswerSet::new(distinguished.clone(), projected);
+        if let Some(limit) = limit {
+            if answers.len() > limit {
+                let rows = answers.rows()[..limit].to_vec();
+                answers = AnswerSet::new(distinguished, rows);
+            }
+        }
+        Ok(answers)
+    }
+
+    /// Extends every row with the matches of one atom.
+    fn join_atom(
+        &self,
+        atom: &Atom,
+        var_index: &HashMap<&str, usize>,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>, EvalError> {
+        let labels = self.graph.edge_labels_named(&atom.predicate);
+        if labels.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        for row in &rows {
+            for &label in &labels {
+                let kind = self.graph.edge_label(label).kind();
+                // Determine the bound subject/object for this row, either from
+                // a constant or from an already-bound variable.
+                let subject_bound = match &atom.subject {
+                    QueryTerm::Variable(v) => row[var_index[v.as_str()]],
+                    other => {
+                        let c = other.as_constant().expect("non-variable term is a constant");
+                        match resolve_subject_constant(self.graph, kind, c) {
+                            Some(v) => Some(v),
+                            None => continue,
+                        }
+                    }
+                };
+                let object_bound = match &atom.object {
+                    QueryTerm::Variable(v) => row[var_index[v.as_str()]],
+                    other => {
+                        let c = other.as_constant().expect("non-variable term is a constant");
+                        match resolve_object_constant(self.graph, kind, c) {
+                            Some(v) => Some(v),
+                            None => continue,
+                        }
+                    }
+                };
+                let mut pattern = TriplePattern::any().with_predicate(label);
+                if let Some(s) = subject_bound {
+                    pattern = pattern.with_subject(s);
+                }
+                if let Some(o) = object_bound {
+                    pattern = pattern.with_object(o);
+                }
+                for matched in self.store.get().scan(pattern) {
+                    let mut new_row = row.clone();
+                    if let QueryTerm::Variable(v) = &atom.subject {
+                        new_row[var_index[v.as_str()]] = Some(matched.subject);
+                    }
+                    if let QueryTerm::Variable(v) = &atom.object {
+                        let idx = var_index[v.as_str()];
+                        // A self-join like knows(x, x) requires both positions
+                        // to agree.
+                        if let Some(existing) = new_row[idx] {
+                            if existing != matched.object {
+                                continue;
+                            }
+                        }
+                        new_row[idx] = Some(matched.object);
+                    }
+                    out.push(new_row);
+                    if out.len() > self.max_intermediate_rows {
+                        return Err(EvalError::TooManyIntermediateRows {
+                            limit: self.max_intermediate_rows,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One-shot convenience wrapper around [`Evaluator`].
+pub fn evaluate(graph: &DataGraph, query: &ConjunctiveQuery) -> Result<AnswerSet, EvalError> {
+    Evaluator::new(graph).evaluate(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use kwsearch_rdf::fixtures::figure1_graph;
+
+    #[test]
+    fn the_papers_example_query_returns_the_expected_answer() {
+        let g = figure1_graph();
+        let q = QueryBuilder::new()
+            .class_pattern("x", "Publication")
+            .attribute_pattern("x", "year", "2006")
+            .relation_pattern("x", "author", "y")
+            .attribute_pattern("y", "name", "P. Cimiano")
+            .relation_pattern("y", "worksAt", "z")
+            .attribute_pattern("z", "name", "AIFB")
+            .distinguished(["x", "y", "z"])
+            .build();
+        let answers = evaluate(&g, &q).unwrap();
+        assert_eq!(answers.len(), 1);
+        let labelled = answers.labelled_rows(&g);
+        let row: HashMap<_, _> = labelled[0].iter().cloned().collect();
+        assert_eq!(row["x"], "pub1URI");
+        assert_eq!(row["y"], "re2URI");
+        assert_eq!(row["z"], "inst1URI");
+    }
+
+    #[test]
+    fn joins_over_shared_variables() {
+        let g = figure1_graph();
+        // All researchers that authored a publication.
+        let q = QueryBuilder::new()
+            .class_pattern("p", "Publication")
+            .relation_pattern("p", "author", "a")
+            .class_pattern("a", "Researcher")
+            .distinguished(["a"])
+            .build();
+        let answers = evaluate(&g, &q).unwrap();
+        assert_eq!(answers.len(), 2, "re1 and re2 both authored publications");
+    }
+
+    #[test]
+    fn default_distinguished_variables_are_all_variables() {
+        let g = figure1_graph();
+        let q = QueryBuilder::new()
+            .relation_pattern("p", "author", "a")
+            .build();
+        let answers = evaluate(&g, &q).unwrap();
+        assert_eq!(answers.variables().len(), 2);
+        assert_eq!(answers.len(), 3, "three author edges in the fixture");
+    }
+
+    #[test]
+    fn constant_subject_atoms_work() {
+        let g = figure1_graph();
+        let q = QueryBuilder::new()
+            .atom("author", QueryTerm::iri("pub1URI"), QueryTerm::var("a"))
+            .distinguished(["a"])
+            .build();
+        let answers = evaluate(&g, &q).unwrap();
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn subclass_atoms_with_constants() {
+        let g = figure1_graph();
+        let q = QueryBuilder::new()
+            .atom("subclass", QueryTerm::var("c"), QueryTerm::iri("Agent"))
+            .distinguished(["c"])
+            .build();
+        let answers = evaluate(&g, &q).unwrap();
+        assert_eq!(answers.len(), 2, "Institute and Person are subclasses of Agent");
+    }
+
+    #[test]
+    fn unknown_predicate_or_constant_yields_empty_answers() {
+        let g = figure1_graph();
+        let q = QueryBuilder::new()
+            .relation_pattern("x", "missingPredicate", "y")
+            .build();
+        assert!(evaluate(&g, &q).unwrap().is_empty());
+
+        let q = QueryBuilder::new()
+            .attribute_pattern("x", "name", "No Such Name")
+            .build();
+        assert!(evaluate(&g, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unbound_distinguished_variable_is_an_error() {
+        let g = figure1_graph();
+        let q = QueryBuilder::new()
+            .relation_pattern("x", "author", "y")
+            .distinguished(["z"])
+            .build();
+        match evaluate(&g, &q) {
+            Err(EvalError::UnboundDistinguishedVariable(v)) => assert_eq!(v, "z"),
+            other => panic!("expected unbound-variable error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_query_has_no_answers() {
+        let g = figure1_graph();
+        let q = ConjunctiveQuery::new();
+        let answers = evaluate(&g, &q).unwrap();
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn cyclic_queries_are_supported() {
+        // Two researchers authoring the same publication and working at the
+        // same institute form a cycle in the query graph.
+        let g = figure1_graph();
+        let q = QueryBuilder::new()
+            .relation_pattern("p", "author", "a1")
+            .relation_pattern("p", "author", "a2")
+            .relation_pattern("a1", "worksAt", "i")
+            .relation_pattern("a2", "worksAt", "i")
+            .distinguished(["a1", "a2"])
+            .build();
+        let answers = evaluate(&g, &q).unwrap();
+        // (re1, re1), (re1, re2), (re2, re1), (re2, re2) — all pairs of pub1's
+        // authors working at inst1.
+        assert_eq!(answers.len(), 4);
+    }
+
+    #[test]
+    fn answer_limit_is_respected() {
+        let g = figure1_graph();
+        let q = QueryBuilder::new()
+            .relation_pattern("p", "author", "a")
+            .build();
+        let evaluator = Evaluator::new(&g);
+        let answers = evaluator.evaluate_with_limit(&q, Some(1)).unwrap();
+        assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn intermediate_row_cap_triggers() {
+        let g = figure1_graph();
+        // A deliberately unconstrained cross product.
+        let q = QueryBuilder::new()
+            .relation_pattern("a", "author", "b")
+            .relation_pattern("c", "worksAt", "d")
+            .relation_pattern("e", "hasProject", "f")
+            .build();
+        let evaluator = Evaluator::new(&g).with_max_intermediate_rows(3);
+        match evaluator.evaluate(&q) {
+            Err(EvalError::TooManyIntermediateRows { limit }) => assert_eq!(limit, 3),
+            other => panic!("expected row-cap error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_join_variables_must_agree() {
+        let g = figure1_graph();
+        // worksAt(x, x) can never hold.
+        let q = QueryBuilder::new()
+            .relation_pattern("x", "worksAt", "x")
+            .build();
+        assert!(evaluate(&g, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn evaluation_matches_definition_3_on_type_atoms() {
+        let g = figure1_graph();
+        let q = QueryBuilder::new()
+            .class_pattern("x", "Researcher")
+            .distinguished(["x"])
+            .build();
+        let answers = evaluate(&g, &q).unwrap();
+        let labels: Vec<&str> = answers
+            .labelled_rows(&g)
+            .into_iter()
+            .map(|row| row[0].1)
+            .collect();
+        assert_eq!(labels.len(), 2);
+        assert!(labels.contains(&"re1URI"));
+        assert!(labels.contains(&"re2URI"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Conjunctive queries over RDF data graphs.
+//!
+//! The paper's keyword-search pipeline does not compute answers directly:
+//! it computes **conjunctive queries** (Definition 2) from the keywords and
+//! hands the query the user selects to "the underlying database engine".
+//! This crate is that engine:
+//!
+//! * [`model`] — the query language: variables, constants, atoms
+//!   `P(v1, v2)` and [`ConjunctiveQuery`](model::ConjunctiveQuery) with
+//!   distinguished / undistinguished variables,
+//! * [`sparql`] and [`sql`] — rendering of a conjunctive query into the
+//!   SPARQL and single-table SQL forms shown in Fig. 1c of the paper,
+//! * [`plan`] — greedy, selectivity-driven join ordering,
+//! * [`eval`] — the evaluator implementing the answer semantics of
+//!   Definition 3 against a [`DataGraph`](kwsearch_rdf::DataGraph) via the
+//!   indexed [`TripleStore`](kwsearch_rdf::TripleStore),
+//! * [`bindings`] — answer sets (variable bindings and projections).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bindings;
+pub mod builder;
+pub mod eval;
+pub mod model;
+pub mod plan;
+pub mod sparql;
+pub mod sql;
+
+pub use bindings::AnswerSet;
+pub use builder::QueryBuilder;
+pub use eval::{evaluate, EvalError, Evaluator};
+pub use model::{Atom, ConjunctiveQuery, QueryTerm};
+pub use plan::{plan_atoms, QueryPlan};

@@ -1,0 +1,148 @@
+//! Rendering conjunctive queries as SPARQL.
+//!
+//! The paper (Fig. 1c) shows the SPARQL form of the running example:
+//!
+//! ```text
+//! SELECT ?x, ?y, ?z WHERE {
+//!   ?x type Publication . ?x year 2006 .
+//!   ?x author ?y . ?y name 'P. Cimiano' .
+//!   ?y worksAt ?z . ?z name 'AIFB' }
+//! ```
+//!
+//! We follow the same style: variables with `?`, IRIs/classes bare, literals
+//! in single quotes, one triple pattern per atom.
+
+use std::fmt::Write as _;
+
+use crate::model::{ConjunctiveQuery, QueryTerm};
+
+fn render_term(term: &QueryTerm) -> String {
+    match term {
+        QueryTerm::Variable(v) => format!("?{v}"),
+        QueryTerm::Iri(v) => v.clone(),
+        QueryTerm::Literal(v) => format!("'{}'", v.replace('\'', "\\'")),
+    }
+}
+
+/// Renders `query` as a SPARQL `SELECT` query.
+///
+/// If the query has no distinguished variables, `SELECT *` is produced.
+pub fn to_sparql(query: &ConjunctiveQuery) -> String {
+    let mut out = String::new();
+    out.push_str("SELECT ");
+    if query.distinguished().is_empty() {
+        out.push('*');
+    } else {
+        let vars: Vec<String> = query
+            .distinguished()
+            .iter()
+            .map(|v| format!("?{v}"))
+            .collect();
+        out.push_str(&vars.join(", "));
+    }
+    out.push_str(" WHERE {\n");
+    for atom in query.atoms() {
+        let _ = writeln!(
+            out,
+            "  {} {} {} .",
+            render_term(&atom.subject),
+            atom.predicate,
+            render_term(&atom.object)
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Renders `query` as a one-sentence natural-language-like description.
+///
+/// The demo system described in the evaluation section "transforms
+/// \[queries\] to simple natural language questions" before presenting them;
+/// this is the template-based equivalent used by the examples.
+pub fn to_description(query: &ConjunctiveQuery) -> String {
+    if query.is_empty() {
+        return "anything".to_string();
+    }
+    let mut parts = Vec::new();
+    for atom in query.atoms() {
+        let subject = render_term(&atom.subject);
+        let object = render_term(&atom.object);
+        let part = match atom.predicate.as_str() {
+            "type" => format!("{subject} is a {object}"),
+            "subclass" => format!("every {subject} is a {object}"),
+            _ => format!("{subject} has {} {object}", atom.predicate),
+        };
+        parts.push(part);
+    }
+    format!("Find {} such that {}.", describe_targets(query), parts.join(", and "))
+}
+
+fn describe_targets(query: &ConjunctiveQuery) -> String {
+    if query.distinguished().is_empty() {
+        "all matches".to_string()
+    } else {
+        query
+            .distinguished()
+            .iter()
+            .map(|v| format!("?{v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+
+    fn example() -> ConjunctiveQuery {
+        QueryBuilder::new()
+            .class_pattern("x", "Publication")
+            .attribute_pattern("x", "year", "2006")
+            .relation_pattern("x", "author", "y")
+            .attribute_pattern("y", "name", "P. Cimiano")
+            .relation_pattern("y", "worksAt", "z")
+            .attribute_pattern("z", "name", "AIFB")
+            .distinguished(["x", "y", "z"])
+            .build()
+    }
+
+    #[test]
+    fn sparql_matches_the_papers_shape() {
+        let sparql = to_sparql(&example());
+        assert!(sparql.starts_with("SELECT ?x, ?y, ?z WHERE {"));
+        assert!(sparql.contains("?x type Publication ."));
+        assert!(sparql.contains("?x year '2006' ."));
+        assert!(sparql.contains("?y name 'P. Cimiano' ."));
+        assert!(sparql.contains("?z name 'AIFB' ."));
+        assert!(sparql.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn select_star_without_distinguished_variables() {
+        let q = QueryBuilder::new().relation_pattern("a", "knows", "b").build();
+        assert!(to_sparql(&q).starts_with("SELECT * WHERE {"));
+    }
+
+    #[test]
+    fn literal_quotes_are_escaped() {
+        let q = QueryBuilder::new()
+            .attribute_pattern("x", "name", "O'Brien")
+            .build();
+        assert!(to_sparql(&q).contains("'O\\'Brien'"));
+    }
+
+    #[test]
+    fn description_is_human_readable() {
+        let text = to_description(&example());
+        assert!(text.starts_with("Find ?x, ?y, ?z such that"));
+        assert!(text.contains("?x is a Publication"));
+        assert!(text.contains("?y has name 'P. Cimiano'"));
+        assert!(text.ends_with('.'));
+    }
+
+    #[test]
+    fn empty_query_description() {
+        assert_eq!(to_description(&ConjunctiveQuery::new()), "anything");
+    }
+}

@@ -1,0 +1,151 @@
+//! Rendering conjunctive queries as single-table SQL.
+//!
+//! RDF data is often stored in a relational table with three columns
+//! (subject, property, object); the paper shows in Fig. 1b/1c how the
+//! example query becomes a chain of self-joins over that table. This module
+//! reproduces that translation: one table alias per atom, equality
+//! predicates for constants, and join conditions for shared variables.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::model::{ConjunctiveQuery, QueryTerm};
+
+/// Name of the triple table used in the generated SQL.
+pub const TRIPLE_TABLE: &str = "Ex";
+
+/// Renders `query` as a self-join SQL query over the single triple table.
+pub fn to_sql(query: &ConjunctiveQuery) -> String {
+    let aliases: Vec<String> = (0..query.atoms().len())
+        .map(|i| format!("T{i}"))
+        .collect();
+
+    // Where each variable is first bound: (alias index, column).
+    let mut var_position: HashMap<&str, (usize, &'static str)> = HashMap::new();
+    let mut conditions: Vec<String> = Vec::new();
+
+    for (i, atom) in query.atoms().iter().enumerate() {
+        conditions.push(format!("{}.p = '{}'", aliases[i], escape(&atom.predicate)));
+        bind_position(
+            &mut var_position,
+            &mut conditions,
+            &aliases,
+            i,
+            "s",
+            &atom.subject,
+        );
+        bind_position(
+            &mut var_position,
+            &mut conditions,
+            &aliases,
+            i,
+            "o",
+            &atom.object,
+        );
+    }
+
+    let mut select_cols: Vec<String> = Vec::new();
+    let distinguished: Vec<&String> = if query.distinguished().is_empty() {
+        Vec::new()
+    } else {
+        query.distinguished().iter().collect()
+    };
+    for var in &distinguished {
+        if let Some((alias_idx, col)) = var_position.get(var.as_str()) {
+            select_cols.push(format!("{}.{} AS {}", aliases[*alias_idx], col, var));
+        }
+    }
+    if select_cols.is_empty() {
+        select_cols.push("*".to_string());
+    }
+
+    let mut out = String::new();
+    let _ = write!(out, "SELECT {}", select_cols.join(", "));
+    let from: Vec<String> = aliases
+        .iter()
+        .map(|a| format!("{TRIPLE_TABLE} AS {a}"))
+        .collect();
+    let _ = write!(out, "\nFROM {}", from.join(", "));
+    if !conditions.is_empty() {
+        let _ = write!(out, "\nWHERE {}", conditions.join("\n  AND "));
+    }
+    out
+}
+
+fn bind_position<'q>(
+    var_position: &mut HashMap<&'q str, (usize, &'static str)>,
+    conditions: &mut Vec<String>,
+    aliases: &[String],
+    atom_idx: usize,
+    column: &'static str,
+    term: &'q QueryTerm,
+) {
+    match term {
+        QueryTerm::Variable(v) => {
+            if let Some((first_idx, first_col)) = var_position.get(v.as_str()) {
+                conditions.push(format!(
+                    "{}.{} = {}.{}",
+                    aliases[atom_idx], column, aliases[*first_idx], first_col
+                ));
+            } else {
+                var_position.insert(v, (atom_idx, column));
+            }
+        }
+        QueryTerm::Iri(c) | QueryTerm::Literal(c) => {
+            conditions.push(format!(
+                "{}.{} = '{}'",
+                aliases[atom_idx],
+                column,
+                escape(c)
+            ));
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+
+    #[test]
+    fn sql_contains_one_alias_per_atom_and_all_join_conditions() {
+        let q = QueryBuilder::new()
+            .class_pattern("x", "Publication")
+            .attribute_pattern("x", "year", "2006")
+            .relation_pattern("x", "author", "y")
+            .attribute_pattern("y", "name", "P. Cimiano")
+            .distinguished(["x", "y"])
+            .build();
+        let sql = to_sql(&q);
+        for alias in ["T0", "T1", "T2", "T3"] {
+            assert!(sql.contains(&format!("{TRIPLE_TABLE} AS {alias}")));
+        }
+        assert!(sql.contains("T0.p = 'type'"));
+        assert!(sql.contains("T0.o = 'Publication'"));
+        assert!(sql.contains("T1.o = '2006'"));
+        // Shared variable x joins atoms 1 and 2 back to atom 0.
+        assert!(sql.contains("T1.s = T0.s"));
+        assert!(sql.contains("T2.s = T0.s"));
+        // Shared variable y joins atom 3 to atom 2's object.
+        assert!(sql.contains("T3.s = T2.o"));
+        assert!(sql.starts_with("SELECT T0.s AS x, T2.o AS y"));
+    }
+
+    #[test]
+    fn select_star_when_nothing_is_distinguished() {
+        let q = QueryBuilder::new().relation_pattern("a", "knows", "b").build();
+        assert!(to_sql(&q).starts_with("SELECT *"));
+    }
+
+    #[test]
+    fn quotes_are_doubled() {
+        let q = QueryBuilder::new()
+            .attribute_pattern("x", "name", "O'Brien")
+            .build();
+        assert!(to_sql(&q).contains("'O''Brien'"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type shared by the RDF substrate.
+
+use std::fmt;
+
+/// Errors produced while building, parsing or querying RDF data graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A triple used a vertex in a role that contradicts its already-known
+    /// kind (e.g. an entity IRI later used as a literal value).
+    VertexKindConflict {
+        /// Label of the offending vertex.
+        label: String,
+        /// Kind the vertex already has.
+        existing: &'static str,
+        /// Kind the triple required.
+        requested: &'static str,
+    },
+    /// A predicate was used both as a relation (object is an entity) and as
+    /// an attribute (object is a literal).
+    PredicateKindConflict {
+        /// The predicate label.
+        predicate: String,
+    },
+    /// An edge refers to vertices that violate the typing restrictions of
+    /// Definition 1 (e.g. a `subclass` edge between entities).
+    InvalidEdge {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A parse error in the N-Triples-like syntax.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A referenced vertex label does not exist in the graph.
+    UnknownVertex(String),
+    /// A referenced predicate label does not exist in the graph.
+    UnknownPredicate(String),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::VertexKindConflict {
+                label,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "vertex `{label}` already has kind {existing}, cannot be used as {requested}"
+            ),
+            RdfError::PredicateKindConflict { predicate } => write!(
+                f,
+                "predicate `{predicate}` is used both as a relation and as an attribute"
+            ),
+            RdfError::InvalidEdge { reason } => write!(f, "invalid edge: {reason}"),
+            RdfError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            RdfError::UnknownVertex(label) => write!(f, "unknown vertex `{label}`"),
+            RdfError::UnknownPredicate(label) => write!(f, "unknown predicate `{label}`"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = RdfError::VertexKindConflict {
+            label: "pub1".into(),
+            existing: "entity",
+            requested: "value",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("pub1"));
+        assert!(msg.contains("entity"));
+        assert!(msg.contains("value"));
+
+        let err = RdfError::Parse {
+            line: 7,
+            message: "missing object".into(),
+        };
+        assert!(err.to_string().contains("line 7"));
+
+        let err = RdfError::UnknownVertex("ghost".into());
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            RdfError::UnknownPredicate("p".into()),
+            RdfError::UnknownPredicate("p".into())
+        );
+        assert_ne!(
+            RdfError::UnknownPredicate("p".into()),
+            RdfError::UnknownVertex("p".into())
+        );
+    }
+}

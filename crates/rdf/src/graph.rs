@@ -1,0 +1,785 @@
+//! The typed RDF data graph of Definition 1.
+//!
+//! A [`DataGraph`] keeps three disjoint vertex partitions — entities
+//! (E-vertices), classes (C-vertices) and values (V-vertices) — and four
+//! kinds of labelled, directed edges (relations, attributes, `type`,
+//! `subclass`). Vertices are deduplicated per partition by label; edges are
+//! deduplicated by `(source, label, target)`.
+//!
+//! The graph offers the adjacency and classification queries needed by
+//! the summary-graph construction, the keyword index, the baselines and the
+//! conjunctive-query evaluator.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::RdfError;
+use crate::interner::{Interner, Symbol};
+use crate::term::Term;
+use crate::triple::{EdgeKind, Triple};
+use crate::vocab;
+use crate::Result;
+
+/// Index of a vertex inside a [`DataGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub(crate) u32);
+
+impl VertexId {
+    /// Dense numeric index of this vertex.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of an edge inside a [`DataGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// Dense numeric index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a distinct edge label inside a [`DataGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeLabelId(pub(crate) u32);
+
+impl EdgeLabelId {
+    /// Dense numeric index of this edge label.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The partition a vertex belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VertexKind {
+    /// An E-vertex: an entity identified by an IRI.
+    Entity,
+    /// A C-vertex: a class.
+    Class,
+    /// A V-vertex: a data value.
+    Value,
+}
+
+impl VertexKind {
+    /// Human-readable name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            VertexKind::Entity => "entity",
+            VertexKind::Class => "class",
+            VertexKind::Value => "value",
+        }
+    }
+}
+
+/// A vertex of the data graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vertex {
+    /// Partition of the vertex.
+    pub kind: VertexKind,
+    /// Interned label (IRI, class name or literal value).
+    pub label: Symbol,
+}
+
+/// A distinct edge label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EdgeLabel {
+    /// An inter-entity relation label (`L_R`).
+    Relation(Symbol),
+    /// An entity-to-value attribute label (`L_A`).
+    Attribute(Symbol),
+    /// The predefined `type` label.
+    Type,
+    /// The predefined `subclass` label.
+    SubClass,
+}
+
+impl EdgeLabel {
+    /// The [`EdgeKind`] this label belongs to.
+    pub fn kind(self) -> EdgeKind {
+        match self {
+            EdgeLabel::Relation(_) => EdgeKind::Relation,
+            EdgeLabel::Attribute(_) => EdgeKind::Attribute,
+            EdgeLabel::Type => EdgeKind::Type,
+            EdgeLabel::SubClass => EdgeKind::SubClass,
+        }
+    }
+
+    /// The label symbol for relation/attribute labels.
+    pub fn symbol(self) -> Option<Symbol> {
+        match self {
+            EdgeLabel::Relation(s) | EdgeLabel::Attribute(s) => Some(s),
+            EdgeLabel::Type | EdgeLabel::SubClass => None,
+        }
+    }
+}
+
+/// A directed, labelled edge of the data graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Identifier of the edge label.
+    pub label: EdgeLabelId,
+    /// Source vertex.
+    pub from: VertexId,
+    /// Target vertex.
+    pub to: VertexId,
+}
+
+/// The in-memory typed RDF data graph.
+#[derive(Debug, Default, Clone)]
+pub struct DataGraph {
+    interner: Interner,
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+    edge_labels: Vec<EdgeLabel>,
+    edge_label_ids: HashMap<EdgeLabel, EdgeLabelId>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+    entities: HashMap<Symbol, VertexId>,
+    classes: HashMap<Symbol, VertexId>,
+    values: HashMap<Symbol, VertexId>,
+    edge_set: HashSet<(VertexId, EdgeLabelId, VertexId)>,
+}
+
+impl DataGraph {
+    /// Creates an empty data graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Labels
+    // ------------------------------------------------------------------
+
+    /// Interns a label string.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    /// Resolves an interned label back to text.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Looks up an already interned label.
+    pub fn symbol(&self, s: &str) -> Option<Symbol> {
+        self.interner.get(s)
+    }
+
+    /// Shared access to the interner (for size accounting).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    // ------------------------------------------------------------------
+    // Vertices
+    // ------------------------------------------------------------------
+
+    fn push_vertex(&mut self, kind: VertexKind, label: Symbol) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(Vertex { kind, label });
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Returns the E-vertex with the given IRI, creating it if necessary.
+    pub fn add_entity(&mut self, iri: &str) -> VertexId {
+        let label = self.interner.intern(iri);
+        if let Some(&v) = self.entities.get(&label) {
+            return v;
+        }
+        let v = self.push_vertex(VertexKind::Entity, label);
+        self.entities.insert(label, v);
+        v
+    }
+
+    /// Returns the C-vertex with the given class name, creating it if necessary.
+    pub fn add_class(&mut self, name: &str) -> VertexId {
+        let label = self.interner.intern(name);
+        if let Some(&v) = self.classes.get(&label) {
+            return v;
+        }
+        let v = self.push_vertex(VertexKind::Class, label);
+        self.classes.insert(label, v);
+        v
+    }
+
+    /// Returns the V-vertex with the given literal value, creating it if necessary.
+    pub fn add_value(&mut self, value: &str) -> VertexId {
+        let label = self.interner.intern(value);
+        if let Some(&v) = self.values.get(&label) {
+            return v;
+        }
+        let v = self.push_vertex(VertexKind::Value, label);
+        self.values.insert(label, v);
+        v
+    }
+
+    /// The vertex record for `v`.
+    pub fn vertex(&self, v: VertexId) -> Vertex {
+        self.vertices[v.index()]
+    }
+
+    /// The partition `v` belongs to.
+    pub fn vertex_kind(&self, v: VertexId) -> VertexKind {
+        self.vertices[v.index()].kind
+    }
+
+    /// The label text of `v`.
+    pub fn vertex_label(&self, v: VertexId) -> &str {
+        self.interner.resolve(self.vertices[v.index()].label)
+    }
+
+    /// The interned label of `v`.
+    pub fn vertex_symbol(&self, v: VertexId) -> Symbol {
+        self.vertices[v.index()].label
+    }
+
+    /// Looks up an entity vertex by IRI.
+    pub fn entity(&self, iri: &str) -> Option<VertexId> {
+        self.interner.get(iri).and_then(|s| self.entities.get(&s).copied())
+    }
+
+    /// Looks up a class vertex by name.
+    pub fn class(&self, name: &str) -> Option<VertexId> {
+        self.interner.get(name).and_then(|s| self.classes.get(&s).copied())
+    }
+
+    /// Looks up a value vertex by literal text.
+    pub fn value(&self, value: &str) -> Option<VertexId> {
+        self.interner.get(value).and_then(|s| self.values.get(&s).copied())
+    }
+
+    /// Looks up a vertex by label in all three partitions (entity, class,
+    /// value — in that order).
+    pub fn vertex_by_label(&self, label: &str) -> Option<VertexId> {
+        self.entity(label)
+            .or_else(|| self.class(label))
+            .or_else(|| self.value(label))
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of vertices of the given kind.
+    pub fn vertex_count_of_kind(&self, kind: VertexKind) -> usize {
+        match kind {
+            VertexKind::Entity => self.entities.len(),
+            VertexKind::Class => self.classes.len(),
+            VertexKind::Value => self.values.len(),
+        }
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// Iterates over vertices of a given kind.
+    pub fn vertices_of_kind(&self, kind: VertexKind) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices()
+            .filter(move |&v| self.vertex_kind(v) == kind)
+    }
+
+    // ------------------------------------------------------------------
+    // Edge labels
+    // ------------------------------------------------------------------
+
+    /// Returns the id of `label`, registering it if necessary.
+    pub fn ensure_edge_label(&mut self, label: EdgeLabel) -> EdgeLabelId {
+        if let Some(&id) = self.edge_label_ids.get(&label) {
+            return id;
+        }
+        let id = EdgeLabelId(self.edge_labels.len() as u32);
+        self.edge_labels.push(label);
+        self.edge_label_ids.insert(label, id);
+        id
+    }
+
+    /// Looks up a registered edge label.
+    pub fn edge_label_id(&self, label: &EdgeLabel) -> Option<EdgeLabelId> {
+        self.edge_label_ids.get(label).copied()
+    }
+
+    /// The edge label for an id.
+    pub fn edge_label(&self, id: EdgeLabelId) -> EdgeLabel {
+        self.edge_labels[id.index()]
+    }
+
+    /// The textual name of an edge label (`type`, `subclass` or the
+    /// relation/attribute name).
+    pub fn edge_label_name(&self, id: EdgeLabelId) -> &str {
+        match self.edge_labels[id.index()] {
+            EdgeLabel::Relation(s) | EdgeLabel::Attribute(s) => self.interner.resolve(s),
+            EdgeLabel::Type => vocab::TYPE,
+            EdgeLabel::SubClass => vocab::SUBCLASS,
+        }
+    }
+
+    /// Number of distinct edge labels.
+    pub fn edge_label_count(&self) -> usize {
+        self.edge_labels.len()
+    }
+
+    /// Iterates over all registered edge labels.
+    pub fn edge_labels(&self) -> impl Iterator<Item = (EdgeLabelId, EdgeLabel)> + '_ {
+        self.edge_labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (EdgeLabelId(i as u32), l))
+    }
+
+    /// Finds the relation and/or attribute labels with the given name.
+    pub fn edge_labels_named(&self, name: &str) -> Vec<EdgeLabelId> {
+        if name == vocab::TYPE {
+            return self
+                .edge_label_id(&EdgeLabel::Type)
+                .into_iter()
+                .collect();
+        }
+        if name == vocab::SUBCLASS {
+            return self
+                .edge_label_id(&EdgeLabel::SubClass)
+                .into_iter()
+                .collect();
+        }
+        let Some(sym) = self.interner.get(name) else {
+            return Vec::new();
+        };
+        [EdgeLabel::Relation(sym), EdgeLabel::Attribute(sym)]
+            .into_iter()
+            .filter_map(|l| self.edge_label_id(&l))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Edges
+    // ------------------------------------------------------------------
+
+    fn validate_edge(&self, label: EdgeLabel, from: VertexId, to: VertexId) -> Result<()> {
+        let from_kind = self.vertex_kind(from);
+        let to_kind = self.vertex_kind(to);
+        let ok = match label.kind() {
+            EdgeKind::Relation => from_kind == VertexKind::Entity && to_kind == VertexKind::Entity,
+            EdgeKind::Attribute => from_kind == VertexKind::Entity && to_kind == VertexKind::Value,
+            EdgeKind::Type => from_kind == VertexKind::Entity && to_kind == VertexKind::Class,
+            EdgeKind::SubClass => from_kind == VertexKind::Class && to_kind == VertexKind::Class,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(RdfError::InvalidEdge {
+                reason: format!(
+                    "{} edge from {} vertex `{}` to {} vertex `{}` violates Definition 1",
+                    label.kind(),
+                    from_kind.name(),
+                    self.vertex_label(from),
+                    to_kind.name(),
+                    self.vertex_label(to)
+                ),
+            })
+        }
+    }
+
+    /// Adds an edge, validating the vertex kinds against Definition 1.
+    ///
+    /// Duplicate `(from, label, to)` edges are silently collapsed and the
+    /// existing edge id is returned.
+    pub fn add_edge(&mut self, from: VertexId, label: EdgeLabel, to: VertexId) -> Result<EdgeId> {
+        self.validate_edge(label, from, to)?;
+        let label_id = self.ensure_edge_label(label);
+        if self.edge_set.contains(&(from, label_id, to)) {
+            // Linear scan over the (short) out-adjacency list of `from`.
+            for &e in &self.out_adj[from.index()] {
+                let edge = self.edges[e.index()];
+                if edge.label == label_id && edge.to == to {
+                    return Ok(e);
+                }
+            }
+            unreachable!("edge_set and adjacency lists out of sync");
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            label: label_id,
+            from,
+            to,
+        });
+        self.out_adj[from.index()].push(id);
+        self.in_adj[to.index()].push(id);
+        self.edge_set.insert((from, label_id, to));
+        Ok(id)
+    }
+
+    /// Inserts a triple, creating the vertices it refers to.
+    pub fn insert_triple(&mut self, triple: &Triple) -> Result<EdgeId> {
+        match triple.edge_kind() {
+            EdgeKind::Type => {
+                if !triple.object.is_iri() {
+                    return Err(RdfError::InvalidEdge {
+                        reason: format!(
+                            "`type` triple with literal object {}",
+                            triple.object
+                        ),
+                    });
+                }
+                let s = self.add_entity(triple.subject.value());
+                let o = self.add_class(triple.object.value());
+                self.add_edge(s, EdgeLabel::Type, o)
+            }
+            EdgeKind::SubClass => {
+                if !triple.object.is_iri() {
+                    return Err(RdfError::InvalidEdge {
+                        reason: format!(
+                            "`subclass` triple with literal object {}",
+                            triple.object
+                        ),
+                    });
+                }
+                let s = self.add_class(triple.subject.value());
+                let o = self.add_class(triple.object.value());
+                self.add_edge(s, EdgeLabel::SubClass, o)
+            }
+            EdgeKind::Relation => {
+                let s = self.add_entity(triple.subject.value());
+                let o = self.add_entity(triple.object.value());
+                let p = self.interner.intern(&triple.predicate);
+                self.add_edge(s, EdgeLabel::Relation(p), o)
+            }
+            EdgeKind::Attribute => {
+                let s = self.add_entity(triple.subject.value());
+                let o = self.add_value(triple.object.value());
+                let p = self.interner.intern(&triple.predicate);
+                self.add_edge(s, EdgeLabel::Attribute(p), o)
+            }
+        }
+    }
+
+    /// The edge record for `e`.
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e.index()]
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Outgoing edges of `v`.
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.out_adj[v.index()]
+    }
+
+    /// Incoming edges of `v`.
+    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.in_adj[v.index()]
+    }
+
+    /// Undirected degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out_adj[v.index()].len() + self.in_adj[v.index()].len()
+    }
+
+    /// All vertices adjacent to `v` (through incoming or outgoing edges),
+    /// together with the connecting edge. Used by the baseline algorithms
+    /// that explore the full data graph.
+    pub fn neighbors(&self, v: VertexId) -> Vec<(EdgeId, VertexId)> {
+        let mut out = Vec::with_capacity(self.degree(v));
+        for &e in &self.out_adj[v.index()] {
+            out.push((e, self.edges[e.index()].to));
+        }
+        for &e in &self.in_adj[v.index()] {
+            out.push((e, self.edges[e.index()].from));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Class structure helpers
+    // ------------------------------------------------------------------
+
+    /// The classes an entity is a direct instance of (targets of its `type`
+    /// edges).
+    pub fn classes_of(&self, entity: VertexId) -> Vec<VertexId> {
+        let mut classes = Vec::new();
+        for &e in &self.out_adj[entity.index()] {
+            let edge = self.edges[e.index()];
+            if self.edge_label(edge.label) == EdgeLabel::Type {
+                classes.push(edge.to);
+            }
+        }
+        classes
+    }
+
+    /// The direct instances of a class (sources of its incoming `type` edges).
+    pub fn instances_of(&self, class: VertexId) -> Vec<VertexId> {
+        let mut instances = Vec::new();
+        for &e in &self.in_adj[class.index()] {
+            let edge = self.edges[e.index()];
+            if self.edge_label(edge.label) == EdgeLabel::Type {
+                instances.push(edge.from);
+            }
+        }
+        instances
+    }
+
+    /// Direct super-classes of a class.
+    pub fn superclasses_of(&self, class: VertexId) -> Vec<VertexId> {
+        let mut supers = Vec::new();
+        for &e in &self.out_adj[class.index()] {
+            let edge = self.edges[e.index()];
+            if self.edge_label(edge.label) == EdgeLabel::SubClass {
+                supers.push(edge.to);
+            }
+        }
+        supers
+    }
+
+    /// Direct sub-classes of a class.
+    pub fn subclasses_of(&self, class: VertexId) -> Vec<VertexId> {
+        let mut subs = Vec::new();
+        for &e in &self.in_adj[class.index()] {
+            let edge = self.edges[e.index()];
+            if self.edge_label(edge.label) == EdgeLabel::SubClass {
+                subs.push(edge.from);
+            }
+        }
+        subs
+    }
+
+    /// Whether an entity has no `type` edge (it is aggregated under `Thing`
+    /// in the summary graph).
+    pub fn is_untyped_entity(&self, v: VertexId) -> bool {
+        self.vertex_kind(v) == VertexKind::Entity && self.classes_of(v).is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Export
+    // ------------------------------------------------------------------
+
+    /// Reconstructs the triples of the graph (used by the serialiser and the
+    /// round-trip tests).
+    pub fn triples(&self) -> Vec<Triple> {
+        self.edges()
+            .map(|e| {
+                let edge = self.edge(e);
+                let subject = Term::iri(self.vertex_label(edge.from));
+                match self.edge_label(edge.label) {
+                    EdgeLabel::Relation(p) => Triple::new(
+                        subject,
+                        self.resolve(p),
+                        Term::iri(self.vertex_label(edge.to)),
+                    ),
+                    EdgeLabel::Attribute(p) => Triple::new(
+                        subject,
+                        self.resolve(p),
+                        Term::literal(self.vertex_label(edge.to)),
+                    ),
+                    EdgeLabel::Type => Triple::new(
+                        subject,
+                        vocab::TYPE,
+                        Term::iri(self.vertex_label(edge.to)),
+                    ),
+                    EdgeLabel::SubClass => Triple::new(
+                        subject,
+                        vocab::SUBCLASS,
+                        Term::iri(self.vertex_label(edge.to)),
+                    ),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the running-example graph of Fig. 1a in the paper.
+    pub(crate) fn example_graph() -> DataGraph {
+        let mut g = DataGraph::new();
+        let triples = vec![
+            Triple::typed("pro2URI", "Project"),
+            Triple::typed("pro1URI", "Project"),
+            Triple::attribute("pro1URI", "name", "X-Media"),
+            Triple::typed("pub1URI", "Publication"),
+            Triple::relation("pub1URI", "author", "re1URI"),
+            Triple::relation("pub1URI", "author", "re2URI"),
+            Triple::attribute("pub1URI", "year", "2006"),
+            Triple::typed("pub2URI", "Publication"),
+            Triple::typed("re1URI", "Researcher"),
+            Triple::attribute("re1URI", "name", "Thanh Tran"),
+            Triple::relation("re1URI", "worksAt", "inst1URI"),
+            Triple::typed("re2URI", "Researcher"),
+            Triple::attribute("re2URI", "name", "P. Cimiano"),
+            Triple::relation("re2URI", "worksAt", "inst1URI"),
+            Triple::typed("inst1URI", "Institute"),
+            Triple::attribute("inst1URI", "name", "AIFB"),
+            Triple::typed("inst2URI", "Institute"),
+            Triple::subclass("Institute", "Agent"),
+            Triple::subclass("Researcher", "Person"),
+            Triple::subclass("Person", "Agent"),
+            Triple::subclass("Agent", "Thing"),
+        ];
+        for t in &triples {
+            g.insert_triple(t).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn vertices_are_partitioned_and_deduplicated() {
+        let g = example_graph();
+        assert_eq!(g.vertex_count_of_kind(VertexKind::Entity), 8);
+        // Project, Publication, Researcher, Institute, Agent, Person, Thing
+        assert_eq!(g.vertex_count_of_kind(VertexKind::Class), 7);
+        // X-Media, 2006, Thanh Tran, P. Cimiano, AIFB
+        assert_eq!(g.vertex_count_of_kind(VertexKind::Value), 5);
+        assert_eq!(
+            g.vertex_count(),
+            g.vertex_count_of_kind(VertexKind::Entity)
+                + g.vertex_count_of_kind(VertexKind::Class)
+                + g.vertex_count_of_kind(VertexKind::Value)
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let mut g = DataGraph::new();
+        let t = Triple::relation("a", "knows", "b");
+        let e1 = g.insert_triple(&t).unwrap();
+        let e2 = g.insert_triple(&t).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn lookup_by_label_and_kind() {
+        let g = example_graph();
+        assert!(g.entity("pub1URI").is_some());
+        assert!(g.class("Publication").is_some());
+        assert!(g.value("2006").is_some());
+        assert!(g.entity("Publication").is_none());
+        assert!(g.class("pub1URI").is_none());
+        assert_eq!(
+            g.vertex_by_label("AIFB"),
+            g.value("AIFB"),
+            "vertex_by_label falls back to values"
+        );
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = example_graph();
+        let pub1 = g.entity("pub1URI").unwrap();
+        // type Publication, author re1, author re2, year 2006
+        assert_eq!(g.out_edges(pub1).len(), 4);
+        assert_eq!(g.in_edges(pub1).len(), 0);
+        let re1 = g.entity("re1URI").unwrap();
+        // incoming author edge from pub1
+        assert_eq!(g.in_edges(re1).len(), 1);
+        assert_eq!(g.degree(re1), 1 + g.out_edges(re1).len());
+        let neighbors = g.neighbors(re1);
+        assert_eq!(neighbors.len(), g.degree(re1));
+    }
+
+    #[test]
+    fn class_structure_queries() {
+        let g = example_graph();
+        let re1 = g.entity("re1URI").unwrap();
+        let researcher = g.class("Researcher").unwrap();
+        let person = g.class("Person").unwrap();
+        assert_eq!(g.classes_of(re1), vec![researcher]);
+        assert!(g.instances_of(researcher).contains(&re1));
+        assert_eq!(g.superclasses_of(researcher), vec![person]);
+        assert!(g.subclasses_of(person).contains(&researcher));
+        assert!(!g.is_untyped_entity(re1));
+    }
+
+    #[test]
+    fn untyped_entities_are_detected() {
+        let mut g = DataGraph::new();
+        g.insert_triple(&Triple::relation("a", "knows", "b")).unwrap();
+        let a = g.entity("a").unwrap();
+        assert!(g.is_untyped_entity(a));
+    }
+
+    #[test]
+    fn edge_kind_restrictions_are_enforced() {
+        let mut g = DataGraph::new();
+        let e = g.add_entity("e");
+        let c = g.add_class("C");
+        let v = g.add_value("42");
+        let rel = EdgeLabel::Relation(g.intern("knows"));
+        let attr = EdgeLabel::Attribute(g.intern("age"));
+
+        // Valid edges.
+        assert!(g.add_edge(e, EdgeLabel::Type, c).is_ok());
+        assert!(g.add_edge(e, attr, v).is_ok());
+        assert!(g.add_edge(c, EdgeLabel::SubClass, c).is_ok());
+
+        // Invalid edges.
+        assert!(g.add_edge(e, rel, v).is_err());
+        assert!(g.add_edge(c, rel, e).is_err());
+        assert!(g.add_edge(v, EdgeLabel::Type, c).is_err());
+        assert!(g.add_edge(e, EdgeLabel::SubClass, c).is_err());
+    }
+
+    #[test]
+    fn malformed_reserved_triples_are_rejected() {
+        let mut g = DataGraph::new();
+        let bad_type = Triple::new(Term::iri("x"), vocab::TYPE, Term::literal("C"));
+        assert!(g.insert_triple(&bad_type).is_err());
+        let bad_subclass = Triple::new(Term::iri("C"), vocab::SUBCLASS, Term::literal("D"));
+        assert!(g.insert_triple(&bad_subclass).is_err());
+    }
+
+    #[test]
+    fn edge_labels_named_distinguishes_reserved_labels() {
+        let g = example_graph();
+        assert_eq!(g.edge_labels_named("type").len(), 1);
+        assert_eq!(g.edge_labels_named("subclass").len(), 1);
+        assert_eq!(g.edge_labels_named("author").len(), 1);
+        assert_eq!(g.edge_labels_named("name").len(), 1);
+        assert!(g.edge_labels_named("unknown-label").is_empty());
+    }
+
+    #[test]
+    fn triples_round_trip_through_export() {
+        let g = example_graph();
+        let triples = g.triples();
+        assert_eq!(triples.len(), g.edge_count());
+        let mut g2 = DataGraph::new();
+        for t in &triples {
+            g2.insert_triple(t).unwrap();
+        }
+        assert_eq!(g2.vertex_count(), g.vertex_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let mut a = g.triples();
+        let mut b = g2.triples();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_value_vertices_have_multiple_incoming_edges() {
+        let mut g = DataGraph::new();
+        g.insert_triple(&Triple::attribute("pub1", "year", "2006")).unwrap();
+        g.insert_triple(&Triple::attribute("pub2", "year", "2006")).unwrap();
+        let v = g.value("2006").unwrap();
+        assert_eq!(g.in_edges(v).len(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! String interning.
+//!
+//! Every label in a data graph (entity IRIs, class names, attribute values,
+//! predicate names) is stored exactly once in an [`Interner`] and referred to
+//! by a compact [`Symbol`]. Interning keeps the graph representation small
+//! and makes label comparisons O(1), which matters because the exploration
+//! algorithm compares labels in its inner loop.
+
+use std::collections::HashMap;
+
+/// A handle to an interned string.
+///
+/// Symbols are only meaningful relative to the [`Interner`] (and therefore the
+/// [`DataGraph`](crate::DataGraph)) that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// Numeric index of the symbol; useful for dense per-symbol tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A deduplicating string table.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    map: HashMap<Box<str>, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing symbol if it has been seen before.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if the symbol was produced by a different interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no strings have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over all `(symbol, string)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> + '_ {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+
+    /// Approximate number of heap bytes used by the interner. Used by the
+    /// index-size experiment (Fig. 6b).
+    pub fn heap_bytes(&self) -> usize {
+        let string_bytes: usize = self.strings.iter().map(|s| s.len()).sum();
+        // Each entry is stored twice (vec + map key) plus map/vec overhead.
+        2 * string_bytes
+            + self.strings.len() * std::mem::size_of::<Box<str>>()
+            + self.map.len() * (std::mem::size_of::<Box<str>>() + std::mem::size_of::<Symbol>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut interner = Interner::new();
+        let a = interner.intern("publication");
+        let b = interner.intern("author");
+        let a2 = interner.intern("publication");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut interner = Interner::new();
+        let labels = ["X-Media", "Thanh Tran", "2006", ""];
+        let symbols: Vec<_> = labels.iter().map(|l| interner.intern(l)).collect();
+        for (label, sym) in labels.iter().zip(symbols) {
+            assert_eq!(interner.resolve(sym), *label);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut interner = Interner::new();
+        assert!(interner.get("missing").is_none());
+        assert!(interner.is_empty());
+        let sym = interner.intern("present");
+        assert_eq!(interner.get("present"), Some(sym));
+    }
+
+    #[test]
+    fn iter_yields_insertion_order() {
+        let mut interner = Interner::new();
+        interner.intern("a");
+        interner.intern("b");
+        interner.intern("c");
+        let collected: Vec<_> = interner.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_content() {
+        let mut small = Interner::new();
+        small.intern("x");
+        let mut large = Interner::new();
+        for i in 0..100 {
+            large.intern(&format!("some-longer-label-{i}"));
+        }
+        assert!(large.heap_bytes() > small.heap_bytes());
+    }
+}

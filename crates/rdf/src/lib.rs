@@ -1,0 +1,51 @@
+//! RDF data-graph substrate for the SearchWebDB keyword-search system.
+//!
+//! This crate implements the *data graph* of Definition 1 in the paper
+//! "Top-k Exploration of Query Candidates for Efficient Keyword Search on
+//! Graph-Shaped (RDF) Data" (ICDE 2009):
+//!
+//! * vertices are partitioned into **E-vertices** (entities), **C-vertices**
+//!   (classes) and **V-vertices** (data values),
+//! * edges are partitioned into **R-edges** (relations between entities),
+//!   **A-edges** (attribute assignments from an entity to a value), the
+//!   predefined **`type`** edge (entity membership in a class) and the
+//!   predefined **`subclass`** edge (class hierarchy).
+//!
+//! On top of the typed graph the crate provides
+//!
+//! * a compact string [`Interner`](interner::Interner) shared by all labels,
+//! * a [`GraphBuilder`](builder::GraphBuilder) that ingests RDF triples and
+//!   classifies them into the four edge kinds,
+//! * an indexed [`TripleStore`](store::TripleStore) offering pattern scans
+//!   (`(s?, p?, o?)`) used by the conjunctive-query evaluator,
+//! * a line-oriented [N-Triples-like parser/serialiser](ntriples), and
+//! * [graph statistics](stats) used by the evaluation harness.
+//!
+//! The crate is purely in-memory and has no third-party dependencies.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builder;
+pub mod error;
+pub mod fixtures;
+pub mod graph;
+pub mod interner;
+pub mod ntriples;
+pub mod stats;
+pub mod store;
+pub mod term;
+pub mod triple;
+pub mod vocab;
+
+pub use builder::GraphBuilder;
+pub use error::RdfError;
+pub use graph::{DataGraph, Edge, EdgeId, EdgeLabel, EdgeLabelId, Vertex, VertexId, VertexKind};
+pub use interner::{Interner, Symbol};
+pub use stats::GraphStats;
+pub use store::{TriplePattern, TripleStore};
+pub use term::Term;
+pub use triple::{EdgeKind, Triple};
+
+/// Convenience result type used throughout the crate.
+pub type Result<T> = std::result::Result<T, RdfError>;

@@ -1,0 +1,291 @@
+//! A line-oriented, N-Triples-like serialisation.
+//!
+//! Each line holds one triple:
+//!
+//! ```text
+//! <pub1URI> <author> <re1URI> .
+//! <pub1URI> <year> "2006" .
+//! # comments and blank lines are ignored
+//! ```
+//!
+//! IRIs are written in angle brackets, literals in double quotes with `\"`
+//! and `\\` escapes. This is deliberately a small subset of W3C N-Triples —
+//! enough to persist and exchange the generated datasets and the paper's
+//! running example.
+
+use crate::error::RdfError;
+use crate::graph::DataGraph;
+use crate::term::Term;
+use crate::triple::Triple;
+use crate::Result;
+
+/// Serialises a single triple to one line (without trailing newline).
+pub fn write_triple(triple: &Triple) -> String {
+    format!(
+        "{} <{}> {} .",
+        write_term(&triple.subject),
+        triple.predicate,
+        write_term(&triple.object)
+    )
+}
+
+fn write_term(term: &Term) -> String {
+    match term {
+        Term::Iri(v) => format!("<{v}>"),
+        Term::Literal(v) => format!("\"{}\"", escape_literal(v)),
+    }
+}
+
+fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Serialises a whole document (one line per triple).
+pub fn write_document(triples: &[Triple]) -> String {
+    let mut out = String::new();
+    for t in triples {
+        out.push_str(&write_triple(t));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises all edges of a data graph.
+pub fn write_graph(graph: &DataGraph) -> String {
+    write_document(&graph.triples())
+}
+
+struct Cursor<'a> {
+    line: &'a str,
+    pos: usize,
+    line_no: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn error(&self, message: impl Into<String>) -> RdfError {
+        RdfError::Parse {
+            line: self.line_no,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.line.len()
+            && self.line.as_bytes()[self.pos].is_ascii_whitespace()
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.line.as_bytes().get(self.pos).copied()
+    }
+
+    fn parse_term(&mut self) -> Result<Term> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => {
+                let end = self.line[self.pos..]
+                    .find('>')
+                    .map(|i| self.pos + i)
+                    .ok_or_else(|| self.error("unterminated IRI"))?;
+                let iri = &self.line[self.pos + 1..end];
+                self.pos = end + 1;
+                Ok(Term::iri(iri))
+            }
+            Some(b'"') => {
+                // Scan for the closing unescaped quote.
+                let bytes = self.line.as_bytes();
+                let mut i = self.pos + 1;
+                let mut escaped = false;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if escaped {
+                        escaped = false;
+                    } else if b == b'\\' {
+                        escaped = true;
+                    } else if b == b'"' {
+                        break;
+                    }
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(self.error("unterminated literal"));
+                }
+                let raw = &self.line[self.pos + 1..i];
+                self.pos = i + 1;
+                Ok(Term::literal(unescape_literal(raw)))
+            }
+            Some(_) => Err(self.error("expected `<` or `\"` at start of term")),
+            None => Err(self.error("unexpected end of line")),
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<String> {
+        match self.parse_term()? {
+            Term::Iri(p) => Ok(p),
+            Term::Literal(_) => Err(self.error("predicate must be an IRI")),
+        }
+    }
+
+    fn expect_dot(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.skip_ws();
+            if self.pos == self.line.len() {
+                Ok(())
+            } else {
+                Err(self.error("trailing content after `.`"))
+            }
+        } else {
+            Err(self.error("expected terminating `.`"))
+        }
+    }
+}
+
+/// Parses one line into a triple. Returns `Ok(None)` for blank lines and
+/// comments.
+pub fn parse_line(line: &str, line_no: usize) -> Result<Option<Triple>> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut cursor = Cursor {
+        line: trimmed,
+        pos: 0,
+        line_no,
+    };
+    let subject = cursor.parse_term()?;
+    if !subject.is_iri() {
+        return Err(cursor.error("subject must be an IRI"));
+    }
+    let predicate = cursor.parse_predicate()?;
+    let object = cursor.parse_term()?;
+    cursor.expect_dot()?;
+    Ok(Some(Triple::new(subject, predicate, object)))
+}
+
+/// Parses a whole document into triples.
+pub fn parse_document(input: &str) -> Result<Vec<Triple>> {
+    let mut triples = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if let Some(t) = parse_line(line, i + 1)? {
+            triples.push(t);
+        }
+    }
+    Ok(triples)
+}
+
+/// Parses a document directly into a [`DataGraph`].
+pub fn parse_graph(input: &str) -> Result<DataGraph> {
+    let mut graph = DataGraph::new();
+    for t in parse_document(input)? {
+        graph.insert_triple(&t)?;
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_triples;
+
+    #[test]
+    fn single_triple_round_trip() {
+        let t = Triple::attribute("re2URI", "name", "P. Cimiano");
+        let line = write_triple(&t);
+        let parsed = parse_line(&line, 1).unwrap().unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn literal_escaping_round_trip() {
+        let original = Triple::attribute("p", "title", "A \"quoted\" title \\ with backslash\nand newline");
+        let line = write_triple(&original);
+        let parsed = parse_line(&line, 1).unwrap().unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let doc = "# a comment\n\n<s> <p> <o> .\n   \n# another\n";
+        let triples = parse_document(doc).unwrap();
+        assert_eq!(triples.len(), 1);
+        assert_eq!(triples[0], Triple::relation("s", "p", "o"));
+    }
+
+    #[test]
+    fn document_round_trip_preserves_all_triples() {
+        let triples = figure1_triples();
+        let doc = write_document(&triples);
+        let parsed = parse_document(&doc).unwrap();
+        assert_eq!(parsed, triples);
+    }
+
+    #[test]
+    fn graph_round_trip() {
+        let triples = figure1_triples();
+        let doc = write_document(&triples);
+        let graph = parse_graph(&doc).unwrap();
+        assert_eq!(graph.edge_count(), triples.len());
+        let rewritten = write_graph(&graph);
+        let reparsed = parse_document(&rewritten).unwrap();
+        let mut a: Vec<String> = triples.iter().map(|t| t.to_string()).collect();
+        let mut b: Vec<String> = reparsed.iter().map(|t| t.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let doc = "<s> <p> <o> .\n<s> <p> broken .\n";
+        let err = parse_document(doc).unwrap_err();
+        match err {
+            RdfError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn various_malformed_lines_are_rejected() {
+        let cases = [
+            "<s> <p> <o>",              // missing dot
+            "<s> <p> \"unterminated .", // unterminated literal
+            "\"lit\" <p> <o> .",        // literal subject
+            "<s> \"p\" <o> .",          // literal predicate
+            "<s> <p> <o> . extra",      // trailing garbage
+            "<s <p> <o> .",             // unterminated IRI
+        ];
+        for case in cases {
+            assert!(parse_line(case, 1).is_err(), "should reject: {case}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Graph statistics.
+//!
+//! The evaluation section of the paper (Fig. 6b) relates index sizes to
+//! structural properties of the datasets: the number of V-vertices drives
+//! the keyword-index size, while the number of classes and edge labels
+//! drives the graph-index size. [`GraphStats`] gathers exactly these
+//! quantities, plus degree information used by the data generators' sanity
+//! checks.
+
+use std::collections::HashMap;
+
+use crate::graph::{DataGraph, VertexKind};
+use crate::triple::EdgeKind;
+
+/// Structural statistics of a [`DataGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of E-vertices.
+    pub entities: usize,
+    /// Number of C-vertices.
+    pub classes: usize,
+    /// Number of V-vertices.
+    pub values: usize,
+    /// Number of R-edges.
+    pub relation_edges: usize,
+    /// Number of A-edges.
+    pub attribute_edges: usize,
+    /// Number of `type` edges.
+    pub type_edges: usize,
+    /// Number of `subclass` edges.
+    pub subclass_edges: usize,
+    /// Number of distinct relation labels.
+    pub relation_labels: usize,
+    /// Number of distinct attribute labels.
+    pub attribute_labels: usize,
+    /// Number of entities without any `type` edge.
+    pub untyped_entities: usize,
+    /// Maximum undirected vertex degree.
+    pub max_degree: usize,
+    /// Average undirected vertex degree.
+    pub avg_degree: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn compute(graph: &DataGraph) -> Self {
+        let mut edge_kind_counts: HashMap<EdgeKind, usize> = HashMap::new();
+        for e in graph.edges() {
+            let label = graph.edge_label(graph.edge(e).label);
+            *edge_kind_counts.entry(label.kind()).or_insert(0) += 1;
+        }
+        let mut relation_labels = 0usize;
+        let mut attribute_labels = 0usize;
+        for (_, label) in graph.edge_labels() {
+            match label.kind() {
+                EdgeKind::Relation => relation_labels += 1,
+                EdgeKind::Attribute => attribute_labels += 1,
+                _ => {}
+            }
+        }
+        let untyped_entities = graph
+            .vertices_of_kind(VertexKind::Entity)
+            .filter(|&v| graph.is_untyped_entity(v))
+            .count();
+        let mut max_degree = 0usize;
+        let mut total_degree = 0usize;
+        for v in graph.vertices() {
+            let d = graph.degree(v);
+            max_degree = max_degree.max(d);
+            total_degree += d;
+        }
+        let avg_degree = if graph.vertex_count() == 0 {
+            0.0
+        } else {
+            total_degree as f64 / graph.vertex_count() as f64
+        };
+        Self {
+            entities: graph.vertex_count_of_kind(VertexKind::Entity),
+            classes: graph.vertex_count_of_kind(VertexKind::Class),
+            values: graph.vertex_count_of_kind(VertexKind::Value),
+            relation_edges: edge_kind_counts.get(&EdgeKind::Relation).copied().unwrap_or(0),
+            attribute_edges: edge_kind_counts.get(&EdgeKind::Attribute).copied().unwrap_or(0),
+            type_edges: edge_kind_counts.get(&EdgeKind::Type).copied().unwrap_or(0),
+            subclass_edges: edge_kind_counts.get(&EdgeKind::SubClass).copied().unwrap_or(0),
+            relation_labels,
+            attribute_labels,
+            untyped_entities,
+            max_degree,
+            avg_degree,
+        }
+    }
+
+    /// Total number of vertices.
+    pub fn total_vertices(&self) -> usize {
+        self.entities + self.classes + self.values
+    }
+
+    /// Total number of edges.
+    pub fn total_edges(&self) -> usize {
+        self.relation_edges + self.attribute_edges + self.type_edges + self.subclass_edges
+    }
+
+    /// Total number of triples (same as edges in this representation).
+    pub fn total_triples(&self) -> usize {
+        self.total_edges()
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "vertices: {} (E={}, C={}, V={})",
+            self.total_vertices(), self.entities, self.classes, self.values)?;
+        writeln!(
+            f,
+            "edges: {} (R={}, A={}, type={}, subclass={})",
+            self.total_edges(),
+            self.relation_edges,
+            self.attribute_edges,
+            self.type_edges,
+            self.subclass_edges
+        )?;
+        writeln!(
+            f,
+            "labels: {} relation, {} attribute",
+            self.relation_labels, self.attribute_labels
+        )?;
+        write!(
+            f,
+            "degree: max={}, avg={:.2}; untyped entities: {}",
+            self.max_degree, self.avg_degree, self.untyped_entities
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_graph;
+    use crate::triple::Triple;
+
+    #[test]
+    fn figure1_statistics() {
+        let g = figure1_graph();
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.entities, 8);
+        assert_eq!(stats.classes, 7);
+        assert_eq!(stats.values, 7);
+        assert_eq!(stats.subclass_edges, 4);
+        assert_eq!(stats.type_edges, 8);
+        assert_eq!(stats.relation_edges, 6);
+        assert_eq!(stats.attribute_edges, 7);
+        assert_eq!(stats.total_vertices(), g.vertex_count());
+        assert_eq!(stats.total_edges(), g.edge_count());
+        assert_eq!(stats.untyped_entities, 0);
+        assert!(stats.max_degree >= 4);
+        assert!(stats.avg_degree > 0.0);
+    }
+
+    #[test]
+    fn label_counts() {
+        let g = figure1_graph();
+        let stats = GraphStats::compute(&g);
+        // author, worksAt, hasProject
+        assert_eq!(stats.relation_labels, 3);
+        // name, year, title
+        assert_eq!(stats.attribute_labels, 3);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let stats = GraphStats::compute(&DataGraph::new());
+        assert_eq!(stats.total_vertices(), 0);
+        assert_eq!(stats.total_edges(), 0);
+        assert_eq!(stats.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn untyped_entities_are_counted() {
+        let mut g = DataGraph::new();
+        g.insert_triple(&Triple::relation("a", "knows", "b")).unwrap();
+        g.insert_triple(&Triple::typed("a", "Person")).unwrap();
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.untyped_entities, 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let g = figure1_graph();
+        let text = GraphStats::compute(&g).to_string();
+        assert!(text.contains("vertices"));
+        assert!(text.contains("edges"));
+        assert!(text.contains("degree"));
+    }
+}

@@ -1,0 +1,338 @@
+//! Indexed triple store.
+//!
+//! The paper's architecture processes the generated conjunctive query with
+//! "the underlying database engine". This module provides that engine's
+//! storage layer: a [`TripleStore`] holding the data graph's edges as
+//! `(subject, predicate-label, object)` rows in three sorted permutations
+//! (SPO, POS, OSP), so that any triple pattern with bound/unbound positions
+//! can be answered by a binary-searched range scan.
+
+use crate::graph::{DataGraph, EdgeLabelId, VertexId};
+
+/// A triple pattern: each position is either bound to a concrete id or a
+/// wildcard (`None`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TriplePattern {
+    /// Bound subject vertex, if any.
+    pub subject: Option<VertexId>,
+    /// Bound predicate label, if any.
+    pub predicate: Option<EdgeLabelId>,
+    /// Bound object vertex, if any.
+    pub object: Option<VertexId>,
+}
+
+impl TriplePattern {
+    /// Pattern with all positions unbound.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Sets the subject.
+    pub fn with_subject(mut self, s: VertexId) -> Self {
+        self.subject = Some(s);
+        self
+    }
+
+    /// Sets the predicate.
+    pub fn with_predicate(mut self, p: EdgeLabelId) -> Self {
+        self.predicate = Some(p);
+        self
+    }
+
+    /// Sets the object.
+    pub fn with_object(mut self, o: VertexId) -> Self {
+        self.object = Some(o);
+        self
+    }
+
+    /// Number of bound positions (0–3).
+    pub fn bound_positions(&self) -> usize {
+        self.subject.is_some() as usize
+            + self.predicate.is_some() as usize
+            + self.object.is_some() as usize
+    }
+}
+
+/// A materialised `(subject, predicate, object)` row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpoRow {
+    /// Subject vertex.
+    pub subject: VertexId,
+    /// Predicate label.
+    pub predicate: EdgeLabelId,
+    /// Object vertex.
+    pub object: VertexId,
+}
+
+/// Sorted-permutation index over the edges of a [`DataGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct TripleStore {
+    /// Rows sorted by (subject, predicate, object).
+    spo: Vec<SpoRow>,
+    /// Rows sorted by (predicate, object, subject).
+    pos: Vec<SpoRow>,
+    /// Rows sorted by (object, subject, predicate).
+    osp: Vec<SpoRow>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Permutation {
+    Spo,
+    Pos,
+    Osp,
+}
+
+fn key(row: &SpoRow, perm: Permutation) -> (u32, u32, u32) {
+    match perm {
+        Permutation::Spo => (row.subject.0, row.predicate.0, row.object.0),
+        Permutation::Pos => (row.predicate.0, row.object.0, row.subject.0),
+        Permutation::Osp => (row.object.0, row.subject.0, row.predicate.0),
+    }
+}
+
+impl TripleStore {
+    /// Builds the store from all edges of `graph`.
+    pub fn build(graph: &DataGraph) -> Self {
+        let mut rows: Vec<SpoRow> = graph
+            .edges()
+            .map(|e| {
+                let edge = graph.edge(e);
+                SpoRow {
+                    subject: edge.from,
+                    predicate: edge.label,
+                    object: edge.to,
+                }
+            })
+            .collect();
+        rows.sort_by_key(|r| key(r, Permutation::Spo));
+        let spo = rows.clone();
+        rows.sort_by_key(|r| key(r, Permutation::Pos));
+        let pos = rows.clone();
+        rows.sort_by_key(|r| key(r, Permutation::Osp));
+        let osp = rows;
+        Self { spo, pos, osp }
+    }
+
+    /// Number of rows (equal to the graph's edge count).
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Approximate heap size in bytes (for the Fig. 6b index-size report).
+    pub fn heap_bytes(&self) -> usize {
+        3 * self.spo.len() * std::mem::size_of::<SpoRow>()
+    }
+
+    fn scan_permutation(
+        &self,
+        perm: Permutation,
+        first: Option<u32>,
+        second: Option<u32>,
+        third: Option<u32>,
+    ) -> &[SpoRow] {
+        debug_assert!(
+            !(first.is_none() && (second.is_some() || third.is_some())),
+            "bound positions must form a prefix of the permutation"
+        );
+        debug_assert!(
+            !(second.is_none() && third.is_some()),
+            "bound positions must form a prefix of the permutation"
+        );
+        let rows = match perm {
+            Permutation::Spo => &self.spo,
+            Permutation::Pos => &self.pos,
+            Permutation::Osp => &self.osp,
+        };
+        let lower = (
+            first.unwrap_or(0),
+            second.unwrap_or(0),
+            third.unwrap_or(0),
+        );
+        let upper = (
+            first.unwrap_or(u32::MAX),
+            second.unwrap_or(u32::MAX),
+            third.unwrap_or(u32::MAX),
+        );
+        let start = rows.partition_point(|r| key(r, perm) < lower);
+        let end = rows.partition_point(|r| {
+            let k = key(r, perm);
+            k <= upper
+        });
+        &rows[start..end]
+    }
+
+    /// Returns all rows matching `pattern`.
+    ///
+    /// The permutation is chosen so the bound positions form a prefix of the
+    /// sort key, which makes every pattern a contiguous range scan.
+    pub fn scan(&self, pattern: TriplePattern) -> Vec<SpoRow> {
+        let TriplePattern {
+            subject: s,
+            predicate: p,
+            object: o,
+        } = pattern;
+        let rows = match (s, p, o) {
+            // Fully bound or s-prefix bound -> SPO.
+            (Some(s), p, _) => {
+                // SPO supports (s), (s,p), (s,p,o).
+                match (p, o) {
+                    (Some(p), o) => self.scan_permutation(
+                        Permutation::Spo,
+                        Some(s.0),
+                        Some(p.0),
+                        o.map(|v| v.0),
+                    ),
+                    (None, None) => {
+                        self.scan_permutation(Permutation::Spo, Some(s.0), None, None)
+                    }
+                    (None, Some(o)) => {
+                        // (s, ?, o) -> OSP prefix (o, s).
+                        return self
+                            .scan_permutation(Permutation::Osp, Some(o.0), Some(s.0), None)
+                            .to_vec();
+                    }
+                }
+            }
+            // Predicate-prefix bound -> POS.
+            (None, Some(p), o) => {
+                self.scan_permutation(Permutation::Pos, Some(p.0), o.map(|v| v.0), None)
+            }
+            // Object-only bound -> OSP.
+            (None, None, Some(o)) => {
+                self.scan_permutation(Permutation::Osp, Some(o.0), None, None)
+            }
+            // Nothing bound -> full scan.
+            (None, None, None) => &self.spo,
+        };
+        rows.to_vec()
+    }
+
+    /// Counts the rows matching `pattern` without materialising them.
+    pub fn count(&self, pattern: TriplePattern) -> usize {
+        self.scan(pattern).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_graph;
+    use crate::graph::EdgeLabel;
+
+    fn store_and_graph() -> (TripleStore, DataGraph) {
+        let g = figure1_graph();
+        (TripleStore::build(&g), g)
+    }
+
+    #[test]
+    fn store_has_one_row_per_edge() {
+        let (store, g) = store_and_graph();
+        assert_eq!(store.len(), g.edge_count());
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn full_scan_returns_everything() {
+        let (store, g) = store_and_graph();
+        assert_eq!(store.scan(TriplePattern::any()).len(), g.edge_count());
+    }
+
+    #[test]
+    fn subject_bound_scan() {
+        let (store, g) = store_and_graph();
+        let pub1 = g.entity("pub1URI").unwrap();
+        let rows = store.scan(TriplePattern::any().with_subject(pub1));
+        assert_eq!(rows.len(), g.out_edges(pub1).len());
+        assert!(rows.iter().all(|r| r.subject == pub1));
+    }
+
+    #[test]
+    fn predicate_bound_scan() {
+        let (store, g) = store_and_graph();
+        let author_sym = g.symbol("author").unwrap();
+        let author = g
+            .edge_label_id(&EdgeLabel::Relation(author_sym))
+            .unwrap();
+        let rows = store.scan(TriplePattern::any().with_predicate(author));
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.predicate == author));
+    }
+
+    #[test]
+    fn object_bound_scan() {
+        let (store, g) = store_and_graph();
+        let inst1 = g.entity("inst1URI").unwrap();
+        let rows = store.scan(TriplePattern::any().with_object(inst1));
+        assert_eq!(rows.len(), g.in_edges(inst1).len());
+        assert!(rows.iter().all(|r| r.object == inst1));
+    }
+
+    #[test]
+    fn subject_object_bound_scan() {
+        let (store, g) = store_and_graph();
+        let pub1 = g.entity("pub1URI").unwrap();
+        let re1 = g.entity("re1URI").unwrap();
+        let rows = store.scan(
+            TriplePattern::any().with_subject(pub1).with_object(re1),
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(g.edge_label_name(rows[0].predicate), "author");
+    }
+
+    #[test]
+    fn fully_bound_scan_behaves_like_contains() {
+        let (store, g) = store_and_graph();
+        let pub1 = g.entity("pub1URI").unwrap();
+        let re1 = g.entity("re1URI").unwrap();
+        let author = g
+            .edge_label_id(&EdgeLabel::Relation(g.symbol("author").unwrap()))
+            .unwrap();
+        let hit = store.scan(TriplePattern {
+            subject: Some(pub1),
+            predicate: Some(author),
+            object: Some(re1),
+        });
+        assert_eq!(hit.len(), 1);
+        let miss = store.scan(TriplePattern {
+            subject: Some(re1),
+            predicate: Some(author),
+            object: Some(pub1),
+        });
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn predicate_object_bound_scan() {
+        let (store, g) = store_and_graph();
+        let type_label = g.edge_label_id(&EdgeLabel::Type).unwrap();
+        let publication = g.class("Publication").unwrap();
+        let rows = store.scan(
+            TriplePattern::any()
+                .with_predicate(type_label)
+                .with_object(publication),
+        );
+        assert_eq!(rows.len(), 2, "pub1 and pub2 are Publications");
+    }
+
+    #[test]
+    fn counts_are_consistent_with_scans() {
+        let (store, g) = store_and_graph();
+        for v in g.vertices() {
+            let p = TriplePattern::any().with_subject(v);
+            assert_eq!(store.count(p), store.scan(p).len());
+        }
+    }
+
+    #[test]
+    fn empty_graph_store() {
+        let g = DataGraph::new();
+        let store = TripleStore::build(&g);
+        assert!(store.is_empty());
+        assert!(store.scan(TriplePattern::any()).is_empty());
+    }
+}

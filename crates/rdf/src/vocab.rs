@@ -1,0 +1,45 @@
+//! Predefined vocabulary.
+//!
+//! The data graph of Definition 1 reserves two edge labels — `type` and
+//! `subclass` — and the summary graph introduces the artificial class
+//! `Thing` that aggregates all entities without an explicit type.
+
+/// Predicate connecting an entity (E-vertex) to its class (C-vertex).
+pub const TYPE: &str = "type";
+
+/// Predicate connecting a class to its super-class.
+pub const SUBCLASS: &str = "subclass";
+
+/// Artificial top class that aggregates untyped entities in the summary
+/// graph (`[[Thing]] = {v | no type(v, c) edge exists}`).
+pub const THING: &str = "Thing";
+
+/// Artificial value vertex label used when an A-edge itself (rather than a
+/// concrete value) matches a keyword (Definition 5).
+pub const VALUE: &str = "value";
+
+/// Returns `true` if `predicate` is one of the reserved edge labels.
+pub fn is_reserved_predicate(predicate: &str) -> bool {
+    predicate == TYPE || predicate == SUBCLASS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_predicates_are_recognised() {
+        assert!(is_reserved_predicate(TYPE));
+        assert!(is_reserved_predicate(SUBCLASS));
+        assert!(!is_reserved_predicate("author"));
+        assert!(!is_reserved_predicate("Type"));
+    }
+
+    #[test]
+    fn constants_have_expected_spelling() {
+        assert_eq!(TYPE, "type");
+        assert_eq!(SUBCLASS, "subclass");
+        assert_eq!(THING, "Thing");
+        assert_eq!(VALUE, "value");
+    }
+}

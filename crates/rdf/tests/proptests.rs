@@ -1,0 +1,143 @@
+//! Property-based tests of the RDF substrate: serialisation round-trips,
+//! graph-construction invariants and triple-store consistency.
+
+use proptest::prelude::*;
+
+use kwsearch_rdf::{ntriples, DataGraph, GraphStats, Triple, TriplePattern, TripleStore};
+
+/// A label that is safe for entity IRIs and class names.
+fn iri_label() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,8}"
+}
+
+/// A literal value, including characters that need escaping.
+fn literal_value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,12}").expect("valid regex")
+}
+
+/// A random well-formed triple.
+fn triple() -> impl Strategy<Value = Triple> {
+    prop_oneof![
+        (iri_label(), iri_label(), iri_label())
+            .prop_map(|(s, p, o)| Triple::relation(s, format!("rel_{p}"), o)),
+        (iri_label(), iri_label(), literal_value())
+            .prop_map(|(s, p, v)| Triple::attribute(s, format!("attr_{p}"), v)),
+        (iri_label(), iri_label()).prop_map(|(s, c)| Triple::typed(s, format!("C{c}"))),
+        (iri_label(), iri_label())
+            .prop_map(|(c, d)| Triple::subclass(format!("C{c}"), format!("D{d}"))),
+    ]
+}
+
+fn triples(max: usize) -> impl Strategy<Value = Vec<Triple>> {
+    proptest::collection::vec(triple(), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Writing a graph to the N-Triples-like syntax and parsing it back
+    /// yields the same set of triples.
+    #[test]
+    fn ntriples_round_trip(ts in triples(40)) {
+        let mut graph = DataGraph::new();
+        for t in &ts {
+            graph.insert_triple(t).expect("generated triples are well-formed");
+        }
+        let document = ntriples::write_graph(&graph);
+        let reparsed = ntriples::parse_graph(&document).expect("round-trip parses");
+        let mut original: Vec<String> = graph.triples().iter().map(|t| t.to_string()).collect();
+        let mut round_tripped: Vec<String> =
+            reparsed.triples().iter().map(|t| t.to_string()).collect();
+        original.sort();
+        round_tripped.sort();
+        prop_assert_eq!(original, round_tripped);
+    }
+
+    /// Inserting the same triples twice never creates additional vertices or
+    /// edges (idempotence of graph construction).
+    #[test]
+    fn insertion_is_idempotent(ts in triples(30)) {
+        let mut once = DataGraph::new();
+        for t in &ts {
+            once.insert_triple(t).unwrap();
+        }
+        let mut twice = DataGraph::new();
+        for t in ts.iter().chain(ts.iter()) {
+            twice.insert_triple(t).unwrap();
+        }
+        prop_assert_eq!(once.vertex_count(), twice.vertex_count());
+        prop_assert_eq!(once.edge_count(), twice.edge_count());
+    }
+
+    /// The statistics invariants hold for arbitrary graphs: totals add up
+    /// and the edge partition covers every edge exactly once.
+    #[test]
+    fn stats_partition_vertices_and_edges(ts in triples(40)) {
+        let mut graph = DataGraph::new();
+        for t in &ts {
+            graph.insert_triple(t).unwrap();
+        }
+        let stats = GraphStats::compute(&graph);
+        prop_assert_eq!(stats.total_vertices(), graph.vertex_count());
+        prop_assert_eq!(stats.total_edges(), graph.edge_count());
+        prop_assert!(stats.untyped_entities <= stats.entities);
+    }
+
+    /// Triple-store scans agree with a naive filter over all edges, for
+    /// every combination of bound positions.
+    #[test]
+    fn store_scans_match_naive_filtering(ts in triples(30)) {
+        let mut graph = DataGraph::new();
+        for t in &ts {
+            graph.insert_triple(t).unwrap();
+        }
+        let store = TripleStore::build(&graph);
+        prop_assert_eq!(store.len(), graph.edge_count());
+
+        // Probe with every edge of the graph as a pattern source.
+        for e in graph.edges().take(10) {
+            let edge = graph.edge(e);
+            let patterns = [
+                TriplePattern::any().with_subject(edge.from),
+                TriplePattern::any().with_predicate(edge.label),
+                TriplePattern::any().with_object(edge.to),
+                TriplePattern::any().with_subject(edge.from).with_object(edge.to),
+                TriplePattern::any()
+                    .with_subject(edge.from)
+                    .with_predicate(edge.label)
+                    .with_object(edge.to),
+            ];
+            for pattern in patterns {
+                let scanned = store.scan(pattern);
+                let expected = graph
+                    .edges()
+                    .filter(|&other| {
+                        let o = graph.edge(other);
+                        pattern.subject.map_or(true, |s| s == o.from)
+                            && pattern.predicate.map_or(true, |p| p == o.label)
+                            && pattern.object.map_or(true, |obj| obj == o.to)
+                    })
+                    .count();
+                prop_assert_eq!(scanned.len(), expected);
+            }
+        }
+    }
+
+    /// Adjacency lists and the undirected neighbour view are consistent.
+    #[test]
+    fn adjacency_is_consistent_with_edges(ts in triples(30)) {
+        let mut graph = DataGraph::new();
+        for t in &ts {
+            graph.insert_triple(t).unwrap();
+        }
+        let mut out_total = 0usize;
+        let mut in_total = 0usize;
+        for v in graph.vertices() {
+            out_total += graph.out_edges(v).len();
+            in_total += graph.in_edges(v).len();
+            prop_assert_eq!(graph.neighbors(v).len(), graph.degree(v));
+        }
+        prop_assert_eq!(out_total, graph.edge_count());
+        prop_assert_eq!(in_total, graph.edge_count());
+    }
+}

@@ -1,0 +1,534 @@
+//! The augmented summary graph (Definition 5).
+//!
+//! "In order to keep the search space minimal, the summary graph is
+//! augmented only with the A-edges and V-vertices that are obtained from the
+//! keyword-to-element mapping":
+//!
+//! * for a keyword-matching **V-vertex** `vk`, an edge `e(v', vk)` is added
+//!   for every class `v'` of an entity carrying that value,
+//! * for a keyword-matching **A-edge** `ek`, an edge `ek(v', value)` to a new
+//!   artificial `value` node is added for every class `v'` of an entity
+//!   using that attribute,
+//! * keyword-matching **classes** and **relations** are already part of the
+//!   summary graph and are only marked as keyword elements.
+//!
+//! The augmented graph is query-specific and also carries the matching
+//! scores `s_m` of the keyword elements, which the C3 cost function uses.
+
+use std::collections::HashMap;
+
+use kwsearch_keyword_index::{KeywordMatch, MatchedElement};
+use kwsearch_rdf::{DataGraph, EdgeLabelId, VertexId};
+
+use crate::element::{
+    SummaryEdge, SummaryEdgeId, SummaryEdgeKind, SummaryElement, SummaryNode, SummaryNodeId,
+    SummaryNodeKind,
+};
+use crate::summary::SummaryGraph;
+
+/// A keyword element: a summary-graph element that represents one of the
+/// query keywords, together with its matching score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeywordElement {
+    /// The element representing the keyword.
+    pub element: SummaryElement,
+    /// The matching score `s_m ∈ (0, 1]`.
+    pub score: f64,
+}
+
+/// The per-query augmented summary graph on which exploration runs.
+#[derive(Debug, Clone)]
+pub struct AugmentedSummaryGraph<'g> {
+    graph: &'g DataGraph,
+    nodes: Vec<SummaryNode>,
+    edges: Vec<SummaryEdge>,
+    out_adj: Vec<Vec<SummaryEdgeId>>,
+    in_adj: Vec<Vec<SummaryEdgeId>>,
+    class_nodes: HashMap<VertexId, SummaryNodeId>,
+    thing_node: SummaryNodeId,
+    value_nodes: HashMap<VertexId, SummaryNodeId>,
+    artificial_value_nodes: HashMap<EdgeLabelId, SummaryNodeId>,
+    keyword_elements: Vec<Vec<KeywordElement>>,
+    match_scores: HashMap<SummaryElement, f64>,
+    total_entities: usize,
+    total_relation_edges: usize,
+}
+
+impl<'g> AugmentedSummaryGraph<'g> {
+    /// Augments `base` with the keyword matches of one query.
+    ///
+    /// `matches_per_keyword` holds, for every keyword of the query, the
+    /// matches returned by the keyword index. Keywords with no matches
+    /// contribute an empty keyword-element list (the exploration will then
+    /// report that no connecting subgraph exists).
+    pub fn build(
+        graph: &'g DataGraph,
+        base: &SummaryGraph,
+        matches_per_keyword: &[Vec<KeywordMatch>],
+    ) -> Self {
+        let (nodes, edges, out_adj, in_adj) = base.clone_storage();
+        let mut class_nodes = HashMap::new();
+        for (idx, node) in nodes.iter().enumerate() {
+            if let SummaryNodeKind::Class { class } = node.kind {
+                class_nodes.insert(class, SummaryNodeId(idx as u32));
+            }
+        }
+        let mut augmented = Self {
+            graph,
+            nodes,
+            edges,
+            out_adj,
+            in_adj,
+            class_nodes,
+            thing_node: base.thing_node(),
+            value_nodes: HashMap::new(),
+            artificial_value_nodes: HashMap::new(),
+            keyword_elements: Vec::with_capacity(matches_per_keyword.len()),
+            match_scores: HashMap::new(),
+            total_entities: base.total_entities(),
+            total_relation_edges: base.total_relation_edges(),
+        };
+
+        for keyword_matches in matches_per_keyword {
+            let mut elements: Vec<KeywordElement> = Vec::new();
+            for m in keyword_matches {
+                for element in augmented.attach_match(base, m) {
+                    augmented.record_keyword_element(&mut elements, element, m.score);
+                }
+            }
+            augmented.keyword_elements.push(elements);
+        }
+        augmented
+    }
+
+    /// Attaches a single keyword match to the graph and returns the summary
+    /// elements that represent it.
+    fn attach_match(&mut self, base: &SummaryGraph, m: &KeywordMatch) -> Vec<SummaryElement> {
+        match &m.element {
+            MatchedElement::Class { class } => self
+                .class_nodes
+                .get(class)
+                .map(|&n| SummaryElement::Node(n))
+                .into_iter()
+                .collect(),
+            MatchedElement::Relation { label } => base
+                .edges_with_relation(*label)
+                .into_iter()
+                .map(SummaryElement::Edge)
+                .collect(),
+            MatchedElement::Value { value, connections } => {
+                let value_node = self.value_node(*value);
+                for conn in connections {
+                    let mut sources: Vec<SummaryNodeId> = conn
+                        .classes
+                        .iter()
+                        .filter_map(|c| self.class_nodes.get(c).copied())
+                        .collect();
+                    if conn.has_untyped_source {
+                        sources.push(self.thing_node);
+                    }
+                    for source in sources {
+                        self.add_attribute_edge(source, conn.attribute, value_node);
+                    }
+                }
+                vec![SummaryElement::Node(value_node)]
+            }
+            MatchedElement::Attribute {
+                label,
+                classes,
+                has_untyped_source,
+            } => {
+                let value_node = self.artificial_value_node(*label);
+                let mut sources: Vec<SummaryNodeId> = classes
+                    .iter()
+                    .filter_map(|c| self.class_nodes.get(c).copied())
+                    .collect();
+                if *has_untyped_source {
+                    sources.push(self.thing_node);
+                }
+                sources
+                    .into_iter()
+                    .map(|source| {
+                        SummaryElement::Edge(self.add_attribute_edge(source, *label, value_node))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn record_keyword_element(
+        &mut self,
+        elements: &mut Vec<KeywordElement>,
+        element: SummaryElement,
+        score: f64,
+    ) {
+        let best = self.match_scores.entry(element).or_insert(0.0);
+        if score > *best {
+            *best = score;
+        }
+        if let Some(existing) = elements.iter_mut().find(|e| e.element == element) {
+            if score > existing.score {
+                existing.score = score;
+            }
+        } else {
+            elements.push(KeywordElement { element, score });
+        }
+    }
+
+    fn push_node(&mut self, kind: SummaryNodeKind) -> SummaryNodeId {
+        let id = SummaryNodeId(self.nodes.len() as u32);
+        self.nodes.push(SummaryNode {
+            kind,
+            aggregated: 1,
+        });
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    fn value_node(&mut self, value: VertexId) -> SummaryNodeId {
+        if let Some(&n) = self.value_nodes.get(&value) {
+            return n;
+        }
+        let id = self.push_node(SummaryNodeKind::Value { value });
+        self.value_nodes.insert(value, id);
+        id
+    }
+
+    fn artificial_value_node(&mut self, label: EdgeLabelId) -> SummaryNodeId {
+        if let Some(&n) = self.artificial_value_nodes.get(&label) {
+            return n;
+        }
+        let id = self.push_node(SummaryNodeKind::ArtificialValue);
+        self.artificial_value_nodes.insert(label, id);
+        id
+    }
+
+    fn add_attribute_edge(
+        &mut self,
+        from: SummaryNodeId,
+        label: EdgeLabelId,
+        to: SummaryNodeId,
+    ) -> SummaryEdgeId {
+        // Deduplicate: the same (class, attribute, value) edge may arise from
+        // several keyword matches.
+        for &e in &self.out_adj[from.index()] {
+            let edge = self.edges[e.index()];
+            if edge.to == to && edge.kind == (SummaryEdgeKind::Attribute { label }) {
+                return e;
+            }
+        }
+        let id = SummaryEdgeId(self.edges.len() as u32);
+        self.edges.push(SummaryEdge {
+            kind: SummaryEdgeKind::Attribute { label },
+            from,
+            to,
+            aggregated: 1,
+        });
+        self.out_adj[from.index()].push(id);
+        self.in_adj[to.index()].push(id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors used by the exploration and the query mapping
+    // ------------------------------------------------------------------
+
+    /// The underlying data graph.
+    pub fn data_graph(&self) -> &'g DataGraph {
+        self.graph
+    }
+
+    /// Number of nodes (base + augmented).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (base + augmented).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total number of elements (nodes + edges).
+    pub fn element_count(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// The node record.
+    pub fn node(&self, id: SummaryNodeId) -> SummaryNode {
+        self.nodes[id.index()]
+    }
+
+    /// The edge record.
+    pub fn edge(&self, id: SummaryEdgeId) -> SummaryEdge {
+        self.edges[id.index()]
+    }
+
+    /// All elements (nodes then edges).
+    pub fn elements(&self) -> impl Iterator<Item = SummaryElement> + '_ {
+        let nodes = (0..self.nodes.len() as u32).map(|i| SummaryElement::Node(SummaryNodeId(i)));
+        let edges = (0..self.edges.len() as u32).map(|i| SummaryElement::Edge(SummaryEdgeId(i)));
+        nodes.chain(edges)
+    }
+
+    /// The neighbours of an element: for a node its incident edges, for an
+    /// edge its two endpoints. Exploration traverses incoming and outgoing
+    /// edges alike ("forward search is equally important as backward
+    /// search").
+    pub fn neighbors(&self, element: SummaryElement) -> Vec<SummaryElement> {
+        match element {
+            SummaryElement::Node(n) => {
+                let mut out: Vec<SummaryElement> = Vec::with_capacity(
+                    self.out_adj[n.index()].len() + self.in_adj[n.index()].len(),
+                );
+                out.extend(self.out_adj[n.index()].iter().map(|&e| SummaryElement::Edge(e)));
+                out.extend(self.in_adj[n.index()].iter().map(|&e| SummaryElement::Edge(e)));
+                out
+            }
+            SummaryElement::Edge(e) => {
+                let edge = self.edges[e.index()];
+                if edge.from == edge.to {
+                    vec![SummaryElement::Node(edge.from)]
+                } else {
+                    vec![SummaryElement::Node(edge.from), SummaryElement::Node(edge.to)]
+                }
+            }
+        }
+    }
+
+    /// The keyword elements of every keyword (aligned with the keyword order
+    /// used at construction time).
+    pub fn keyword_elements(&self) -> &[Vec<KeywordElement>] {
+        &self.keyword_elements
+    }
+
+    /// The matching score of an element: `s_m` for keyword elements, 1.0 for
+    /// all others (Section V, C3).
+    pub fn match_score(&self, element: SummaryElement) -> f64 {
+        self.match_scores.get(&element).copied().unwrap_or(1.0)
+    }
+
+    /// Number of data-graph elements aggregated by `element`.
+    pub fn aggregated(&self, element: SummaryElement) -> usize {
+        match element {
+            SummaryElement::Node(n) => self.nodes[n.index()].aggregated,
+            SummaryElement::Edge(e) => self.edges[e.index()].aggregated,
+        }
+    }
+
+    /// Denominator of the node popularity cost.
+    pub fn total_entities(&self) -> usize {
+        self.total_entities
+    }
+
+    /// Denominator of the edge popularity cost.
+    pub fn total_relation_edges(&self) -> usize {
+        self.total_relation_edges
+    }
+
+    /// A human-readable label for any element (class name, value text,
+    /// relation name, …).
+    pub fn element_label(&self, element: SummaryElement) -> &str {
+        match element {
+            SummaryElement::Node(n) => match self.nodes[n.index()].kind {
+                SummaryNodeKind::Class { class } => self.graph.vertex_label(class),
+                SummaryNodeKind::Thing => kwsearch_rdf::vocab::THING,
+                SummaryNodeKind::Value { value } => self.graph.vertex_label(value),
+                SummaryNodeKind::ArtificialValue => kwsearch_rdf::vocab::VALUE,
+            },
+            SummaryElement::Edge(e) => match self.edges[e.index()].kind {
+                SummaryEdgeKind::Relation { label } | SummaryEdgeKind::Attribute { label } => {
+                    self.graph.edge_label_name(label)
+                }
+                SummaryEdgeKind::SubClass => kwsearch_rdf::vocab::SUBCLASS,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwsearch_keyword_index::KeywordIndex;
+    use kwsearch_rdf::fixtures::figure1_graph;
+
+    fn augmented_for<'g>(
+        graph: &'g DataGraph,
+        base: &SummaryGraph,
+        keywords: &[&str],
+    ) -> AugmentedSummaryGraph<'g> {
+        let index = KeywordIndex::build(graph);
+        let matches = index.lookup_all(keywords);
+        AugmentedSummaryGraph::build(graph, base, &matches)
+    }
+
+    #[test]
+    fn the_running_example_keywords_produce_three_keyword_element_sets() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let aug = augmented_for(&g, &base, &["2006", "cimiano", "aifb"]);
+        assert_eq!(aug.keyword_elements().len(), 3);
+        for (i, elements) in aug.keyword_elements().iter().enumerate() {
+            assert!(!elements.is_empty(), "keyword {i} must have elements");
+        }
+    }
+
+    #[test]
+    fn value_matches_add_value_nodes_and_attribute_edges() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let aug = augmented_for(&g, &base, &["aifb"]);
+        assert_eq!(aug.node_count(), base.node_count() + 1);
+        assert!(aug.edge_count() > base.edge_count());
+        // The new value node is connected to the Institute class node through
+        // a `name` attribute edge.
+        let value_node = aug
+            .keyword_elements()[0]
+            .iter()
+            .find_map(|ke| ke.element.as_node())
+            .expect("aifb matches a value node");
+        let neighbors = aug.neighbors(SummaryElement::Node(value_node));
+        assert_eq!(neighbors.len(), 1);
+        let edge = neighbors[0].as_edge().unwrap();
+        assert_eq!(aug.element_label(SummaryElement::Edge(edge)), "name");
+        let from = aug.edge(edge).from;
+        assert_eq!(aug.element_label(SummaryElement::Node(from)), "Institute");
+    }
+
+    #[test]
+    fn class_matches_reuse_base_nodes() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let aug = augmented_for(&g, &base, &["publications"]);
+        // Exact class match: no new nodes needed for the class itself.
+        let elements = &aug.keyword_elements()[0];
+        let has_class_node = elements.iter().any(|ke| {
+            ke.element
+                .as_node()
+                .map(|n| aug.element_label(SummaryElement::Node(n)) == "Publication")
+                .unwrap_or(false)
+        });
+        assert!(has_class_node);
+    }
+
+    #[test]
+    fn relation_matches_mark_summary_edges() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let aug = augmented_for(&g, &base, &["author"]);
+        let elements = &aug.keyword_elements()[0];
+        let has_relation_edge = elements.iter().any(|ke| {
+            ke.element
+                .as_edge()
+                .map(|e| aug.element_label(SummaryElement::Edge(e)) == "author")
+                .unwrap_or(false)
+        });
+        assert!(has_relation_edge);
+    }
+
+    #[test]
+    fn attribute_matches_add_artificial_value_nodes() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let aug = augmented_for(&g, &base, &["year"]);
+        // A new artificial `value` node must exist…
+        let artificial: Vec<_> = (0..aug.node_count() as u32)
+            .map(SummaryNodeId)
+            .filter(|&n| aug.node(n).kind == SummaryNodeKind::ArtificialValue)
+            .collect();
+        assert_eq!(artificial.len(), 1);
+        // …and the keyword element is the A-edge pointing at it from the
+        // Publication class.
+        let elements = &aug.keyword_elements()[0];
+        let edge = elements
+            .iter()
+            .find_map(|ke| ke.element.as_edge())
+            .expect("year must match an attribute edge");
+        assert_eq!(aug.element_label(SummaryElement::Edge(edge)), "year");
+        assert_eq!(
+            aug.element_label(SummaryElement::Node(aug.edge(edge).from)),
+            "Publication"
+        );
+        assert_eq!(aug.edge(edge).to, artificial[0]);
+    }
+
+    #[test]
+    fn match_scores_default_to_one_for_structure_elements() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let aug = augmented_for(&g, &base, &["cimiano"]);
+        // A keyword element has its matching score…
+        let ke = aug.keyword_elements()[0][0];
+        assert!(aug.match_score(ke.element) > 0.0);
+        assert!(aug.match_score(ke.element) <= 1.0);
+        // …while an arbitrary schema node scores 1.0.
+        let publication = SummaryElement::Node(
+            base.node_of_class(g.class("Publication").unwrap()).unwrap(),
+        );
+        assert_eq!(aug.match_score(publication), 1.0);
+    }
+
+    #[test]
+    fn neighbors_alternate_between_nodes_and_edges() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let aug = augmented_for(&g, &base, &["aifb"]);
+        for element in aug.elements() {
+            for n in aug.neighbors(element) {
+                match element {
+                    SummaryElement::Node(_) => assert!(n.as_edge().is_some()),
+                    SummaryElement::Edge(_) => assert!(n.as_node().is_some()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let aug = augmented_for(&g, &base, &["2006", "cimiano", "aifb"]);
+        for element in aug.elements() {
+            for n in aug.neighbors(element) {
+                assert!(
+                    aug.neighbors(n).contains(&element),
+                    "neighbor relation must be symmetric: {element:?} / {n:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keywords_without_matches_yield_empty_element_lists() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let aug = augmented_for(&g, &base, &["quetzalcoatl"]);
+        assert_eq!(aug.keyword_elements().len(), 1);
+        assert!(aug.keyword_elements()[0].is_empty());
+    }
+
+    #[test]
+    fn duplicate_matches_do_not_duplicate_augmented_structure() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        // "aifb aifb" as two keywords: the value node must be shared.
+        let aug = augmented_for(&g, &base, &["aifb", "aifb"]);
+        assert_eq!(aug.node_count(), base.node_count() + 1);
+        assert_eq!(aug.keyword_elements()[0], aug.keyword_elements()[1]);
+    }
+
+    #[test]
+    fn element_count_and_aggregation_accessors() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let aug = augmented_for(&g, &base, &["2006"]);
+        assert_eq!(aug.element_count(), aug.node_count() + aug.edge_count());
+        assert_eq!(aug.total_entities(), 8);
+        assert_eq!(aug.total_relation_edges(), 6);
+        // The Publication node aggregates two entities.
+        let publication = SummaryElement::Node(
+            base.node_of_class(g.class("Publication").unwrap()).unwrap(),
+        );
+        assert_eq!(aug.aggregated(publication), 2);
+    }
+}

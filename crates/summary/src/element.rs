@@ -1,0 +1,156 @@
+//! Identifiers and records for summary-graph elements.
+//!
+//! Exploration treats vertices *and* edges uniformly as "graph elements"
+//! (a keyword may map to an edge), so this module defines a common
+//! [`SummaryElement`] handle over both.
+
+use kwsearch_rdf::{EdgeLabelId, VertexId};
+
+/// Index of a node in a summary graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SummaryNodeId(pub(crate) u32);
+
+impl SummaryNodeId {
+    /// Dense index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of an edge in a summary graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SummaryEdgeId(pub(crate) u32);
+
+impl SummaryEdgeId {
+    /// Dense index of the edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node or an edge of the (augmented) summary graph — the unit of
+/// exploration and of cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SummaryElement {
+    /// A summary-graph node.
+    Node(SummaryNodeId),
+    /// A summary-graph edge.
+    Edge(SummaryEdgeId),
+}
+
+impl SummaryElement {
+    /// The node id, if this element is a node.
+    pub fn as_node(self) -> Option<SummaryNodeId> {
+        match self {
+            SummaryElement::Node(n) => Some(n),
+            SummaryElement::Edge(_) => None,
+        }
+    }
+
+    /// The edge id, if this element is an edge.
+    pub fn as_edge(self) -> Option<SummaryEdgeId> {
+        match self {
+            SummaryElement::Edge(e) => Some(e),
+            SummaryElement::Node(_) => None,
+        }
+    }
+}
+
+/// What a summary node stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SummaryNodeKind {
+    /// A class of the data graph; aggregates all its instances.
+    Class {
+        /// The C-vertex in the data graph.
+        class: VertexId,
+    },
+    /// The artificial top class aggregating all untyped entities.
+    Thing,
+    /// A V-vertex added during augmentation (the keyword matched a value).
+    Value {
+        /// The V-vertex in the data graph.
+        value: VertexId,
+    },
+    /// The artificial `value` node added during augmentation when the
+    /// keyword matched an A-edge label (Definition 5).
+    ArtificialValue,
+}
+
+/// A summary-graph node together with its aggregation count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaryNode {
+    /// What the node represents.
+    pub kind: SummaryNodeKind,
+    /// Number of data-graph vertices aggregated into this node
+    /// (`|[[v']]|` in Definition 4); 1 for augmented nodes.
+    pub aggregated: usize,
+}
+
+/// What a summary edge stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SummaryEdgeKind {
+    /// A relation (R-edge) label holding between instances of the two
+    /// endpoint classes.
+    Relation {
+        /// The relation label.
+        label: EdgeLabelId,
+    },
+    /// A `subclass` edge between two class nodes.
+    SubClass,
+    /// An attribute (A-edge) label added during augmentation.
+    Attribute {
+        /// The attribute label.
+        label: EdgeLabelId,
+    },
+}
+
+/// A summary-graph edge together with its aggregation count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaryEdge {
+    /// What the edge represents.
+    pub kind: SummaryEdgeKind,
+    /// Source node.
+    pub from: SummaryNodeId,
+    /// Target node.
+    pub to: SummaryNodeId,
+    /// Number of data-graph edges aggregated into this edge (`|e_agg|`);
+    /// 1 for augmented and `subclass` edges.
+    pub aggregated: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_accessors() {
+        let node = SummaryElement::Node(SummaryNodeId(3));
+        let edge = SummaryElement::Edge(SummaryEdgeId(5));
+        assert_eq!(node.as_node(), Some(SummaryNodeId(3)));
+        assert_eq!(node.as_edge(), None);
+        assert_eq!(edge.as_edge(), Some(SummaryEdgeId(5)));
+        assert_eq!(edge.as_node(), None);
+        assert_eq!(SummaryNodeId(3).index(), 3);
+        assert_eq!(SummaryEdgeId(5).index(), 5);
+    }
+
+    #[test]
+    fn elements_are_ordered_nodes_before_edges() {
+        let mut v = vec![
+            SummaryElement::Edge(SummaryEdgeId(0)),
+            SummaryElement::Node(SummaryNodeId(1)),
+            SummaryElement::Node(SummaryNodeId(0)),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                SummaryElement::Node(SummaryNodeId(0)),
+                SummaryElement::Node(SummaryNodeId(1)),
+                SummaryElement::Edge(SummaryEdgeId(0)),
+            ]
+        );
+    }
+}

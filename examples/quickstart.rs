@@ -1,0 +1,56 @@
+//! Quickstart: keyword search over the paper's running example.
+//!
+//! Builds the RDF graph of Fig. 1a, indexes it, runs the keyword query
+//! `2006 cimiano aifb` from the paper, prints the top-k conjunctive queries
+//! (as SPARQL and as a natural-language-like description) and evaluates the
+//! best one.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use searchwebdb::prelude::*;
+
+fn main() {
+    // 1. The data graph of Fig. 1a (publications, researchers, institutes).
+    let graph = searchwebdb::rdf::fixtures::figure1_graph();
+    println!("data graph: {}", searchwebdb::rdf::GraphStats::compute(&graph));
+
+    // 2. Off-line preprocessing: keyword index + summary graph + triple store.
+    let engine = KeywordSearchEngine::new(graph);
+    println!(
+        "\nsummary graph: {} nodes, {} edges (built in {:?})",
+        engine.summary().node_count(),
+        engine.summary().edge_count(),
+        engine.index_build_time()
+    );
+
+    // 3. The keyword query of the running example.
+    let keywords = ["2006", "cimiano", "aifb"];
+    println!("\nkeyword query: {:?}\n", keywords);
+    let outcome = engine.search(&keywords);
+
+    println!(
+        "computed {} queries in {:?} (exploration expanded {} cursors on {} summary elements)\n",
+        outcome.queries.len(),
+        outcome.computation_time(),
+        outcome.exploration.cursors_expanded,
+        outcome.augmented_elements
+    );
+
+    for ranked in &outcome.queries {
+        println!("--- rank {} (cost {:.3}) ---", ranked.rank, ranked.cost);
+        println!("{}", ranked.description());
+        println!("{}\n", ranked.sparql());
+    }
+
+    // 4. Let the "user" pick the best query and evaluate it.
+    let best = outcome.best().expect("the running example produces queries");
+    let answers = engine.answers(&best.query, None).expect("query evaluates");
+    println!("answers of the top-ranked query:");
+    for row in answers.labelled_rows(engine.graph()) {
+        let rendered: Vec<String> = row
+            .iter()
+            .map(|(var, label)| format!("?{var} = {label}"))
+            .collect();
+        println!("  {}", rendered.join(", "));
+    }
+}

@@ -1,0 +1,57 @@
+//! SearchWebDB — top-k exploration of query candidates for keyword search on
+//! graph-shaped (RDF) data.
+//!
+//! This crate is the facade of the workspace reproducing Tran, Wang, Rudolph
+//! and Cimiano's ICDE 2009 paper. It re-exports the public API of every
+//! sub-crate so that applications only need a single dependency:
+//!
+//! ```
+//! use searchwebdb::prelude::*;
+//!
+//! // 1. Build (or load) an RDF data graph.
+//! let graph = searchwebdb::rdf::fixtures::figure1_graph();
+//!
+//! // 2. Index it: keyword index, summary graph, triple store.
+//! let engine = KeywordSearchEngine::new(graph);
+//!
+//! // 3. Translate keywords into the top-k conjunctive queries.
+//! let outcome = engine.search(&["2006", "cimiano", "aifb"]);
+//! let best = outcome.best().expect("the running example has a match");
+//! println!("{}", best.sparql());
+//!
+//! // 4. Process the chosen query with the underlying query engine.
+//! let answers = engine.answers(&best.query, None).unwrap();
+//! assert!(!answers.is_empty());
+//! ```
+//!
+//! The sub-crates can also be used individually:
+//!
+//! * [`rdf`] — the typed RDF data graph, triple store and N-Triples I/O,
+//! * [`query`] — conjunctive queries, SPARQL/SQL rendering and evaluation,
+//! * [`keyword_index`] — the IR-style keyword-to-element index,
+//! * [`summary`] — the summary graph (graph index) and its augmentation,
+//! * [`core`] — the top-k exploration algorithms and the search engine,
+//! * [`baselines`] — BANKS/BLINKS-style baselines on the full data graph,
+//! * [`datagen`] — DBLP/LUBM/TAP-like dataset generators and workloads.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use kwsearch_baselines as baselines;
+pub use kwsearch_core as core;
+pub use kwsearch_datagen as datagen;
+pub use kwsearch_keyword_index as keyword_index;
+pub use kwsearch_query as query;
+pub use kwsearch_rdf as rdf;
+pub use kwsearch_summary as summary;
+
+/// The most commonly used types, re-exported for glob import.
+pub mod prelude {
+    pub use kwsearch_core::{
+        KeywordSearchEngine, RankedQuery, ScoringFunction, SearchConfig, SearchOutcome,
+    };
+    pub use kwsearch_keyword_index::KeywordIndex;
+    pub use kwsearch_query::{AnswerSet, ConjunctiveQuery, QueryBuilder};
+    pub use kwsearch_rdf::{DataGraph, GraphBuilder, Triple};
+    pub use kwsearch_summary::SummaryGraph;
+}
