@@ -110,7 +110,7 @@ fn measure(
     for query in effectiveness {
         let outcome = engine.search(&query.keywords);
         let ranked: Vec<_> = outcome.queries.iter().map(|r| &r.query).collect();
-        mrr += query.reciprocal_rank(ranked.into_iter());
+        mrr += query.reciprocal_rank(ranked);
         if let Some(best) = outcome.best() {
             if let Ok(answers) = engine.answers(&best.query, Some(1)) {
                 if !answers.is_empty() {

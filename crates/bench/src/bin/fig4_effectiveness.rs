@@ -32,7 +32,7 @@ fn evaluate_workload(
             let config = SearchConfig::with_k(k).scoring(scoring);
             let outcome = engine.search_with(&query.keywords, &config);
             let ranked: Vec<_> = outcome.queries.iter().map(|r| &r.query).collect();
-            rrs[i] = query.reciprocal_rank(ranked.into_iter());
+            rrs[i] = query.reciprocal_rank(ranked);
             totals[i] += rrs[i];
         }
         table.row([

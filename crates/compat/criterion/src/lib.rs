@@ -1,0 +1,190 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace vendors a minimal, API-compatible subset of criterion as a path
+//! dependency. It implements the surface the `crates/bench` harnesses use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! with a simple wall-clock measurement loop instead of criterion's
+//! statistical machinery.
+//!
+//! Each benchmark is warmed up briefly, then timed over enough iterations to
+//! fill a small measurement window; the mean per-iteration time is printed in
+//! a `name ... time` line. Passing `--bench` (as the cargo bench harness
+//! does) is accepted and ignored; the binary exits successfully so
+//! `cargo bench` works end to end.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f` by running it repeatedly and recording the mean time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed run, also used to size the measurement loop.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~200ms of measurement, capped to keep huge cases bearable.
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last_mean = Some(start.elapsed() / iters as u32);
+    }
+}
+
+/// Identifier combining a function name and a parameter, e.g. `keywords/3`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Create an id for `function_name` parameterised by `parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Create an id from a parameter only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted where a benchmark id is expected (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Render the id as the string criterion would display.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher { last_mean: None };
+        f(&mut bencher);
+        match bencher.last_mean {
+            Some(mean) => println!("{}/{:<40} time: [{:?}]", self.name, id, mean),
+            None => println!("{}/{:<40} (no measurement)", self.name, id),
+        }
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_id(), f);
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, Inp, F>(&mut self, id: I, input: &Inp, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        Inp: ?Sized,
+        F: FnMut(&mut Bencher, &Inp),
+    {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (upstream consumes the group to emit summaries).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accept (and ignore) command-line configuration, for API parity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark `f` under `id` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+
+    /// Print the trailing summary (a no-op in this stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Collect benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generate a `main` that runs each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,277 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace vendors a minimal, API-compatible subset of proptest as a path
+//! dependency. It covers exactly the surface the workspace's property tests
+//! use:
+//!
+//! * the [`Strategy`] trait with `prop_map` and `boxed`,
+//! * strategies for integer ranges, tuples, `&str` regex patterns
+//!   ([`string::string_regex`]), [`collection::vec`] and
+//!   [`collection::btree_set`],
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`] macros,
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Semantics: each test body runs for `cases` deterministically seeded
+//! random inputs (the seed mixes the test's module path and name, so every
+//! test sees a distinct but reproducible stream). Failures panic with the
+//! offending assertion like ordinary tests. Unlike upstream proptest there
+//! is **no shrinking** — a failing case reports the generated value via the
+//! panic message of the assertion only.
+
+#![deny(missing_docs)]
+
+pub mod strategy;
+pub mod string;
+
+/// Strategies for collections (`Vec`, `BTreeSet`).
+pub mod collection {
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Create a strategy for `Vec`s with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range for collection::vec");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s whose size is drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Create a strategy for `BTreeSet`s with sizes in `size`.
+    ///
+    /// Because sets deduplicate, generation keeps sampling (up to a bounded
+    /// number of attempts) until the requested minimum size is reached, and
+    /// panics if the element domain is too small to ever reach it.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty size range for collection::btree_set");
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.usize_in(self.size.start, self.size.end);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 20 + 100 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            // Match upstream proptest's fail-loud behavior rather than
+            // silently handing the test a set below its declared minimum.
+            assert!(
+                set.len() >= self.size.start,
+                "btree_set: element domain too small to reach minimum size {} \
+                 (got {} after {} attempts)",
+                self.size.start,
+                set.len(),
+                attempts
+            );
+            set
+        }
+    }
+}
+
+/// Test-runner configuration and the deterministic RNG behind generation.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    ///
+    /// Only `cases` is interpreted; it bounds how many random inputs each
+    /// property is checked against.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    /// Upstream proptest re-exports `Config` as `ProptestConfig`; tests use
+    /// the latter name.
+    pub type ProptestConfig = Config;
+
+    impl Config {
+        /// A configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic generator used for all value generation; delegates to
+    /// the workspace's `rand` stand-in (splitmix64 `StdRng`) so there is a
+    /// single generator implementation, mirroring upstream proptest's own
+    /// dependency on `rand`.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seed a generator from a test identifier and case index so every
+        /// (test, case) pair sees a distinct but reproducible stream.
+        pub fn for_case(test_id: &str, case: u64) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+            for b in test_id.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            seed ^= case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            TestRng {
+                inner: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Uniform `usize` in `[lo, hi)`; delegates to the rand stand-in so
+        /// there is a single range-sampling implementation.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            rand::Rng::gen_range(self, lo..hi)
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert a condition inside a property; panics (failing the test) if false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its precondition does not hold.
+///
+/// Inside the generated per-case closure this simply returns early, so the
+/// case counts as run but vacuously passing (upstream proptest instead
+/// resamples; for the fixed case counts used here the difference is
+/// immaterial).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr,) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Choose uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ..) { body }` item
+/// becomes a `#[test]` that checks `body` against `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = <$crate::test_runner::ProptestConfig as ::std::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            // Evaluate the strategy expressions once (matching upstream
+            // proptest), not per case; the tuple impl generates in argument
+            // order, so the RNG stream is the same as per-arg generation.
+            let __strategy = ($($strat,)+);
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                let __run = move || $body;
+                __run();
+            }
+        }
+    )*};
+}

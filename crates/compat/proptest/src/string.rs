@@ -1,0 +1,239 @@
+//! String generation from a small regex subset.
+//!
+//! Supports exactly what the workspace's tests use: sequences of atoms where
+//! an atom is a character class (`[a-zA-Z0-9_]`, including ranges over any
+//! printable ASCII such as `[ -~]`) or a literal character, optionally
+//! followed by a `{n}`, `{m,n}`, `*`, `+` or `?` quantifier.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Error produced when a pattern uses syntax outside the supported subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// One parsed regex atom with its repetition bounds.
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The characters this atom can produce.
+    alphabet: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed pattern: a sequence of atoms.
+#[derive(Debug, Clone)]
+pub struct RegexPattern {
+    atoms: Vec<Atom>,
+}
+
+impl RegexPattern {
+    /// Parse `pattern`, rejecting anything outside the supported subset.
+    pub fn parse(pattern: &str) -> Result<Self, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| Error(format!("unclosed class in {pattern:?}")))?
+                        + i;
+                    let class = &chars[i + 1..close];
+                    i = close + 1;
+                    parse_class(class, pattern)?
+                }
+                '\\' => {
+                    let escaped = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?;
+                    i += 2;
+                    match escaped {
+                        'd' => ('0'..='9').collect(),
+                        'w' => ('a'..='z')
+                            .chain('A'..='Z')
+                            .chain('0'..='9')
+                            .chain(std::iter::once('_'))
+                            .collect(),
+                        c => vec![c],
+                    }
+                }
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    return Err(Error(format!(
+                        "construct {:?} in {pattern:?} is outside the supported subset",
+                        chars[i]
+                    )))
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern)?;
+            atoms.push(Atom { alphabet, min, max });
+        }
+        Ok(RegexPattern { atoms })
+    }
+
+    /// Generate one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.usize_in(atom.min, atom.max + 1)
+            };
+            for _ in 0..count {
+                out.push(atom.alphabet[rng.usize_in(0, atom.alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Expand a character class body (between `[` and `]`) into its alphabet.
+fn parse_class(class: &[char], pattern: &str) -> Result<Vec<char>, Error> {
+    if class.first() == Some(&'^') {
+        return Err(Error(format!("negated class in {pattern:?}")));
+    }
+    let mut alphabet = Vec::new();
+    let mut j = 0;
+    while j < class.len() {
+        if j + 2 < class.len() && class[j + 1] == '-' {
+            let (lo, hi) = (class[j], class[j + 2]);
+            if lo > hi {
+                return Err(Error(format!("inverted range {lo}-{hi} in {pattern:?}")));
+            }
+            alphabet.extend(lo..=hi);
+            j += 3;
+        } else {
+            alphabet.push(class[j]);
+            j += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return Err(Error(format!("empty class in {pattern:?}")));
+    }
+    Ok(alphabet)
+}
+
+/// Parse an optional quantifier at `chars[*i]`, advancing `i` past it.
+fn parse_quantifier(
+    chars: &[char],
+    i: &mut usize,
+    pattern: &str,
+) -> Result<(usize, usize), Error> {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or_else(|| Error(format!("unclosed quantifier in {pattern:?}")))?
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let parse_num = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| Error(format!("bad quantifier {{{body}}} in {pattern:?}")))
+            };
+            if let Some((lo, hi)) = body.split_once(',') {
+                let (lo, hi) = (parse_num(lo)?, parse_num(hi)?);
+                if lo > hi {
+                    return Err(Error(format!(
+                        "reversed quantifier {{{body}}} in {pattern:?}"
+                    )));
+                }
+                Ok((lo, hi))
+            } else {
+                let n = parse_num(&body)?;
+                Ok((n, n))
+            }
+        }
+        Some('*') => {
+            *i += 1;
+            Ok((0, 8))
+        }
+        Some('+') => {
+            *i += 1;
+            Ok((1, 8))
+        }
+        Some('?') => {
+            *i += 1;
+            Ok((0, 1))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+/// Strategy wrapper returned by [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    pattern: RegexPattern,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.pattern.generate(rng)
+    }
+}
+
+/// Build a strategy generating strings that match `pattern`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    Ok(RegexGeneratorStrategy {
+        pattern: RegexPattern::parse(pattern)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_matching_strings() {
+        let pat = RegexPattern::parse("[a-zA-Z][a-zA-Z0-9_]{0,8}").unwrap();
+        let mut rng = TestRng::for_case("string::tests", 1);
+        for _ in 0..200 {
+            let s = pat.generate(&mut rng);
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_alphabetic());
+            assert!(s.len() <= 9);
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let pat = RegexPattern::parse("[ -~]{0,12}").unwrap();
+        let mut rng = TestRng::for_case("string::tests::printable", 0);
+        for _ in 0..200 {
+            let s = pat.generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(RegexPattern::parse("(a|b)").is_err());
+        assert!(RegexPattern::parse("[^a]").is_err());
+        assert!(RegexPattern::parse("^[a-z]+$").is_err());
+        assert!(RegexPattern::parse("[a-z]{5,2}").is_err());
+    }
+}

@@ -38,6 +38,12 @@ impl SubgraphPath {
         self.elements.len()
     }
 
+    /// Whether the path contains no elements. Never true for paths produced
+    /// by the exploration, which always include the keyword element.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
     /// Whether the path consists of the keyword element only.
     pub fn is_trivial(&self) -> bool {
         self.elements.len() == 1

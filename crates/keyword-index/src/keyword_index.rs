@@ -461,7 +461,7 @@ mod tests {
         (KeywordIndex::build(&g), g)
     }
 
-    fn top_match<'a>(matches: &'a [KeywordMatch]) -> &'a MatchedElement {
+    fn top_match(matches: &[KeywordMatch]) -> &MatchedElement {
         &matches.first().expect("expected at least one match").element
     }
 

@@ -113,9 +113,9 @@ proptest! {
                     .edges()
                     .filter(|&other| {
                         let o = graph.edge(other);
-                        pattern.subject.map_or(true, |s| s == o.from)
-                            && pattern.predicate.map_or(true, |p| p == o.label)
-                            && pattern.object.map_or(true, |obj| obj == o.to)
+                        pattern.subject.is_none_or(|s| s == o.from)
+                            && pattern.predicate.is_none_or(|p| p == o.label)
+                            && pattern.object.is_none_or(|obj| obj == o.to)
                     })
                     .count();
                 prop_assert_eq!(scanned.len(), expected);

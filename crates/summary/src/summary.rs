@@ -21,6 +21,15 @@ use crate::element::{
     SummaryEdge, SummaryEdgeId, SummaryEdgeKind, SummaryNode, SummaryNodeId, SummaryNodeKind,
 };
 
+/// Cloned node/edge/adjacency storage handed to [`crate::augment`]:
+/// `(nodes, edges, out_adj, in_adj)`.
+pub(crate) type ClonedStorage = (
+    Vec<SummaryNode>,
+    Vec<SummaryEdge>,
+    Vec<Vec<SummaryEdgeId>>,
+    Vec<Vec<SummaryEdgeId>>,
+);
+
 /// The schema-level summary of a data graph.
 #[derive(Debug, Clone, Default)]
 pub struct SummaryGraph {
@@ -264,14 +273,7 @@ impl SummaryGraph {
     /// Internal helper for [`crate::augment`]: clones node/edge/adjacency
     /// storage so the augmented graph can extend it without mutating the
     /// shared base summary.
-    pub(crate) fn clone_storage(
-        &self,
-    ) -> (
-        Vec<SummaryNode>,
-        Vec<SummaryEdge>,
-        Vec<Vec<SummaryEdgeId>>,
-        Vec<Vec<SummaryEdgeId>>,
-    ) {
+    pub(crate) fn clone_storage(&self) -> ClonedStorage {
         (
             self.nodes.clone(),
             self.edges.clone(),
