@@ -1,0 +1,232 @@
+//! `perf_topk` — the exploration performance tracker.
+//!
+//! Runs the DBLP, TAP and LUBM keyword workloads through the top-k engine at
+//! the scale selected by `KWSEARCH_SCALE` (small/medium/large, default
+//! medium), prints a per-query table, and writes a machine-readable
+//! `BENCH_topk.json` (override the path with `KWSEARCH_BENCH_OUT`) so every
+//! commit leaves a perf datapoint that CI archives.
+//!
+//! Reported per query: best-of-N wall time, result count, and the
+//! exploration counters (cursors created/expanded, queue pushes/pops, peak
+//! queue length, wasted-work ratio, threshold termination). See the README
+//! "Performance" section for the JSON schema.
+
+use std::time::Instant;
+
+use kwsearch_bench::{
+    dblp_dataset, json_f64, json_string, lubm_dataset, tap_dataset, ScaleProfile, Table,
+};
+use kwsearch_core::{ExplorationStats, KeywordSearchEngine, SearchConfig, SearchOutcome};
+use kwsearch_datagen::workload::{dblp_performance_queries, tap_effectiveness_workload};
+use kwsearch_datagen::LubmDataset;
+
+/// Timed repetitions per query; the best run is reported to damp scheduler
+/// noise (small-scale CI runs are sub-millisecond).
+const REPETITIONS: usize = 3;
+
+struct QueryRecord {
+    id: String,
+    keywords: Vec<String>,
+    wall_ms: f64,
+    results: usize,
+    stats: ExplorationStats,
+}
+
+struct DatasetReport {
+    name: &'static str,
+    records: Vec<QueryRecord>,
+}
+
+impl DatasetReport {
+    fn total_wall_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.wall_ms).sum()
+    }
+}
+
+fn run_workload(
+    name: &'static str,
+    engine: &KeywordSearchEngine,
+    queries: &[(String, Vec<String>)],
+    config: &SearchConfig,
+) -> DatasetReport {
+    let mut records = Vec::with_capacity(queries.len());
+    for (id, keywords) in queries {
+        // Warm-up run (also the source of the reported outcome/counters —
+        // the engine is deterministic, so every repetition returns the same
+        // result).
+        let outcome: SearchOutcome = engine.search_with(keywords, config);
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..REPETITIONS {
+            let start = Instant::now();
+            let timed = engine.search_with(keywords, config);
+            let ms = start.elapsed().as_secs_f64() * 1000.0;
+            std::hint::black_box(timed);
+            if ms < best_ms {
+                best_ms = ms;
+            }
+        }
+        records.push(QueryRecord {
+            id: id.clone(),
+            keywords: keywords.clone(),
+            wall_ms: best_ms,
+            results: outcome.queries.len(),
+            stats: outcome.exploration,
+        });
+    }
+    DatasetReport { name, records }
+}
+
+/// A deterministic LUBM keyword workload (the datagen crate ships workloads
+/// for DBLP and TAP only): entity labels drawn from the generated names,
+/// mixed with schema keywords, at two to four keywords per query.
+fn lubm_queries(dataset: &LubmDataset) -> Vec<(String, Vec<String>)> {
+    let pick = |names: &[String], i: usize| names[i % names.len()].clone();
+    let specs: Vec<Vec<String>> = vec![
+        vec![pick(&dataset.professor_names, 0), pick(&dataset.university_names, 0)],
+        vec![pick(&dataset.course_names, 0), pick(&dataset.department_names, 0)],
+        vec![pick(&dataset.professor_names, 1), "course".to_string()],
+        vec!["professor".to_string(), pick(&dataset.department_names, 1)],
+        vec![
+            pick(&dataset.professor_names, 2),
+            pick(&dataset.course_names, 2),
+            pick(&dataset.university_names, 0),
+        ],
+        vec![
+            pick(&dataset.course_names, 3),
+            pick(&dataset.department_names, 2),
+            "university".to_string(),
+            pick(&dataset.professor_names, 3),
+        ],
+    ];
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, keywords)| (format!("L{}", i + 1), keywords))
+        .collect()
+}
+
+fn print_table(report: &DatasetReport) {
+    println!("== {} ==", report.name);
+    let mut table = Table::new([
+        "query", "kw", "time (ms)", "results", "created", "expanded", "pushes", "pops", "peak",
+        "wasted",
+    ]);
+    for r in &report.records {
+        table.row([
+            r.id.clone(),
+            r.keywords.len().to_string(),
+            format!("{:.3}", r.wall_ms),
+            r.results.to_string(),
+            r.stats.cursors_created.to_string(),
+            r.stats.cursors_expanded.to_string(),
+            r.stats.queue_pushes.to_string(),
+            r.stats.queue_pops.to_string(),
+            r.stats.peak_queue_len.to_string(),
+            format!("{:.3}", r.stats.wasted_queue_ratio()),
+        ]);
+    }
+    table.print();
+    println!("total: {:.3} ms\n", report.total_wall_ms());
+}
+
+fn query_json(r: &QueryRecord) -> String {
+    let keywords: Vec<String> = r.keywords.iter().map(|k| json_string(k)).collect();
+    format!(
+        concat!(
+            "{{\"id\": {}, \"keywords\": [{}], \"wall_ms\": {}, \"results\": {}, ",
+            "\"cursors_created\": {}, \"cursors_expanded\": {}, \"elements_visited\": {}, ",
+            "\"candidates_generated\": {}, \"queue_pushes\": {}, \"queue_pops\": {}, ",
+            "\"peak_queue_len\": {}, \"wasted_queue_ratio\": {}, ",
+            "\"terminated_by_threshold\": {}}}"
+        ),
+        json_string(&r.id),
+        keywords.join(", "),
+        json_f64(r.wall_ms),
+        r.results,
+        r.stats.cursors_created,
+        r.stats.cursors_expanded,
+        r.stats.elements_visited,
+        r.stats.candidates_generated,
+        r.stats.queue_pushes,
+        r.stats.queue_pops,
+        r.stats.peak_queue_len,
+        json_f64(r.stats.wasted_queue_ratio()),
+        r.stats.terminated_by_threshold,
+    )
+}
+
+fn report_json(profile: ScaleProfile, config: &SearchConfig, reports: &[DatasetReport]) -> String {
+    let datasets: Vec<String> = reports
+        .iter()
+        .map(|report| {
+            let queries: Vec<String> = report.records.iter().map(query_json).collect();
+            format!(
+                "    {{\"name\": {}, \"total_wall_ms\": {}, \"queries\": [\n      {}\n    ]}}",
+                json_string(report.name),
+                json_f64(report.total_wall_ms()),
+                queries.join(",\n      ")
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema_version\": 1,\n",
+            "  \"scale\": {},\n",
+            "  \"config\": {{\"k\": {}, \"dmax\": {}, \"scoring\": {}}},\n",
+            "  \"datasets\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        json_string(profile.name()),
+        config.k,
+        config.dmax,
+        json_string(config.scoring.short_name()),
+        datasets.join(",\n")
+    )
+}
+
+fn main() {
+    let profile = ScaleProfile::from_env();
+    let config = SearchConfig::default();
+    println!(
+        "== perf_topk: scale {} · k {} · {} · best of {} ==\n",
+        profile.name(),
+        config.k,
+        config.scoring,
+        REPETITIONS
+    );
+
+    let dblp = dblp_dataset(profile);
+    let dblp_engine = KeywordSearchEngine::new(dblp.graph.clone());
+    let dblp_queries: Vec<(String, Vec<String>)> = dblp_performance_queries(&dblp)
+        .into_iter()
+        .map(|q| (q.id, q.keywords))
+        .collect();
+    let dblp_report = run_workload("dblp", &dblp_engine, &dblp_queries, &config);
+    print_table(&dblp_report);
+
+    let tap = tap_dataset(profile);
+    let tap_engine = KeywordSearchEngine::new(tap.graph.clone());
+    let tap_queries: Vec<(String, Vec<String>)> = tap_effectiveness_workload(&tap)
+        .into_iter()
+        .map(|q| (q.id, q.keywords))
+        .collect();
+    let tap_report = run_workload("tap", &tap_engine, &tap_queries, &config);
+    print_table(&tap_report);
+
+    let lubm = lubm_dataset(profile);
+    let lubm_engine = KeywordSearchEngine::new(lubm.graph.clone());
+    let lubm_report = run_workload("lubm", &lubm_engine, &lubm_queries(&lubm), &config);
+    print_table(&lubm_report);
+
+    let out_path =
+        std::env::var("KWSEARCH_BENCH_OUT").unwrap_or_else(|_| "BENCH_topk.json".to_string());
+    let json = report_json(profile, &config, &[dblp_report, tap_report, lubm_report]);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -33,6 +33,15 @@ impl ScaleProfile {
         }
     }
 
+    /// The profile's name as spelled in `KWSEARCH_SCALE`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleProfile::Small => "small",
+            ScaleProfile::Medium => "medium",
+            ScaleProfile::Large => "large",
+        }
+    }
+
     /// Number of DBLP-like publications for this profile.
     pub fn dblp_publications(self) -> usize {
         match self {

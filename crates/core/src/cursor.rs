@@ -72,16 +72,23 @@ impl CursorArena {
     }
 
     /// The path represented by a cursor, from the keyword element (origin)
-    /// to the element currently visited.
+    /// to the element currently visited. The cursor's `distance` gives the
+    /// exact path length, so the output is allocated once at final size and
+    /// filled back-to-front while walking the parent chain — no push-grow,
+    /// no reverse.
     pub fn path(&self, id: CursorId) -> Vec<SummaryElement> {
-        let mut elements = Vec::new();
-        let mut current = Some(id);
+        let tip = self.get(id);
+        let len = tip.distance as usize + 1;
+        let mut elements = vec![tip.element; len];
+        let mut current = tip.parent;
+        let mut slot = len - 1;
         while let Some(c) = current {
             let cursor = self.get(c);
-            elements.push(cursor.element);
+            slot -= 1;
+            elements[slot] = cursor.element;
             current = cursor.parent;
         }
-        elements.reverse();
+        debug_assert_eq!(slot, 0, "distance must equal the parent-chain length");
         elements
     }
 
@@ -107,27 +114,43 @@ impl CursorArena {
     }
 }
 
-/// A total order over `f64` costs for use in priority queues: lower cost
-/// first, ties broken deterministically by the companion id.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CostOrdered {
-    /// The cost to order by.
+/// An entry of the explorer's single global priority queue, keyed by
+/// `(cost, keyword, cursor)`: lower cost first, ties broken
+/// deterministically by the cursor id (cursor ids are globally unique and
+/// allocated in creation order, so the tie-break also reproduces the pop
+/// order of the former per-keyword queues). The keyword rides along as
+/// payload so expansion does not re-derive it.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueEntry {
+    /// The accumulated path cost to order by.
     pub cost: f64,
+    /// The keyword whose exploration this cursor belongs to.
+    pub keyword: u32,
     /// The cursor this entry refers to.
     pub cursor: CursorId,
 }
 
-impl Eq for CostOrdered {}
+// Equality mirrors `Ord` exactly (cost and cursor; the keyword is payload),
+// keeping the `a == b ⇔ a.cmp(&b) == Equal` contract intact.
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost.total_cmp(&other.cost).is_eq() && self.cursor == other.cursor
+    }
+}
 
-impl PartialOrd for CostOrdered {
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for CostOrdered {
+impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the cheapest on top.
+        // The cursor id alone breaks ties (ids are unique), keeping the
+        // order independent of the keyword payload.
         other
             .cost
             .total_cmp(&self.cost)
@@ -268,7 +291,11 @@ mod tests {
         });
         let mut heap = BinaryHeap::new();
         for &(id, cost) in &[(a, 2.0), (b, 0.5), (c, 1.0)] {
-            heap.push(CostOrdered { cost, cursor: id });
+            heap.push(QueueEntry {
+                cost,
+                keyword: 0,
+                cursor: id,
+            });
         }
         assert_eq!(heap.pop().unwrap().cursor, b);
         assert_eq!(heap.pop().unwrap().cursor, c);
@@ -277,15 +304,18 @@ mod tests {
 
     #[test]
     fn cost_ordering_breaks_ties_deterministically() {
-        let x = CostOrdered {
+        let x = QueueEntry {
             cost: 1.0,
+            keyword: 7,
             cursor: CursorId(0),
         };
-        let y = CostOrdered {
+        let y = QueueEntry {
             cost: 1.0,
+            keyword: 0,
             cursor: CursorId(1),
         };
-        // Lower id wins the tie (is "greater" in max-heap terms).
+        // Lower id wins the tie (is "greater" in max-heap terms) regardless
+        // of the keyword payload.
         assert!(x > y);
     }
 }

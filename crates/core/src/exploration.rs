@@ -18,12 +18,12 @@
 //! cost (Theorem 1), which makes the candidate/threshold comparison of the
 //! top-k procedure sound.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use kwsearch_summary::{AugmentedSummaryGraph, SummaryElement};
+use kwsearch_summary::AugmentedSummaryGraph;
 
 use crate::config::SearchConfig;
-use crate::cursor::{CostOrdered, Cursor, CursorArena, CursorId};
+use crate::cursor::{Cursor, CursorArena, CursorId, QueueEntry};
 use crate::subgraph::MatchingSubgraph;
 use crate::topk::{combinations_with_new_cursor, CandidateList};
 
@@ -32,17 +32,38 @@ use crate::topk::{combinations_with_new_cursor, CandidateList};
 pub struct ExplorationStats {
     /// Total cursors created (including the initial keyword-element cursors).
     pub cursors_created: usize,
-    /// Cursors popped from the queues and processed.
+    /// Cursors popped from the queue and processed.
     pub cursors_expanded: usize,
     /// Distinct elements visited by at least one cursor.
     pub elements_visited: usize,
     /// Candidate subgraphs generated (before deduplication).
     pub candidates_generated: usize,
+    /// Entries pushed onto the global cursor queue.
+    pub queue_pushes: usize,
+    /// Entries popped from the global cursor queue. Pushes minus pops is the
+    /// wasted work: cursors paid for but never examined because the run
+    /// terminated first.
+    pub queue_pops: usize,
+    /// Largest number of entries simultaneously pending in the queue.
+    pub peak_queue_len: usize,
     /// Whether the run stopped through the top-k threshold test (as opposed
     /// to exhausting all cursors within `dmax`).
     pub terminated_by_threshold: bool,
     /// Whether the run hit the `max_cursors` safety valve.
     pub hit_cursor_limit: bool,
+}
+
+impl ExplorationStats {
+    /// Fraction of queued cursors that were never popped (`0.0` when nothing
+    /// was queued): the share of expansion work wasted on cursors the
+    /// termination test made irrelevant.
+    pub fn wasted_queue_ratio(&self) -> f64 {
+        if self.queue_pushes == 0 {
+            0.0
+        } else {
+            (self.queue_pushes - self.queue_pops) as f64 / self.queue_pushes as f64
+        }
+    }
 }
 
 /// The result of one exploration run.
@@ -88,18 +109,28 @@ impl<'a, 'g> Explorer<'a, 'g> {
             };
         }
 
-        let scoring = self.config.scoring;
         let path_cap = self.config.effective_path_cap();
         let mut arena = CursorArena::new();
-        let mut queues: Vec<BinaryHeap<CostOrdered>> = (0..m).map(|_| BinaryHeap::new()).collect();
-        let mut element_paths: HashMap<SummaryElement, ElementPaths> = HashMap::new();
+        // One global queue replaces the former per-keyword heaps: the entry
+        // ordering (cost, then globally unique cursor id) reproduces the
+        // "cheapest top among m heaps" pop order exactly, without scanning
+        // m heap tops twice per iteration.
+        let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
+        // Per-run flat tables indexed by dense element id: the per-element
+        // cost under the active scoring function (one evaluation per element
+        // for the whole run instead of one per visited neighbour), and the
+        // per-element path bookkeeping (no `SummaryElement` hashing on the
+        // hot path).
+        let costs: Vec<f64> = self.config.scoring.cost_table(self.graph);
+        let mut element_paths: Vec<Option<ElementPaths>> =
+            (0..self.graph.element_count()).map(|_| None).collect();
         let mut candidates = CandidateList::new(self.config.k);
 
         // Line 1-6: one cursor per keyword element, with the element's own
         // cost as the initial path cost.
         for (keyword, elements) in keyword_elements.iter().enumerate() {
             for ke in elements {
-                let cost = scoring.element_cost(self.graph, ke.element);
+                let cost = costs[self.graph.element_index(ke.element)];
                 let id = arena.push(Cursor {
                     element: ke.element,
                     keyword,
@@ -108,9 +139,15 @@ impl<'a, 'g> Explorer<'a, 'g> {
                     cost,
                 });
                 stats.cursors_created += 1;
-                queues[keyword].push(CostOrdered { cost, cursor: id });
+                stats.queue_pushes += 1;
+                queue.push(QueueEntry {
+                    cost,
+                    keyword: keyword as u32,
+                    cursor: id,
+                });
             }
         }
+        stats.peak_queue_len = queue.len();
 
         // Line 7: main loop.
         loop {
@@ -118,22 +155,23 @@ impl<'a, 'g> Explorer<'a, 'g> {
                 stats.hit_cursor_limit = true;
                 break;
             }
-            // Line 8: the globally cheapest cursor across all queues.
-            let Some(queue_idx) = cheapest_queue(&queues) else {
-                break; // all queues empty
+            // Line 8: the globally cheapest cursor.
+            let Some(entry) = queue.pop() else {
+                break; // queue exhausted
             };
-            let entry = queues[queue_idx].pop().expect("queue is non-empty");
             let cursor_id = entry.cursor;
             let cursor = arena.get(cursor_id);
+            stats.queue_pops += 1;
             stats.cursors_expanded += 1;
 
             // Line 10: bound the exploration depth.
             if cursor.distance < self.config.dmax {
                 let element = cursor.element;
+                let element_idx = self.graph.element_index(element);
 
                 // Line 11: record the path at the element (bounded to the k
                 // cheapest per keyword — see SearchConfig::max_paths_per_element).
-                let paths = element_paths.entry(element).or_insert_with(|| {
+                let paths = element_paths[element_idx].get_or_insert_with(|| {
                     stats.elements_visited += 1;
                     ElementPaths {
                         per_keyword: vec![Vec::new(); m],
@@ -171,14 +209,14 @@ impl<'a, 'g> Explorer<'a, 'g> {
                     continue;
                 }
                 let parent_element = arena.parent_element(cursor_id);
-                for neighbor in self.graph.neighbors(cursor.element) {
+                for &neighbor in self.graph.neighbors(cursor.element) {
                     if Some(neighbor) == parent_element {
                         continue;
                     }
                     if arena.path_contains(cursor_id, neighbor) {
                         continue;
                     }
-                    let cost = cursor.cost + scoring.element_cost(self.graph, neighbor);
+                    let cost = cursor.cost + costs[self.graph.element_index(neighbor)];
                     let id = arena.push(Cursor {
                         element: neighbor,
                         keyword: cursor.keyword,
@@ -187,8 +225,14 @@ impl<'a, 'g> Explorer<'a, 'g> {
                         cost,
                     });
                     stats.cursors_created += 1;
-                    queues[cursor.keyword].push(CostOrdered { cost, cursor: id });
+                    stats.queue_pushes += 1;
+                    queue.push(QueueEntry {
+                        cost,
+                        keyword: entry.keyword,
+                        cursor: id,
+                    });
                 }
+                stats.peak_queue_len = stats.peak_queue_len.max(queue.len());
             }
 
             // Algorithm 2, lines 9-17: threshold test. The cost of the
@@ -196,8 +240,8 @@ impl<'a, 'g> Explorer<'a, 'g> {
             // still undiscovered, so once the k-th candidate is cheaper the
             // top-k is final.
             if let Some(kth_cost) = candidates.kth_cost() {
-                match cheapest_cursor_cost(&queues) {
-                    Some(lowest) if kth_cost < lowest => {
+                match queue.peek() {
+                    Some(top) if kth_cost < top.cost => {
                         stats.terminated_by_threshold = true;
                         break;
                     }
@@ -212,28 +256,6 @@ impl<'a, 'g> Explorer<'a, 'g> {
             stats,
         }
     }
-}
-
-/// Index of the queue whose top cursor is globally cheapest.
-fn cheapest_queue(queues: &[BinaryHeap<CostOrdered>]) -> Option<usize> {
-    let mut best: Option<(usize, &CostOrdered)> = None;
-    for (i, q) in queues.iter().enumerate() {
-        if let Some(top) = q.peek() {
-            match best {
-                Some((_, current)) if current >= top => {}
-                _ => best = Some((i, top)),
-            }
-        }
-    }
-    best.map(|(i, _)| i)
-}
-
-/// The cost of the globally cheapest unexpanded cursor.
-fn cheapest_cursor_cost(queues: &[BinaryHeap<CostOrdered>]) -> Option<f64> {
-    queues
-        .iter()
-        .filter_map(|q| q.peek().map(|c| c.cost))
-        .min_by(f64::total_cmp)
 }
 
 #[cfg(test)]
@@ -388,6 +410,34 @@ mod tests {
     }
 
     #[test]
+    fn queue_counters_account_for_every_push_and_pop() {
+        let g = figure1_graph();
+        let aug = augmented(&g, &["2006", "cimiano", "aifb"]);
+        let outcome = run(&aug, SearchConfig::default());
+        let stats = outcome.stats;
+        // Every created cursor is pushed exactly once.
+        assert_eq!(stats.queue_pushes, stats.cursors_created);
+        // Every pop is an expansion, and nothing is popped twice.
+        assert_eq!(stats.queue_pops, stats.cursors_expanded);
+        assert!(stats.queue_pops <= stats.queue_pushes);
+        // The peak is a real high-water mark.
+        assert!(stats.peak_queue_len >= 1);
+        assert!(stats.peak_queue_len <= stats.queue_pushes);
+        // The wasted-work ratio is a valid fraction consistent with the
+        // counters.
+        let wasted = stats.wasted_queue_ratio();
+        assert!((0.0..=1.0).contains(&wasted));
+        let expected =
+            (stats.queue_pushes - stats.queue_pops) as f64 / stats.queue_pushes as f64;
+        assert!((wasted - expected).abs() < 1e-15);
+        // A run terminated by the threshold leaves unexpanded cursors behind.
+        let early = run(&aug, SearchConfig::with_k(1));
+        if early.stats.terminated_by_threshold {
+            assert!(early.stats.wasted_queue_ratio() > 0.0);
+        }
+    }
+
+    #[test]
     fn paths_explored_in_nondecreasing_cost_order() {
         // Theorem 1: the sequence of expanded cursors has non-decreasing
         // path costs. We re-run the exploration manually tracking pops.
@@ -399,7 +449,7 @@ mod tests {
         // their keyword element and the result list is cost-sorted.
         let outcome = run(&aug, config);
         for subgraph in &outcome.subgraphs {
-            for path in &subgraph.paths {
+            for path in subgraph.paths() {
                 assert!(path.cost >= 1.0 - 1e-12);
                 assert_eq!(path.elements.len() as f64, path.cost);
             }

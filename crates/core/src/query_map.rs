@@ -46,7 +46,7 @@ pub fn map_subgraph_to_query(
         .collect();
     // Edge endpoints participate in atoms even when the path ended on the
     // edge itself; make sure they have variables too.
-    for element in &elements {
+    for element in elements {
         if let Some(edge_id) = element.as_edge() {
             let edge = graph.edge(edge_id);
             nodes.insert(edge.from);
@@ -62,7 +62,7 @@ pub fn map_subgraph_to_query(
     let mut query = ConjunctiveQuery::new();
     let mut nodes_with_atoms: BTreeSet<SummaryNodeId> = BTreeSet::new();
 
-    for element in &elements {
+    for element in elements {
         let Some(edge_id) = element.as_edge() else {
             continue;
         };
@@ -105,7 +105,7 @@ pub fn map_subgraph_to_query(
 
     // Nodes of the subgraph not yet covered by any atom (isolated keyword
     // elements, e.g. a single-class or single-value subgraph).
-    for element in &elements {
+    for element in elements {
         let Some(node_id) = element.as_node() else {
             continue;
         };
@@ -125,7 +125,8 @@ pub fn map_subgraph_to_query(
                 // edges so the query constrains something.
                 if let Some(edge_el) = graph
                     .neighbors(SummaryElement::Node(node_id))
-                    .into_iter()
+                    .iter()
+                    .copied()
                     .find(|n| n.as_edge().is_some())
                 {
                     let edge = graph.edge(edge_el.as_edge().expect("filtered to edges"));

@@ -70,6 +70,18 @@ impl ScoringFunction {
         }
     }
 
+    /// The per-element costs of the whole augmented summary graph, indexed
+    /// by dense element id (`AugmentedSummaryGraph::element_index`; nodes
+    /// first, then edges). The exploration precomputes this once per run so
+    /// the expansion loop pays one array load per neighbour instead of one
+    /// cost evaluation.
+    pub fn cost_table(self, graph: &AugmentedSummaryGraph<'_>) -> Vec<f64> {
+        graph
+            .elements()
+            .map(|element| self.element_cost(graph, element))
+            .collect()
+    }
+
     /// The cost of a path given as a sequence of elements.
     pub fn path_cost(
         self,

@@ -56,41 +56,74 @@ pub struct MatchingSubgraph {
     /// The element at which all paths meet.
     pub connecting_element: SummaryElement,
     /// One path per keyword (index `i` holds the path for keyword `i`).
-    pub paths: Vec<SubgraphPath>,
+    /// Private so the cached element set and hash below cannot silently
+    /// desynchronize — construct a new subgraph instead of mutating paths.
+    paths: Vec<SubgraphPath>,
     /// Total cost: the sum of the path costs (shared elements counted once
     /// per path, as prescribed in Section V).
     pub cost: f64,
+    /// The distinct elements (union of all paths), sorted ascending —
+    /// computed once at construction so deduplication never re-derives it.
+    elements: Vec<SummaryElement>,
+    /// FNV-1a hash of `elements`, the fast dedup probe of the candidate list.
+    element_hash: u64,
 }
 
 impl MatchingSubgraph {
     /// Builds a subgraph from per-keyword paths, computing its cost as the
-    /// sum of the path costs.
+    /// sum of the path costs and caching the sorted element set plus its
+    /// hash (the candidate list's deduplication key).
     pub fn new(connecting_element: SummaryElement, paths: Vec<SubgraphPath>) -> Self {
         let cost = paths.iter().map(|p| p.cost).sum();
+        let mut elements: Vec<SummaryElement> = paths
+            .iter()
+            .flat_map(|p| p.elements.iter().copied())
+            .collect();
+        elements.sort_unstable();
+        elements.dedup();
+        let element_hash = hash_elements(&elements);
         Self {
             connecting_element,
             paths,
             cost,
+            elements,
+            element_hash,
         }
     }
 
-    /// The distinct elements of the subgraph (union of all paths).
-    pub fn elements(&self) -> BTreeSet<SummaryElement> {
-        self.paths
-            .iter()
-            .flat_map(|p| p.elements.iter().copied())
-            .collect()
+    /// The per-keyword paths (index `i` holds the path for keyword `i`).
+    pub fn paths(&self) -> &[SubgraphPath] {
+        &self.paths
+    }
+
+    /// The distinct elements of the subgraph (union of all paths), sorted
+    /// ascending. Borrowed from the cache computed at construction.
+    pub fn elements(&self) -> &[SummaryElement] {
+        &self.elements
     }
 
     /// The canonical identity of the subgraph used for deduplication: two
     /// subgraphs with the same element set describe the same query.
     pub fn canonical_key(&self) -> BTreeSet<SummaryElement> {
-        self.elements()
+        self.elements.iter().copied().collect()
+    }
+
+    /// Hash of the sorted element set — a cheap first-stage dedup probe.
+    /// Equal element sets always hash equal; on a hash match callers confirm
+    /// with [`Self::same_elements`].
+    pub fn element_hash(&self) -> u64 {
+        self.element_hash
+    }
+
+    /// Whether two subgraphs cover exactly the same element set (and thus
+    /// describe the same query).
+    pub fn same_elements(&self, other: &Self) -> bool {
+        self.element_hash == other.element_hash && self.elements == other.elements
     }
 
     /// Number of distinct elements.
     pub fn size(&self) -> usize {
-        self.elements().len()
+        self.elements.len()
     }
 
     /// Number of keywords covered (one path each).
@@ -102,8 +135,7 @@ impl MatchingSubgraph {
     /// element set is internally connected through the neighbour relation of
     /// `graph`. Used by tests and debug assertions.
     pub fn is_connected(&self, graph: &AugmentedSummaryGraph<'_>) -> bool {
-        let elements = self.elements();
-        if elements.is_empty() {
+        if self.elements.is_empty() {
             return false;
         }
         if !self
@@ -113,18 +145,19 @@ impl MatchingSubgraph {
         {
             return false;
         }
-        // BFS over the subgraph's elements only.
+        // BFS over the subgraph's elements only; `self.elements` is sorted,
+        // so membership is a binary search.
         let mut visited = BTreeSet::new();
         let mut queue = vec![self.connecting_element];
         visited.insert(self.connecting_element);
         while let Some(current) = queue.pop() {
-            for n in graph.neighbors(current) {
-                if elements.contains(&n) && visited.insert(n) {
+            for &n in graph.neighbors(current) {
+                if self.elements.binary_search(&n).is_ok() && visited.insert(n) {
                     queue.push(n);
                 }
             }
         }
-        visited == elements
+        visited.len() == self.elements.len()
     }
 
     /// A human-readable sketch of the subgraph (element labels per path),
@@ -153,6 +186,28 @@ impl MatchingSubgraph {
     }
 }
 
+/// FNV-1a over the sorted element list. Deterministic across runs (unlike
+/// `DefaultHasher` with random state) so candidate-list behaviour — and
+/// therefore the top-k output — is reproducible.
+fn hash_elements(elements: &[SummaryElement]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for &element in elements {
+        match element {
+            SummaryElement::Node(n) => mix(n.index() as u64),
+            SummaryElement::Edge(e) => mix(1 << 32 | e.index() as u64),
+        }
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,7 +230,8 @@ mod tests {
         let edge = graph.neighbors(value)[0];
         let class = graph
             .neighbors(edge)
-            .into_iter()
+            .iter()
+            .copied()
             .find(|&n| n != value)
             .unwrap();
         let path0 = SubgraphPath {
@@ -227,7 +283,7 @@ mod tests {
     fn connectivity_check_rejects_disconnected_element_sets() {
         let g = figure1_graph();
         let aug = augmented(&g, &["aifb", "institute"]);
-        let mut subgraph = sample_subgraph(&aug);
+        let subgraph = sample_subgraph(&aug);
         // Graft a far-away element onto one path without connecting it.
         let foreign = aug
             .elements()
@@ -239,8 +295,12 @@ mod tests {
                         .all(|n| !subgraph.elements().contains(n))
             })
             .expect("the fixture has elements far from the sample subgraph");
-        subgraph.paths[1].elements.insert(0, foreign);
-        assert!(!subgraph.is_connected(&aug));
+        // Rebuild the subgraph with the grafted path: `paths` is private so
+        // the cached element set cannot be desynchronized by mutation.
+        let mut paths = subgraph.paths().to_vec();
+        paths[1].elements.insert(0, foreign);
+        let grafted = MatchingSubgraph::new(subgraph.connecting_element, paths);
+        assert!(!grafted.is_connected(&aug));
     }
 
     #[test]

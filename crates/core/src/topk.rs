@@ -14,18 +14,21 @@
 //! (Theorem 1 of the paper), the bound is valid and the returned subgraphs
 //! are guaranteed to be the k cheapest — including cyclic ones.
 
-use std::collections::{BTreeSet, HashMap};
-
 use kwsearch_summary::{AugmentedSummaryGraph, SummaryElement};
 
 use crate::cursor::{CursorArena, CursorId};
 use crate::subgraph::{MatchingSubgraph, SubgraphPath};
 
 /// The candidate list `LG'` of Algorithm 2.
+///
+/// Candidates are kept sorted by ascending cost; insertion is a binary
+/// search plus one `Vec::insert` (the list never exceeds `k` entries).
+/// Deduplication probes the element-set hash cached on
+/// [`MatchingSubgraph`] — integer compares, no re-hashing of element sets
+/// and no side index to keep consistent.
 #[derive(Debug, Clone)]
 pub struct CandidateList {
     k: usize,
-    by_key: HashMap<BTreeSet<SummaryElement>, usize>,
     candidates: Vec<MatchingSubgraph>,
 }
 
@@ -34,7 +37,6 @@ impl CandidateList {
     pub fn new(k: usize) -> Self {
         Self {
             k: k.max(1),
-            by_key: HashMap::new(),
             candidates: Vec::new(),
         }
     }
@@ -43,54 +45,39 @@ impl CandidateList {
     /// deduplicated, keeping the cheaper one. Returns `true` if the list
     /// changed.
     pub fn add(&mut self, subgraph: MatchingSubgraph) -> bool {
-        // Fast path: the list is full and the newcomer is no better than the
-        // current k-th candidate — it can only be a duplicate or be dropped
-        // again immediately, unless it improves an existing entry.
-        if self.candidates.len() >= self.k {
-            let worst = self.candidates[self.k - 1].cost;
-            if subgraph.cost >= worst && !self.by_key.contains_key(&subgraph.canonical_key()) {
-                return false;
-            }
+        // Fast path (`k-best(LG')`): a full list rejects anything not
+        // strictly cheaper than the current k-th candidate. This also covers
+        // duplicates: a stored duplicate costs at most the k-th candidate,
+        // so a newcomer at or above that cost can never improve it.
+        if self.candidates.len() >= self.k && subgraph.cost >= self.candidates[self.k - 1].cost {
+            return false;
         }
-        let key = subgraph.canonical_key();
-        if let Some(&idx) = self.by_key.get(&key) {
+        // Duplicate probe: cached hash first, element-set compare only on a
+        // hash match.
+        if let Some(idx) = self
+            .candidates
+            .iter()
+            .position(|c| c.same_elements(&subgraph))
+        {
             if subgraph.cost < self.candidates[idx].cost {
-                self.candidates[idx] = subgraph;
-                self.resort();
+                // Improvement: move the entry to its new cost position. The
+                // insertion point (after all equal-cost entries) reproduces
+                // the former stable re-sort exactly.
+                self.candidates.remove(idx);
+                let pos = self
+                    .candidates
+                    .partition_point(|c| c.cost <= subgraph.cost);
+                self.candidates.insert(pos, subgraph);
                 return true;
             }
             return false;
         }
-        self.candidates.push(subgraph);
-        self.resort();
-        // `k-best(LG')`: drop everything beyond the k best.
-        if self.candidates.len() > self.k {
-            let removed = self.candidates.split_off(self.k);
-            for r in removed {
-                self.by_key.remove(&r.canonical_key());
-            }
-        }
-        self.by_key
-            .retain(|_, idx| *idx < self.candidates.len());
-        // Rebuild the index map after truncation/resorting.
-        self.by_key = self
+        let pos = self
             .candidates
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.canonical_key(), i))
-            .collect();
+            .partition_point(|c| c.cost <= subgraph.cost);
+        self.candidates.insert(pos, subgraph);
+        self.candidates.truncate(self.k);
         true
-    }
-
-    fn resort(&mut self) {
-        self.candidates
-            .sort_by(|a, b| a.cost.total_cmp(&b.cost));
-        self.by_key = self
-            .candidates
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.canonical_key(), i))
-            .collect();
     }
 
     /// The cost of the k-th best candidate ("highestCost" in Algorithm 2),
@@ -349,6 +336,45 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_improvement_reorders_and_keeps_the_list_consistent() {
+        // Regression test for the former `add` implementation, which did a
+        // full re-sort plus two index rebuilds per insertion: an improvement
+        // to an existing element set must move that entry to its new cost
+        // position, keep exactly one entry per element set, and leave
+        // `kth_cost` consistent.
+        let g = figure1_graph();
+        let aug = augmented(&g, &["aifb"]);
+        let mut list = CandidateList::new(3);
+        assert!(list.add(toy_subgraph(&aug, 2.0, 0)));
+        assert!(list.add(toy_subgraph(&aug, 5.0, 1)));
+        assert!(list.add(toy_subgraph(&aug, 7.0, 2)));
+        assert_eq!(list.kth_cost(), Some(7.0));
+        // Improving the most expensive entry past the cheapest must reorder.
+        assert!(list.add(toy_subgraph(&aug, 1.0, 2)));
+        let costs: Vec<f64> = list.best().iter().map(|s| s.cost).collect();
+        assert_eq!(costs, vec![1.0, 2.0, 5.0]);
+        assert_eq!(list.kth_cost(), Some(5.0));
+        // Exactly one entry per element set survives the improvement.
+        assert_eq!(list.len(), 3);
+        let mut hashes: Vec<u64> = list.best().iter().map(|s| s.element_hash()).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 3, "no duplicate element sets after improvement");
+        // A worse duplicate of the improved entry is still rejected…
+        assert!(!list.add(toy_subgraph(&aug, 6.0, 2)));
+        // …even when the list is full and the duplicate beats the k-th cost.
+        assert!(!list.add(toy_subgraph(&aug, 1.5, 2)));
+        let costs: Vec<f64> = list.best().iter().map(|s| s.cost).collect();
+        assert_eq!(costs, vec![1.0, 2.0, 5.0]);
+        // An improvement that ties another entry's cost lands after it
+        // (matching the former stable re-sort).
+        assert!(list.add(toy_subgraph(&aug, 2.0, 1)));
+        let costs: Vec<f64> = list.best().iter().map(|s| s.cost).collect();
+        assert_eq!(costs, vec![1.0, 2.0, 2.0]);
+        assert_eq!(list.best()[2].size(), 3, "the improved entry sorts after the tie");
+    }
+
+    #[test]
     fn combinations_require_paths_for_every_keyword() {
         let g = figure1_graph();
         let aug = augmented(&g, &["aifb", "cimiano"]);
@@ -377,7 +403,8 @@ mod tests {
         let name_edge = aug.neighbors(value)[0];
         let institute = aug
             .neighbors(name_edge)
-            .into_iter()
+            .iter()
+            .copied()
             .find(|&n| n != value)
             .unwrap();
 

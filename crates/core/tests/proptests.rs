@@ -84,7 +84,7 @@ proptest! {
                 prop_assert!(subgraph.is_connected(&augmented));
                 prop_assert_eq!(subgraph.keyword_count(), keywords.len());
                 // Path costs are consistent with the scoring function.
-                for path in &subgraph.paths {
+                for path in subgraph.paths() {
                     let recomputed = scoring.path_cost(&augmented, &path.elements);
                     prop_assert!((recomputed - path.cost).abs() < 1e-6);
                 }
@@ -125,6 +125,61 @@ proptest! {
         for (a, b) in first.queries.iter().zip(second.queries.iter()) {
             prop_assert_eq!(a.query.canonicalized(), b.query.canonicalized());
             prop_assert!((a.cost - b.cost).abs() < 1e-12);
+        }
+    }
+
+    /// The optimized explorer returns cost-identical top-k results to the
+    /// exhaustive reference (a run with `k = usize::MAX / 2`, whose
+    /// threshold test never fires, enumerating every candidate within
+    /// `dmax`) — across random graphs, keyword choices, and all three
+    /// scoring functions. This is the safety net of the dense-id/CSR/global-
+    /// queue refactor of the exploration hot path.
+    #[test]
+    fn topk_is_cost_identical_to_the_exhaustive_reference(spec in random_graph()) {
+        prop_assume!(spec.value_labels.len() >= 2);
+        let graph = build(&spec);
+        let keywords: Vec<String> = spec.value_labels.iter().take(2).cloned().collect();
+
+        let base = SummaryGraph::build(&graph);
+        let index = KeywordIndex::build(&graph);
+        let matches = index.lookup_all(&keywords);
+        let augmented = AugmentedSummaryGraph::build(&graph, &base, &matches);
+
+        for scoring in ScoringFunction::all() {
+            // dmax is kept small so the exhaustive enumeration stays cheap
+            // on adversarial random graphs; both runs use the same bound.
+            let reference_config = SearchConfig {
+                k: usize::MAX / 2,
+                ..SearchConfig::default()
+            }
+            .scoring(scoring)
+            .dmax(4);
+            let reference = Explorer::new(&augmented, reference_config).run();
+
+            for k in [1usize, 3, 7] {
+                let config = SearchConfig::with_k(k).scoring(scoring).dmax(4);
+                let topk = Explorer::new(&augmented, config).run();
+                prop_assert_eq!(
+                    topk.subgraphs.len(),
+                    reference.subgraphs.len().min(k),
+                    "k = {}, scoring {}: result count",
+                    k,
+                    scoring
+                );
+                for (i, (got, want)) in
+                    topk.subgraphs.iter().zip(reference.subgraphs.iter()).enumerate()
+                {
+                    prop_assert!(
+                        (got.cost - want.cost).abs() < 1e-9,
+                        "k = {}, scoring {}, rank {}: cost {} != reference {}",
+                        k,
+                        scoring,
+                        i,
+                        got.cost,
+                        want.cost
+                    );
+                }
+            }
         }
     }
 

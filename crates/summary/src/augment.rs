@@ -37,19 +37,45 @@ pub struct KeywordElement {
 }
 
 /// The per-query augmented summary graph on which exploration runs.
+///
+/// # Dense element ids
+///
+/// Every element has a contiguous dense index in `0..element_count()`:
+/// **nodes first** (index = node id), **then edges** (index is
+/// `node_count() + edge id`). [`Self::element_index`] and
+/// [`Self::element_from_index`] convert between the two representations
+/// without hashing; the exploration uses the dense index to address flat
+/// per-element tables (costs, paths, match scores).
+///
+/// # CSR adjacency
+///
+/// The neighbour relation over *all* elements (incident edges of a node in
+/// both directions, endpoints of an edge) is stored as one flattened CSR:
+/// `csr_offsets[i]..csr_offsets[i + 1]` indexes the neighbour slice of the
+/// element with dense index `i` inside `csr_neighbors`. [`Self::neighbors`]
+/// therefore returns a borrowed slice — zero allocation on the exploration
+/// hot path.
 #[derive(Debug, Clone)]
 pub struct AugmentedSummaryGraph<'g> {
     graph: &'g DataGraph,
     nodes: Vec<SummaryNode>,
     edges: Vec<SummaryEdge>,
+    /// Build-time adjacency, emptied once the CSR has been finalized.
     out_adj: Vec<Vec<SummaryEdgeId>>,
     in_adj: Vec<Vec<SummaryEdgeId>>,
+    /// CSR offsets over dense element indices (`element_count() + 1` entries).
+    csr_offsets: Vec<u32>,
+    /// Flattened neighbour lists: for a node its out-edges then in-edges, for
+    /// an edge its `from` endpoint then (unless a self-loop) its `to` endpoint.
+    csr_neighbors: Vec<SummaryElement>,
     class_nodes: HashMap<VertexId, SummaryNodeId>,
     thing_node: SummaryNodeId,
     value_nodes: HashMap<VertexId, SummaryNodeId>,
     artificial_value_nodes: HashMap<EdgeLabelId, SummaryNodeId>,
     keyword_elements: Vec<Vec<KeywordElement>>,
-    match_scores: HashMap<SummaryElement, f64>,
+    /// Best matching score per dense element index (1.0 for non-keyword
+    /// elements), replacing the former `HashMap<SummaryElement, f64>` probe.
+    match_scores: Vec<f64>,
     total_entities: usize,
     total_relation_edges: usize,
 }
@@ -79,26 +105,73 @@ impl<'g> AugmentedSummaryGraph<'g> {
             edges,
             out_adj,
             in_adj,
+            csr_offsets: Vec::new(),
+            csr_neighbors: Vec::new(),
             class_nodes,
             thing_node: base.thing_node(),
             value_nodes: HashMap::new(),
             artificial_value_nodes: HashMap::new(),
             keyword_elements: Vec::with_capacity(matches_per_keyword.len()),
-            match_scores: HashMap::new(),
+            match_scores: Vec::new(),
             total_entities: base.total_entities(),
             total_relation_edges: base.total_relation_edges(),
         };
 
+        // Best matching score per element, folded over all keywords; only
+        // needed while the element set is still growing.
+        let mut best_scores: HashMap<SummaryElement, f64> = HashMap::new();
         for keyword_matches in matches_per_keyword {
             let mut elements: Vec<KeywordElement> = Vec::new();
             for m in keyword_matches {
                 for element in augmented.attach_match(base, m) {
-                    augmented.record_keyword_element(&mut elements, element, m.score);
+                    record_keyword_element(&mut best_scores, &mut elements, element, m.score);
                 }
             }
             augmented.keyword_elements.push(elements);
         }
+        augmented.finalize(&best_scores);
         augmented
+    }
+
+    /// Freezes the element set: flattens the build-time adjacency lists into
+    /// the CSR arrays and densifies the matching scores. After this point
+    /// `neighbors()` is allocation-free and `match_score()` is an array load.
+    fn finalize(&mut self, best_scores: &HashMap<SummaryElement, f64>) {
+        let node_count = self.nodes.len();
+        let degree_sum: usize = self
+            .out_adj
+            .iter()
+            .zip(&self.in_adj)
+            .map(|(o, i)| o.len() + i.len())
+            .sum();
+        self.csr_offsets = Vec::with_capacity(node_count + self.edges.len() + 1);
+        self.csr_neighbors = Vec::with_capacity(degree_sum + 2 * self.edges.len());
+        self.csr_offsets.push(0);
+        // Nodes first: out-edges then in-edges, preserving insertion order.
+        for (out, inc) in self.out_adj.iter().zip(&self.in_adj) {
+            self.csr_neighbors
+                .extend(out.iter().map(|&e| SummaryElement::Edge(e)));
+            self.csr_neighbors
+                .extend(inc.iter().map(|&e| SummaryElement::Edge(e)));
+            self.csr_offsets.push(self.csr_neighbors.len() as u32);
+        }
+        // Then edges: endpoints inlined (one entry for self-loops).
+        for edge in &self.edges {
+            self.csr_neighbors.push(SummaryElement::Node(edge.from));
+            if edge.to != edge.from {
+                self.csr_neighbors.push(SummaryElement::Node(edge.to));
+            }
+            self.csr_offsets.push(self.csr_neighbors.len() as u32);
+        }
+        // The per-node lists are no longer needed; free them.
+        self.out_adj = Vec::new();
+        self.in_adj = Vec::new();
+
+        self.match_scores = vec![1.0; node_count + self.edges.len()];
+        for (&element, &score) in best_scores {
+            let index = self.element_index(element);
+            self.match_scores[index] = score;
+        }
     }
 
     /// Attaches a single keyword match to the graph and returns the summary
@@ -153,25 +226,6 @@ impl<'g> AugmentedSummaryGraph<'g> {
                     })
                     .collect()
             }
-        }
-    }
-
-    fn record_keyword_element(
-        &mut self,
-        elements: &mut Vec<KeywordElement>,
-        element: SummaryElement,
-        score: f64,
-    ) {
-        let best = self.match_scores.entry(element).or_insert(0.0);
-        if score > *best {
-            *best = score;
-        }
-        if let Some(existing) = elements.iter_mut().find(|e| e.element == element) {
-            if score > existing.score {
-                existing.score = score;
-            }
-        } else {
-            elements.push(KeywordElement { element, score });
         }
     }
 
@@ -254,6 +308,33 @@ impl<'g> AugmentedSummaryGraph<'g> {
         self.node_count() + self.edge_count()
     }
 
+    /// The dense index of an element: nodes occupy `0..node_count()`, edges
+    /// follow at `node_count()..element_count()`. The inverse of
+    /// [`Self::element_from_index`].
+    #[inline]
+    pub fn element_index(&self, element: SummaryElement) -> usize {
+        match element {
+            SummaryElement::Node(n) => n.index(),
+            SummaryElement::Edge(e) => self.nodes.len() + e.index(),
+        }
+    }
+
+    /// The element with the given dense index (see [`Self::element_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= element_count()`.
+    #[inline]
+    pub fn element_from_index(&self, index: usize) -> SummaryElement {
+        if index < self.nodes.len() {
+            SummaryElement::Node(SummaryNodeId(index as u32))
+        } else {
+            let edge = index - self.nodes.len();
+            assert!(edge < self.edges.len(), "element index out of bounds");
+            SummaryElement::Edge(SummaryEdgeId(edge as u32))
+        }
+    }
+
     /// The node record.
     pub fn node(&self, id: SummaryNodeId) -> SummaryNode {
         self.nodes[id.index()]
@@ -271,29 +352,15 @@ impl<'g> AugmentedSummaryGraph<'g> {
         nodes.chain(edges)
     }
 
-    /// The neighbours of an element: for a node its incident edges, for an
-    /// edge its two endpoints. Exploration traverses incoming and outgoing
-    /// edges alike ("forward search is equally important as backward
-    /// search").
-    pub fn neighbors(&self, element: SummaryElement) -> Vec<SummaryElement> {
-        match element {
-            SummaryElement::Node(n) => {
-                let mut out: Vec<SummaryElement> = Vec::with_capacity(
-                    self.out_adj[n.index()].len() + self.in_adj[n.index()].len(),
-                );
-                out.extend(self.out_adj[n.index()].iter().map(|&e| SummaryElement::Edge(e)));
-                out.extend(self.in_adj[n.index()].iter().map(|&e| SummaryElement::Edge(e)));
-                out
-            }
-            SummaryElement::Edge(e) => {
-                let edge = self.edges[e.index()];
-                if edge.from == edge.to {
-                    vec![SummaryElement::Node(edge.from)]
-                } else {
-                    vec![SummaryElement::Node(edge.from), SummaryElement::Node(edge.to)]
-                }
-            }
-        }
+    /// The neighbours of an element: for a node its incident edges (outgoing
+    /// then incoming), for an edge its two endpoints. Exploration traverses
+    /// incoming and outgoing edges alike ("forward search is equally
+    /// important as backward search"). Borrowed straight from the CSR arrays
+    /// — no allocation.
+    #[inline]
+    pub fn neighbors(&self, element: SummaryElement) -> &[SummaryElement] {
+        let i = self.element_index(element);
+        &self.csr_neighbors[self.csr_offsets[i] as usize..self.csr_offsets[i + 1] as usize]
     }
 
     /// The keyword elements of every keyword (aligned with the keyword order
@@ -303,9 +370,10 @@ impl<'g> AugmentedSummaryGraph<'g> {
     }
 
     /// The matching score of an element: `s_m` for keyword elements, 1.0 for
-    /// all others (Section V, C3).
+    /// all others (Section V, C3). A dense-table load, no hashing.
+    #[inline]
     pub fn match_score(&self, element: SummaryElement) -> f64 {
-        self.match_scores.get(&element).copied().unwrap_or(1.0)
+        self.match_scores[self.element_index(element)]
     }
 
     /// Number of data-graph elements aggregated by `element`.
@@ -343,6 +411,27 @@ impl<'g> AugmentedSummaryGraph<'g> {
                 SummaryEdgeKind::SubClass => kwsearch_rdf::vocab::SUBCLASS,
             },
         }
+    }
+}
+
+/// Folds one keyword match into the per-keyword element list and the global
+/// best-score map, keeping the highest score per element.
+fn record_keyword_element(
+    best_scores: &mut HashMap<SummaryElement, f64>,
+    elements: &mut Vec<KeywordElement>,
+    element: SummaryElement,
+    score: f64,
+) {
+    let best = best_scores.entry(element).or_insert(0.0);
+    if score > *best {
+        *best = score;
+    }
+    if let Some(existing) = elements.iter_mut().find(|e| e.element == element) {
+        if score > existing.score {
+            existing.score = score;
+        }
+    } else {
+        elements.push(KeywordElement { element, score });
     }
 }
 
@@ -489,7 +578,7 @@ mod tests {
         let base = SummaryGraph::build(&g);
         let aug = augmented_for(&g, &base, &["2006", "cimiano", "aifb"]);
         for element in aug.elements() {
-            for n in aug.neighbors(element) {
+            for &n in aug.neighbors(element) {
                 assert!(
                     aug.neighbors(n).contains(&element),
                     "neighbor relation must be symmetric: {element:?} / {n:?}"
@@ -515,6 +604,47 @@ mod tests {
         let aug = augmented_for(&g, &base, &["aifb", "aifb"]);
         assert_eq!(aug.node_count(), base.node_count() + 1);
         assert_eq!(aug.keyword_elements()[0], aug.keyword_elements()[1]);
+    }
+
+    #[test]
+    fn dense_indices_round_trip_nodes_before_edges() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let aug = augmented_for(&g, &base, &["2006", "cimiano", "aifb"]);
+        for (expected, element) in aug.elements().enumerate() {
+            assert_eq!(aug.element_index(element), expected);
+            assert_eq!(aug.element_from_index(expected), element);
+        }
+        // Invariant: nodes occupy the low indices, edges follow.
+        assert_eq!(
+            aug.element_index(aug.element_from_index(aug.node_count())),
+            aug.node_count()
+        );
+        assert!(aug
+            .element_from_index(aug.node_count())
+            .as_edge()
+            .is_some());
+    }
+
+    #[test]
+    fn csr_neighbors_match_edge_records() {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let aug = augmented_for(&g, &base, &["2006", "cimiano", "aifb"]);
+        for element in aug.elements() {
+            if let Some(e) = element.as_edge() {
+                let edge = aug.edge(e);
+                let expected: Vec<SummaryElement> = if edge.from == edge.to {
+                    vec![SummaryElement::Node(edge.from)]
+                } else {
+                    vec![
+                        SummaryElement::Node(edge.from),
+                        SummaryElement::Node(edge.to),
+                    ]
+                };
+                assert_eq!(aug.neighbors(element), expected.as_slice());
+            }
+        }
     }
 
     #[test]
