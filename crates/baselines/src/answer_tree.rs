@@ -25,10 +25,7 @@ impl AnswerTree {
     /// Builds a tree from per-keyword paths, deriving the weight from the
     /// paths' edge counts.
     pub fn new(root: VertexId, paths: Vec<Vec<VertexId>>) -> Self {
-        let weight = paths
-            .iter()
-            .map(|p| p.len().saturating_sub(1) as f64)
-            .sum();
+        let weight = paths.iter().map(|p| p.len().saturating_sub(1) as f64).sum();
         Self {
             root,
             paths,

@@ -51,11 +51,7 @@ mod tests {
         let result = bfs_search(&g, &groups, 5, 6);
         assert!(!result.is_empty());
         for tree in &result.trees {
-            let expected: f64 = tree
-                .paths
-                .iter()
-                .map(|p| (p.len() - 1) as f64)
-                .sum();
+            let expected: f64 = tree.paths.iter().map(|p| (p.len() - 1) as f64).sum();
             assert_eq!(tree.weight, expected);
         }
     }

@@ -13,10 +13,7 @@ use kwsearch_rdf::{DataGraph, VertexId, VertexKind};
 /// The result has one entry per keyword, in input order; keywords without
 /// any match yield an empty list.
 pub fn match_keywords<S: AsRef<str>>(graph: &DataGraph, keywords: &[S]) -> Vec<Vec<VertexId>> {
-    let lowered: Vec<String> = keywords
-        .iter()
-        .map(|k| k.as_ref().to_lowercase())
-        .collect();
+    let lowered: Vec<String> = keywords.iter().map(|k| k.as_ref().to_lowercase()).collect();
     let mut result = vec![Vec::new(); keywords.len()];
     for v in graph.vertices() {
         let kind = graph.vertex_kind(v);
@@ -83,6 +80,9 @@ mod tests {
     fn no_fuzzy_matching_for_baselines() {
         let g = figure1_graph();
         let matches = match_keywords(&g, &["cimano"]);
-        assert!(matches[0].is_empty(), "baselines match exactly, no typo tolerance");
+        assert!(
+            matches[0].is_empty(),
+            "baselines match exactly, no typo tolerance"
+        );
     }
 }

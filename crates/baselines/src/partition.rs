@@ -67,9 +67,9 @@ pub fn partition_graph(graph: &DataGraph, num_blocks: usize) -> Partitioning {
     let mut queue: VecDeque<VertexId> = VecDeque::new();
 
     let assign = |v: VertexId,
-                      block_of: &mut Vec<u32>,
-                      blocks: &mut Vec<Vec<VertexId>>,
-                      current: &mut Vec<VertexId>| {
+                  block_of: &mut Vec<u32>,
+                  blocks: &mut Vec<Vec<VertexId>>,
+                  current: &mut Vec<VertexId>| {
         block_of[v.index()] = blocks.len() as u32;
         current.push(v);
         if current.len() >= target {

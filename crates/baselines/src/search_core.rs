@@ -283,8 +283,7 @@ mod tests {
         ];
         // Restrict to only the two keyword vertices: no connection possible.
         let allowed: HashSet<VertexId> = groups.iter().flatten().copied().collect();
-        let result =
-            multi_source_search(&g, &groups, &SearchParams::default(), Some(&allowed));
+        let result = multi_source_search(&g, &groups, &SearchParams::default(), Some(&allowed));
         assert!(result.is_empty());
     }
 

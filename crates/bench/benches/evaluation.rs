@@ -60,5 +60,9 @@ fn bench_end_to_end_vs_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_evaluation, bench_end_to_end_vs_baseline);
+criterion_group!(
+    benches,
+    bench_query_evaluation,
+    bench_end_to_end_vs_baseline
+);
 criterion_main!(benches);

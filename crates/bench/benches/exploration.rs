@@ -12,7 +12,10 @@ fn bench_search_by_keyword_count(c: &mut Criterion) {
     let queries = dblp_performance_queries(&dataset);
 
     let mut group = c.benchmark_group("top_k_search");
-    for query in queries.iter().filter(|q| ["Q1", "Q4", "Q7"].contains(&q.id.as_str())) {
+    for query in queries
+        .iter()
+        .filter(|q| ["Q1", "Q4", "Q7"].contains(&q.id.as_str()))
+    {
         group.bench_with_input(
             BenchmarkId::new("keywords", query.keywords.len()),
             query,

@@ -140,8 +140,7 @@ fn main() {
         "top-1 answerable",
     ]);
     for variant in variants() {
-        let (total, mrr, answerable) =
-            measure(&dataset, &variant, &performance, &effectiveness);
+        let (total, mrr, answerable) = measure(&dataset, &variant, &performance, &effectiveness);
         table.row([
             variant.name.to_string(),
             format_duration(total),

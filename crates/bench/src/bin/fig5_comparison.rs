@@ -43,9 +43,8 @@ fn main() {
     );
 
     // Off-line phases (not charged to the per-query times, as in the paper).
-    let (engine, engine_build) = time(|| {
-        KeywordSearchEngine::with_config(dataset.graph.clone(), SearchConfig::with_k(K))
-    });
+    let (engine, engine_build) =
+        time(|| KeywordSearchEngine::with_config(dataset.graph.clone(), SearchConfig::with_k(K)));
     let vertex_count = dataset.graph.vertex_count();
     let (fine, fine_build) = time(|| partition_graph(&dataset.graph, (vertex_count / 40).max(4)));
     let (coarse, coarse_build) =
@@ -76,7 +75,8 @@ fn main() {
 
         let (_, ours) = time(|| engine.search_and_answer(keywords, MIN_ANSWERS));
         let (groups, _) = time(|| match_keywords(&dataset.graph, keywords));
-        let (_, bidirect) = time(|| bidirectional_search(&dataset.graph, &groups, K, BASELINE_DMAX));
+        let (_, bidirect) =
+            time(|| bidirectional_search(&dataset.graph, &groups, K, BASELINE_DMAX));
         let (_, backward) = time(|| backward_search(&dataset.graph, &groups, K, BASELINE_DMAX));
         let (_, bfs) = time(|| bfs_search(&dataset.graph, &groups, K, BASELINE_DMAX));
         let (_, part_fine) =
@@ -84,14 +84,11 @@ fn main() {
         let (_, part_coarse) =
             time(|| partitioned_search(&dataset.graph, &coarse, &groups, K, BASELINE_DMAX));
 
-        for (total, duration) in totals.iter_mut().zip([
-            ours,
-            bidirect,
-            backward,
-            bfs,
-            part_fine,
-            part_coarse,
-        ]) {
+        for (total, duration) in
+            totals
+                .iter_mut()
+                .zip([ours, bidirect, backward, bfs, part_fine, part_coarse])
+        {
             *total += duration;
         }
 
@@ -120,7 +117,5 @@ fn main() {
     table.print();
 
     let speedup = totals[1].as_secs_f64() / totals[0].as_secs_f64().max(1e-9);
-    println!(
-        "\nspeed-up of our solution over bidirectional search (total): {speedup:.1}x"
-    );
+    println!("\nspeed-up of our solution over bidirectional search (total): {speedup:.1}x");
 }

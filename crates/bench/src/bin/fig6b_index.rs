@@ -9,7 +9,9 @@
 //! far the most V-vertices), while the graph index is largest for TAP (it
 //! has by far the most classes); preprocessing stays affordable throughout.
 
-use kwsearch_bench::{dblp_dataset, format_duration, lubm_dataset, tap_dataset, ScaleProfile, Table};
+use kwsearch_bench::{
+    dblp_dataset, format_duration, lubm_dataset, tap_dataset, ScaleProfile, Table,
+};
 use kwsearch_keyword_index::KeywordIndex;
 use kwsearch_rdf::{DataGraph, GraphStats};
 use kwsearch_summary::SummaryGraph;

@@ -1,28 +1,42 @@
-//! `perf_topk` — the exploration performance tracker.
+//! `perf_topk` — the exploration + answer-phase performance tracker.
 //!
 //! Runs the DBLP, TAP and LUBM keyword workloads through the top-k engine at
 //! the scale selected by `KWSEARCH_SCALE` (small/medium/large, default
-//! medium), prints a per-query table, and writes a machine-readable
+//! medium), prints per-query tables, and writes a machine-readable
 //! `BENCH_topk.json` (override the path with `KWSEARCH_BENCH_OUT`) so every
 //! commit leaves a perf datapoint that CI archives.
 //!
-//! Reported per query: best-of-N wall time, result count, and the
-//! exploration counters (cursors created/expanded, queue pushes/pops, peak
-//! queue length, wasted-work ratio, threshold termination). See the README
-//! "Performance" section for the JSON schema.
-
-use std::time::Instant;
+//! Two phases are tracked per query, mirroring the paper's Fig. 5 metric
+//! ("the time for computing the top-10 queries plus the time for processing
+//! several queries (the top ones) until finding at least 10 answers"):
+//!
+//! * **search** — best-of-N wall time of the top-k query computation, result
+//!   count, and the exploration counters (cursors created/expanded, queue
+//!   pushes/pops, peak queue length, wasted-work ratio),
+//! * **answer phase** — best-of-N wall time of processing the top queries in
+//!   rank order until ≥ `MIN_ANSWERS` answers exist, via the streaming
+//!   evaluator, next to the same loop driven by the pre-streaming
+//!   materializing reference evaluator as the baseline.
+//!
+//! See the README "Performance" section for the JSON schema.
 
 use kwsearch_bench::{
-    dblp_dataset, json_f64, json_string, lubm_dataset, tap_dataset, ScaleProfile, Table,
+    best_of_ms, dblp_dataset, json_f64, json_string, lubm_dataset, tap_dataset, ScaleProfile, Table,
 };
-use kwsearch_core::{ExplorationStats, KeywordSearchEngine, SearchConfig, SearchOutcome};
+use kwsearch_core::{
+    ExplorationStats, KeywordSearchEngine, RankedQuery, SearchConfig, SearchOutcome,
+};
 use kwsearch_datagen::workload::{dblp_performance_queries, tap_effectiveness_workload};
 use kwsearch_datagen::LubmDataset;
+use kwsearch_query::eval::{reference, DEFAULT_MAX_INTERMEDIATE_ROWS};
 
 /// Timed repetitions per query; the best run is reported to damp scheduler
 /// noise (small-scale CI runs are sub-millisecond).
 const REPETITIONS: usize = 3;
+
+/// The paper's Fig. 5 answer target: queries are processed until at least
+/// this many answers exist.
+const MIN_ANSWERS: usize = 10;
 
 struct QueryRecord {
     id: String,
@@ -30,6 +44,15 @@ struct QueryRecord {
     wall_ms: f64,
     results: usize,
     stats: ExplorationStats,
+    /// Answers retrieved by the answer phase (streaming evaluator).
+    answers_found: usize,
+    /// Queries processed until the answer target was reached.
+    answer_queries_processed: usize,
+    /// Best-of-N wall time of the streaming answer phase.
+    answer_ms: f64,
+    /// Best-of-N wall time of the same answer phase driven by the
+    /// materializing reference evaluator (the pre-streaming baseline).
+    materializing_ms: f64,
 }
 
 struct DatasetReport {
@@ -41,6 +64,42 @@ impl DatasetReport {
     fn total_wall_ms(&self) -> f64 {
         self.records.iter().map(|r| r.wall_ms).sum()
     }
+
+    fn total_answer_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.answer_ms).sum()
+    }
+
+    fn total_materializing_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.materializing_ms).sum()
+    }
+}
+
+/// The answer phase driven by the materializing reference evaluator: the
+/// exact until-`min_answers` loop of `KeywordSearchEngine::answer_queries`,
+/// but each query is evaluated by full intermediate-result materialization.
+fn materializing_answer_phase(
+    engine: &KeywordSearchEngine,
+    queries: &[RankedQuery],
+    min_answers: usize,
+) -> (usize, usize) {
+    let mut total = 0usize;
+    let mut processed = 0usize;
+    for ranked in queries {
+        processed += 1;
+        if let Ok(set) = reference::evaluate_with_limit(
+            engine.graph(),
+            engine.store(),
+            &ranked.query,
+            Some(min_answers.saturating_sub(total)),
+            DEFAULT_MAX_INTERMEDIATE_ROWS,
+        ) {
+            total += set.len();
+        }
+        if total >= min_answers {
+            break;
+        }
+    }
+    (total, processed)
 }
 
 fn run_workload(
@@ -55,22 +114,34 @@ fn run_workload(
         // the engine is deterministic, so every repetition returns the same
         // result).
         let outcome: SearchOutcome = engine.search_with(keywords, config);
-        let mut best_ms = f64::INFINITY;
-        for _ in 0..REPETITIONS {
-            let start = Instant::now();
-            let timed = engine.search_with(keywords, config);
-            let ms = start.elapsed().as_secs_f64() * 1000.0;
-            std::hint::black_box(timed);
-            if ms < best_ms {
-                best_ms = ms;
-            }
-        }
+        let best_ms = best_of_ms(REPETITIONS, || {
+            std::hint::black_box(engine.search_with(keywords, config));
+        });
+
+        // Answer phase: process the top queries until MIN_ANSWERS answers
+        // exist — streaming evaluator vs. the materializing baseline.
+        let phase = engine.answer_queries(&outcome.queries, MIN_ANSWERS);
+        let answer_ms = best_of_ms(REPETITIONS, || {
+            std::hint::black_box(engine.answer_queries(&outcome.queries, MIN_ANSWERS));
+        });
+        let materializing_ms = best_of_ms(REPETITIONS, || {
+            std::hint::black_box(materializing_answer_phase(
+                engine,
+                &outcome.queries,
+                MIN_ANSWERS,
+            ));
+        });
+
         records.push(QueryRecord {
             id: id.clone(),
             keywords: keywords.clone(),
             wall_ms: best_ms,
             results: outcome.queries.len(),
             stats: outcome.exploration,
+            answers_found: phase.total_answers(),
+            answer_queries_processed: phase.queries_processed,
+            answer_ms,
+            materializing_ms,
         });
     }
     DatasetReport { name, records }
@@ -82,8 +153,14 @@ fn run_workload(
 fn lubm_queries(dataset: &LubmDataset) -> Vec<(String, Vec<String>)> {
     let pick = |names: &[String], i: usize| names[i % names.len()].clone();
     let specs: Vec<Vec<String>> = vec![
-        vec![pick(&dataset.professor_names, 0), pick(&dataset.university_names, 0)],
-        vec![pick(&dataset.course_names, 0), pick(&dataset.department_names, 0)],
+        vec![
+            pick(&dataset.professor_names, 0),
+            pick(&dataset.university_names, 0),
+        ],
+        vec![
+            pick(&dataset.course_names, 0),
+            pick(&dataset.department_names, 0),
+        ],
         vec![pick(&dataset.professor_names, 1), "course".to_string()],
         vec!["professor".to_string(), pick(&dataset.department_names, 1)],
         vec![
@@ -108,7 +185,15 @@ fn lubm_queries(dataset: &LubmDataset) -> Vec<(String, Vec<String>)> {
 fn print_table(report: &DatasetReport) {
     println!("== {} ==", report.name);
     let mut table = Table::new([
-        "query", "kw", "time (ms)", "results", "created", "expanded", "pushes", "pops", "peak",
+        "query",
+        "kw",
+        "time (ms)",
+        "results",
+        "created",
+        "expanded",
+        "pushes",
+        "pops",
+        "peak",
         "wasted",
     ]);
     for r in &report.records {
@@ -129,6 +214,43 @@ fn print_table(report: &DatasetReport) {
     println!("total: {:.3} ms\n", report.total_wall_ms());
 }
 
+fn print_answer_table(report: &DatasetReport) {
+    println!(
+        "== {} answer phase (until >= {MIN_ANSWERS} answers) ==",
+        report.name
+    );
+    let mut table = Table::new([
+        "query",
+        "answers",
+        "processed",
+        "streaming (ms)",
+        "materializing (ms)",
+        "speedup",
+    ]);
+    for r in &report.records {
+        let speedup = if r.answer_ms > 0.0 {
+            r.materializing_ms / r.answer_ms
+        } else {
+            f64::INFINITY
+        };
+        table.row([
+            r.id.clone(),
+            r.answers_found.to_string(),
+            r.answer_queries_processed.to_string(),
+            format!("{:.3}", r.answer_ms),
+            format!("{:.3}", r.materializing_ms),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    table.print();
+    println!(
+        "total: streaming {:.3} ms, materializing {:.3} ms ({:.2}x)\n",
+        report.total_answer_ms(),
+        report.total_materializing_ms(),
+        report.total_materializing_ms() / report.total_answer_ms().max(1e-9)
+    );
+}
+
 fn query_json(r: &QueryRecord) -> String {
     let keywords: Vec<String> = r.keywords.iter().map(|k| json_string(k)).collect();
     format!(
@@ -137,7 +259,9 @@ fn query_json(r: &QueryRecord) -> String {
             "\"cursors_created\": {}, \"cursors_expanded\": {}, \"elements_visited\": {}, ",
             "\"candidates_generated\": {}, \"queue_pushes\": {}, \"queue_pops\": {}, ",
             "\"peak_queue_len\": {}, \"wasted_queue_ratio\": {}, ",
-            "\"terminated_by_threshold\": {}}}"
+            "\"terminated_by_threshold\": {}, ",
+            "\"answer_phase\": {{\"answers\": {}, \"queries_processed\": {}, ",
+            "\"wall_ms\": {}, \"materializing_wall_ms\": {}}}}}"
         ),
         json_string(&r.id),
         keywords.join(", "),
@@ -152,6 +276,10 @@ fn query_json(r: &QueryRecord) -> String {
         r.stats.peak_queue_len,
         json_f64(r.stats.wasted_queue_ratio()),
         r.stats.terminated_by_threshold,
+        r.answers_found,
+        r.answer_queries_processed,
+        json_f64(r.answer_ms),
+        json_f64(r.materializing_ms),
     )
 }
 
@@ -161,9 +289,16 @@ fn report_json(profile: ScaleProfile, config: &SearchConfig, reports: &[DatasetR
         .map(|report| {
             let queries: Vec<String> = report.records.iter().map(query_json).collect();
             format!(
-                "    {{\"name\": {}, \"total_wall_ms\": {}, \"queries\": [\n      {}\n    ]}}",
+                concat!(
+                    "    {{\"name\": {}, \"total_wall_ms\": {}, ",
+                    "\"answer_phase\": {{\"min_answers\": {}, \"total_wall_ms\": {}, ",
+                    "\"total_materializing_wall_ms\": {}}}, \"queries\": [\n      {}\n    ]}}"
+                ),
                 json_string(report.name),
                 json_f64(report.total_wall_ms()),
+                MIN_ANSWERS,
+                json_f64(report.total_answer_ms()),
+                json_f64(report.total_materializing_ms()),
                 queries.join(",\n      ")
             )
         })
@@ -171,9 +306,9 @@ fn report_json(profile: ScaleProfile, config: &SearchConfig, reports: &[DatasetR
     format!(
         concat!(
             "{{\n",
-            "  \"schema_version\": 1,\n",
+            "  \"schema_version\": 2,\n",
             "  \"scale\": {},\n",
-            "  \"config\": {{\"k\": {}, \"dmax\": {}, \"scoring\": {}}},\n",
+            "  \"config\": {{\"k\": {}, \"dmax\": {}, \"scoring\": {}, \"min_answers\": {}}},\n",
             "  \"datasets\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -181,6 +316,7 @@ fn report_json(profile: ScaleProfile, config: &SearchConfig, reports: &[DatasetR
         config.k,
         config.dmax,
         json_string(config.scoring.short_name()),
+        MIN_ANSWERS,
         datasets.join(",\n")
     )
 }
@@ -189,11 +325,12 @@ fn main() {
     let profile = ScaleProfile::from_env();
     let config = SearchConfig::default();
     println!(
-        "== perf_topk: scale {} · k {} · {} · best of {} ==\n",
+        "== perf_topk: scale {} · k {} · {} · best of {} · answers until {} ==\n",
         profile.name(),
         config.k,
         config.scoring,
-        REPETITIONS
+        REPETITIONS,
+        MIN_ANSWERS
     );
 
     let dblp = dblp_dataset(profile);
@@ -204,6 +341,7 @@ fn main() {
         .collect();
     let dblp_report = run_workload("dblp", &dblp_engine, &dblp_queries, &config);
     print_table(&dblp_report);
+    print_answer_table(&dblp_report);
 
     let tap = tap_dataset(profile);
     let tap_engine = KeywordSearchEngine::new(tap.graph.clone());
@@ -213,11 +351,13 @@ fn main() {
         .collect();
     let tap_report = run_workload("tap", &tap_engine, &tap_queries, &config);
     print_table(&tap_report);
+    print_answer_table(&tap_report);
 
     let lubm = lubm_dataset(profile);
     let lubm_engine = KeywordSearchEngine::new(lubm.graph.clone());
     let lubm_report = run_workload("lubm", &lubm_engine, &lubm_queries(&lubm), &config);
     print_table(&lubm_report);
+    print_answer_table(&lubm_report);
 
     let out_path =
         std::env::var("KWSEARCH_BENCH_OUT").unwrap_or_else(|_| "BENCH_topk.json".to_string());

@@ -96,7 +96,9 @@ mod tests {
     fn profiles_scale_monotonically() {
         assert!(ScaleProfile::Small.dblp_publications() < ScaleProfile::Medium.dblp_publications());
         assert!(ScaleProfile::Medium.dblp_publications() < ScaleProfile::Large.dblp_publications());
-        assert!(ScaleProfile::Small.lubm_universities() <= ScaleProfile::Medium.lubm_universities());
+        assert!(
+            ScaleProfile::Small.lubm_universities() <= ScaleProfile::Medium.lubm_universities()
+        );
         assert!(
             ScaleProfile::Small.tap_instances_per_class()
                 < ScaleProfile::Large.tap_instances_per_class()

@@ -24,4 +24,4 @@ pub mod datasets;
 pub mod report;
 
 pub use datasets::{dblp_dataset, lubm_dataset, tap_dataset, ScaleProfile};
-pub use report::{format_duration, json_f64, json_string, time, Table};
+pub use report::{best_of_ms, format_duration, json_f64, json_string, time, Table};

@@ -15,6 +15,22 @@ pub fn format_duration(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1000.0)
 }
 
+/// Runs `f` `repetitions` times (at least once) and returns the best
+/// (minimum) wall-clock time in milliseconds — the measurement the benchmark
+/// binaries report, to damp scheduler noise.
+pub fn best_of_ms(repetitions: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repetitions.max(1) {
+        let start = Instant::now();
+        f();
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        if ms < best {
+            best = ms;
+        }
+    }
+    best
+}
+
 /// Serializes a string as a JSON string literal (quoted, with the control
 /// characters, quotes and backslashes escaped). The benchmark binaries emit
 /// their machine-readable output by hand — the workspace deliberately has no
@@ -140,6 +156,19 @@ mod tests {
     fn duration_formatting_is_in_milliseconds() {
         assert_eq!(format_duration(Duration::from_millis(12)), "12.000");
         assert_eq!(format_duration(Duration::from_micros(1500)), "1.500");
+    }
+
+    #[test]
+    fn best_of_ms_runs_at_least_once_and_is_finite() {
+        let mut calls = 0usize;
+        let best = best_of_ms(0, || calls += 1);
+        assert_eq!(calls, 1, "zero repetitions still measure once");
+        assert!(best.is_finite() && best >= 0.0);
+
+        let mut calls = 0usize;
+        let best = best_of_ms(3, || calls += 1);
+        assert_eq!(calls, 3);
+        assert!(best.is_finite() && best >= 0.0);
     }
 
     #[test]

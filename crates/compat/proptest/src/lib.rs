@@ -43,7 +43,10 @@ pub mod collection {
 
     /// Create a strategy for `Vec`s with lengths in `size`.
     pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
-        assert!(size.start < size.end, "empty size range for collection::vec");
+        assert!(
+            size.start < size.end,
+            "empty size range for collection::vec"
+        );
         VecStrategy { element, size }
     }
 
@@ -73,7 +76,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Ord,
     {
-        assert!(size.start < size.end, "empty size range for collection::btree_set");
+        assert!(
+            size.start < size.end,
+            "empty size range for collection::btree_set"
+        );
         BTreeSetStrategy { element, size }
     }
 

@@ -131,11 +131,7 @@ fn parse_class(class: &[char], pattern: &str) -> Result<Vec<char>, Error> {
 }
 
 /// Parse an optional quantifier at `chars[*i]`, advancing `i` past it.
-fn parse_quantifier(
-    chars: &[char],
-    i: &mut usize,
-    pattern: &str,
-) -> Result<(usize, usize), Error> {
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> Result<(usize, usize), Error> {
     match chars.get(*i) {
         Some('{') => {
             let close = chars[*i..]

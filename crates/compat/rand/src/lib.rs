@@ -36,7 +36,10 @@ pub trait Rng: RngCore {
     /// Panics unless `0.0 <= p <= 1.0` (including `NaN`), matching upstream
     /// `rand` 0.8.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} is outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: p = {p} is outside [0, 1]"
+        );
         unit_f64(self.next_u64()) < p
     }
 }

@@ -222,7 +222,10 @@ mod tests {
         assert_eq!(path.len(), 3);
         assert_eq!(path[0], node(0));
         assert_eq!(path[2], node(1));
-        assert_eq!(arena.parent_element(tip), Some(SummaryElement::Edge(edges[0])));
+        assert_eq!(
+            arena.parent_element(tip),
+            Some(SummaryElement::Edge(edges[0]))
+        );
         assert_eq!(arena.parent_element(origin), None);
     }
 

@@ -427,8 +427,7 @@ mod tests {
         // counters.
         let wasted = stats.wasted_queue_ratio();
         assert!((0.0..=1.0).contains(&wasted));
-        let expected =
-            (stats.queue_pushes - stats.queue_pops) as f64 / stats.queue_pushes as f64;
+        let expected = (stats.queue_pushes - stats.queue_pops) as f64 / stats.queue_pushes as f64;
         assert!((wasted - expected).abs() < 1e-15);
         // A run terminated by the threshold leaves unexpanded cursors behind.
         let early = run(&aug, SearchConfig::with_k(1));
@@ -462,8 +461,10 @@ mod tests {
         // classes produce a cyclic matching subgraph (Publication -author->
         // Researcher and Publication -editor-> Researcher).
         let mut g = figure1_graph();
-        g.insert_triple(&kwsearch_rdf::Triple::relation("pub2URI", "editedBy", "re2URI"))
-            .unwrap();
+        g.insert_triple(&kwsearch_rdf::Triple::relation(
+            "pub2URI", "editedBy", "re2URI",
+        ))
+        .unwrap();
         let aug = augmented(&g, &["author", "editedBy"]);
         let outcome = run(&aug, SearchConfig::default());
         assert!(!outcome.subgraphs.is_empty());

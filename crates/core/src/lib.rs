@@ -37,7 +37,7 @@ pub mod subgraph;
 pub mod topk;
 
 pub use config::SearchConfig;
-pub use engine::{KeywordSearchEngine, SearchOutcome};
+pub use engine::{AnswerPhase, KeywordSearchEngine, SearchOutcome};
 pub use exploration::{ExplorationOutcome, ExplorationStats, Explorer};
 pub use query_map::map_subgraph_to_query;
 pub use result::RankedQuery;

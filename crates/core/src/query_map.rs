@@ -40,10 +40,7 @@ pub fn map_subgraph_to_query(
     let elements = subgraph.elements();
 
     // Stable variable naming: nodes in ascending id order get x0, x1, …
-    let mut nodes: BTreeSet<SummaryNodeId> = elements
-        .iter()
-        .filter_map(|e| e.as_node())
-        .collect();
+    let mut nodes: BTreeSet<SummaryNodeId> = elements.iter().filter_map(|e| e.as_node()).collect();
     // Edge endpoints participate in atoms even when the path ended on the
     // edge itself; make sure they have variables too.
     for element in elements {
@@ -67,7 +64,9 @@ pub fn map_subgraph_to_query(
             continue;
         };
         let edge = graph.edge(edge_id);
-        let predicate = graph.element_label(SummaryElement::Edge(edge_id)).to_string();
+        let predicate = graph
+            .element_label(SummaryElement::Edge(edge_id))
+            .to_string();
         match edge.kind {
             SummaryEdgeKind::Attribute { .. } => {
                 add_type_atom(graph, &variables, &mut query, edge.from);
@@ -204,7 +203,10 @@ mod tests {
     fn best_query(graph: &DataGraph, keywords: &[&str]) -> ConjunctiveQuery {
         let aug = augmented(graph, keywords);
         let outcome = Explorer::new(&aug, SearchConfig::default()).run();
-        assert!(!outcome.subgraphs.is_empty(), "no subgraph for {keywords:?}");
+        assert!(
+            !outcome.subgraphs.is_empty(),
+            "no subgraph for {keywords:?}"
+        );
         map_subgraph_to_query(&aug, &outcome.subgraphs[0])
     }
 
@@ -239,10 +241,7 @@ mod tests {
         );
         // pub1URI must appear in some binding of some answer.
         let pub1 = g.entity("pub1URI").unwrap();
-        assert!(answers
-            .rows()
-            .iter()
-            .any(|row| row.contains(&pub1)));
+        assert!(answers.rows().iter().any(|row| row.contains(&pub1)));
     }
 
     #[test]
@@ -278,7 +277,10 @@ mod tests {
             .iter()
             .find(|a| a.predicate == "year")
             .expect("year atom present");
-        assert!(year_atom.object.is_variable(), "artificial value becomes a variable");
+        assert!(
+            year_atom.object.is_variable(),
+            "artificial value becomes a variable"
+        );
         let answers = evaluate(&g, &q).unwrap();
         assert_eq!(answers.len(), 2, "both publications have a year");
     }

@@ -54,11 +54,7 @@ impl ScoringFunction {
     }
 
     /// The cost `c(n)` of a single element of the augmented summary graph.
-    pub fn element_cost(
-        self,
-        graph: &AugmentedSummaryGraph<'_>,
-        element: SummaryElement,
-    ) -> f64 {
+    pub fn element_cost(self, graph: &AugmentedSummaryGraph<'_>, element: SummaryElement) -> f64 {
         match self {
             ScoringFunction::PathLength => CostModel::Uniform.element_cost(graph, element),
             ScoringFunction::Popularity => CostModel::Popularity.element_cost(graph, element),
@@ -83,11 +79,7 @@ impl ScoringFunction {
     }
 
     /// The cost of a path given as a sequence of elements.
-    pub fn path_cost(
-        self,
-        graph: &AugmentedSummaryGraph<'_>,
-        path: &[SummaryElement],
-    ) -> f64 {
+    pub fn path_cost(self, graph: &AugmentedSummaryGraph<'_>, path: &[SummaryElement]) -> f64 {
         path.iter().map(|&e| self.element_cost(graph, e)).sum()
     }
 
@@ -129,10 +121,7 @@ mod tests {
         let g = figure1_graph();
         let aug = augmented(&g, &["aifb"]);
         let elements: Vec<SummaryElement> = aug.elements().take(4).collect();
-        assert_eq!(
-            ScoringFunction::PathLength.path_cost(&aug, &elements),
-            4.0
-        );
+        assert_eq!(ScoringFunction::PathLength.path_cost(&aug, &elements), 4.0);
     }
 
     #[test]
@@ -150,7 +139,8 @@ mod tests {
     #[test]
     fn c3_discounts_well_matching_keyword_elements() {
         let g = figure1_graph();
-        let aug = augmented(&g, &["aifb", "cimano"]); // second keyword has a typo
+        // Second keyword has a typo.
+        let aug = augmented(&g, &["aifb", "cimano"]);
         // The exact match scores s_m = 1.0, so C3 equals C2 for it.
         let exact = aug.keyword_elements()[0][0].element;
         let c2 = ScoringFunction::Popularity.element_cost(&aug, exact);
@@ -180,7 +170,10 @@ mod tests {
         assert_eq!(ScoringFunction::Popularity.to_string(), "C2");
         assert_eq!(ScoringFunction::PopularityAndMatch.to_string(), "C3");
         assert_eq!(ScoringFunction::all().len(), 3);
-        assert_eq!(ScoringFunction::default(), ScoringFunction::PopularityAndMatch);
+        assert_eq!(
+            ScoringFunction::default(),
+            ScoringFunction::PopularityAndMatch
+        );
     }
 
     #[test]

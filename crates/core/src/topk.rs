@@ -64,17 +64,13 @@ impl CandidateList {
                 // insertion point (after all equal-cost entries) reproduces
                 // the former stable re-sort exactly.
                 self.candidates.remove(idx);
-                let pos = self
-                    .candidates
-                    .partition_point(|c| c.cost <= subgraph.cost);
+                let pos = self.candidates.partition_point(|c| c.cost <= subgraph.cost);
                 self.candidates.insert(pos, subgraph);
                 return true;
             }
             return false;
         }
-        let pos = self
-            .candidates
-            .partition_point(|c| c.cost <= subgraph.cost);
+        let pos = self.candidates.partition_point(|c| c.cost <= subgraph.cost);
         self.candidates.insert(pos, subgraph);
         self.candidates.truncate(self.k);
         true
@@ -174,9 +170,7 @@ pub fn combinations_with_new_cursor(
                     }
                 })
                 .collect();
-            debug_assert!(paths
-                .iter()
-                .all(|p| p.elements.last() == Some(&element)));
+            debug_assert!(paths.iter().all(|p| p.elements.last() == Some(&element)));
             let subgraph = MatchingSubgraph::new(element, paths);
             debug_assert!(subgraph.is_connected(graph));
             subgraph
@@ -281,7 +275,11 @@ mod tests {
         AugmentedSummaryGraph::build(graph, &base, &matches)
     }
 
-    fn toy_subgraph(graph: &AugmentedSummaryGraph<'_>, cost: f64, extra: usize) -> MatchingSubgraph {
+    fn toy_subgraph(
+        graph: &AugmentedSummaryGraph<'_>,
+        cost: f64,
+        extra: usize,
+    ) -> MatchingSubgraph {
         let elements: Vec<SummaryElement> = graph.elements().take(2 + extra).collect();
         let connecting = *elements.last().unwrap();
         MatchingSubgraph::new(
@@ -359,7 +357,11 @@ mod tests {
         let mut hashes: Vec<u64> = list.best().iter().map(|s| s.element_hash()).collect();
         hashes.sort_unstable();
         hashes.dedup();
-        assert_eq!(hashes.len(), 3, "no duplicate element sets after improvement");
+        assert_eq!(
+            hashes.len(),
+            3,
+            "no duplicate element sets after improvement"
+        );
         // A worse duplicate of the improved entry is still rejected…
         assert!(!list.add(toy_subgraph(&aug, 6.0, 2)));
         // …even when the list is full and the duplicate beats the k-th cost.
@@ -371,7 +373,11 @@ mod tests {
         assert!(list.add(toy_subgraph(&aug, 2.0, 1)));
         let costs: Vec<f64> = list.best().iter().map(|s| s.cost).collect();
         assert_eq!(costs, vec![1.0, 2.0, 2.0]);
-        assert_eq!(list.best()[2].size(), 3, "the improved entry sorts after the tie");
+        assert_eq!(
+            list.best()[2].size(),
+            3,
+            "the improved entry sorts after the tie"
+        );
     }
 
     #[test]
@@ -388,8 +394,7 @@ mod tests {
             cost: 1.0,
         });
         // Keyword 1 has no path at the element yet: no combinations.
-        let combos =
-            combinations_with_new_cursor(&aug, &arena, value, &[vec![c0], vec![]], c0, 10);
+        let combos = combinations_with_new_cursor(&aug, &arena, value, &[vec![c0], vec![]], c0, 10);
         assert!(combos.is_empty());
     }
 

@@ -34,152 +34,1191 @@ fn check(keywords: &[&str], scoring: ScoringFunction, expected: &[Golden]) {
             "{keywords:?} {scoring} rank {i}: cost {} != expected bits",
             got.cost
         );
-        let mut labels: Vec<&str> = got.elements().iter().map(|&e| aug.element_label(e)).collect();
+        let mut labels: Vec<&str> = got
+            .elements()
+            .iter()
+            .map(|&e| aug.element_label(e))
+            .collect();
         labels.sort_unstable();
-        assert_eq!(labels, want.labels, "{keywords:?} {scoring} rank {i}: element set");
+        assert_eq!(
+            labels, want.labels,
+            "{keywords:?} {scoring} rank {i}: element set"
+        );
     }
 }
 
 #[test]
 fn golden_2006_cimiano_aifb_c1() {
-    check(&["2006", "cimiano", "aifb"], ScoringFunction::PathLength, &[
-        Golden { cost_bits: 0x402a000000000000, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt", "year"] },
-        Golden { cost_bits: 0x402a000000000000, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt", "year"] },
-        Golden { cost_bits: 0x4030000000000000, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "subclass", "worksAt", "year"] },
-        Golden { cost_bits: 0x4030000000000000, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "subclass", "worksAt", "year"] },
-        Golden { cost_bits: 0x4032000000000000, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "subclass", "worksAt", "year"] },
-        Golden { cost_bits: 0x4032000000000000, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "subclass", "worksAt", "year"] },
-        Golden { cost_bits: 0x4032000000000000, labels: &["2006", "AIFB", "Agent", "Institute", "P. Cimiano", "Person", "Publication", "Researcher", "author", "name", "name", "subclass", "subclass", "subclass", "year"] },
-        Golden { cost_bits: 0x4032000000000000, labels: &["2008", "AIFB", "Agent", "Institute", "P. Cimiano", "Person", "Publication", "Researcher", "author", "name", "name", "subclass", "subclass", "subclass", "year"] },
-        Golden { cost_bits: 0x4032000000000000, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "hasProject", "name", "name", "worksAt", "year"] },
-        Golden { cost_bits: 0x4032000000000000, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "hasProject", "name", "name", "worksAt", "year"] },
-    ]);
+    check(
+        &["2006", "cimiano", "aifb"],
+        ScoringFunction::PathLength,
+        &[
+            Golden {
+                cost_bits: 0x402a000000000000,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402a000000000000,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4030000000000000,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4030000000000000,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4032000000000000,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4032000000000000,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4032000000000000,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Agent",
+                    "Institute",
+                    "P. Cimiano",
+                    "Person",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "subclass",
+                    "subclass",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4032000000000000,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Agent",
+                    "Institute",
+                    "P. Cimiano",
+                    "Person",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "subclass",
+                    "subclass",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4032000000000000,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "hasProject",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4032000000000000,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "hasProject",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                ],
+            },
+        ],
+    );
 }
 
 #[test]
 fn golden_2006_cimiano_aifb_c2() {
-    check(&["2006", "cimiano", "aifb"], ScoringFunction::Popularity, &[
-        Golden { cost_bits: 0x4024155555555556, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt", "year"] },
-        Golden { cost_bits: 0x4024155555555556, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt", "year"] },
-        Golden { cost_bits: 0x4029155555555556, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "subclass", "worksAt", "year"] },
-        Golden { cost_bits: 0x4029155555555556, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "subclass", "worksAt", "year"] },
-        Golden { cost_bits: 0x402b955555555556, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "hasProject", "name", "name", "worksAt", "year"] },
-        Golden { cost_bits: 0x402b955555555556, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "hasProject", "name", "name", "worksAt", "year"] },
-        Golden { cost_bits: 0x402b955555555556, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt", "year", "year"] },
-        Golden { cost_bits: 0x402b955555555556, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt", "year", "year"] },
-        Golden { cost_bits: 0x402beaaaaaaaaaaa, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "subclass", "worksAt", "year"] },
-        Golden { cost_bits: 0x402beaaaaaaaaaaa, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "subclass", "worksAt", "year"] },
-    ]);
+    check(
+        &["2006", "cimiano", "aifb"],
+        ScoringFunction::Popularity,
+        &[
+            Golden {
+                cost_bits: 0x4024155555555556,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4024155555555556,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4029155555555556,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4029155555555556,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402b955555555556,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "hasProject",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402b955555555556,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "hasProject",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402b955555555556,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402b955555555556,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402beaaaaaaaaaaa,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402beaaaaaaaaaaa,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                    "year",
+                ],
+            },
+        ],
+    );
 }
 
 #[test]
 fn golden_2006_cimiano_aifb_c3() {
-    check(&["2006", "cimiano", "aifb"], ScoringFunction::PopularityAndMatch, &[
-        Golden { cost_bits: 0x4024155555555556, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt", "year"] },
-        Golden { cost_bits: 0x4024aaaaaaaaaaab, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt", "year"] },
-        Golden { cost_bits: 0x4029155555555556, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "subclass", "worksAt", "year"] },
-        Golden { cost_bits: 0x4029aaaaaaaaaaaa, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "subclass", "worksAt", "year"] },
-        Golden { cost_bits: 0x402b955555555556, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "hasProject", "name", "name", "worksAt", "year"] },
-        Golden { cost_bits: 0x402b955555555556, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt", "year", "year"] },
-        Golden { cost_bits: 0x402beaaaaaaaaaaa, labels: &["2006", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "subclass", "worksAt", "year"] },
-        Golden { cost_bits: 0x402c2aaaaaaaaaaa, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "hasProject", "name", "name", "worksAt", "year"] },
-        Golden { cost_bits: 0x402c2aaaaaaaaaaa, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt", "year", "year"] },
-        Golden { cost_bits: 0x402c800000000000, labels: &["2008", "AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "subclass", "worksAt", "year"] },
-    ]);
+    check(
+        &["2006", "cimiano", "aifb"],
+        ScoringFunction::PopularityAndMatch,
+        &[
+            Golden {
+                cost_bits: 0x4024155555555556,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4024aaaaaaaaaaab,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4029155555555556,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4029aaaaaaaaaaaa,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402b955555555556,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "hasProject",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402b955555555556,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402beaaaaaaaaaaa,
+                labels: &[
+                    "2006",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402c2aaaaaaaaaaa,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "hasProject",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402c2aaaaaaaaaaa,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                    "year",
+                    "year",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402c800000000000,
+                labels: &[
+                    "2008",
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                    "year",
+                ],
+            },
+        ],
+    );
 }
 
 #[test]
 fn golden_cimiano_aifb_c1() {
-    check(&["cimiano", "aifb"], ScoringFunction::PathLength, &[
-        Golden { cost_bits: 0x4020000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Researcher", "name", "name", "worksAt"] },
-        Golden { cost_bits: 0x4024000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x4024000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x4024000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Researcher", "author", "name", "name", "worksAt"] },
-        Golden { cost_bits: 0x4028000000000000, labels: &["AIFB", "Agent", "Institute", "P. Cimiano", "Person", "Researcher", "name", "name", "subclass", "subclass", "subclass"] },
-        Golden { cost_bits: 0x4028000000000000, labels: &["AIFB", "Agent", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x4028000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Person", "Researcher", "name", "name", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x4028000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt"] },
-        Golden { cost_bits: 0x402c000000000000, labels: &["AIFB", "Agent", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x402c000000000000, labels: &["AIFB", "Agent", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "subclass", "worksAt"] },
-    ]);
+    check(
+        &["cimiano", "aifb"],
+        ScoringFunction::PathLength,
+        &[
+            Golden {
+                cost_bits: 0x4020000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4024000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4024000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4024000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4028000000000000,
+                labels: &[
+                    "AIFB",
+                    "Agent",
+                    "Institute",
+                    "P. Cimiano",
+                    "Person",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "subclass",
+                    "subclass",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4028000000000000,
+                labels: &[
+                    "AIFB",
+                    "Agent",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4028000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Person",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4028000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402c000000000000,
+                labels: &[
+                    "AIFB",
+                    "Agent",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x402c000000000000,
+                labels: &[
+                    "AIFB",
+                    "Agent",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+        ],
+    );
 }
 
 #[test]
 fn golden_cimiano_aifb_c2() {
-    check(&["cimiano", "aifb"], ScoringFunction::Popularity, &[
-        Golden { cost_bits: 0x4019000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Researcher", "name", "name", "worksAt"] },
-        Golden { cost_bits: 0x401d555555555556, labels: &["AIFB", "Institute", "P. Cimiano", "Researcher", "author", "name", "name", "worksAt"] },
-        Golden { cost_bits: 0x4020000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x4020000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x4021aaaaaaaaaaab, labels: &["AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt"] },
-        Golden { cost_bits: 0x4024000000000000, labels: &["AIFB", "Agent", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x4024000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Person", "Researcher", "name", "name", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x4024800000000000, labels: &["AIFB", "Agent", "Institute", "P. Cimiano", "Person", "Researcher", "name", "name", "subclass", "subclass", "subclass"] },
-        Golden { cost_bits: 0x4025000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "hasProject", "name", "name", "worksAt"] },
-        Golden { cost_bits: 0x4027555555555555, labels: &["AIFB", "Agent", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "subclass", "worksAt"] },
-    ]);
+    check(
+        &["cimiano", "aifb"],
+        ScoringFunction::Popularity,
+        &[
+            Golden {
+                cost_bits: 0x4019000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x401d555555555556,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4020000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4020000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4021aaaaaaaaaaab,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4024000000000000,
+                labels: &[
+                    "AIFB",
+                    "Agent",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4024000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Person",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4024800000000000,
+                labels: &[
+                    "AIFB",
+                    "Agent",
+                    "Institute",
+                    "P. Cimiano",
+                    "Person",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "subclass",
+                    "subclass",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4025000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "hasProject",
+                    "name",
+                    "name",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4027555555555555,
+                labels: &[
+                    "AIFB",
+                    "Agent",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+        ],
+    );
 }
 
 #[test]
 fn golden_cimiano_aifb_c3() {
-    check(&["cimiano", "aifb"], ScoringFunction::PopularityAndMatch, &[
-        Golden { cost_bits: 0x4019000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Researcher", "name", "name", "worksAt"] },
-        Golden { cost_bits: 0x401d555555555556, labels: &["AIFB", "Institute", "P. Cimiano", "Researcher", "author", "name", "name", "worksAt"] },
-        Golden { cost_bits: 0x4020000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x4020000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x4021aaaaaaaaaaab, labels: &["AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "name", "name", "worksAt"] },
-        Golden { cost_bits: 0x4024000000000000, labels: &["AIFB", "Agent", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x4024000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Person", "Researcher", "name", "name", "subclass", "worksAt"] },
-        Golden { cost_bits: 0x4024800000000000, labels: &["AIFB", "Agent", "Institute", "P. Cimiano", "Person", "Researcher", "name", "name", "subclass", "subclass", "subclass"] },
-        Golden { cost_bits: 0x4025000000000000, labels: &["AIFB", "Institute", "P. Cimiano", "Publication", "Researcher", "author", "hasProject", "name", "name", "worksAt"] },
-        Golden { cost_bits: 0x4027555555555555, labels: &["AIFB", "Agent", "Institute", "P. Cimiano", "Researcher", "name", "name", "subclass", "subclass", "worksAt"] },
-    ]);
+    check(
+        &["cimiano", "aifb"],
+        ScoringFunction::PopularityAndMatch,
+        &[
+            Golden {
+                cost_bits: 0x4019000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x401d555555555556,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4020000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4020000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4021aaaaaaaaaaab,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "name",
+                    "name",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4024000000000000,
+                labels: &[
+                    "AIFB",
+                    "Agent",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4024000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Person",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4024800000000000,
+                labels: &[
+                    "AIFB",
+                    "Agent",
+                    "Institute",
+                    "P. Cimiano",
+                    "Person",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "subclass",
+                    "subclass",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4025000000000000,
+                labels: &[
+                    "AIFB",
+                    "Institute",
+                    "P. Cimiano",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "hasProject",
+                    "name",
+                    "name",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4027555555555555,
+                labels: &[
+                    "AIFB",
+                    "Agent",
+                    "Institute",
+                    "P. Cimiano",
+                    "Researcher",
+                    "name",
+                    "name",
+                    "subclass",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+        ],
+    );
 }
 
 #[test]
 fn golden_publications_c1() {
-    check(&["publications"], ScoringFunction::PathLength, &[
-        Golden { cost_bits: 0x3ff0000000000000, labels: &["Publication"] },
-        Golden { cost_bits: 0x4000000000000000, labels: &["Publication", "hasProject"] },
-        Golden { cost_bits: 0x4000000000000000, labels: &["Publication", "author"] },
-        Golden { cost_bits: 0x4008000000000000, labels: &["Project", "Publication", "hasProject"] },
-        Golden { cost_bits: 0x4008000000000000, labels: &["Publication", "Researcher", "author"] },
-        Golden { cost_bits: 0x4010000000000000, labels: &["Publication", "Researcher", "author", "worksAt"] },
-        Golden { cost_bits: 0x4010000000000000, labels: &["Publication", "Researcher", "author", "subclass"] },
-        Golden { cost_bits: 0x4014000000000000, labels: &["Institute", "Publication", "Researcher", "author", "worksAt"] },
-        Golden { cost_bits: 0x4014000000000000, labels: &["Person", "Publication", "Researcher", "author", "subclass"] },
-        Golden { cost_bits: 0x4018000000000000, labels: &["Institute", "Publication", "Researcher", "author", "subclass", "worksAt"] },
-    ]);
+    check(
+        &["publications"],
+        ScoringFunction::PathLength,
+        &[
+            Golden {
+                cost_bits: 0x3ff0000000000000,
+                labels: &["Publication"],
+            },
+            Golden {
+                cost_bits: 0x4000000000000000,
+                labels: &["Publication", "hasProject"],
+            },
+            Golden {
+                cost_bits: 0x4000000000000000,
+                labels: &["Publication", "author"],
+            },
+            Golden {
+                cost_bits: 0x4008000000000000,
+                labels: &["Project", "Publication", "hasProject"],
+            },
+            Golden {
+                cost_bits: 0x4008000000000000,
+                labels: &["Publication", "Researcher", "author"],
+            },
+            Golden {
+                cost_bits: 0x4010000000000000,
+                labels: &["Publication", "Researcher", "author", "worksAt"],
+            },
+            Golden {
+                cost_bits: 0x4010000000000000,
+                labels: &["Publication", "Researcher", "author", "subclass"],
+            },
+            Golden {
+                cost_bits: 0x4014000000000000,
+                labels: &[
+                    "Institute",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x4014000000000000,
+                labels: &["Person", "Publication", "Researcher", "author", "subclass"],
+            },
+            Golden {
+                cost_bits: 0x4018000000000000,
+                labels: &[
+                    "Institute",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+        ],
+    );
 }
 
 #[test]
 fn golden_publications_c2() {
-    check(&["publications"], ScoringFunction::Popularity, &[
-        Golden { cost_bits: 0x3fe8000000000000, labels: &["Publication"] },
-        Golden { cost_bits: 0x3ff4000000000000, labels: &["Publication", "author"] },
-        Golden { cost_bits: 0x3ff9555555555556, labels: &["Publication", "hasProject"] },
-        Golden { cost_bits: 0x4000000000000000, labels: &["Publication", "Researcher", "author"] },
-        Golden { cost_bits: 0x4002aaaaaaaaaaab, labels: &["Project", "Publication", "hasProject"] },
-        Golden { cost_bits: 0x4005555555555556, labels: &["Publication", "Researcher", "author", "worksAt"] },
-        Golden { cost_bits: 0x4006aaaaaaaaaaab, labels: &["Publication", "Researcher", "author", "subclass"] },
-        Golden { cost_bits: 0x400b555555555556, labels: &["Institute", "Publication", "Researcher", "author", "worksAt"] },
-        Golden { cost_bits: 0x400eaaaaaaaaaaab, labels: &["Person", "Publication", "Researcher", "author", "subclass"] },
-        Golden { cost_bits: 0x4011000000000000, labels: &["Institute", "Publication", "Researcher", "author", "subclass", "worksAt"] },
-    ]);
+    check(
+        &["publications"],
+        ScoringFunction::Popularity,
+        &[
+            Golden {
+                cost_bits: 0x3fe8000000000000,
+                labels: &["Publication"],
+            },
+            Golden {
+                cost_bits: 0x3ff4000000000000,
+                labels: &["Publication", "author"],
+            },
+            Golden {
+                cost_bits: 0x3ff9555555555556,
+                labels: &["Publication", "hasProject"],
+            },
+            Golden {
+                cost_bits: 0x4000000000000000,
+                labels: &["Publication", "Researcher", "author"],
+            },
+            Golden {
+                cost_bits: 0x4002aaaaaaaaaaab,
+                labels: &["Project", "Publication", "hasProject"],
+            },
+            Golden {
+                cost_bits: 0x4005555555555556,
+                labels: &["Publication", "Researcher", "author", "worksAt"],
+            },
+            Golden {
+                cost_bits: 0x4006aaaaaaaaaaab,
+                labels: &["Publication", "Researcher", "author", "subclass"],
+            },
+            Golden {
+                cost_bits: 0x400b555555555556,
+                labels: &[
+                    "Institute",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x400eaaaaaaaaaaab,
+                labels: &["Person", "Publication", "Researcher", "author", "subclass"],
+            },
+            Golden {
+                cost_bits: 0x4011000000000000,
+                labels: &[
+                    "Institute",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+        ],
+    );
 }
 
 #[test]
 fn golden_publications_c3() {
-    check(&["publications"], ScoringFunction::PopularityAndMatch, &[
-        Golden { cost_bits: 0x3fe8000000000000, labels: &["Publication"] },
-        Golden { cost_bits: 0x3ff4000000000000, labels: &["Publication", "author"] },
-        Golden { cost_bits: 0x3ff9555555555556, labels: &["Publication", "hasProject"] },
-        Golden { cost_bits: 0x4000000000000000, labels: &["Publication", "Researcher", "author"] },
-        Golden { cost_bits: 0x4002aaaaaaaaaaab, labels: &["Project", "Publication", "hasProject"] },
-        Golden { cost_bits: 0x4005555555555556, labels: &["Publication", "Researcher", "author", "worksAt"] },
-        Golden { cost_bits: 0x4006aaaaaaaaaaab, labels: &["Publication", "Researcher", "author", "subclass"] },
-        Golden { cost_bits: 0x400b555555555556, labels: &["Institute", "Publication", "Researcher", "author", "worksAt"] },
-        Golden { cost_bits: 0x400eaaaaaaaaaaab, labels: &["Person", "Publication", "Researcher", "author", "subclass"] },
-        Golden { cost_bits: 0x4011000000000000, labels: &["Institute", "Publication", "Researcher", "author", "subclass", "worksAt"] },
-    ]);
+    check(
+        &["publications"],
+        ScoringFunction::PopularityAndMatch,
+        &[
+            Golden {
+                cost_bits: 0x3fe8000000000000,
+                labels: &["Publication"],
+            },
+            Golden {
+                cost_bits: 0x3ff4000000000000,
+                labels: &["Publication", "author"],
+            },
+            Golden {
+                cost_bits: 0x3ff9555555555556,
+                labels: &["Publication", "hasProject"],
+            },
+            Golden {
+                cost_bits: 0x4000000000000000,
+                labels: &["Publication", "Researcher", "author"],
+            },
+            Golden {
+                cost_bits: 0x4002aaaaaaaaaaab,
+                labels: &["Project", "Publication", "hasProject"],
+            },
+            Golden {
+                cost_bits: 0x4005555555555556,
+                labels: &["Publication", "Researcher", "author", "worksAt"],
+            },
+            Golden {
+                cost_bits: 0x4006aaaaaaaaaaab,
+                labels: &["Publication", "Researcher", "author", "subclass"],
+            },
+            Golden {
+                cost_bits: 0x400b555555555556,
+                labels: &[
+                    "Institute",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "worksAt",
+                ],
+            },
+            Golden {
+                cost_bits: 0x400eaaaaaaaaaaab,
+                labels: &["Person", "Publication", "Researcher", "author", "subclass"],
+            },
+            Golden {
+                cost_bits: 0x4011000000000000,
+                labels: &[
+                    "Institute",
+                    "Publication",
+                    "Researcher",
+                    "author",
+                    "subclass",
+                    "worksAt",
+                ],
+            },
+        ],
+    );
 }

@@ -40,7 +40,11 @@ fn random_graph() -> impl Strategy<Value = RandomGraph> {
                 }
             }
             for (s, r, o) in &rels {
-                triples.push(Triple::relation(format!("e{s}"), relations[*r], format!("e{o}")));
+                triples.push(Triple::relation(
+                    format!("e{s}"),
+                    relations[*r],
+                    format!("e{o}"),
+                ));
             }
             RandomGraph {
                 triples,
@@ -52,7 +56,9 @@ fn random_graph() -> impl Strategy<Value = RandomGraph> {
 fn build(graph_spec: &RandomGraph) -> DataGraph {
     let mut graph = DataGraph::new();
     for t in &graph_spec.triples {
-        graph.insert_triple(t).expect("generated triples are well-formed");
+        graph
+            .insert_triple(t)
+            .expect("generated triples are well-formed");
     }
     graph
 }

@@ -144,7 +144,11 @@ impl DblpDataset {
             let iri = format!("pub{p}");
             builder.entity(&iri, "Publication");
             if rng.gen_bool(config.subclass_fraction) {
-                let sub = if rng.gen_bool(0.5) { "Article" } else { "InProceedings" };
+                let sub = if rng.gen_bool(0.5) {
+                    "Article"
+                } else {
+                    "InProceedings"
+                };
                 builder.add_type(&iri, sub);
             }
 

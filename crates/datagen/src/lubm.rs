@@ -120,7 +120,8 @@ impl LubmDataset {
                 let dept_iri = format!("department{u}_{d}");
                 let dept_name = format!(
                     "{} Department {d} of University{u}",
-                    RESEARCH_AREAS[(u * config.departments_per_university + d) % RESEARCH_AREAS.len()]
+                    RESEARCH_AREAS
+                        [(u * config.departments_per_university + d) % RESEARCH_AREAS.len()]
                 );
                 builder.entity(&dept_iri, "Department");
                 builder.attribute(&dept_iri, "name", &dept_name);
@@ -136,7 +137,11 @@ impl LubmDataset {
                 let mut dept_courses = Vec::new();
                 for c in 0..config.courses_per_department {
                     let course_iri = format!("course{u}_{d}_{c}");
-                    let class = if c % 3 == 0 { "GraduateCourse" } else { "Course" };
+                    let class = if c % 3 == 0 {
+                        "GraduateCourse"
+                    } else {
+                        "Course"
+                    };
                     let course_name = format!(
                         "{} Course {c}",
                         RESEARCH_AREAS[(c + d) % RESEARCH_AREAS.len()]
@@ -156,11 +161,7 @@ impl LubmDataset {
                     person_counter += 1;
                     builder.entity(&prof_iri, class);
                     builder.attribute(&prof_iri, "name", &name);
-                    builder.attribute(
-                        &prof_iri,
-                        "emailAddress",
-                        &format!("{}@u{u}.edu", prof_iri),
-                    );
+                    builder.attribute(&prof_iri, "emailAddress", &format!("{}@u{u}.edu", prof_iri));
                     builder.attribute(
                         &prof_iri,
                         "researchInterest",
@@ -188,8 +189,10 @@ impl LubmDataset {
                         builder.attribute(
                             &pub_iri,
                             "name",
-                            &format!("Publication {publication_counter} on {}",
-                                RESEARCH_AREAS[rng.gen_range(0..RESEARCH_AREAS.len())]),
+                            &format!(
+                                "Publication {publication_counter} on {}",
+                                RESEARCH_AREAS[rng.gen_range(0..RESEARCH_AREAS.len())]
+                            ),
                         );
                         builder.relation(&pub_iri, "publicationAuthor", &prof_iri);
                     }
@@ -271,7 +274,11 @@ mod tests {
     fn schema_has_a_rich_class_hierarchy() {
         let d = LubmDataset::small();
         let stats = GraphStats::compute(&d.graph);
-        assert!(stats.classes >= 15, "LUBM has many classes, got {}", stats.classes);
+        assert!(
+            stats.classes >= 15,
+            "LUBM has many classes, got {}",
+            stats.classes
+        );
         assert!(stats.subclass_edges >= 15);
         assert!(stats.relation_labels >= 8);
     }
@@ -280,8 +287,16 @@ mod tests {
     fn structural_relations_exist() {
         let d = LubmDataset::small();
         let g = &d.graph;
-        for name in ["worksFor", "memberOf", "advisor", "takesCourse", "teacherOf",
-                     "subOrganizationOf", "publicationAuthor", "headOf"] {
+        for name in [
+            "worksFor",
+            "memberOf",
+            "advisor",
+            "takesCourse",
+            "teacherOf",
+            "subOrganizationOf",
+            "publicationAuthor",
+            "headOf",
+        ] {
             assert!(
                 !g.edge_labels_named(name).is_empty(),
                 "relation {name} must exist"

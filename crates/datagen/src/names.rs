@@ -7,28 +7,115 @@
 
 /// Given names used for person labels.
 pub const GIVEN_NAMES: &[&str] = &[
-    "Anna", "Bernd", "Carla", "Daniel", "Elena", "Frank", "Grace", "Hannes", "Ines", "Jorge",
-    "Katja", "Liam", "Maria", "Nina", "Oliver", "Petra", "Quentin", "Rosa", "Stefan", "Tanja",
-    "Ulrich", "Vera", "Walter", "Xenia", "Yusuf", "Zoe", "Philipp", "Thanh", "Sebastian", "Haofen",
+    "Anna",
+    "Bernd",
+    "Carla",
+    "Daniel",
+    "Elena",
+    "Frank",
+    "Grace",
+    "Hannes",
+    "Ines",
+    "Jorge",
+    "Katja",
+    "Liam",
+    "Maria",
+    "Nina",
+    "Oliver",
+    "Petra",
+    "Quentin",
+    "Rosa",
+    "Stefan",
+    "Tanja",
+    "Ulrich",
+    "Vera",
+    "Walter",
+    "Xenia",
+    "Yusuf",
+    "Zoe",
+    "Philipp",
+    "Thanh",
+    "Sebastian",
+    "Haofen",
 ];
 
 /// Family names used for person labels.
 pub const FAMILY_NAMES: &[&str] = &[
-    "Mueller", "Schmidt", "Schneider", "Fischer", "Weber", "Meyer", "Wagner", "Becker", "Schulz",
-    "Hoffmann", "Koch", "Bauer", "Richter", "Klein", "Wolf", "Neumann", "Schwarz", "Zimmermann",
-    "Braun", "Krueger", "Tran", "Cimiano", "Rudolph", "Wang", "Lopez", "Silva", "Tanaka", "Kumar",
-    "Ivanov", "Haddad",
+    "Mueller",
+    "Schmidt",
+    "Schneider",
+    "Fischer",
+    "Weber",
+    "Meyer",
+    "Wagner",
+    "Becker",
+    "Schulz",
+    "Hoffmann",
+    "Koch",
+    "Bauer",
+    "Richter",
+    "Klein",
+    "Wolf",
+    "Neumann",
+    "Schwarz",
+    "Zimmermann",
+    "Braun",
+    "Krueger",
+    "Tran",
+    "Cimiano",
+    "Rudolph",
+    "Wang",
+    "Lopez",
+    "Silva",
+    "Tanaka",
+    "Kumar",
+    "Ivanov",
+    "Haddad",
 ];
 
 /// Terms used to build publication titles (computer-science flavoured, so
 /// that keyword queries like "keyword search graph" hit many titles).
 pub const TITLE_TERMS: &[&str] = &[
-    "keyword", "search", "graph", "data", "query", "processing", "efficient", "scalable",
-    "semantic", "web", "database", "index", "ranking", "optimization", "distributed", "parallel",
-    "stream", "mining", "learning", "knowledge", "ontology", "schema", "storage", "retrieval",
-    "algorithm", "structure", "network", "analysis", "system", "engine", "exploration",
-    "integration", "evaluation", "benchmark", "cache", "transaction", "recovery", "clustering",
-    "classification", "embedding",
+    "keyword",
+    "search",
+    "graph",
+    "data",
+    "query",
+    "processing",
+    "efficient",
+    "scalable",
+    "semantic",
+    "web",
+    "database",
+    "index",
+    "ranking",
+    "optimization",
+    "distributed",
+    "parallel",
+    "stream",
+    "mining",
+    "learning",
+    "knowledge",
+    "ontology",
+    "schema",
+    "storage",
+    "retrieval",
+    "algorithm",
+    "structure",
+    "network",
+    "analysis",
+    "system",
+    "engine",
+    "exploration",
+    "integration",
+    "evaluation",
+    "benchmark",
+    "cache",
+    "transaction",
+    "recovery",
+    "clustering",
+    "classification",
+    "embedding",
 ];
 
 /// Venue name stems.
@@ -39,21 +126,58 @@ pub const VENUE_STEMS: &[&str] = &[
 
 /// Research-area names (used by LUBM and TAP).
 pub const RESEARCH_AREAS: &[&str] = &[
-    "Databases", "Information Retrieval", "Semantic Web", "Machine Learning", "Networks",
-    "Operating Systems", "Compilers", "Graphics", "Security", "Theory", "Bioinformatics",
+    "Databases",
+    "Information Retrieval",
+    "Semantic Web",
+    "Machine Learning",
+    "Networks",
+    "Operating Systems",
+    "Compilers",
+    "Graphics",
+    "Security",
+    "Theory",
+    "Bioinformatics",
     "Human Computer Interaction",
 ];
 
 /// City names (used by TAP and LUBM).
 pub const CITIES: &[&str] = &[
-    "Karlsruhe", "Shanghai", "Delft", "Berlin", "Vienna", "Madrid", "Lyon", "Porto", "Krakow",
-    "Oslo", "Boston", "Seattle", "Kyoto", "Melbourne", "Toronto", "Nairobi",
+    "Karlsruhe",
+    "Shanghai",
+    "Delft",
+    "Berlin",
+    "Vienna",
+    "Madrid",
+    "Lyon",
+    "Porto",
+    "Krakow",
+    "Oslo",
+    "Boston",
+    "Seattle",
+    "Kyoto",
+    "Melbourne",
+    "Toronto",
+    "Nairobi",
 ];
 
 /// Country names (used by TAP).
 pub const COUNTRIES: &[&str] = &[
-    "Germany", "China", "Netherlands", "Austria", "Spain", "France", "Portugal", "Poland",
-    "Norway", "United States", "Japan", "Australia", "Canada", "Kenya", "Brazil", "India",
+    "Germany",
+    "China",
+    "Netherlands",
+    "Austria",
+    "Spain",
+    "France",
+    "Portugal",
+    "Poland",
+    "Norway",
+    "United States",
+    "Japan",
+    "Australia",
+    "Canada",
+    "Kenya",
+    "Brazil",
+    "India",
 ];
 
 /// Sports team stems, music artist stems and film stems (used by TAP).
@@ -68,7 +192,14 @@ pub const ARTIST_STEMS: &[&str] = &[
 
 /// Film title stems (used by TAP).
 pub const FILM_STEMS: &[&str] = &[
-    "Horizon", "Eclipse", "Voyage", "Labyrinth", "Monsoon", "Satellite", "Harvest", "Midnight",
+    "Horizon",
+    "Eclipse",
+    "Voyage",
+    "Labyrinth",
+    "Monsoon",
+    "Satellite",
+    "Harvest",
+    "Midnight",
 ];
 
 /// Builds the i-th person name deterministically (round-robin over the name

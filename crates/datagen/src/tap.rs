@@ -90,9 +90,30 @@ const CLASS_HIERARCHY: &[(&str, &str)] = &[
 
 /// Leaf classes that receive instances, with the label pool used for them.
 const INSTANCE_CLASSES: &[&str] = &[
-    "Athlete", "Musician", "Actor", "Director", "Politician", "Scientist", "Author",
-    "SportsTeam", "Band", "Company", "University", "City", "Country", "River", "Mountain",
-    "Stadium", "Museum", "Album", "Song", "Movie", "Book", "Sport", "SportsLeague", "Award",
+    "Athlete",
+    "Musician",
+    "Actor",
+    "Director",
+    "Politician",
+    "Scientist",
+    "Author",
+    "SportsTeam",
+    "Band",
+    "Company",
+    "University",
+    "City",
+    "Country",
+    "River",
+    "Mountain",
+    "Stadium",
+    "Museum",
+    "Album",
+    "Song",
+    "Movie",
+    "Book",
+    "Sport",
+    "SportsLeague",
+    "Award",
     "Language",
 ];
 
@@ -128,36 +149,148 @@ impl TapDataset {
         // class so that the summary graph gains many distinct edge labels.
         for i in 0..n {
             let j = pick(&mut rng);
-            builder.relation(&format!("athlete{i}"), "playsFor", &format!("sportsteam{j}"));
-            builder.relation(&format!("athlete{i}"), "playsSport", &format!("sport{}", pick(&mut rng)));
-            builder.relation(&format!("sportsteam{i}"), "basedIn", &format!("city{}", pick(&mut rng)));
-            builder.relation(&format!("sportsteam{i}"), "memberOfLeague", &format!("sportsleague{}", pick(&mut rng)));
-            builder.relation(&format!("musician{i}"), "memberOf", &format!("band{}", pick(&mut rng)));
-            builder.relation(&format!("song{i}"), "performedBy", &format!("musician{}", pick(&mut rng)));
-            builder.relation(&format!("song{i}"), "partOfAlbum", &format!("album{}", pick(&mut rng)));
-            builder.relation(&format!("album{i}"), "recordedBy", &format!("band{}", pick(&mut rng)));
-            builder.relation(&format!("movie{i}"), "directedBy", &format!("director{}", pick(&mut rng)));
-            builder.relation(&format!("actor{i}"), "actsIn", &format!("movie{}", pick(&mut rng)));
-            builder.relation(&format!("book{i}"), "writtenBy", &format!("author{}", pick(&mut rng)));
-            builder.relation(&format!("city{i}"), "locatedIn", &format!("country{}", pick(&mut rng)));
-            builder.relation(&format!("stadium{i}"), "locatedIn", &format!("city{}", pick(&mut rng)));
-            builder.relation(&format!("museum{i}"), "locatedIn", &format!("city{}", pick(&mut rng)));
-            builder.relation(&format!("river{i}"), "flowsThrough", &format!("country{}", pick(&mut rng)));
-            builder.relation(&format!("mountain{i}"), "locatedIn", &format!("country{}", pick(&mut rng)));
-            builder.relation(&format!("university{i}"), "locatedIn", &format!("city{}", pick(&mut rng)));
-            builder.relation(&format!("scientist{i}"), "worksAt", &format!("university{}", pick(&mut rng)));
-            builder.relation(&format!("politician{i}"), "governs", &format!("country{}", pick(&mut rng)));
-            builder.relation(&format!("company{i}"), "headquarteredIn", &format!("city{}", pick(&mut rng)));
-            builder.relation(&format!("movie{i}"), "wonAward", &format!("award{}", pick(&mut rng)));
-            builder.relation(&format!("musician{i}"), "wonAward", &format!("award{}", pick(&mut rng)));
-            builder.relation(&format!("country{i}"), "officialLanguage", &format!("language{}", pick(&mut rng)));
+            builder.relation(
+                &format!("athlete{i}"),
+                "playsFor",
+                &format!("sportsteam{j}"),
+            );
+            builder.relation(
+                &format!("athlete{i}"),
+                "playsSport",
+                &format!("sport{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("sportsteam{i}"),
+                "basedIn",
+                &format!("city{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("sportsteam{i}"),
+                "memberOfLeague",
+                &format!("sportsleague{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("musician{i}"),
+                "memberOf",
+                &format!("band{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("song{i}"),
+                "performedBy",
+                &format!("musician{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("song{i}"),
+                "partOfAlbum",
+                &format!("album{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("album{i}"),
+                "recordedBy",
+                &format!("band{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("movie{i}"),
+                "directedBy",
+                &format!("director{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("actor{i}"),
+                "actsIn",
+                &format!("movie{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("book{i}"),
+                "writtenBy",
+                &format!("author{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("city{i}"),
+                "locatedIn",
+                &format!("country{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("stadium{i}"),
+                "locatedIn",
+                &format!("city{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("museum{i}"),
+                "locatedIn",
+                &format!("city{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("river{i}"),
+                "flowsThrough",
+                &format!("country{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("mountain{i}"),
+                "locatedIn",
+                &format!("country{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("university{i}"),
+                "locatedIn",
+                &format!("city{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("scientist{i}"),
+                "worksAt",
+                &format!("university{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("politician{i}"),
+                "governs",
+                &format!("country{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("company{i}"),
+                "headquarteredIn",
+                &format!("city{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("movie{i}"),
+                "wonAward",
+                &format!("award{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("musician{i}"),
+                "wonAward",
+                &format!("award{}", pick(&mut rng)),
+            );
+            builder.relation(
+                &format!("country{i}"),
+                "officialLanguage",
+                &format!("language{}", pick(&mut rng)),
+            );
 
             // Attributes beyond names.
-            builder.attribute(&format!("city{i}"), "population", &format!("{}", 50_000 + 17 * i));
-            builder.attribute(&format!("country{i}"), "population", &format!("{}", 1_000_000 + 31 * i));
-            builder.attribute(&format!("movie{i}"), "releaseYear", &format!("{}", 1980 + (i % 30)));
-            builder.attribute(&format!("album{i}"), "releaseYear", &format!("{}", 1970 + (i % 40)));
-            builder.attribute(&format!("company{i}"), "foundedYear", &format!("{}", 1900 + (i % 100)));
+            builder.attribute(
+                &format!("city{i}"),
+                "population",
+                &format!("{}", 50_000 + 17 * i),
+            );
+            builder.attribute(
+                &format!("country{i}"),
+                "population",
+                &format!("{}", 1_000_000 + 31 * i),
+            );
+            builder.attribute(
+                &format!("movie{i}"),
+                "releaseYear",
+                &format!("{}", 1980 + (i % 30)),
+            );
+            builder.attribute(
+                &format!("album{i}"),
+                "releaseYear",
+                &format!("{}", 1970 + (i % 40)),
+            );
+            builder.attribute(
+                &format!("company{i}"),
+                "foundedYear",
+                &format!("{}", 1900 + (i % 100)),
+            );
         }
 
         Self {
@@ -169,7 +302,13 @@ impl TapDataset {
 
     fn label_for(class: &str, i: usize, person_counter: &mut usize) -> String {
         let person_classes = [
-            "Athlete", "Musician", "Actor", "Director", "Politician", "Scientist", "Author",
+            "Athlete",
+            "Musician",
+            "Actor",
+            "Director",
+            "Politician",
+            "Scientist",
+            "Author",
         ];
         if person_classes.contains(&class) {
             let name = person_name(*person_counter + 5000);
@@ -179,7 +318,11 @@ impl TapDataset {
         match class {
             "City" => CITIES[i % CITIES.len()].to_string(),
             "Country" => COUNTRIES[i % COUNTRIES.len()].to_string(),
-            "SportsTeam" => format!("{} {}", CITIES[i % CITIES.len()], TEAM_STEMS[i % TEAM_STEMS.len()]),
+            "SportsTeam" => format!(
+                "{} {}",
+                CITIES[i % CITIES.len()],
+                TEAM_STEMS[i % TEAM_STEMS.len()]
+            ),
             "Band" => format!("The {}", ARTIST_STEMS[i % ARTIST_STEMS.len()]),
             "Album" => format!("{} Album", ARTIST_STEMS[(i + 3) % ARTIST_STEMS.len()]),
             "Song" => format!("{} Song", FILM_STEMS[(i + 1) % FILM_STEMS.len()]),
@@ -191,13 +334,29 @@ impl TapDataset {
             "River" => format!("River {}", ARTIST_STEMS[i % ARTIST_STEMS.len()]),
             "Mountain" => format!("Mount {}", ARTIST_STEMS[(i + 4) % ARTIST_STEMS.len()]),
             "Company" => format!("{} Corp {}", ARTIST_STEMS[(i + 2) % ARTIST_STEMS.len()], i),
-            "Sport" => ["Football", "Basketball", "Tennis", "Rowing", "Cycling", "Judo", "Golf", "Cricket"]
-                [i % 8]
+            "Sport" => [
+                "Football",
+                "Basketball",
+                "Tennis",
+                "Rowing",
+                "Cycling",
+                "Judo",
+                "Golf",
+                "Cricket",
+            ][i % 8]
                 .to_string(),
             "SportsLeague" => format!("{} League", CITIES[(i + 2) % CITIES.len()]),
             "Award" => format!("{} Prize", COUNTRIES[(i + 1) % COUNTRIES.len()]),
-            "Language" => ["German", "Mandarin", "Dutch", "Spanish", "French", "Portuguese", "Japanese", "Swahili"]
-                [i % 8]
+            "Language" => [
+                "German",
+                "Mandarin",
+                "Dutch",
+                "Spanish",
+                "French",
+                "Portuguese",
+                "Japanese",
+                "Swahili",
+            ][i % 8]
                 .to_string(),
             _ => format!("{class} {i}"),
         }
@@ -226,7 +385,11 @@ mod tests {
     fn tap_is_class_rich() {
         let d = TapDataset::small();
         let stats = GraphStats::compute(&d.graph);
-        assert!(stats.classes >= 30, "TAP has many classes, got {}", stats.classes);
+        assert!(
+            stats.classes >= 30,
+            "TAP has many classes, got {}",
+            stats.classes
+        );
         assert!(stats.relation_labels >= 15);
         // Class-richness relative to instances: far fewer instances per class
         // than DBLP.

@@ -85,10 +85,7 @@ impl PerformanceQuery {
 
 /// Family name of a full person name.
 fn family_name(full: &str) -> String {
-    full.split_whitespace()
-        .nth(1)
-        .unwrap_or(full)
-        .to_string()
+    full.split_whitespace().nth(1).unwrap_or(full).to_string()
 }
 
 /// A publication index whose author list is non-empty (always true for the
@@ -207,9 +204,7 @@ pub fn dblp_effectiveness_workload(dataset: &DblpDataset, n: usize) -> Vec<Effec
             6 => EffectivenessQuery {
                 id: format!("Q{}", i + 1),
                 keywords: vec![author.clone(), venue.clone(), year.clone()],
-                description: format!(
-                    "Publications by {author} that appeared in {venue} in {year}"
-                ),
+                description: format!("Publications by {author} that appeared in {venue} in {year}"),
                 gold: QueryBuilder::new()
                     .class_pattern("x", "Publication")
                     .attribute_pattern("x", "year", &year)

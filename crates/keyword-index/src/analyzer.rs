@@ -164,7 +164,10 @@ mod tests {
     fn numbers_survive_analysis() {
         let a = Analyzer::new();
         assert_eq!(a.analyze("2006"), vec!["2006"]);
-        assert_eq!(a.analyze("ICDE 2009"), vec![porter_stem("icde"), "2009".to_string()]);
+        assert_eq!(
+            a.analyze("ICDE 2009"),
+            vec![porter_stem("icde"), "2009".to_string()]
+        );
     }
 
     #[test]

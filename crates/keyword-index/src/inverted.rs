@@ -57,7 +57,9 @@ impl<T: Clone + PartialEq> InvertedIndex<T> {
 
     /// Iterates over `(term, postings)` pairs.
     pub fn entries(&self) -> impl Iterator<Item = (&str, &[T])> + '_ {
-        self.postings.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+        self.postings
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 
     /// Number of distinct terms.
@@ -77,7 +79,11 @@ impl<T: Clone + PartialEq> InvertedIndex<T> {
 
     /// Approximate heap usage in bytes (Fig. 6b index-size report).
     pub fn heap_bytes(&self) -> usize {
-        let term_bytes: usize = self.postings.keys().map(|k| k.len() + std::mem::size_of::<String>()).sum();
+        let term_bytes: usize = self
+            .postings
+            .keys()
+            .map(|k| k.len() + std::mem::size_of::<String>())
+            .sum();
         let posting_bytes = self.posting_count * std::mem::size_of::<T>();
         term_bytes + posting_bytes
     }

@@ -200,8 +200,7 @@ impl KeywordIndex {
                         index.insert(&term, ElementRef::Attribute(label_id));
                     }
                     indexed_elements += 1;
-                    attribute_classes
-                        .insert(label_id, Self::classes_of_attribute(graph, label_id));
+                    attribute_classes.insert(label_id, Self::classes_of_attribute(graph, label_id));
                 }
                 EdgeLabel::Type | EdgeLabel::SubClass => {}
             }
@@ -237,11 +236,13 @@ impl KeywordIndex {
         }
         let mut connections: Vec<ValueConnection> = per_attribute
             .into_iter()
-            .map(|(attribute, (classes, has_untyped_source))| ValueConnection {
-                attribute,
-                classes,
-                has_untyped_source,
-            })
+            .map(
+                |(attribute, (classes, has_untyped_source))| ValueConnection {
+                    attribute,
+                    classes,
+                    has_untyped_source,
+                },
+            )
             .collect();
         connections.sort_by_key(|c| c.attribute);
         connections
@@ -462,7 +463,10 @@ mod tests {
     }
 
     fn top_match(matches: &[KeywordMatch]) -> &MatchedElement {
-        &matches.first().expect("expected at least one match").element
+        &matches
+            .first()
+            .expect("expected at least one match")
+            .element
     }
 
     #[test]
@@ -487,8 +491,7 @@ mod tests {
                 assert_eq!(connections.len(), 1);
                 let conn = &connections[0];
                 assert_eq!(g.edge_label_name(conn.attribute), "name");
-                let classes: Vec<&str> =
-                    conn.classes.iter().map(|&c| g.vertex_label(c)).collect();
+                let classes: Vec<&str> = conn.classes.iter().map(|&c| g.vertex_label(c)).collect();
                 assert_eq!(classes, vec!["Institute"]);
                 assert!(!conn.has_untyped_source);
             }
@@ -555,7 +558,10 @@ mod tests {
             _ => false,
         });
         assert!(found, "typo should still match P. Cimiano");
-        assert!(matches[0].score < 1.0, "fuzzy matches score below exact matches");
+        assert!(
+            matches[0].score < 1.0,
+            "fuzzy matches score below exact matches"
+        );
     }
 
     #[test]

@@ -84,7 +84,11 @@ mod tests {
 
     #[test]
     fn distance_is_symmetric() {
-        let pairs = [("cimiano", "cimano"), ("aifb", "afib"), ("publication", "publikation")];
+        let pairs = [
+            ("cimiano", "cimano"),
+            ("aifb", "afib"),
+            ("publication", "publikation"),
+        ];
         for (a, b) in pairs {
             assert_eq!(levenshtein(a, b), levenshtein(b, a));
         }
@@ -94,7 +98,10 @@ mod tests {
     fn bounded_distance_gives_up_when_exceeded() {
         assert_eq!(bounded_levenshtein("kitten", "sitting", 3), Some(3));
         assert_eq!(bounded_levenshtein("kitten", "sitting", 2), None);
-        assert_eq!(bounded_levenshtein("short", "a very long different string", 3), None);
+        assert_eq!(
+            bounded_levenshtein("short", "a very long different string", 3),
+            None
+        );
         assert_eq!(bounded_levenshtein("same", "same", 0), Some(0));
     }
 

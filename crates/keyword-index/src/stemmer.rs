@@ -243,8 +243,8 @@ impl Stemmer {
 
     fn step4(&mut self) {
         const SUFFIXES: &[&str] = &[
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+            "ism", "ate", "iti", "ous", "ive", "ize",
         ];
         // "ion" needs the extra condition that the stem ends in s or t.
         if let Some(stem_len) = self.stem_len_for_suffix("ion") {
@@ -277,10 +277,7 @@ impl Stemmer {
 
     fn step5b(&mut self) {
         let len = self.b.len();
-        if len > 1
-            && self.b[len - 1] == b'l'
-            && self.double_consonant(len)
-            && self.measure(len) > 1
+        if len > 1 && self.b[len - 1] == b'l' && self.double_consonant(len) && self.measure(len) > 1
         {
             self.b.pop();
         }

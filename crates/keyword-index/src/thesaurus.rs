@@ -129,7 +129,10 @@ impl Thesaurus {
     pub fn add(&mut self, term: &str, related: &str, relation: Relation) {
         let entry = self.entries.entry(term.to_lowercase()).or_default();
         let related = related.to_lowercase();
-        if !entry.iter().any(|r| r.term == related && r.relation == relation) {
+        if !entry
+            .iter()
+            .any(|r| r.term == related && r.relation == relation)
+        {
             entry.push(RelatedTerm {
                 term: related,
                 relation,
@@ -169,7 +172,11 @@ mod tests {
     #[test]
     fn builtin_contains_bibliographic_synonyms() {
         let t = Thesaurus::builtin();
-        let related: Vec<&str> = t.related("publication").iter().map(|r| r.term.as_str()).collect();
+        let related: Vec<&str> = t
+            .related("publication")
+            .iter()
+            .map(|r| r.term.as_str())
+            .collect();
         assert!(related.contains(&"paper"));
         assert!(related.contains(&"article"));
     }

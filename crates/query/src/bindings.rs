@@ -6,13 +6,11 @@
 //! full bindings (all variables); the final [`AnswerSet`] is the projection
 //! onto the distinguished variables, deduplicated.
 
-use std::collections::BTreeSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use kwsearch_rdf::{DataGraph, VertexId};
-
-/// A single (complete or partial) variable assignment. Variables are indexed
-/// positionally against the evaluator's variable table.
-pub(crate) type Row = Vec<Option<VertexId>>;
 
 /// The result of evaluating a conjunctive query: the distinguished variables
 /// and one row per answer.
@@ -23,20 +21,45 @@ pub struct AnswerSet {
 }
 
 impl AnswerSet {
-    /// Creates an answer set from already-projected rows, deduplicating them.
+    /// Creates an answer set from already-projected rows, deduplicating them
+    /// (first occurrence wins, input order preserved).
+    ///
+    /// Rows are probed by hash and compared in place — no per-row clone, this
+    /// sits on the answer hot path.
     pub fn new(variables: Vec<String>, rows: Vec<Vec<VertexId>>) -> Self {
-        let mut seen = BTreeSet::new();
-        let mut deduped = Vec::new();
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::with_capacity(rows.len());
+        let mut deduped: Vec<Vec<VertexId>> = Vec::with_capacity(rows.len());
         for row in rows {
             debug_assert_eq!(row.len(), variables.len());
-            if seen.insert(row.clone()) {
-                deduped.push(row);
+            let mut hasher = DefaultHasher::new();
+            row.hash(&mut hasher);
+            let bucket = buckets.entry(hasher.finish()).or_default();
+            if bucket.iter().any(|&i| deduped[i] == row) {
+                continue;
             }
+            bucket.push(deduped.len());
+            deduped.push(row);
         }
         Self {
             variables,
             rows: deduped,
         }
+    }
+
+    /// Creates an answer set from rows that are already distinct — e.g. the
+    /// streaming evaluator deduplicates while enumerating — skipping the
+    /// dedup pass of [`AnswerSet::new`].
+    pub fn from_distinct(variables: Vec<String>, rows: Vec<Vec<VertexId>>) -> Self {
+        debug_assert!(
+            {
+                let mut probe = rows.clone();
+                probe.sort_unstable();
+                probe.dedup();
+                probe.len() == rows.len()
+            },
+            "from_distinct requires unique rows"
+        );
+        Self { variables, rows }
     }
 
     /// An empty answer set over the given variables.
@@ -131,5 +154,28 @@ mod tests {
         let answers = AnswerSet::empty(vec!["x".into()]);
         assert!(answers.is_empty());
         assert_eq!(answers.variables(), &["x".to_string()]);
+    }
+
+    #[test]
+    fn dedup_preserves_first_occurrence_order() {
+        let g = figure1_graph();
+        let a = g.entity("pub1URI").unwrap();
+        let b = g.entity("re1URI").unwrap();
+        let c = g.entity("re2URI").unwrap();
+        let answers = AnswerSet::new(
+            vec!["x".into()],
+            vec![vec![c], vec![a], vec![c], vec![b], vec![a], vec![b]],
+        );
+        assert_eq!(answers.rows(), &[vec![c], vec![a], vec![b]]);
+    }
+
+    #[test]
+    fn from_distinct_keeps_rows_verbatim() {
+        let g = figure1_graph();
+        let a = g.entity("pub1URI").unwrap();
+        let b = g.entity("re1URI").unwrap();
+        let answers = AnswerSet::from_distinct(vec!["x".into()], vec![vec![b], vec![a]]);
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers.rows(), &[vec![b], vec![a]]);
     }
 }

@@ -50,12 +50,20 @@ impl QueryBuilder {
 
     /// Adds a `relation(?s, ?o)` atom between two variables.
     pub fn relation_pattern(self, subject_var: &str, relation: &str, object_var: &str) -> Self {
-        self.atom(relation, QueryTerm::var(subject_var), QueryTerm::var(object_var))
+        self.atom(
+            relation,
+            QueryTerm::var(subject_var),
+            QueryTerm::var(object_var),
+        )
     }
 
     /// Adds a `subclass(Class, SuperClass)` atom.
     pub fn subclass_pattern(self, class: &str, super_class: &str) -> Self {
-        self.atom("subclass", QueryTerm::iri(class), QueryTerm::iri(super_class))
+        self.atom(
+            "subclass",
+            QueryTerm::iri(class),
+            QueryTerm::iri(super_class),
+        )
     }
 
     /// Declares distinguished variables.

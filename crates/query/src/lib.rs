@@ -10,10 +10,14 @@
 //!   distinguished / undistinguished variables,
 //! * [`sparql`] and [`sql`] — rendering of a conjunctive query into the
 //!   SPARQL and single-table SQL forms shown in Fig. 1c of the paper,
-//! * [`plan`] — greedy, selectivity-driven join ordering,
-//! * [`eval`] — the evaluator implementing the answer semantics of
+//! * [`plan`] — greedy, selectivity-driven join ordering and the compiled
+//!   query form (predicates, constants and variable slots resolved once per
+//!   query),
+//! * [`eval`] — the streaming evaluator implementing the answer semantics of
 //!   Definition 3 against a [`DataGraph`](kwsearch_rdf::DataGraph) via the
-//!   indexed [`TripleStore`](kwsearch_rdf::TripleStore),
+//!   indexed [`TripleStore`](kwsearch_rdf::TripleStore); answers are yielded
+//!   one at a time, so a limited evaluation ("until finding at least 10
+//!   answers", the paper's Fig. 5 metric) terminates as early as possible,
 //! * [`bindings`] — answer sets (variable bindings and projections).
 
 #![deny(missing_docs)]
@@ -29,6 +33,6 @@ pub mod sql;
 
 pub use bindings::AnswerSet;
 pub use builder::QueryBuilder;
-pub use eval::{evaluate, EvalError, Evaluator};
+pub use eval::{evaluate, AnswerStream, EvalError, Evaluator};
 pub use model::{Atom, ConjunctiveQuery, QueryTerm};
-pub use plan::{plan_atoms, QueryPlan};
+pub use plan::{plan_atoms, CompiledQuery, QueryPlan};

@@ -166,6 +166,17 @@ impl ConjunctiveQuery {
         &self.distinguished
     }
 
+    /// The variables answers are projected onto: the declared distinguished
+    /// variables, or — when none were declared — every variable of the query
+    /// (the paper's default, Section VI-D).
+    pub fn effective_distinguished(&self) -> Vec<String> {
+        if self.distinguished.is_empty() {
+            self.variables().into_iter().collect()
+        } else {
+            self.distinguished.clone()
+        }
+    }
+
     /// All variables occurring in the query, sorted.
     pub fn variables(&self) -> BTreeSet<String> {
         self.atoms
@@ -254,12 +265,36 @@ mod tests {
     ///  name(y, P. Cimiano) ∧ worksAt(y, z) ∧ name(z, AIFB)`.
     pub(crate) fn figure1_query() -> ConjunctiveQuery {
         let mut q = ConjunctiveQuery::new();
-        q.add_atom(Atom::new("type", QueryTerm::var("x"), QueryTerm::iri("Publication")));
-        q.add_atom(Atom::new("year", QueryTerm::var("x"), QueryTerm::literal("2006")));
-        q.add_atom(Atom::new("author", QueryTerm::var("x"), QueryTerm::var("y")));
-        q.add_atom(Atom::new("name", QueryTerm::var("y"), QueryTerm::literal("P. Cimiano")));
-        q.add_atom(Atom::new("worksAt", QueryTerm::var("y"), QueryTerm::var("z")));
-        q.add_atom(Atom::new("name", QueryTerm::var("z"), QueryTerm::literal("AIFB")));
+        q.add_atom(Atom::new(
+            "type",
+            QueryTerm::var("x"),
+            QueryTerm::iri("Publication"),
+        ));
+        q.add_atom(Atom::new(
+            "year",
+            QueryTerm::var("x"),
+            QueryTerm::literal("2006"),
+        ));
+        q.add_atom(Atom::new(
+            "author",
+            QueryTerm::var("x"),
+            QueryTerm::var("y"),
+        ));
+        q.add_atom(Atom::new(
+            "name",
+            QueryTerm::var("y"),
+            QueryTerm::literal("P. Cimiano"),
+        ));
+        q.add_atom(Atom::new(
+            "worksAt",
+            QueryTerm::var("y"),
+            QueryTerm::var("z"),
+        ));
+        q.add_atom(Atom::new(
+            "name",
+            QueryTerm::var("z"),
+            QueryTerm::literal("AIFB"),
+        ));
         q.add_distinguished("x");
         q.add_distinguished("y");
         q.add_distinguished("z");
@@ -297,6 +332,14 @@ mod tests {
         q.distinguished.clear();
         q.distinguish_all();
         assert_eq!(q.distinguished().len(), 3);
+    }
+
+    #[test]
+    fn effective_distinguished_defaults_to_all_variables() {
+        let mut q = figure1_query();
+        assert_eq!(q.effective_distinguished(), q.distinguished());
+        q.distinguished.clear();
+        assert_eq!(q.effective_distinguished(), vec!["x", "y", "z"]);
     }
 
     #[test]

@@ -1,18 +1,20 @@
-//! Join ordering.
+//! Join ordering and query compilation.
 //!
-//! The evaluator processes query atoms one at a time, joining each atom's
-//! matches into the bindings accumulated so far. The order matters: starting
+//! The evaluator processes query atoms one at a time, extending the bindings
+//! accumulated so far with each atom's matches. The order matters: starting
 //! from selective atoms (those mentioning constants that occur rarely in the
 //! data) and always staying connected to already-bound variables keeps the
-//! intermediate results small. This module implements the greedy ordering
-//! used by [`crate::eval`].
+//! search narrow. This module implements the greedy ordering used by
+//! [`crate::eval`], plus the [`CompiledQuery`] form the streaming evaluator
+//! executes: predicates, constants and variable slots are resolved once per
+//! query instead of once per row × per edge label.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
-use kwsearch_rdf::{DataGraph, TriplePattern, TripleStore};
+use kwsearch_rdf::{DataGraph, EdgeLabelId, TriplePattern, TripleStore, VertexId};
 
-use crate::eval::{resolve_object_constant, resolve_subject_constant};
-use crate::model::ConjunctiveQuery;
+use crate::eval::{resolve_object_constant, resolve_subject_constant, EvalError};
+use crate::model::{ConjunctiveQuery, QueryTerm};
 
 /// The chosen evaluation order (indices into `query.atoms()`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +111,132 @@ pub fn plan_atoms(query: &ConjunctiveQuery, graph: &DataGraph, store: &TripleSto
     QueryPlan { order, estimates }
 }
 
+/// A term position of a [`CompiledPattern`]: constants are resolved to
+/// concrete vertices at compile time, variables to indices into the compiled
+/// variable table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// A constant, resolved against the data graph once per query.
+    Const(VertexId),
+    /// A variable, identified by its index into [`CompiledQuery::variables`].
+    Var(usize),
+}
+
+/// One scannable triple pattern: a concrete edge label plus compiled
+/// subject/object slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledPattern {
+    /// The edge label this pattern scans.
+    pub label: EdgeLabelId,
+    /// The subject position.
+    pub subject: Slot,
+    /// The object position.
+    pub object: Slot,
+}
+
+/// A query atom compiled to the edge labels sharing the atom's predicate
+/// name. Labels whose constants do not resolve against the graph are dropped
+/// here, once, instead of being re-resolved (and re-skipped) per row during
+/// evaluation. An atom with no patterns can never match.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledAtom {
+    /// The scannable patterns of this atom, in edge-label order.
+    pub patterns: Vec<CompiledPattern>,
+}
+
+/// A conjunctive query compiled for the streaming evaluator: atoms in
+/// [`plan_atoms`] order with every predicate name, constant and variable
+/// resolved exactly once.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The variable table (sorted); [`Slot::Var`] indexes into it.
+    pub variables: Vec<String>,
+    /// The atoms, in evaluation (plan) order.
+    pub atoms: Vec<CompiledAtom>,
+    /// Indices into `variables` of the distinguished variables, in
+    /// `distinguished` order.
+    pub projection: Vec<usize>,
+    /// The distinguished variables (declaration order; defaults to all
+    /// variables when the query declares none).
+    pub distinguished: Vec<String>,
+}
+
+impl CompiledQuery {
+    /// Compiles `query` against `graph`, ordering atoms with [`plan_atoms`].
+    ///
+    /// Fails if a distinguished variable does not occur in any atom.
+    pub fn compile(
+        query: &ConjunctiveQuery,
+        graph: &DataGraph,
+        store: &TripleStore,
+    ) -> Result<Self, EvalError> {
+        let variables: Vec<String> = query.variables().into_iter().collect();
+        let var_index: HashMap<&str, usize> = variables
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
+
+        let distinguished = query.effective_distinguished();
+        for d in &distinguished {
+            if !var_index.contains_key(d.as_str()) {
+                return Err(EvalError::UnboundDistinguishedVariable(d.clone()));
+            }
+        }
+        let projection: Vec<usize> = distinguished
+            .iter()
+            .map(|d| var_index[d.as_str()])
+            .collect();
+
+        let plan = plan_atoms(query, graph, store);
+        let mut atoms = Vec::with_capacity(plan.order.len());
+        for &atom_idx in &plan.order {
+            let atom = &query.atoms()[atom_idx];
+            let mut patterns = Vec::new();
+            for label in graph.edge_labels_named(&atom.predicate) {
+                let kind = graph.edge_label(label).kind();
+                let subject = match &atom.subject {
+                    QueryTerm::Variable(v) => Slot::Var(var_index[v.as_str()]),
+                    other => {
+                        let c = other
+                            .as_constant()
+                            .expect("non-variable term is a constant");
+                        match resolve_subject_constant(graph, kind, c) {
+                            Some(v) => Slot::Const(v),
+                            None => continue,
+                        }
+                    }
+                };
+                let object = match &atom.object {
+                    QueryTerm::Variable(v) => Slot::Var(var_index[v.as_str()]),
+                    other => {
+                        let c = other
+                            .as_constant()
+                            .expect("non-variable term is a constant");
+                        match resolve_object_constant(graph, kind, c) {
+                            Some(v) => Slot::Const(v),
+                            None => continue,
+                        }
+                    }
+                };
+                patterns.push(CompiledPattern {
+                    label,
+                    subject,
+                    object,
+                });
+            }
+            atoms.push(CompiledAtom { patterns });
+        }
+
+        Ok(CompiledQuery {
+            variables,
+            atoms,
+            projection,
+            distinguished,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +299,58 @@ mod tests {
             .build();
         let plan = plan_atoms(&q, &g, &store);
         assert_eq!(plan.estimates, vec![0]);
+    }
+
+    #[test]
+    fn compile_resolves_constants_and_variable_slots_once() {
+        let g = figure1_graph();
+        let store = TripleStore::build(&g);
+        let q = QueryBuilder::new()
+            .attribute_pattern("x", "name", "AIFB")
+            .relation_pattern("x", "worksAt", "y")
+            .build();
+        let compiled = CompiledQuery::compile(&q, &g, &store).unwrap();
+        assert_eq!(compiled.variables, vec!["x".to_string(), "y".to_string()]);
+        // No distinguished variables declared -> all variables, projected in
+        // table order.
+        assert_eq!(compiled.distinguished, compiled.variables);
+        assert_eq!(compiled.projection, vec![0, 1]);
+        assert_eq!(compiled.atoms.len(), 2);
+        for atom in &compiled.atoms {
+            assert!(!atom.patterns.is_empty());
+        }
+        // The name atom resolves its literal to a concrete value vertex.
+        let name_atom = &compiled.atoms[0];
+        let value = g.value("AIFB").unwrap();
+        assert!(name_atom
+            .patterns
+            .iter()
+            .any(|p| p.object == Slot::Const(value)));
+    }
+
+    #[test]
+    fn compile_drops_unresolvable_patterns() {
+        let g = figure1_graph();
+        let store = TripleStore::build(&g);
+        let q = QueryBuilder::new()
+            .attribute_pattern("x", "name", "No Such Name")
+            .build();
+        let compiled = CompiledQuery::compile(&q, &g, &store).unwrap();
+        assert_eq!(compiled.atoms.len(), 1);
+        assert!(compiled.atoms[0].patterns.is_empty());
+    }
+
+    #[test]
+    fn compile_rejects_unbound_distinguished_variables() {
+        let g = figure1_graph();
+        let store = TripleStore::build(&g);
+        let q = QueryBuilder::new()
+            .relation_pattern("x", "author", "y")
+            .distinguished(["z"])
+            .build();
+        match CompiledQuery::compile(&q, &g, &store) {
+            Err(EvalError::UnboundDistinguishedVariable(v)) => assert_eq!(v, "z"),
+            other => panic!("expected unbound-variable error, got {other:?}"),
+        }
     }
 }

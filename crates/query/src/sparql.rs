@@ -20,7 +20,12 @@ fn render_term(term: &QueryTerm) -> String {
     match term {
         QueryTerm::Variable(v) => format!("?{v}"),
         QueryTerm::Iri(v) => v.clone(),
-        QueryTerm::Literal(v) => format!("'{}'", v.replace('\'', "\\'")),
+        // Backslashes must be escaped first: a literal containing `\` would
+        // otherwise render ambiguously, and a literal ending in `\` would
+        // produce `'...\'` and break the quoting.
+        QueryTerm::Literal(v) => {
+            format!("'{}'", v.replace('\\', "\\\\").replace('\'', "\\'"))
+        }
     }
 }
 
@@ -74,7 +79,11 @@ pub fn to_description(query: &ConjunctiveQuery) -> String {
         };
         parts.push(part);
     }
-    format!("Find {} such that {}.", describe_targets(query), parts.join(", and "))
+    format!(
+        "Find {} such that {}.",
+        describe_targets(query),
+        parts.join(", and ")
+    )
 }
 
 fn describe_targets(query: &ConjunctiveQuery) -> String {
@@ -120,7 +129,9 @@ mod tests {
 
     #[test]
     fn select_star_without_distinguished_variables() {
-        let q = QueryBuilder::new().relation_pattern("a", "knows", "b").build();
+        let q = QueryBuilder::new()
+            .relation_pattern("a", "knows", "b")
+            .build();
         assert!(to_sparql(&q).starts_with("SELECT * WHERE {"));
     }
 
@@ -130,6 +141,26 @@ mod tests {
             .attribute_pattern("x", "name", "O'Brien")
             .build();
         assert!(to_sparql(&q).contains("'O\\'Brien'"));
+
+        // Backslashes are escaped before quotes, so a literal containing `\`
+        // round-trips unambiguously...
+        let q = QueryBuilder::new()
+            .attribute_pattern("x", "path", "a\\b")
+            .build();
+        assert!(to_sparql(&q).contains("'a\\\\b'"));
+
+        // ...a literal ending in `\` no longer swallows its closing quote...
+        let q = QueryBuilder::new()
+            .attribute_pattern("x", "path", "trailing\\")
+            .build();
+        assert!(to_sparql(&q).contains("'trailing\\\\' ."));
+
+        // ...and the pathological `\'` suffix renders as escaped backslash
+        // plus escaped quote, not as three bare characters.
+        let q = QueryBuilder::new()
+            .attribute_pattern("x", "name", "mixed\\'")
+            .build();
+        assert!(to_sparql(&q).contains("'mixed\\\\\\'' ."));
     }
 
     #[test]

@@ -16,9 +16,7 @@ pub const TRIPLE_TABLE: &str = "Ex";
 
 /// Renders `query` as a self-join SQL query over the single triple table.
 pub fn to_sql(query: &ConjunctiveQuery) -> String {
-    let aliases: Vec<String> = (0..query.atoms().len())
-        .map(|i| format!("T{i}"))
-        .collect();
+    let aliases: Vec<String> = (0..query.atoms().len()).map(|i| format!("T{i}")).collect();
 
     // Where each variable is first bound: (alias index, column).
     let mut var_position: HashMap<&str, (usize, &'static str)> = HashMap::new();
@@ -137,7 +135,9 @@ mod tests {
 
     #[test]
     fn select_star_when_nothing_is_distinguished() {
-        let q = QueryBuilder::new().relation_pattern("a", "knows", "b").build();
+        let q = QueryBuilder::new()
+            .relation_pattern("a", "knows", "b")
+            .build();
         assert!(to_sql(&q).starts_with("SELECT *"));
     }
 

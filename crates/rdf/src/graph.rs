@@ -243,17 +243,23 @@ impl DataGraph {
 
     /// Looks up an entity vertex by IRI.
     pub fn entity(&self, iri: &str) -> Option<VertexId> {
-        self.interner.get(iri).and_then(|s| self.entities.get(&s).copied())
+        self.interner
+            .get(iri)
+            .and_then(|s| self.entities.get(&s).copied())
     }
 
     /// Looks up a class vertex by name.
     pub fn class(&self, name: &str) -> Option<VertexId> {
-        self.interner.get(name).and_then(|s| self.classes.get(&s).copied())
+        self.interner
+            .get(name)
+            .and_then(|s| self.classes.get(&s).copied())
     }
 
     /// Looks up a value vertex by literal text.
     pub fn value(&self, value: &str) -> Option<VertexId> {
-        self.interner.get(value).and_then(|s| self.values.get(&s).copied())
+        self.interner
+            .get(value)
+            .and_then(|s| self.values.get(&s).copied())
     }
 
     /// Looks up a vertex by label in all three partitions (entity, class,
@@ -340,10 +346,7 @@ impl DataGraph {
     /// Finds the relation and/or attribute labels with the given name.
     pub fn edge_labels_named(&self, name: &str) -> Vec<EdgeLabelId> {
         if name == vocab::TYPE {
-            return self
-                .edge_label_id(&EdgeLabel::Type)
-                .into_iter()
-                .collect();
+            return self.edge_label_id(&EdgeLabel::Type).into_iter().collect();
         }
         if name == vocab::SUBCLASS {
             return self
@@ -424,10 +427,7 @@ impl DataGraph {
             EdgeKind::Type => {
                 if !triple.object.is_iri() {
                     return Err(RdfError::InvalidEdge {
-                        reason: format!(
-                            "`type` triple with literal object {}",
-                            triple.object
-                        ),
+                        reason: format!("`type` triple with literal object {}", triple.object),
                     });
                 }
                 let s = self.add_entity(triple.subject.value());
@@ -437,10 +437,7 @@ impl DataGraph {
             EdgeKind::SubClass => {
                 if !triple.object.is_iri() {
                     return Err(RdfError::InvalidEdge {
-                        reason: format!(
-                            "`subclass` triple with literal object {}",
-                            triple.object
-                        ),
+                        reason: format!("`subclass` triple with literal object {}", triple.object),
                     });
                 }
                 let s = self.add_class(triple.subject.value());
@@ -587,11 +584,9 @@ impl DataGraph {
                         self.resolve(p),
                         Term::literal(self.vertex_label(edge.to)),
                     ),
-                    EdgeLabel::Type => Triple::new(
-                        subject,
-                        vocab::TYPE,
-                        Term::iri(self.vertex_label(edge.to)),
-                    ),
+                    EdgeLabel::Type => {
+                        Triple::new(subject, vocab::TYPE, Term::iri(self.vertex_label(edge.to)))
+                    }
                     EdgeLabel::SubClass => Triple::new(
                         subject,
                         vocab::SUBCLASS,
@@ -711,7 +706,8 @@ mod tests {
     #[test]
     fn untyped_entities_are_detected() {
         let mut g = DataGraph::new();
-        g.insert_triple(&Triple::relation("a", "knows", "b")).unwrap();
+        g.insert_triple(&Triple::relation("a", "knows", "b"))
+            .unwrap();
         let a = g.entity("a").unwrap();
         assert!(g.is_untyped_entity(a));
     }
@@ -777,8 +773,10 @@ mod tests {
     #[test]
     fn shared_value_vertices_have_multiple_incoming_edges() {
         let mut g = DataGraph::new();
-        g.insert_triple(&Triple::attribute("pub1", "year", "2006")).unwrap();
-        g.insert_triple(&Triple::attribute("pub2", "year", "2006")).unwrap();
+        g.insert_triple(&Triple::attribute("pub1", "year", "2006"))
+            .unwrap();
+        g.insert_triple(&Triple::attribute("pub2", "year", "2006"))
+            .unwrap();
         let v = g.value("2006").unwrap();
         assert_eq!(g.in_edges(v).len(), 2);
     }

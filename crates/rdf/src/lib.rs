@@ -43,7 +43,7 @@ pub use error::RdfError;
 pub use graph::{DataGraph, Edge, EdgeId, EdgeLabel, EdgeLabelId, Vertex, VertexId, VertexKind};
 pub use interner::{Interner, Symbol};
 pub use stats::GraphStats;
-pub use store::{TriplePattern, TripleStore};
+pub use store::{SpoRow, TriplePattern, TripleStore};
 pub use term::Term;
 pub use triple::{EdgeKind, Triple};
 

@@ -96,9 +96,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.line.len()
-            && self.line.as_bytes()[self.pos].is_ascii_whitespace()
-        {
+        while self.pos < self.line.len() && self.line.as_bytes()[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
@@ -227,7 +225,11 @@ mod tests {
 
     #[test]
     fn literal_escaping_round_trip() {
-        let original = Triple::attribute("p", "title", "A \"quoted\" title \\ with backslash\nand newline");
+        let original = Triple::attribute(
+            "p",
+            "title",
+            "A \"quoted\" title \\ with backslash\nand newline",
+        );
         let line = write_triple(&original);
         let parsed = parse_line(&line, 1).unwrap().unwrap();
         assert_eq!(parsed, original);

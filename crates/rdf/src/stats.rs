@@ -78,10 +78,19 @@ impl GraphStats {
             entities: graph.vertex_count_of_kind(VertexKind::Entity),
             classes: graph.vertex_count_of_kind(VertexKind::Class),
             values: graph.vertex_count_of_kind(VertexKind::Value),
-            relation_edges: edge_kind_counts.get(&EdgeKind::Relation).copied().unwrap_or(0),
-            attribute_edges: edge_kind_counts.get(&EdgeKind::Attribute).copied().unwrap_or(0),
+            relation_edges: edge_kind_counts
+                .get(&EdgeKind::Relation)
+                .copied()
+                .unwrap_or(0),
+            attribute_edges: edge_kind_counts
+                .get(&EdgeKind::Attribute)
+                .copied()
+                .unwrap_or(0),
             type_edges: edge_kind_counts.get(&EdgeKind::Type).copied().unwrap_or(0),
-            subclass_edges: edge_kind_counts.get(&EdgeKind::SubClass).copied().unwrap_or(0),
+            subclass_edges: edge_kind_counts
+                .get(&EdgeKind::SubClass)
+                .copied()
+                .unwrap_or(0),
             relation_labels,
             attribute_labels,
             untyped_entities,
@@ -108,8 +117,14 @@ impl GraphStats {
 
 impl std::fmt::Display for GraphStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "vertices: {} (E={}, C={}, V={})",
-            self.total_vertices(), self.entities, self.classes, self.values)?;
+        writeln!(
+            f,
+            "vertices: {} (E={}, C={}, V={})",
+            self.total_vertices(),
+            self.entities,
+            self.classes,
+            self.values
+        )?;
         writeln!(
             f,
             "edges: {} (R={}, A={}, type={}, subclass={})",
@@ -177,7 +192,8 @@ mod tests {
     #[test]
     fn untyped_entities_are_counted() {
         let mut g = DataGraph::new();
-        g.insert_triple(&Triple::relation("a", "knows", "b")).unwrap();
+        g.insert_triple(&Triple::relation("a", "knows", "b"))
+            .unwrap();
         g.insert_triple(&Triple::typed("a", "Person")).unwrap();
         let stats = GraphStats::compute(&g);
         assert_eq!(stats.untyped_entities, 1);

@@ -148,11 +148,7 @@ impl TripleStore {
             Permutation::Pos => &self.pos,
             Permutation::Osp => &self.osp,
         };
-        let lower = (
-            first.unwrap_or(0),
-            second.unwrap_or(0),
-            third.unwrap_or(0),
-        );
+        let lower = (first.unwrap_or(0), second.unwrap_or(0), third.unwrap_or(0));
         let upper = (
             first.unwrap_or(u32::MAX),
             second.unwrap_or(u32::MAX),
@@ -187,9 +183,7 @@ impl TripleStore {
                         Some(p.0),
                         o.map(|v| v.0),
                     ),
-                    (None, None) => {
-                        self.scan_permutation(Permutation::Spo, Some(s.0), None, None)
-                    }
+                    (None, None) => self.scan_permutation(Permutation::Spo, Some(s.0), None, None),
                     (None, Some(o)) => {
                         // (s, ?, o) -> OSP prefix (o, s).
                         return self
@@ -203,9 +197,7 @@ impl TripleStore {
                 self.scan_permutation(Permutation::Pos, Some(p.0), o.map(|v| v.0), None)
             }
             // Object-only bound -> OSP.
-            (None, None, Some(o)) => {
-                self.scan_permutation(Permutation::Osp, Some(o.0), None, None)
-            }
+            (None, None, Some(o)) => self.scan_permutation(Permutation::Osp, Some(o.0), None, None),
             // Nothing bound -> full scan.
             (None, None, None) => &self.spo,
         };
@@ -255,9 +247,7 @@ mod tests {
     fn predicate_bound_scan() {
         let (store, g) = store_and_graph();
         let author_sym = g.symbol("author").unwrap();
-        let author = g
-            .edge_label_id(&EdgeLabel::Relation(author_sym))
-            .unwrap();
+        let author = g.edge_label_id(&EdgeLabel::Relation(author_sym)).unwrap();
         let rows = store.scan(TriplePattern::any().with_predicate(author));
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r.predicate == author));
@@ -277,9 +267,7 @@ mod tests {
         let (store, g) = store_and_graph();
         let pub1 = g.entity("pub1URI").unwrap();
         let re1 = g.entity("re1URI").unwrap();
-        let rows = store.scan(
-            TriplePattern::any().with_subject(pub1).with_object(re1),
-        );
+        let rows = store.scan(TriplePattern::any().with_subject(pub1).with_object(re1));
         assert_eq!(rows.len(), 1);
         assert_eq!(g.edge_label_name(rows[0].predicate), "author");
     }

@@ -18,10 +18,16 @@ fn literal_value() -> impl Strategy<Value = String> {
 /// A random well-formed triple.
 fn triple() -> impl Strategy<Value = Triple> {
     prop_oneof![
-        (iri_label(), iri_label(), iri_label())
-            .prop_map(|(s, p, o)| Triple::relation(s, format!("rel_{p}"), o)),
-        (iri_label(), iri_label(), literal_value())
-            .prop_map(|(s, p, v)| Triple::attribute(s, format!("attr_{p}"), v)),
+        (iri_label(), iri_label(), iri_label()).prop_map(|(s, p, o)| Triple::relation(
+            s,
+            format!("rel_{p}"),
+            o
+        )),
+        (iri_label(), iri_label(), literal_value()).prop_map(|(s, p, v)| Triple::attribute(
+            s,
+            format!("attr_{p}"),
+            v
+        )),
         (iri_label(), iri_label()).prop_map(|(s, c)| Triple::typed(s, format!("C{c}"))),
         (iri_label(), iri_label())
             .prop_map(|(c, d)| Triple::subclass(format!("C{c}"), format!("D{d}"))),

@@ -471,8 +471,7 @@ mod tests {
         assert!(aug.edge_count() > base.edge_count());
         // The new value node is connected to the Institute class node through
         // a `name` attribute edge.
-        let value_node = aug
-            .keyword_elements()[0]
+        let value_node = aug.keyword_elements()[0]
             .iter()
             .find_map(|ke| ke.element.as_node())
             .expect("aifb matches a value node");
@@ -551,9 +550,8 @@ mod tests {
         assert!(aug.match_score(ke.element) > 0.0);
         assert!(aug.match_score(ke.element) <= 1.0);
         // …while an arbitrary schema node scores 1.0.
-        let publication = SummaryElement::Node(
-            base.node_of_class(g.class("Publication").unwrap()).unwrap(),
-        );
+        let publication =
+            SummaryElement::Node(base.node_of_class(g.class("Publication").unwrap()).unwrap());
         assert_eq!(aug.match_score(publication), 1.0);
     }
 
@@ -620,10 +618,7 @@ mod tests {
             aug.element_index(aug.element_from_index(aug.node_count())),
             aug.node_count()
         );
-        assert!(aug
-            .element_from_index(aug.node_count())
-            .as_edge()
-            .is_some());
+        assert!(aug.element_from_index(aug.node_count()).as_edge().is_some());
     }
 
     #[test]
@@ -656,9 +651,8 @@ mod tests {
         assert_eq!(aug.total_entities(), 8);
         assert_eq!(aug.total_relation_edges(), 6);
         // The Publication node aggregates two entities.
-        let publication = SummaryElement::Node(
-            base.node_of_class(g.class("Publication").unwrap()).unwrap(),
-        );
+        let publication =
+            SummaryElement::Node(base.node_of_class(g.class("Publication").unwrap()).unwrap());
         assert_eq!(aug.aggregated(publication), 2);
     }
 }

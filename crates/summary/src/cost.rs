@@ -45,9 +45,7 @@ impl CostModel {
             CostModel::Uniform => 1.0,
             CostModel::Popularity => {
                 let (aggregated, total) = match element {
-                    SummaryElement::Node(_) => {
-                        (graph.aggregated(element), graph.total_entities())
-                    }
+                    SummaryElement::Node(_) => (graph.aggregated(element), graph.total_entities()),
                     SummaryElement::Edge(_) => {
                         (graph.aggregated(element), graph.total_relation_edges())
                     }
@@ -103,11 +101,9 @@ mod tests {
         let base = SummaryGraph::build(&g);
         let aug = augmented(&g, &["aifb"]);
         // Publication aggregates 2 of 8 entities; Agent aggregates 0.
-        let publication = SummaryElement::Node(
-            base.node_of_class(g.class("Publication").unwrap()).unwrap(),
-        );
-        let agent =
-            SummaryElement::Node(base.node_of_class(g.class("Agent").unwrap()).unwrap());
+        let publication =
+            SummaryElement::Node(base.node_of_class(g.class("Publication").unwrap()).unwrap());
+        let agent = SummaryElement::Node(base.node_of_class(g.class("Agent").unwrap()).unwrap());
         let c_pub = CostModel::Popularity.element_cost(&aug, publication);
         let c_agent = CostModel::Popularity.element_cost(&aug, agent);
         assert!(c_pub < c_agent);
@@ -120,7 +116,10 @@ mod tests {
         let aug = augmented(&g, &["aifb"]);
         let value_node = aug.keyword_elements()[0][0].element;
         let cost = CostModel::Popularity.element_cost(&aug, value_node);
-        assert!(cost > 0.8, "a single-value node should be expensive, got {cost}");
+        assert!(
+            cost > 0.8,
+            "a single-value node should be expensive, got {cost}"
+        );
     }
 
     #[test]

@@ -70,8 +70,10 @@ impl SummaryGraph {
         summary.total_entities = graph.vertex_count_of_kind(kwsearch_rdf::VertexKind::Entity);
 
         // Project every data edge onto the schema level.
-        let mut edge_index: HashMap<(SummaryNodeId, SummaryEdgeKind, SummaryNodeId), SummaryEdgeId> =
-            HashMap::new();
+        let mut edge_index: HashMap<
+            (SummaryNodeId, SummaryEdgeKind, SummaryNodeId),
+            SummaryEdgeId,
+        > = HashMap::new();
         for e in graph.edges() {
             let edge = graph.edge(e);
             match graph.edge_label(edge.label) {
@@ -135,10 +137,7 @@ impl SummaryGraph {
         if classes.is_empty() {
             vec![self.thing_node.expect("Thing node always exists")]
         } else {
-            classes
-                .into_iter()
-                .map(|c| self.class_nodes[&c])
-                .collect()
+            classes.into_iter().map(|c| self.class_nodes[&c]).collect()
         }
     }
 
@@ -345,10 +344,9 @@ mod tests {
     fn attribute_edges_and_values_are_excluded() {
         let g = figure1_graph();
         let s = SummaryGraph::build(&g);
-        assert!(s.edges().all(|e| !matches!(
-            s.edge(e).kind,
-            SummaryEdgeKind::Attribute { .. }
-        )));
+        assert!(s
+            .edges()
+            .all(|e| !matches!(s.edge(e).kind, SummaryEdgeKind::Attribute { .. })));
         assert!(s.nodes().all(|n| !matches!(
             s.node(n).kind,
             SummaryNodeKind::Value { .. } | SummaryNodeKind::ArtificialValue
@@ -389,7 +387,8 @@ mod tests {
         g.insert_triple(&Triple::typed("a", "Student")).unwrap();
         g.insert_triple(&Triple::typed("a", "Employee")).unwrap();
         g.insert_triple(&Triple::typed("b", "Department")).unwrap();
-        g.insert_triple(&Triple::relation("a", "memberOf", "b")).unwrap();
+        g.insert_triple(&Triple::relation("a", "memberOf", "b"))
+            .unwrap();
         let s = SummaryGraph::build(&g);
         // memberOf must appear from both Student and Employee.
         let member_edges = s

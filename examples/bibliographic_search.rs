@@ -43,24 +43,26 @@ fn main() {
         ),
         (
             "synonym of a class label (thesaurus matching)".into(),
-            vec!["papers".into(), first_author.split_whitespace().last().unwrap().to_string()],
+            vec![
+                "papers".into(),
+                first_author.split_whitespace().last().unwrap().to_string(),
+            ],
         ),
-        (
-            "relation keyword".into(),
-            vec!["cites".into(), a_venue],
-        ),
+        ("relation keyword".into(), vec!["cites".into(), a_venue]),
     ];
 
     for (intent, keywords) in queries {
         println!("== {intent}: {keywords:?}");
-        let (outcome, answers, processed) = engine.search_and_answer(&keywords, 5);
+        let (outcome, phase) = engine.search_and_answer(&keywords, 5);
         match outcome.best() {
             Some(best) => {
                 println!("   best query (cost {:.3}): {}", best.cost, best.query);
-                let total: usize = answers.iter().map(|a| a.len()).sum();
                 println!(
-                    "   processed {processed} queries, retrieved {total} answers in {:?}",
-                    outcome.computation_time()
+                    "   processed {} queries, retrieved {} answers in {:?} (+{:?} answer phase)",
+                    phase.queries_processed,
+                    phase.total_answers(),
+                    outcome.computation_time(),
+                    phase.answer_time
                 );
             }
             None => println!("   no interpretation found"),

@@ -54,7 +54,10 @@ fn main() {
     for ranked in outcome.queries.iter().take(3) {
         println!("=== rank {} (cost {:.3}) ===", ranked.rank, ranked.cost);
         println!("matching subgraph:");
-        println!("  {} elements, connecting at one of them", ranked.subgraph.size());
+        println!(
+            "  {} elements, connecting at one of them",
+            ranked.subgraph.size()
+        );
         println!("conjunctive query:\n  {}", ranked.query);
         println!("description:\n  {}", ranked.description());
         println!("SPARQL:\n{}", indent(&sparql::to_sparql(&ranked.query)));

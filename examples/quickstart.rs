@@ -12,7 +12,10 @@ use searchwebdb::prelude::*;
 fn main() {
     // 1. The data graph of Fig. 1a (publications, researchers, institutes).
     let graph = searchwebdb::rdf::fixtures::figure1_graph();
-    println!("data graph: {}", searchwebdb::rdf::GraphStats::compute(&graph));
+    println!(
+        "data graph: {}",
+        searchwebdb::rdf::GraphStats::compute(&graph)
+    );
 
     // 2. Off-line preprocessing: keyword index + summary graph + triple store.
     let engine = KeywordSearchEngine::new(graph);
@@ -43,7 +46,9 @@ fn main() {
     }
 
     // 4. Let the "user" pick the best query and evaluate it.
-    let best = outcome.best().expect("the running example produces queries");
+    let best = outcome
+        .best()
+        .expect("the running example produces queries");
     let answers = engine.answers(&best.query, None).expect("query evaluates");
     println!("answers of the top-ranked query:");
     for row in answers.labelled_rows(engine.graph()) {

@@ -30,7 +30,10 @@ fn main() {
         let outcome = engine.search_with(&keywords, &config);
         println!("-- scoring {scoring} --");
         for ranked in &outcome.queries {
-            println!("  #{} (cost {:.3}): {}", ranked.rank, ranked.cost, ranked.query);
+            println!(
+                "  #{} (cost {:.3}): {}",
+                ranked.rank, ranked.cost, ranked.query
+            );
         }
         if let Some(best) = outcome.best() {
             let answers = engine.answers(&best.query, Some(5)).unwrap();

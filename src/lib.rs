@@ -48,7 +48,7 @@ pub use kwsearch_summary as summary;
 /// The most commonly used types, re-exported for glob import.
 pub mod prelude {
     pub use kwsearch_core::{
-        KeywordSearchEngine, RankedQuery, ScoringFunction, SearchConfig, SearchOutcome,
+        AnswerPhase, KeywordSearchEngine, RankedQuery, ScoringFunction, SearchConfig, SearchOutcome,
     };
     pub use kwsearch_keyword_index::KeywordIndex;
     pub use kwsearch_query::{AnswerSet, ConjunctiveQuery, QueryBuilder};

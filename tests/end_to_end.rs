@@ -20,7 +20,10 @@ fn running_example_from_ntriples_to_answers() {
     // The generated query exhibits the structure of Fig. 1c.
     let predicates = best.query.predicates();
     for expected in ["type", "year", "author", "name", "worksAt"] {
-        assert!(predicates.contains(expected), "missing predicate {expected}");
+        assert!(
+            predicates.contains(expected),
+            "missing predicate {expected}"
+        );
     }
 
     // And processing it retrieves pub1URI.
@@ -37,16 +40,15 @@ fn generated_bibliographic_dataset_supports_the_full_pipeline() {
     // Author + year: the classic information need of the paper's user study.
     let author = dataset.author_names[dataset.authorship[0][0]].clone();
     let year = dataset.years[0].clone();
-    let (outcome, answers, processed) = engine.search_and_answer(&[author.clone(), year], 5);
+    let (outcome, phase) = engine.search_and_answer(&[author.clone(), year], 5);
 
     assert!(!outcome.queries.is_empty(), "queries must be generated");
-    assert!(processed >= 1);
+    assert!(phase.queries_processed >= 1);
     let best = outcome.best().unwrap();
     assert!(best.query.constants().contains(&author));
     // At least publication 0 satisfies the intended interpretation, so the
     // processed queries must return something.
-    let total: usize = answers.iter().map(AnswerSet::len).sum();
-    assert!(total >= 1, "expected answers for {author}");
+    assert!(phase.total_answers() >= 1, "expected answers for {author}");
 }
 
 #[test]
@@ -76,7 +78,11 @@ fn lubm_and_tap_datasets_are_searchable() {
     assert!(!outcome.queries.is_empty());
     let best = outcome.best().unwrap();
     let answers = engine.answers(&best.query, Some(10)).unwrap();
-    assert!(!answers.is_empty(), "best query should be answerable:\n{}", best.query);
+    assert!(
+        !answers.is_empty(),
+        "best query should be answerable:\n{}",
+        best.query
+    );
 
     let tap = TapDataset::small();
     let engine = KeywordSearchEngine::new(tap.graph.clone());

@@ -22,7 +22,10 @@ fn both_approaches_interpret_the_running_example() {
     let groups = match_keywords(&graph, &keywords);
     for (name, result) in [
         ("backward", backward_search(&graph, &groups, 10, 8)),
-        ("bidirectional", bidirectional_search(&graph, &groups, 10, 8)),
+        (
+            "bidirectional",
+            bidirectional_search(&graph, &groups, 10, 8),
+        ),
         ("bfs", bfs_search(&graph, &groups, 10, 8)),
     ] {
         assert!(!result.is_empty(), "{name} search finds answer trees");

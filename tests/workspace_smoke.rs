@@ -16,10 +16,7 @@ use searchwebdb::prelude::*;
 fn engine_answers_the_running_example_end_to_end() {
     // Fig. 1a data graph from the kwsearch-rdf fixture.
     let graph = searchwebdb::rdf::fixtures::figure1_graph();
-    assert!(
-        graph.vertex_count() > 0,
-        "fixture graph must not be empty"
-    );
+    assert!(graph.vertex_count() > 0, "fixture graph must not be empty");
 
     // Off-line preprocessing across kwsearch-keyword-index and
     // kwsearch-summary, wired together by kwsearch-core.
@@ -47,7 +44,10 @@ fn engine_answers_the_running_example_end_to_end() {
     // at least one answer over the data graph.
     let best = outcome.best().expect("non-empty outcome has a best query");
     let sparql = best.sparql();
-    assert!(sparql.contains("SELECT"), "SPARQL rendering broken: {sparql}");
+    assert!(
+        sparql.contains("SELECT"),
+        "SPARQL rendering broken: {sparql}"
+    );
 
     let answers = engine
         .answers(&best.query, None)
