@@ -3,7 +3,7 @@
 //! The simplest answer-tree baseline: unweighted breadth-first expansion
 //! from every keyword vertex in both edge directions, without any
 //! prioritisation heuristics. Corresponds to the "BFS" graph-index variants
-//! of [2] when run on the unpartitioned graph.
+//! of \[2\] when run on the unpartitioned graph.
 
 use kwsearch_rdf::{DataGraph, VertexId};
 

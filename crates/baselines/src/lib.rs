@@ -4,18 +4,18 @@
 //! compute *answer trees* directly on the data graph under the distinct-root
 //! assumption:
 //!
-//! * **backward search** (BANKS, [1] in the paper) — multi-source Dijkstra
+//! * **backward search** (BANKS, \[1\] in the paper) — multi-source Dijkstra
 //!   from the keyword vertices along incoming edges,
-//! * **bidirectional search** (BLINKS-style, [14]) — expansion along both
+//! * **bidirectional search** (BLINKS-style, \[14\]) — expansion along both
 //!   edge directions with degree-based activation factors,
 //! * **BFS candidate search** — unweighted breadth-first expansion, the
 //!   simplest answer-tree baseline,
 //! * **partitioned search** — bidirectional search restricted to the graph
 //!   blocks that contain keyword matches (a stand-in for the METIS-based
-//!   1000/300-block indexes of [2]; greedy BFS partitioning replaces METIS).
+//!   1000/300-block indexes of \[2\]; greedy BFS partitioning replaces METIS).
 //!
 //! All baselines share the exact-match keyword mapping of
-//! [`keyword_match`] and the [`AnswerTree`](answer_tree::AnswerTree) result
+//! [`keyword_match`] and the [`AnswerTree`] result
 //! model, and report how many vertices they visited so the benchmark
 //! harness can relate running time to search effort.
 

@@ -1,6 +1,6 @@
 //! Partition-based search (stand-in for the METIS/BLINKS block indexes).
 //!
-//! The graph-index baselines of [2] partition the data graph into blocks
+//! The graph-index baselines of \[2\] partition the data graph into blocks
 //! (1000 or 300 of them, using METIS or BFS) and index, per block, which
 //! keywords occur inside. At query time only the blocks containing keyword
 //! matches — plus their neighbouring blocks — need to be searched. METIS is

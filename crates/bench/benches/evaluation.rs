@@ -44,12 +44,12 @@ fn bench_query_evaluation(c: &mut Criterion) {
 
 fn bench_end_to_end_vs_baseline(c: &mut Criterion) {
     let dataset = dblp_dataset(ScaleProfile::Small);
-    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone()).build();
     let keywords = vec![dataset.author_names[0].clone(), dataset.years[0].clone()];
 
     let mut group = c.benchmark_group("end_to_end");
     group.bench_function("ours_search_and_answer", |b| {
-        b.iter(|| engine.search_and_answer(&keywords, 10))
+        b.iter(|| engine.search_and_answer(&keywords, 10).ok())
     });
     group.bench_function("bidirectional_baseline", |b| {
         b.iter(|| {

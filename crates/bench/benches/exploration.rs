@@ -8,7 +8,7 @@ use kwsearch_datagen::workload::dblp_performance_queries;
 
 fn bench_search_by_keyword_count(c: &mut Criterion) {
     let dataset = dblp_dataset(ScaleProfile::Small);
-    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone()).build();
     let queries = dblp_performance_queries(&dataset);
 
     let mut group = c.benchmark_group("top_k_search");
@@ -20,7 +20,7 @@ fn bench_search_by_keyword_count(c: &mut Criterion) {
             BenchmarkId::new("keywords", query.keywords.len()),
             query,
             |b, query| {
-                b.iter(|| engine.search(&query.keywords));
+                b.iter(|| engine.search(&query.keywords).ok());
             },
         );
     }
@@ -29,7 +29,7 @@ fn bench_search_by_keyword_count(c: &mut Criterion) {
 
 fn bench_search_by_k(c: &mut Criterion) {
     let dataset = dblp_dataset(ScaleProfile::Small);
-    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone()).build();
     let queries = dblp_performance_queries(&dataset);
     let query = &queries[3]; // three keywords
 
@@ -37,7 +37,7 @@ fn bench_search_by_k(c: &mut Criterion) {
     for k in [1usize, 10, 50] {
         let config = SearchConfig::with_k(k);
         group.bench_with_input(BenchmarkId::new("k", k), &config, |b, config| {
-            b.iter(|| engine.search_with(&query.keywords, config));
+            b.iter(|| engine.search_with(&query.keywords, config).ok());
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_search_by_k(c: &mut Criterion) {
 
 fn bench_scoring_functions(c: &mut Criterion) {
     let dataset = dblp_dataset(ScaleProfile::Small);
-    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone()).build();
     let queries = dblp_performance_queries(&dataset);
     let query = &queries[0];
 
@@ -56,7 +56,7 @@ fn bench_scoring_functions(c: &mut Criterion) {
             BenchmarkId::new("scoring", scoring.short_name()),
             &config,
             |b, config| {
-                b.iter(|| engine.search_with(&query.keywords, config));
+                b.iter(|| engine.search_with(&query.keywords, config).ok());
             },
         );
     }

@@ -91,16 +91,15 @@ fn measure(
     performance: &[PerformanceQuery],
     effectiveness: &[EffectivenessQuery],
 ) -> (Duration, f64, f64) {
-    let engine = KeywordSearchEngine::with_configs(
-        dataset.graph.clone(),
-        variant.search.clone(),
-        variant.keyword.clone(),
-    );
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone())
+        .search_config(variant.search.clone())
+        .keyword_config(variant.keyword.clone())
+        .build();
 
     // Performance: total computation time over Q1-Q10.
     let mut total = Duration::ZERO;
     for query in performance {
-        let (_, elapsed) = time(|| engine.search(&query.keywords));
+        let (_, elapsed) = time(|| engine.search(&query.keywords).ok());
         total += elapsed;
     }
 
@@ -108,7 +107,9 @@ fn measure(
     let mut mrr = 0.0;
     let mut answered = 0usize;
     for query in effectiveness {
-        let outcome = engine.search(&query.keywords);
+        let Ok(outcome) = engine.search(&query.keywords) else {
+            continue;
+        };
         let ranked: Vec<_> = outcome.queries.iter().map(|r| &r.query).collect();
         mrr += query.reciprocal_rank(ranked);
         if let Some(best) = outcome.best() {

@@ -30,7 +30,9 @@ fn evaluate_workload(
         let mut rrs = [0.0f64; 3];
         for (i, scoring) in ScoringFunction::all().into_iter().enumerate() {
             let config = SearchConfig::with_k(k).scoring(scoring);
-            let outcome = engine.search_with(&query.keywords, &config);
+            let Ok(outcome) = engine.search_with(&query.keywords, &config) else {
+                continue;
+            };
             let ranked: Vec<_> = outcome.queries.iter().map(|r| &r.query).collect();
             rrs[i] = query.reciprocal_rank(ranked);
             totals[i] += rrs[i];
@@ -67,11 +69,13 @@ fn main() {
 
     let dblp = dblp_dataset(profile);
     let workload = dblp_effectiveness_workload(&dblp, 30);
-    let engine = KeywordSearchEngine::with_config(dblp.graph.clone(), SearchConfig::with_k(k));
+    let engine = KeywordSearchEngine::builder(dblp.graph.clone())
+        .k(k)
+        .build();
     evaluate_workload("DBLP", &engine, &workload, k);
 
     let tap = tap_dataset(profile);
     let tap_workload = tap_effectiveness_workload(&tap);
-    let tap_engine = KeywordSearchEngine::with_config(tap.graph.clone(), SearchConfig::with_k(k));
+    let tap_engine = KeywordSearchEngine::builder(tap.graph.clone()).k(k).build();
     evaluate_workload("TAP", &tap_engine, &tap_workload, k);
 }

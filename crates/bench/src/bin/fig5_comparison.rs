@@ -23,7 +23,7 @@ use kwsearch_baselines::{
     partitioned_search,
 };
 use kwsearch_bench::{dblp_dataset, format_duration, time, ScaleProfile, Table};
-use kwsearch_core::{KeywordSearchEngine, SearchConfig};
+use kwsearch_core::KeywordSearchEngine;
 use kwsearch_datagen::workload::dblp_performance_queries;
 
 const K: usize = 10;
@@ -43,8 +43,11 @@ fn main() {
     );
 
     // Off-line phases (not charged to the per-query times, as in the paper).
-    let (engine, engine_build) =
-        time(|| KeywordSearchEngine::with_config(dataset.graph.clone(), SearchConfig::with_k(K)));
+    let (engine, engine_build) = time(|| {
+        KeywordSearchEngine::builder(dataset.graph.clone())
+            .k(K)
+            .build()
+    });
     let vertex_count = dataset.graph.vertex_count();
     let (fine, fine_build) = time(|| partition_graph(&dataset.graph, (vertex_count / 40).max(4)));
     let (coarse, coarse_build) =
@@ -73,7 +76,7 @@ fn main() {
     for query in &queries {
         let keywords = &query.keywords;
 
-        let (_, ours) = time(|| engine.search_and_answer(keywords, MIN_ANSWERS));
+        let (_, ours) = time(|| engine.search_and_answer(keywords, MIN_ANSWERS).ok());
         let (groups, _) = time(|| match_keywords(&dataset.graph, keywords));
         let (_, bidirect) =
             time(|| bidirectional_search(&dataset.graph, &groups, K, BASELINE_DMAX));

@@ -20,7 +20,7 @@ fn main() {
     let profile = ScaleProfile::from_env();
     let dataset = dblp_dataset(profile);
     let workload = dblp_effectiveness_workload(&dataset, 30);
-    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone()).build();
 
     println!("== Fig. 6a: average query computation time (ms) vs k and query length ==\n");
 
@@ -39,7 +39,7 @@ fn main() {
         let config = SearchConfig::with_k(k).scoring(ScoringFunction::PopularityAndMatch);
         let mut per_query_time: Vec<Duration> = Vec::with_capacity(workload.len());
         for q in &workload {
-            let (_, elapsed) = time(|| engine.search_with(&q.keywords, &config));
+            let (_, elapsed) = time(|| engine.search_with(&q.keywords, &config).ok());
             per_query_time.push(elapsed);
         }
         let mut row: Vec<String> = vec![k.to_string()];

@@ -6,13 +6,17 @@
 //! `BENCH_topk.json` (override the path with `KWSEARCH_BENCH_OUT`) so every
 //! commit leaves a perf datapoint that CI archives.
 //!
-//! Two phases are tracked per query, mirroring the paper's Fig. 5 metric
+//! Three phases are tracked per query, mirroring the paper's Fig. 5 metric
 //! ("the time for computing the top-10 queries plus the time for processing
 //! several queries (the top ones) until finding at least 10 answers"):
 //!
 //! * **search** — best-of-N wall time of the top-k query computation, result
 //!   count, and the exploration counters (cursors created/expanded, queue
 //!   pushes/pops, peak queue length, wasted-work ratio),
+//! * **streamed session** — best-of-N wall time of a `SearchSession` until
+//!   the rank-1 query is certified (time-to-first-query) next to a fully
+//!   drained session (time-to-k), plus the queue pops each needed: the
+//!   anytime gap the streaming API exposes,
 //! * **answer phase** — best-of-N wall time of processing the top queries in
 //!   rank order until ≥ `MIN_ANSWERS` answers exist, via the streaming
 //!   evaluator, next to the same loop driven by the pre-streaming
@@ -53,6 +57,15 @@ struct QueryRecord {
     /// Best-of-N wall time of the same answer phase driven by the
     /// materializing reference evaluator (the pre-streaming baseline).
     materializing_ms: f64,
+    /// Best-of-N wall time of a streamed session up to (and including) the
+    /// first certified query.
+    first_query_ms: f64,
+    /// Best-of-N wall time of a fully drained streamed session (time-to-k).
+    to_k_ms: f64,
+    /// Queue pops a session needed to certify the rank-1 query.
+    first_query_pops: usize,
+    /// Queue pops a fully drained session performed.
+    drained_pops: usize,
 }
 
 struct DatasetReport {
@@ -71,6 +84,14 @@ impl DatasetReport {
 
     fn total_materializing_ms(&self) -> f64 {
         self.records.iter().map(|r| r.materializing_ms).sum()
+    }
+
+    fn total_first_query_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.first_query_ms).sum()
+    }
+
+    fn total_to_k_ms(&self) -> f64 {
+        self.records.iter().map(|r| r.to_k_ms).sum()
     }
 }
 
@@ -113,16 +134,47 @@ fn run_workload(
         // Warm-up run (also the source of the reported outcome/counters —
         // the engine is deterministic, so every repetition returns the same
         // result).
-        let outcome: SearchOutcome = engine.search_with(keywords, config);
+        let outcome: SearchOutcome = engine
+            .search_with(keywords, config)
+            .expect("workload keywords always match");
         let best_ms = best_of_ms(REPETITIONS, || {
-            std::hint::black_box(engine.search_with(keywords, config));
+            std::hint::black_box(engine.search_with(keywords, config).ok());
         });
+
+        // Streamed session: time until the rank-1 query is certified vs a
+        // fully drained session, plus the queue pops each needed — the
+        // anytime gap of the exploration.
+        let mut first_session = engine
+            .session_with(keywords, config.clone())
+            .expect("workload keywords always match");
+        let first = first_session.next_query();
+        let first_query_pops = first_session.stats().queue_pops;
+        let drained_session = engine
+            .session_with(keywords, config.clone())
+            .expect("workload keywords always match");
+        let drained_outcome = drained_session.into_outcome();
+        let drained_pops = drained_outcome.exploration.queue_pops;
+        assert_eq!(
+            first.is_some(),
+            !drained_outcome.queries.is_empty(),
+            "streamed and drained sessions agree on emptiness"
+        );
+        let first_query_ms = best_of_ms(REPETITIONS, || {
+            let mut session = engine
+                .session_with(keywords, config.clone())
+                .expect("workload keywords always match");
+            std::hint::black_box(session.next_query());
+        });
+        // `search_with` is literally a drained session, so the best-of-N
+        // search time above *is* the time-to-k — no need to measure the
+        // same computation twice.
+        let to_k_ms = best_ms;
 
         // Answer phase: process the top queries until MIN_ANSWERS answers
         // exist — streaming evaluator vs. the materializing baseline.
         let phase = engine.answer_queries(&outcome.queries, MIN_ANSWERS);
         let answer_ms = best_of_ms(REPETITIONS, || {
-            std::hint::black_box(engine.answer_queries(&outcome.queries, MIN_ANSWERS));
+            let _ = std::hint::black_box(engine.answer_queries(&outcome.queries, MIN_ANSWERS));
         });
         let materializing_ms = best_of_ms(REPETITIONS, || {
             std::hint::black_box(materializing_answer_phase(
@@ -142,6 +194,10 @@ fn run_workload(
             answer_queries_processed: phase.queries_processed,
             answer_ms,
             materializing_ms,
+            first_query_ms,
+            to_k_ms,
+            first_query_pops,
+            drained_pops,
         });
     }
     DatasetReport { name, records }
@@ -214,6 +270,42 @@ fn print_table(report: &DatasetReport) {
     println!("total: {:.3} ms\n", report.total_wall_ms());
 }
 
+fn print_streaming_table(report: &DatasetReport) {
+    println!(
+        "== {} streamed session (time-to-first vs time-to-k) ==",
+        report.name
+    );
+    let mut table = Table::new([
+        "query",
+        "first (ms)",
+        "to-k (ms)",
+        "first pops",
+        "drained pops",
+        "pops saved",
+    ]);
+    for r in &report.records {
+        let saved = if r.drained_pops > 0 {
+            (r.drained_pops - r.first_query_pops) as f64 / r.drained_pops as f64
+        } else {
+            0.0
+        };
+        table.row([
+            r.id.clone(),
+            format!("{:.3}", r.first_query_ms),
+            format!("{:.3}", r.to_k_ms),
+            r.first_query_pops.to_string(),
+            r.drained_pops.to_string(),
+            format!("{saved:.3}"),
+        ]);
+    }
+    table.print();
+    println!(
+        "total: first {:.3} ms, to-k {:.3} ms\n",
+        report.total_first_query_ms(),
+        report.total_to_k_ms()
+    );
+}
+
 fn print_answer_table(report: &DatasetReport) {
     println!(
         "== {} answer phase (until >= {MIN_ANSWERS} answers) ==",
@@ -260,6 +352,8 @@ fn query_json(r: &QueryRecord) -> String {
             "\"candidates_generated\": {}, \"queue_pushes\": {}, \"queue_pops\": {}, ",
             "\"peak_queue_len\": {}, \"wasted_queue_ratio\": {}, ",
             "\"terminated_by_threshold\": {}, ",
+            "\"streaming\": {{\"first_query_ms\": {}, \"to_k_ms\": {}, ",
+            "\"first_query_pops\": {}, \"drained_pops\": {}}}, ",
             "\"answer_phase\": {{\"answers\": {}, \"queries_processed\": {}, ",
             "\"wall_ms\": {}, \"materializing_wall_ms\": {}}}}}"
         ),
@@ -276,6 +370,10 @@ fn query_json(r: &QueryRecord) -> String {
         r.stats.peak_queue_len,
         json_f64(r.stats.wasted_queue_ratio()),
         r.stats.terminated_by_threshold,
+        json_f64(r.first_query_ms),
+        json_f64(r.to_k_ms),
+        r.first_query_pops,
+        r.drained_pops,
         r.answers_found,
         r.answer_queries_processed,
         json_f64(r.answer_ms),
@@ -291,11 +389,14 @@ fn report_json(profile: ScaleProfile, config: &SearchConfig, reports: &[DatasetR
             format!(
                 concat!(
                     "    {{\"name\": {}, \"total_wall_ms\": {}, ",
+                    "\"streaming\": {{\"total_first_query_ms\": {}, \"total_to_k_ms\": {}}}, ",
                     "\"answer_phase\": {{\"min_answers\": {}, \"total_wall_ms\": {}, ",
                     "\"total_materializing_wall_ms\": {}}}, \"queries\": [\n      {}\n    ]}}"
                 ),
                 json_string(report.name),
                 json_f64(report.total_wall_ms()),
+                json_f64(report.total_first_query_ms()),
+                json_f64(report.total_to_k_ms()),
                 MIN_ANSWERS,
                 json_f64(report.total_answer_ms()),
                 json_f64(report.total_materializing_ms()),
@@ -306,7 +407,7 @@ fn report_json(profile: ScaleProfile, config: &SearchConfig, reports: &[DatasetR
     format!(
         concat!(
             "{{\n",
-            "  \"schema_version\": 2,\n",
+            "  \"schema_version\": 3,\n",
             "  \"scale\": {},\n",
             "  \"config\": {{\"k\": {}, \"dmax\": {}, \"scoring\": {}, \"min_answers\": {}}},\n",
             "  \"datasets\": [\n{}\n  ]\n",
@@ -334,29 +435,32 @@ fn main() {
     );
 
     let dblp = dblp_dataset(profile);
-    let dblp_engine = KeywordSearchEngine::new(dblp.graph.clone());
+    let dblp_engine = KeywordSearchEngine::builder(dblp.graph.clone()).build();
     let dblp_queries: Vec<(String, Vec<String>)> = dblp_performance_queries(&dblp)
         .into_iter()
         .map(|q| (q.id, q.keywords))
         .collect();
     let dblp_report = run_workload("dblp", &dblp_engine, &dblp_queries, &config);
     print_table(&dblp_report);
+    print_streaming_table(&dblp_report);
     print_answer_table(&dblp_report);
 
     let tap = tap_dataset(profile);
-    let tap_engine = KeywordSearchEngine::new(tap.graph.clone());
+    let tap_engine = KeywordSearchEngine::builder(tap.graph.clone()).build();
     let tap_queries: Vec<(String, Vec<String>)> = tap_effectiveness_workload(&tap)
         .into_iter()
         .map(|q| (q.id, q.keywords))
         .collect();
     let tap_report = run_workload("tap", &tap_engine, &tap_queries, &config);
     print_table(&tap_report);
+    print_streaming_table(&tap_report);
     print_answer_table(&tap_report);
 
     let lubm = lubm_dataset(profile);
-    let lubm_engine = KeywordSearchEngine::new(lubm.graph.clone());
+    let lubm_engine = KeywordSearchEngine::builder(lubm.graph.clone()).build();
     let lubm_report = run_workload("lubm", &lubm_engine, &lubm_queries(&lubm), &config);
     print_table(&lubm_report);
+    print_streaming_table(&lubm_report);
     print_answer_table(&lubm_report);
 
     let out_path =

@@ -5,7 +5,7 @@
 //! dependency. It covers exactly the surface the workspace's property tests
 //! use:
 //!
-//! * the [`Strategy`] trait with `prop_map` and `boxed`,
+//! * the [`strategy::Strategy`] trait with `prop_map` and `boxed`,
 //! * strategies for integer ranges, tuples, `&str` regex patterns
 //!   ([`string::string_regex`]), [`collection::vec`] and
 //!   [`collection::btree_set`],

@@ -2,42 +2,49 @@
 //!
 //! [`KeywordSearchEngine`] wires the whole pipeline of Fig. 2 together:
 //!
-//! * **off-line**: build the keyword index, the summary graph and the triple
-//!   store for a data graph,
-//! * **on-line** ([`KeywordSearchEngine::search`]): map keywords to
-//!   elements, augment the summary graph, explore it for the top-k matching
-//!   subgraphs, and map each subgraph to a conjunctive query,
+//! * **off-line**: [`KeywordSearchEngine::builder`] indexes a data graph
+//!   (keyword index, summary graph, triple store) with optional
+//!   configuration,
+//! * **on-line** ([`KeywordSearchEngine::session`]): map keywords to
+//!   elements, augment the summary graph, and stream the top-k matching
+//!   subgraphs as ranked conjunctive queries through a resumable
+//!   [`SearchSession`] — or get the drained batch shape in one call via
+//!   [`KeywordSearchEngine::search`],
 //! * **query processing** ([`KeywordSearchEngine::answers`] /
 //!   [`KeywordSearchEngine::answer_queries`] /
-//!   [`KeywordSearchEngine::search_and_answer`]): evaluate chosen queries on
-//!   the data graph with the streaming conjunctive-query engine, mirroring
-//!   the paper's evaluation which measures "the time for computing the
-//!   top-10 queries plus the time for processing several queries (the top
-//!   ones) until finding at least 10 answers" — the streaming evaluator
-//!   stops each query the instant the still-missing number of answers has
-//!   been found, and [`AnswerPhase`] reports that phase's timing.
+//!   [`KeywordSearchEngine::search_and_answer`] /
+//!   [`SearchSession::answers_until`]): evaluate chosen queries on the data
+//!   graph with the streaming conjunctive-query engine, mirroring the
+//!   paper's evaluation which measures "the time for computing the top-10
+//!   queries plus the time for processing several queries (the top ones)
+//!   until finding at least 10 answers" — the streaming evaluator stops
+//!   each query the instant the still-missing number of answers has been
+//!   found, and [`AnswerPhase`] reports that phase's timing.
 
-use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 use kwsearch_keyword_index::{KeywordIndex, KeywordIndexConfig};
 use kwsearch_query::{AnswerSet, ConjunctiveQuery, EvalError, Evaluator};
 use kwsearch_rdf::{DataGraph, GraphStats, TripleStore};
-use kwsearch_summary::{AugmentedSummaryGraph, SummaryGraph};
+use kwsearch_summary::SummaryGraph;
 
 use crate::config::SearchConfig;
-use crate::exploration::{ExplorationStats, Explorer};
-use crate::query_map::map_subgraph_to_query;
+use crate::error::{KeywordMatch, SearchError};
+use crate::exploration::ExplorationStats;
 use crate::result::RankedQuery;
+use crate::scoring::ScoringFunction;
+use crate::session::SearchSession;
 
 /// The result of one keyword search.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct SearchOutcome {
     /// The top-k queries in ascending cost order (rank 1 first).
     pub queries: Vec<RankedQuery>,
-    /// Keywords (by position in the input) that did not match any graph
-    /// element and were ignored.
-    pub unmatched_keywords: Vec<usize>,
+    /// The per-keyword match report: one entry per input keyword, carrying
+    /// the keyword string, its position and how many graph elements it
+    /// matched (unmatched keywords were ignored by the exploration).
+    pub keywords: Vec<KeywordMatch>,
     /// Statistics of the exploration run.
     pub exploration: ExplorationStats,
     /// Size of the augmented summary graph that was explored.
@@ -54,6 +61,11 @@ impl SearchOutcome {
         self.queries.first()
     }
 
+    /// The keywords that did not match any graph element (and were ignored).
+    pub fn unmatched_keywords(&self) -> impl Iterator<Item = &KeywordMatch> {
+        self.keywords.iter().filter(|k| !k.is_matched())
+    }
+
     /// Total query-computation time (mapping + exploration).
     pub fn computation_time(&self) -> Duration {
         self.keyword_mapping_time + self.exploration_time
@@ -63,6 +75,7 @@ impl SearchOutcome {
 /// The answer phase of one Fig. 5 interaction: the top queries processed in
 /// rank order until enough answers were retrieved.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct AnswerPhase {
     /// One answer set per successfully processed query, in rank order.
     pub answers: Vec<AnswerSet>,
@@ -82,6 +95,103 @@ impl AnswerPhase {
     }
 }
 
+/// Configures and indexes a [`KeywordSearchEngine`].
+///
+/// Obtained from [`KeywordSearchEngine::builder`]; the terminal
+/// [`EngineBuilder::build`] call runs the off-line preprocessing (keyword
+/// index, summary graph, triple store). Replaces the former
+/// `new` / `with_config` / `with_configs` constructor ladder:
+///
+/// ```
+/// use kwsearch_core::{KeywordSearchEngine, ScoringFunction};
+/// use kwsearch_rdf::fixtures::figure1_graph;
+///
+/// let engine = KeywordSearchEngine::builder(figure1_graph())
+///     .k(5)
+///     .scoring(ScoringFunction::PathLength)
+///     .build();
+/// assert_eq!(engine.config().k, 5);
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "the builder does nothing until `build()` indexes the graph"]
+pub struct EngineBuilder {
+    graph: DataGraph,
+    config: SearchConfig,
+    keyword_config: KeywordIndexConfig,
+    /// Fine-grained overrides, applied on top of `config` at `build()` time
+    /// so setter order never matters (`.k(5).search_config(..)` and
+    /// `.search_config(..).k(5)` behave the same).
+    k: Option<usize>,
+    scoring: Option<ScoringFunction>,
+    dmax: Option<u32>,
+}
+
+impl EngineBuilder {
+    /// Number of queries to compute per search (`k`).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// The scoring function ranking the matching subgraphs (C1, C2 or C3).
+    pub fn scoring(mut self, scoring: ScoringFunction) -> Self {
+        self.scoring = Some(scoring);
+        self
+    }
+
+    /// The exploration distance bound `d_max`.
+    pub fn dmax(mut self, dmax: u32) -> Self {
+        self.dmax = Some(dmax);
+        self
+    }
+
+    /// Replaces the base search configuration. The fine-grained setters
+    /// ([`Self::k`], [`Self::scoring`], [`Self::dmax`]) override individual
+    /// fields of this base regardless of call order.
+    pub fn search_config(mut self, config: SearchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Configures the keyword index (fuzzy matching, thesaurus, …).
+    pub fn keyword_config(mut self, keyword_config: KeywordIndexConfig) -> Self {
+        self.keyword_config = keyword_config;
+        self
+    }
+
+    /// Runs the off-line preprocessing and returns the ready engine.
+    pub fn build(self) -> KeywordSearchEngine {
+        let mut config = self.config;
+        if let Some(k) = self.k {
+            config.k = k;
+        }
+        if let Some(scoring) = self.scoring {
+            config.scoring = scoring;
+        }
+        if let Some(dmax) = self.dmax {
+            config.dmax = dmax;
+        }
+        let start = Instant::now();
+        let keyword_index = KeywordIndex::build_with(
+            &self.graph,
+            kwsearch_keyword_index::Analyzer::new(),
+            kwsearch_keyword_index::Thesaurus::builtin(),
+            self.keyword_config,
+        );
+        let summary = SummaryGraph::build(&self.graph);
+        let store = TripleStore::build(&self.graph);
+        let index_build_time = start.elapsed();
+        KeywordSearchEngine {
+            graph: self.graph,
+            keyword_index,
+            summary,
+            store,
+            config,
+            index_build_time,
+        }
+    }
+}
+
 /// The keyword-search engine: data graph + indices + configuration.
 pub struct KeywordSearchEngine {
     graph: DataGraph,
@@ -93,39 +203,15 @@ pub struct KeywordSearchEngine {
 }
 
 impl KeywordSearchEngine {
-    /// Indexes `graph` with the default configuration.
-    pub fn new(graph: DataGraph) -> Self {
-        Self::with_config(graph, SearchConfig::default())
-    }
-
-    /// Indexes `graph` with a custom search configuration.
-    pub fn with_config(graph: DataGraph, config: SearchConfig) -> Self {
-        Self::with_configs(graph, config, KeywordIndexConfig::default())
-    }
-
-    /// Indexes `graph` with custom search and keyword-index configurations.
-    pub fn with_configs(
-        graph: DataGraph,
-        config: SearchConfig,
-        keyword_config: KeywordIndexConfig,
-    ) -> Self {
-        let start = Instant::now();
-        let keyword_index = KeywordIndex::build_with(
-            &graph,
-            kwsearch_keyword_index::Analyzer::new(),
-            kwsearch_keyword_index::Thesaurus::builtin(),
-            keyword_config,
-        );
-        let summary = SummaryGraph::build(&graph);
-        let store = TripleStore::build(&graph);
-        let index_build_time = start.elapsed();
-        Self {
+    /// Starts building an engine for `graph` with default configurations.
+    pub fn builder(graph: DataGraph) -> EngineBuilder {
+        EngineBuilder {
             graph,
-            keyword_index,
-            summary,
-            store,
-            config,
-            index_build_time,
+            config: SearchConfig::default(),
+            keyword_config: KeywordIndexConfig::default(),
+            k: None,
+            scoring: None,
+            dmax: None,
         }
     }
 
@@ -178,69 +264,40 @@ impl KeywordSearchEngine {
     // Query computation
     // ------------------------------------------------------------------
 
-    /// Computes the top-k conjunctive queries for a keyword query using the
-    /// engine's configuration.
-    pub fn search<S: AsRef<str>>(&self, keywords: &[S]) -> SearchOutcome {
-        self.search_with(keywords, &self.config)
+    /// Opens a resumable, streaming [`SearchSession`] for a keyword query
+    /// using the engine's configuration: keyword mapping and summary-graph
+    /// augmentation run eagerly, the exploration advances only as far as
+    /// the queries actually pulled from the session require.
+    ///
+    /// Fails with [`SearchError::AllKeywordsUnmatched`] when a non-empty
+    /// query matches nothing at all.
+    pub fn session<S: AsRef<str>>(&self, keywords: &[S]) -> Result<SearchSession<'_>, SearchError> {
+        self.session_with(keywords, self.config.clone())
     }
 
-    /// Computes the top-k conjunctive queries with an explicit configuration
-    /// (used by the benchmark harness to sweep `k` and the scoring function).
+    /// Opens a [`SearchSession`] with an explicit configuration (used by the
+    /// benchmark harness to sweep `k` and the scoring function).
+    pub fn session_with<S: AsRef<str>>(
+        &self,
+        keywords: &[S],
+        config: SearchConfig,
+    ) -> Result<SearchSession<'_>, SearchError> {
+        SearchSession::start(self, keywords, config)
+    }
+
+    /// Computes the top-k conjunctive queries for a keyword query using the
+    /// engine's configuration — a drained [`SearchSession`] in one call.
+    pub fn search<S: AsRef<str>>(&self, keywords: &[S]) -> Result<SearchOutcome, SearchError> {
+        Ok(self.session(keywords)?.into_outcome())
+    }
+
+    /// Computes the top-k conjunctive queries with an explicit configuration.
     pub fn search_with<S: AsRef<str>>(
         &self,
         keywords: &[S],
         config: &SearchConfig,
-    ) -> SearchOutcome {
-        // 1. Keyword-to-element mapping.
-        let mapping_start = Instant::now();
-        let all_matches = self.keyword_index.lookup_all(keywords);
-        let keyword_mapping_time = mapping_start.elapsed();
-
-        let mut unmatched_keywords = Vec::new();
-        let mut matches = Vec::new();
-        for (i, m) in all_matches.into_iter().enumerate() {
-            if m.is_empty() {
-                unmatched_keywords.push(i);
-            } else {
-                matches.push(m);
-            }
-        }
-
-        // 2 + 3 + 4. Augmentation, exploration, top-k.
-        let exploration_start = Instant::now();
-        let augmented = AugmentedSummaryGraph::build(&self.graph, &self.summary, &matches);
-        let outcome = Explorer::new(&augmented, config.clone()).run();
-
-        // 5. Query mapping, deduplicating queries that different subgraphs
-        // normalise to.
-        let mut queries: Vec<RankedQuery> = Vec::new();
-        let mut seen: BTreeSet<String> = BTreeSet::new();
-        for subgraph in outcome.subgraphs {
-            let query = map_subgraph_to_query(&augmented, &subgraph);
-            let canonical = query.canonicalized().to_string();
-            if !seen.insert(canonical) {
-                continue;
-            }
-            queries.push(RankedQuery {
-                rank: queries.len() + 1,
-                cost: subgraph.cost,
-                query,
-                subgraph,
-            });
-            if queries.len() >= config.k {
-                break;
-            }
-        }
-        let exploration_time = exploration_start.elapsed();
-
-        SearchOutcome {
-            queries,
-            unmatched_keywords,
-            exploration: outcome.stats,
-            augmented_elements: augmented.element_count(),
-            keyword_mapping_time,
-            exploration_time,
-        }
+    ) -> Result<SearchOutcome, SearchError> {
+        Ok(self.session_with(keywords, config.clone())?.into_outcome())
     }
 
     // ------------------------------------------------------------------
@@ -288,14 +345,17 @@ impl KeywordSearchEngine {
     /// top-k queries, then process them in rank order until at least
     /// `min_answers` answers have been retrieved. Returns the search outcome
     /// and the answer phase (answer sets, processed-query count, timing).
+    ///
+    /// To stop computing queries as soon as the answer target is reached,
+    /// use [`SearchSession::answers_until`] instead.
     pub fn search_and_answer<S: AsRef<str>>(
         &self,
         keywords: &[S],
         min_answers: usize,
-    ) -> (SearchOutcome, AnswerPhase) {
-        let outcome = self.search(keywords);
+    ) -> Result<(SearchOutcome, AnswerPhase), SearchError> {
+        let outcome = self.search(keywords)?;
         let phase = self.answer_queries(&outcome.queries, min_answers);
-        (outcome, phase)
+        Ok((outcome, phase))
     }
 }
 
@@ -306,13 +366,13 @@ mod tests {
     use kwsearch_rdf::fixtures::figure1_graph;
 
     fn engine() -> KeywordSearchEngine {
-        KeywordSearchEngine::new(figure1_graph())
+        KeywordSearchEngine::builder(figure1_graph()).build()
     }
 
     #[test]
     fn end_to_end_running_example() {
         let engine = engine();
-        let outcome = engine.search(&["2006", "cimiano", "aifb"]);
+        let outcome = engine.search(&["2006", "cimiano", "aifb"]).unwrap();
         assert!(!outcome.queries.is_empty());
         let best = outcome.best().unwrap();
         assert_eq!(best.rank, 1);
@@ -328,7 +388,7 @@ mod tests {
     #[test]
     fn ranks_are_sequential_and_costs_non_decreasing() {
         let engine = engine();
-        let outcome = engine.search(&["cimiano", "publication"]);
+        let outcome = engine.search(&["cimiano", "publication"]).unwrap();
         for (i, q) in outcome.queries.iter().enumerate() {
             assert_eq!(q.rank, i + 1);
         }
@@ -340,7 +400,7 @@ mod tests {
     #[test]
     fn queries_are_deduplicated() {
         let engine = engine();
-        let outcome = engine.search(&["cimiano", "aifb"]);
+        let outcome = engine.search(&["cimiano", "aifb"]).unwrap();
         let mut canonical: Vec<String> = outcome
             .queries
             .iter()
@@ -355,8 +415,13 @@ mod tests {
     #[test]
     fn unmatched_keywords_are_reported_and_ignored() {
         let engine = engine();
-        let outcome = engine.search(&["cimiano", "xyzzy-unknown"]);
-        assert_eq!(outcome.unmatched_keywords, vec![1]);
+        let outcome = engine.search(&["cimiano", "xyzzy-unknown"]).unwrap();
+        let unmatched: Vec<_> = outcome.unmatched_keywords().collect();
+        assert_eq!(unmatched.len(), 1);
+        assert_eq!(unmatched[0].position, 1);
+        assert_eq!(unmatched[0].keyword, "xyzzy-unknown");
+        assert_eq!(unmatched[0].element_matches, 0);
+        assert!(outcome.keywords[0].is_matched());
         assert!(
             !outcome.queries.is_empty(),
             "the matched keyword still produces queries"
@@ -364,10 +429,51 @@ mod tests {
     }
 
     #[test]
+    fn all_unmatched_keywords_are_a_typed_error() {
+        let engine = engine();
+        let error = engine
+            .search(&["xyzzy-unknown", "quux-unknown"])
+            .unwrap_err();
+        let SearchError::AllKeywordsUnmatched { keywords } = error;
+        assert_eq!(keywords.len(), 2);
+        assert!(keywords.iter().all(|k| !k.is_matched()));
+        assert_eq!(keywords[1].keyword, "quux-unknown");
+    }
+
+    #[test]
     fn k_bounds_the_number_of_queries() {
-        let engine = KeywordSearchEngine::with_config(figure1_graph(), SearchConfig::with_k(2));
-        let outcome = engine.search(&["cimiano", "publication"]);
+        let engine = KeywordSearchEngine::builder(figure1_graph()).k(2).build();
+        let outcome = engine.search(&["cimiano", "publication"]).unwrap();
         assert!(outcome.queries.len() <= 2);
+    }
+
+    #[test]
+    fn builder_setters_are_order_independent() {
+        // A fine-grained setter survives a later whole-config replacement:
+        // overrides are applied on top of the base at build() time.
+        let engine = KeywordSearchEngine::builder(figure1_graph())
+            .k(5)
+            .search_config(SearchConfig::default())
+            .build();
+        assert_eq!(engine.config().k, 5);
+        let engine = KeywordSearchEngine::builder(figure1_graph())
+            .search_config(SearchConfig::default())
+            .k(5)
+            .build();
+        assert_eq!(engine.config().k, 5);
+    }
+
+    #[test]
+    fn builder_configures_search_and_keyword_index() {
+        let engine = KeywordSearchEngine::builder(figure1_graph())
+            .search_config(SearchConfig::with_k(7))
+            .scoring(ScoringFunction::PathLength)
+            .dmax(5)
+            .keyword_config(KeywordIndexConfig::default())
+            .build();
+        assert_eq!(engine.config().k, 7);
+        assert_eq!(engine.config().scoring, ScoringFunction::PathLength);
+        assert_eq!(engine.config().dmax, 5);
     }
 
     #[test]
@@ -375,7 +481,9 @@ mod tests {
         let engine = engine();
         for scoring in ScoringFunction::all() {
             let config = SearchConfig::default().scoring(scoring);
-            let outcome = engine.search_with(&["2006", "cimiano", "aifb"], &config);
+            let outcome = engine
+                .search_with(&["2006", "cimiano", "aifb"], &config)
+                .unwrap();
             assert!(
                 !outcome.queries.is_empty(),
                 "scoring {scoring} must produce queries"
@@ -386,7 +494,7 @@ mod tests {
     #[test]
     fn search_and_answer_collects_enough_answers() {
         let engine = engine();
-        let (outcome, phase) = engine.search_and_answer(&["publications"], 2);
+        let (outcome, phase) = engine.search_and_answer(&["publications"], 2).unwrap();
         assert!(!outcome.queries.is_empty());
         assert!(phase.queries_processed >= 1);
         assert!(
@@ -398,7 +506,7 @@ mod tests {
     #[test]
     fn answer_queries_stops_once_enough_answers_exist() {
         let engine = engine();
-        let outcome = engine.search(&["publications"]);
+        let outcome = engine.search(&["publications"]).unwrap();
         assert!(!outcome.queries.is_empty());
         let phase = engine.answer_queries(&outcome.queries, 1);
         assert!(
@@ -414,7 +522,7 @@ mod tests {
     fn timings_and_sizes_are_recorded() {
         let engine = engine();
         assert!(engine.index_build_time() > Duration::ZERO);
-        let outcome = engine.search(&["2006", "aifb"]);
+        let outcome = engine.search(&["2006", "aifb"]).unwrap();
         assert!(outcome.augmented_elements > 0);
         assert!(outcome.computation_time() >= outcome.exploration_time);
         let stats = engine.graph_stats();
@@ -424,8 +532,8 @@ mod tests {
     #[test]
     fn empty_keyword_list_produces_no_queries() {
         let engine = engine();
-        let outcome = engine.search::<&str>(&[]);
+        let outcome = engine.search::<&str>(&[]).unwrap();
         assert!(outcome.queries.is_empty());
-        assert!(outcome.unmatched_keywords.is_empty());
+        assert!(outcome.keywords.is_empty());
     }
 }

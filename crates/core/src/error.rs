@@ -1,0 +1,115 @@
+//! Typed search errors and the per-keyword match report.
+//!
+//! The engine used to report unmatched keywords as a bare `Vec<usize>` of
+//! input positions, and an all-unmatched query silently produced an empty
+//! outcome. Both are now explicit: every search carries one
+//! [`KeywordMatch`] per input keyword (string, position, match count), and
+//! a query in which *no* keyword matched any graph element fails with
+//! [`SearchError::AllKeywordsUnmatched`] instead of pretending to have
+//! searched.
+
+use std::fmt;
+
+/// How one input keyword fared in the keyword-to-element mapping phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
+pub struct KeywordMatch {
+    /// Position of the keyword in the input query (0-based).
+    pub position: usize,
+    /// The keyword as typed by the user.
+    pub keyword: String,
+    /// Number of graph elements the keyword was matched to. `0` means the
+    /// keyword did not match anything and was ignored by the exploration.
+    pub element_matches: usize,
+}
+
+impl KeywordMatch {
+    /// Whether the keyword matched at least one graph element.
+    pub fn is_matched(&self) -> bool {
+        self.element_matches > 0
+    }
+}
+
+impl fmt::Display for KeywordMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "keyword {} (`{}`): {} element match(es)",
+            self.position, self.keyword, self.element_matches
+        )
+    }
+}
+
+/// Why a keyword search could not produce an outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SearchError {
+    /// Every keyword of a non-empty query failed to match any graph
+    /// element: there is nothing to explore, and an empty result would be
+    /// indistinguishable from "the graph holds no connection".
+    AllKeywordsUnmatched {
+        /// The per-keyword report (every entry has `element_matches == 0`).
+        keywords: Vec<KeywordMatch>,
+    },
+}
+
+impl SearchError {
+    /// The per-keyword match report carried by the error.
+    pub fn keywords(&self) -> &[KeywordMatch] {
+        match self {
+            SearchError::AllKeywordsUnmatched { keywords } => keywords,
+        }
+    }
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::AllKeywordsUnmatched { keywords } => {
+                let names: Vec<&str> = keywords.iter().map(|k| k.keyword.as_str()).collect();
+                write!(f, "no graph element matches any of the keywords {names:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unmatched(position: usize, keyword: &str) -> KeywordMatch {
+        KeywordMatch {
+            position,
+            keyword: keyword.to_string(),
+            element_matches: 0,
+        }
+    }
+
+    #[test]
+    fn keyword_match_reports_matched_state() {
+        let hit = KeywordMatch {
+            position: 2,
+            keyword: "cimiano".into(),
+            element_matches: 3,
+        };
+        assert!(hit.is_matched());
+        assert!(!unmatched(0, "xyzzy").is_matched());
+        assert!(hit.to_string().contains("cimiano"));
+        assert!(hit.to_string().contains('3'));
+    }
+
+    #[test]
+    fn all_unmatched_error_lists_the_keywords() {
+        let error = SearchError::AllKeywordsUnmatched {
+            keywords: vec![unmatched(0, "foo"), unmatched(1, "bar")],
+        };
+        assert_eq!(error.keywords().len(), 2);
+        let text = error.to_string();
+        assert!(text.contains("foo"));
+        assert!(text.contains("bar"));
+        // It is a real std error.
+        let _: &dyn std::error::Error = &error;
+    }
+}

@@ -64,10 +64,28 @@ impl ExplorationStats {
             (self.queue_pushes - self.queue_pops) as f64 / self.queue_pushes as f64
         }
     }
+
+    /// Folds the counters of a later run into these: counts add, the queue
+    /// peak takes the maximum, the termination flags are OR-ed. Used by
+    /// sessions whose `raise_k` re-runs the exploration, so the reported
+    /// counters cover *all* the work the session performed (consistent with
+    /// its accumulated exploration time), not just the latest run.
+    pub fn absorb(&mut self, later: ExplorationStats) {
+        self.cursors_created += later.cursors_created;
+        self.cursors_expanded += later.cursors_expanded;
+        self.elements_visited += later.elements_visited;
+        self.candidates_generated += later.candidates_generated;
+        self.queue_pushes += later.queue_pushes;
+        self.queue_pops += later.queue_pops;
+        self.peak_queue_len = self.peak_queue_len.max(later.peak_queue_len);
+        self.terminated_by_threshold |= later.terminated_by_threshold;
+        self.hit_cursor_limit |= later.hit_cursor_limit;
+    }
 }
 
 /// The result of one exploration run.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct ExplorationOutcome {
     /// The k cheapest matching subgraphs, in ascending cost order.
     pub subgraphs: Vec<MatchingSubgraph>,
@@ -75,7 +93,8 @@ pub struct ExplorationOutcome {
     pub stats: ExplorationStats,
 }
 
-/// The cursor-based explorer over an augmented summary graph.
+/// The cursor-based explorer over an augmented summary graph: the batch
+/// facade over [`ExplorationState`] (one call, run to completion).
 pub struct Explorer<'a, 'g> {
     graph: &'a AugmentedSummaryGraph<'g>,
     config: SearchConfig,
@@ -83,6 +102,7 @@ pub struct Explorer<'a, 'g> {
 
 /// Per-element bookkeeping: the cursors that reached the element, per
 /// keyword (`n(w, (C1, …, Cm))` in Algorithm 1).
+#[derive(Debug, Clone)]
 struct ElementPaths {
     per_keyword: Vec<Vec<CursorId>>,
 }
@@ -95,42 +115,90 @@ impl<'a, 'g> Explorer<'a, 'g> {
 
     /// Runs Algorithm 1 + 2 and returns the top-k matching subgraphs.
     pub fn run(&self) -> ExplorationOutcome {
-        let keyword_elements = self.graph.keyword_elements();
+        let mut state = ExplorationState::new(self.graph, &self.config);
+        state.run_to_completion(self.graph, &self.config);
+        state.into_outcome()
+    }
+}
+
+/// The explicit, suspendable run state of Algorithm 1 + 2.
+///
+/// Everything the former monolithic exploration loop kept in locals — the
+/// global cursor heap, the cursor arena, the per-element path lists, the
+/// candidate list and the run counters — lives here, so an exploration can
+/// be advanced one cursor pop at a time and paused between results.
+/// [`Explorer::run`] drives it to completion in one call (the batch shape);
+/// `SearchSession` (in the engine crate layer) owns one and advances it
+/// lazily, popping [`Self::next_certified`] results on demand.
+///
+/// The state holds no borrows: cursors, queue entries, path lists and
+/// candidates are all index- or value-based, so the state can be stored next
+/// to the [`AugmentedSummaryGraph`] it was created from. The graph and the
+/// [`SearchConfig`] are passed back in on every advancing call and **must be
+/// the ones the state was created with** — the dense element ids baked into
+/// the cursors are only meaningful for that graph.
+#[derive(Debug, Clone)]
+pub struct ExplorationState {
+    /// Number of keywords (`m` in Algorithm 1).
+    m: usize,
+    /// The effective per-(element, keyword) path cap.
+    path_cap: usize,
+    arena: CursorArena,
+    /// One global queue replaces the former per-keyword heaps: the entry
+    /// ordering (cost, then globally unique cursor id) reproduces the
+    /// "cheapest top among m heaps" pop order exactly, without scanning
+    /// m heap tops twice per iteration.
+    queue: BinaryHeap<QueueEntry>,
+    /// Per-run flat cost table indexed by dense element id (one evaluation
+    /// per element for the whole run instead of one per visited neighbour).
+    costs: Vec<f64>,
+    /// Per-element path bookkeeping (no `SummaryElement` hashing on the hot
+    /// path).
+    element_paths: Vec<Option<ElementPaths>>,
+    candidates: CandidateList,
+    stats: ExplorationStats,
+    /// Candidates `[0, certified)` of the sorted list have been proven
+    /// rank-correct and handed out by [`Self::next_certified`].
+    certified: usize,
+    /// Whether the main loop has terminated (threshold, exhaustion, or the
+    /// cursor safety valve).
+    finished: bool,
+}
+
+impl ExplorationState {
+    /// Creates the initial state for one exploration: seeds one cursor per
+    /// keyword element (Algorithm 1, lines 1–6) and precomputes the element
+    /// cost table for the configured scoring function.
+    pub fn new(graph: &AugmentedSummaryGraph<'_>, config: &SearchConfig) -> Self {
+        let keyword_elements = graph.keyword_elements();
         let m = keyword_elements.len();
-        let mut stats = ExplorationStats::default();
 
         // Without keywords, or with a keyword that matched nothing, no
         // K-matching subgraph exists (Definition 6 requires a representative
-        // for every keyword).
+        // for every keyword) — the state is born finished, before paying for
+        // the cost table or the per-element bookkeeping.
         if m == 0 || keyword_elements.iter().any(Vec::is_empty) {
-            return ExplorationOutcome {
-                subgraphs: Vec::new(),
-                stats,
+            return Self {
+                m,
+                path_cap: config.effective_path_cap(),
+                arena: CursorArena::new(),
+                queue: BinaryHeap::new(),
+                costs: Vec::new(),
+                element_paths: Vec::new(),
+                candidates: CandidateList::new(config.k),
+                stats: ExplorationStats::default(),
+                certified: 0,
+                finished: true,
             };
         }
 
-        let path_cap = self.config.effective_path_cap();
+        let mut stats = ExplorationStats::default();
+        let costs: Vec<f64> = config.scoring.cost_table(graph);
         let mut arena = CursorArena::new();
-        // One global queue replaces the former per-keyword heaps: the entry
-        // ordering (cost, then globally unique cursor id) reproduces the
-        // "cheapest top among m heaps" pop order exactly, without scanning
-        // m heap tops twice per iteration.
         let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
-        // Per-run flat tables indexed by dense element id: the per-element
-        // cost under the active scoring function (one evaluation per element
-        // for the whole run instead of one per visited neighbour), and the
-        // per-element path bookkeeping (no `SummaryElement` hashing on the
-        // hot path).
-        let costs: Vec<f64> = self.config.scoring.cost_table(self.graph);
-        let mut element_paths: Vec<Option<ElementPaths>> =
-            (0..self.graph.element_count()).map(|_| None).collect();
-        let mut candidates = CandidateList::new(self.config.k);
-
-        // Line 1-6: one cursor per keyword element, with the element's own
-        // cost as the initial path cost.
         for (keyword, elements) in keyword_elements.iter().enumerate() {
             for ke in elements {
-                let cost = costs[self.graph.element_index(ke.element)];
+                let cost = costs[graph.element_index(ke.element)];
                 let id = arena.push(Cursor {
                     element: ke.element,
                     keyword,
@@ -149,111 +217,206 @@ impl<'a, 'g> Explorer<'a, 'g> {
         }
         stats.peak_queue_len = queue.len();
 
-        // Line 7: main loop.
-        loop {
-            if arena.len() >= self.config.max_cursors {
-                stats.hit_cursor_limit = true;
-                break;
-            }
-            // Line 8: the globally cheapest cursor.
-            let Some(entry) = queue.pop() else {
-                break; // queue exhausted
+        Self {
+            m,
+            path_cap: config.effective_path_cap(),
+            arena,
+            queue,
+            costs,
+            element_paths: (0..graph.element_count()).map(|_| None).collect(),
+            candidates: CandidateList::new(config.k),
+            stats,
+            certified: 0,
+            finished: false,
+        }
+    }
+
+    /// The counters of the run so far.
+    pub fn stats(&self) -> ExplorationStats {
+        self.stats
+    }
+
+    /// Whether the main loop has terminated: no further cursor will be
+    /// expanded (the remaining candidates, if any, are final by default).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Number of subgraphs already handed out by [`Self::next_certified`].
+    pub fn certified_count(&self) -> usize {
+        self.certified
+    }
+
+    /// One iteration of the main loop (Algorithm 1, line 7): pop the
+    /// globally cheapest cursor, record its path, generate candidates,
+    /// expand to neighbours, and run the top-k threshold test.
+    fn step(&mut self, graph: &AugmentedSummaryGraph<'_>, config: &SearchConfig) {
+        debug_assert!(!self.finished, "step on a finished exploration");
+        if self.arena.len() >= config.max_cursors {
+            self.stats.hit_cursor_limit = true;
+            self.finished = true;
+            return;
+        }
+        // Line 8: the globally cheapest cursor.
+        let Some(entry) = self.queue.pop() else {
+            self.finished = true; // queue exhausted
+            return;
+        };
+        let cursor_id = entry.cursor;
+        let cursor = self.arena.get(cursor_id);
+        self.stats.queue_pops += 1;
+        self.stats.cursors_expanded += 1;
+
+        // Line 10: bound the exploration depth.
+        if cursor.distance < config.dmax {
+            let element = cursor.element;
+            let element_idx = graph.element_index(element);
+
+            // Line 11: record the path at the element (bounded to the k
+            // cheapest per keyword — see SearchConfig::max_paths_per_element).
+            let m = self.m;
+            let stats = &mut self.stats;
+            let paths = self.element_paths[element_idx].get_or_insert_with(|| {
+                stats.elements_visited += 1;
+                ElementPaths {
+                    per_keyword: vec![Vec::new(); m],
+                }
+            });
+            let recorded = if paths.per_keyword[cursor.keyword].len() < self.path_cap {
+                paths.per_keyword[cursor.keyword].push(cursor_id);
+                true
+            } else {
+                false
             };
-            let cursor_id = entry.cursor;
-            let cursor = arena.get(cursor_id);
-            stats.queue_pops += 1;
-            stats.cursors_expanded += 1;
 
-            // Line 10: bound the exploration depth.
-            if cursor.distance < self.config.dmax {
-                let element = cursor.element;
-                let element_idx = self.graph.element_index(element);
-
-                // Line 11: record the path at the element (bounded to the k
-                // cheapest per keyword — see SearchConfig::max_paths_per_element).
-                let paths = element_paths[element_idx].get_or_insert_with(|| {
-                    stats.elements_visited += 1;
-                    ElementPaths {
-                        per_keyword: vec![Vec::new(); m],
-                    }
-                });
-                let recorded = if paths.per_keyword[cursor.keyword].len() < path_cap {
-                    paths.per_keyword[cursor.keyword].push(cursor_id);
-                    true
-                } else {
-                    false
-                };
-
-                // Algorithm 2: new candidate subgraphs involving this cursor.
-                if recorded {
-                    let combos = combinations_with_new_cursor(
-                        self.graph,
-                        &arena,
-                        element,
-                        &paths.per_keyword,
-                        cursor_id,
-                        self.config.k,
-                    );
-                    stats.candidates_generated += combos.len();
-                    for combo in combos {
-                        candidates.add(combo);
-                    }
+            // Algorithm 2: new candidate subgraphs involving this cursor.
+            if recorded {
+                let combos = combinations_with_new_cursor(
+                    graph,
+                    &self.arena,
+                    element,
+                    &paths.per_keyword,
+                    cursor_id,
+                    config.k,
+                );
+                self.stats.candidates_generated += combos.len();
+                for combo in combos {
+                    self.candidates.add(combo);
                 }
+            }
 
-                // Lines 12-23: expand to all neighbours except the parent and
-                // except elements already on this path (no cyclic expansion).
-                // Paths beyond the per-(element, keyword) cap are not
-                // expanded unless explicitly requested — this is what keeps
-                // the cursor count within the paper's k·|K|·|G| space bound.
-                if !recorded && !self.config.expand_pruned_paths {
-                    continue;
-                }
-                let parent_element = arena.parent_element(cursor_id);
-                for &neighbor in self.graph.neighbors(cursor.element) {
+            // Lines 12-23: expand to all neighbours except the parent and
+            // except elements already on this path (no cyclic expansion).
+            // Paths beyond the per-(element, keyword) cap are not
+            // expanded unless explicitly requested — this is what keeps
+            // the cursor count within the paper's k·|K|·|G| space bound.
+            if recorded || config.expand_pruned_paths {
+                let parent_element = self.arena.parent_element(cursor_id);
+                for &neighbor in graph.neighbors(cursor.element) {
                     if Some(neighbor) == parent_element {
                         continue;
                     }
-                    if arena.path_contains(cursor_id, neighbor) {
+                    if self.arena.path_contains(cursor_id, neighbor) {
                         continue;
                     }
-                    let cost = cursor.cost + costs[self.graph.element_index(neighbor)];
-                    let id = arena.push(Cursor {
+                    let cost = cursor.cost + self.costs[graph.element_index(neighbor)];
+                    let id = self.arena.push(Cursor {
                         element: neighbor,
                         keyword: cursor.keyword,
                         parent: Some(cursor_id),
                         distance: cursor.distance + 1,
                         cost,
                     });
-                    stats.cursors_created += 1;
-                    stats.queue_pushes += 1;
-                    queue.push(QueueEntry {
+                    self.stats.cursors_created += 1;
+                    self.stats.queue_pushes += 1;
+                    self.queue.push(QueueEntry {
                         cost,
                         keyword: entry.keyword,
                         cursor: id,
                     });
                 }
-                stats.peak_queue_len = stats.peak_queue_len.max(queue.len());
-            }
-
-            // Algorithm 2, lines 9-17: threshold test. The cost of the
-            // cheapest unexpanded cursor lower-bounds every subgraph that is
-            // still undiscovered, so once the k-th candidate is cheaper the
-            // top-k is final.
-            if let Some(kth_cost) = candidates.kth_cost() {
-                match queue.peek() {
-                    Some(top) if kth_cost < top.cost => {
-                        stats.terminated_by_threshold = true;
-                        break;
-                    }
-                    None => break,
-                    _ => {}
-                }
+                self.stats.peak_queue_len = self.stats.peak_queue_len.max(self.queue.len());
             }
         }
 
+        // Algorithm 2, lines 9-17: threshold test. The cost of the
+        // cheapest unexpanded cursor lower-bounds every subgraph that is
+        // still undiscovered, so once the k-th candidate is cheaper the
+        // top-k is final. Unlike the pre-state monolithic loop, the test
+        // also runs after pruned-path pops (which used to `continue` past
+        // it): any candidate such an extra pop could have produced costs at
+        // least the queue bound and can never enter a full list whose k-th
+        // entry is already below it, so the results are unchanged and the
+        // run merely terminates up to one pop earlier.
+        if let Some(kth_cost) = self.candidates.kth_cost() {
+            match self.queue.peek() {
+                Some(top) if kth_cost < top.cost => {
+                    self.stats.terminated_by_threshold = true;
+                    self.finished = true;
+                }
+                None => self.finished = true,
+                _ => {}
+            }
+        }
+    }
+
+    /// Advances the exploration until the next result subgraph is *provably*
+    /// rank-correct, and returns it — or `None` when the run is complete.
+    ///
+    /// A candidate is certified as soon as its cost is at most the cost of
+    /// the cheapest unexpanded cursor: every subgraph still undiscovered
+    /// involves at least one unexpanded cursor and therefore costs at least
+    /// that bound (the same Theorem-1 certificate the batch top-k
+    /// termination uses), and an equal-cost newcomer is never placed ahead
+    /// of an existing candidate, so the certified prefix of the candidate
+    /// list can no longer change. This is what makes the search *anytime*:
+    /// the rank-1 result is typically certified after a small fraction of
+    /// the pops a full top-k run performs.
+    ///
+    /// One exception, shared with the batch mode: when the run is cut short
+    /// by the `max_cursors` safety valve (`stats().hit_cursor_limit`), the
+    /// remaining candidates are handed out as the best found so far
+    /// *without* a certificate — a longer run could outrank them, exactly
+    /// as a truncated [`Explorer::run`] could.
+    pub fn next_certified(
+        &mut self,
+        graph: &AugmentedSummaryGraph<'_>,
+        config: &SearchConfig,
+    ) -> Option<MatchingSubgraph> {
+        loop {
+            if self.certified < self.candidates.len() {
+                // A finished run certifies every retained candidate; a live
+                // run certifies the front once the queue bound reaches it.
+                let front = &self.candidates.best()[self.certified];
+                let is_final =
+                    self.finished || self.queue.peek().is_none_or(|top| front.cost <= top.cost);
+                if is_final {
+                    let subgraph = front.clone();
+                    self.certified += 1;
+                    return Some(subgraph);
+                }
+            } else if self.finished {
+                return None;
+            }
+            self.step(graph, config);
+        }
+    }
+
+    /// Drives the main loop to completion (the batch shape): afterwards all
+    /// retained candidates are final.
+    pub fn run_to_completion(&mut self, graph: &AugmentedSummaryGraph<'_>, config: &SearchConfig) {
+        while !self.finished {
+            self.step(graph, config);
+        }
+    }
+
+    /// Consumes the state into the batch [`ExplorationOutcome`] (all
+    /// candidates retained so far, in ascending cost order, plus the
+    /// counters).
+    pub fn into_outcome(self) -> ExplorationOutcome {
         ExplorationOutcome {
-            subgraphs: candidates.into_best(),
-            stats,
+            subgraphs: self.candidates.into_best(),
+            stats: self.stats,
         }
     }
 }

@@ -17,7 +17,10 @@
 //!    query (Section VI-D),
 //! 6. [`engine`] packages the whole pipeline — including answering the
 //!    selected query with the `kwsearch-query` evaluator — behind the
-//!    [`KeywordSearchEngine`] facade.
+//!    [`KeywordSearchEngine`] facade, and [`session`] exposes it as a
+//!    resumable, streaming [`SearchSession`]: the exploration is an
+//!    *anytime* algorithm, so ranked queries are handed out one at a time,
+//!    each provably rank-correct the moment it is returned.
 //!
 //! Scoring (Section V) is configurable through [`ScoringFunction`]: path
 //! length (C1), popularity (C2), or popularity weighted by the keyword
@@ -29,17 +32,21 @@
 pub mod config;
 pub mod cursor;
 pub mod engine;
+pub mod error;
 pub mod exploration;
 pub mod query_map;
 pub mod result;
 pub mod scoring;
+pub mod session;
 pub mod subgraph;
 pub mod topk;
 
 pub use config::SearchConfig;
-pub use engine::{AnswerPhase, KeywordSearchEngine, SearchOutcome};
-pub use exploration::{ExplorationOutcome, ExplorationStats, Explorer};
+pub use engine::{AnswerPhase, EngineBuilder, KeywordSearchEngine, SearchOutcome};
+pub use error::{KeywordMatch, SearchError};
+pub use exploration::{ExplorationOutcome, ExplorationState, ExplorationStats, Explorer};
 pub use query_map::map_subgraph_to_query;
 pub use result::RankedQuery;
 pub use scoring::ScoringFunction;
+pub use session::SearchSession;
 pub use subgraph::{MatchingSubgraph, SubgraphPath};

@@ -7,6 +7,7 @@ use crate::subgraph::MatchingSubgraph;
 /// One entry of the top-k result list: a conjunctive query, its cost and the
 /// matching subgraph it was derived from.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct RankedQuery {
     /// Rank (1-based) within the result list.
     pub rank: usize,

@@ -1,0 +1,443 @@
+//! Resumable, streaming search sessions.
+//!
+//! The paper's top-k exploration is an *anytime* algorithm: candidate
+//! queries pop off the cursor queue in ascending cost order, so the best
+//! query is known long before the k-th. A [`SearchSession`] exposes that
+//! property instead of hiding it behind a batch call: it owns the augmented
+//! summary graph and the suspended
+//! [`ExplorationState`], and hands out
+//! ranked queries one at a time, each one *provably* rank-correct the moment
+//! it is returned (its cost is at most the cheapest remaining cursor cost —
+//! the same certificate the batch top-k termination uses).
+//!
+//! ```
+//! use kwsearch_core::KeywordSearchEngine;
+//! use kwsearch_rdf::fixtures::figure1_graph;
+//!
+//! let engine = KeywordSearchEngine::builder(figure1_graph()).k(5).build();
+//! let mut session = engine.session(&["2006", "cimiano", "aifb"]).unwrap();
+//! let best = session.next_query().expect("the running example matches");
+//! assert_eq!(best.rank, 1);
+//! // The rest of the top-k is computed only if somebody asks for it.
+//! let outcome = session.into_outcome();
+//! assert!(outcome.queries.len() > 1);
+//! ```
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use kwsearch_summary::AugmentedSummaryGraph;
+
+use crate::config::SearchConfig;
+use crate::engine::{AnswerPhase, KeywordSearchEngine, SearchOutcome};
+use crate::error::{KeywordMatch, SearchError};
+use crate::exploration::ExplorationState;
+use crate::query_map::map_subgraph_to_query;
+use crate::result::RankedQuery;
+
+/// A resumable, streaming keyword search over one engine.
+///
+/// Created by [`KeywordSearchEngine::session`] (or
+/// [`KeywordSearchEngine::session_with`] for an explicit configuration).
+/// The session runs the keyword-to-element mapping and the summary-graph
+/// augmentation eagerly — those are cheap and shared by every result — and
+/// then advances the cursor exploration *lazily*:
+///
+/// * [`Self::next_query`] pops the next ranked query, exploring only as far
+///   as needed to certify it,
+/// * [`Self::answers_until`] interleaves the streaming answer phase with the
+///   exploration: each query is evaluated the moment it is certified,
+/// * [`Self::raise_k`] re-arms a (possibly drained) session for more
+///   results,
+/// * [`Self::into_outcome`] drains the rest and returns the familiar batch
+///   [`SearchOutcome`] — [`KeywordSearchEngine::search`] is exactly this.
+#[must_use = "a search session does nothing until queries are pulled from it"]
+pub struct SearchSession<'e> {
+    engine: &'e KeywordSearchEngine,
+    config: SearchConfig,
+    keywords: Vec<KeywordMatch>,
+    augmented: AugmentedSummaryGraph<'e>,
+    state: ExplorationState,
+    /// Queries emitted so far, in rank order (rank 1 first).
+    queries: Vec<RankedQuery>,
+    /// Canonical forms of the emitted queries, for deduplication: different
+    /// subgraphs can normalise to the same conjunctive query.
+    seen: BTreeSet<String>,
+    /// Set once the stream is known to be complete for the current `k`.
+    drained: bool,
+    /// Counters of exploration runs retired by [`Self::raise_k`]: the
+    /// session's reported stats cover all the work it performed, matching
+    /// the accumulated `exploration_time`.
+    prior_stats: crate::exploration::ExplorationStats,
+    keyword_mapping_time: Duration,
+    /// Accumulated augmentation + exploration + query-mapping time across
+    /// all advancing calls (the lazy equivalent of the batch
+    /// `exploration_time`).
+    exploration_time: Duration,
+}
+
+impl<'e> SearchSession<'e> {
+    pub(crate) fn start<S: AsRef<str>>(
+        engine: &'e KeywordSearchEngine,
+        keywords: &[S],
+        config: SearchConfig,
+    ) -> Result<Self, SearchError> {
+        // 1. Keyword-to-element mapping.
+        let mapping_start = Instant::now();
+        let all_matches = engine.keyword_index().lookup_all(keywords);
+        let keyword_mapping_time = mapping_start.elapsed();
+
+        let report: Vec<KeywordMatch> = keywords
+            .iter()
+            .zip(&all_matches)
+            .enumerate()
+            .map(|(position, (keyword, matches))| KeywordMatch {
+                position,
+                keyword: keyword.as_ref().to_string(),
+                element_matches: matches.len(),
+            })
+            .collect();
+        if !report.is_empty() && report.iter().all(|k| !k.is_matched()) {
+            return Err(SearchError::AllKeywordsUnmatched { keywords: report });
+        }
+        let matches: Vec<_> = all_matches.into_iter().filter(|m| !m.is_empty()).collect();
+
+        // 2. Augmentation + the seeded exploration state.
+        let exploration_start = Instant::now();
+        let augmented = AugmentedSummaryGraph::build(engine.graph(), engine.summary(), &matches);
+        let state = ExplorationState::new(&augmented, &config);
+        let exploration_time = exploration_start.elapsed();
+
+        Ok(Self {
+            engine,
+            config,
+            keywords: report,
+            augmented,
+            state,
+            queries: Vec::new(),
+            seen: BTreeSet::new(),
+            drained: false,
+            prior_stats: crate::exploration::ExplorationStats::default(),
+            keyword_mapping_time,
+            exploration_time,
+        })
+    }
+
+    /// The engine this session searches.
+    pub fn engine(&self) -> &'e KeywordSearchEngine {
+        self.engine
+    }
+
+    /// The configuration the session runs with (its `k` bounds the stream).
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// The per-keyword match report (one entry per input keyword).
+    pub fn keyword_matches(&self) -> &[KeywordMatch] {
+        &self.keywords
+    }
+
+    /// The keywords that did not match any graph element (and were ignored
+    /// by the exploration) — the session-side mirror of
+    /// [`SearchOutcome::unmatched_keywords`].
+    pub fn unmatched_keywords(&self) -> impl Iterator<Item = &KeywordMatch> {
+        self.keywords.iter().filter(|k| !k.is_matched())
+    }
+
+    /// The queries emitted so far, in rank order.
+    pub fn queries(&self) -> &[RankedQuery] {
+        &self.queries
+    }
+
+    /// The exploration counters so far, covering *all* the work the session
+    /// performed — including runs retired by [`Self::raise_k`] — so they
+    /// stay consistent with the accumulated exploration time. After
+    /// [`Self::next_query`] returned the rank-1 result, `stats().queue_pops`
+    /// is typically a small fraction of what a drained session reports —
+    /// that gap is what streaming buys.
+    pub fn stats(&self) -> crate::exploration::ExplorationStats {
+        let mut stats = self.prior_stats;
+        stats.absorb(self.state.stats());
+        stats
+    }
+
+    /// Advances the stream by one emitted query and returns its index in
+    /// `self.queries` — the clone-free core of [`Self::next_query`], also
+    /// used by the drain paths ([`Self::into_outcome`],
+    /// [`Self::answers_until`]) so batch consumption allocates no copies.
+    fn advance(&mut self) -> Option<usize> {
+        if self.drained {
+            return None;
+        }
+        let start = Instant::now();
+        let result = loop {
+            if self.queries.len() >= self.config.k {
+                self.drained = true;
+                break None;
+            }
+            let Some(subgraph) = self.state.next_certified(&self.augmented, &self.config) else {
+                self.drained = true;
+                break None;
+            };
+            // Query mapping + deduplication: different subgraphs can
+            // normalise to the same conjunctive query; only the first
+            // (cheapest) occurrence is emitted.
+            let query = map_subgraph_to_query(&self.augmented, &subgraph);
+            let canonical = query.canonicalized().to_string();
+            if !self.seen.insert(canonical) {
+                continue;
+            }
+            self.queries.push(RankedQuery {
+                rank: self.queries.len() + 1,
+                cost: subgraph.cost,
+                query,
+                subgraph,
+            });
+            break Some(self.queries.len() - 1);
+        };
+        self.exploration_time += start.elapsed();
+        result
+    }
+
+    /// Pops the next ranked query, advancing the exploration only until the
+    /// result is provably rank-correct: its subgraph cost is at most the
+    /// cost of the cheapest unexpanded cursor, so no still-undiscovered
+    /// subgraph can outrank it. Returns `None` once `k` queries were
+    /// emitted or the exploration is exhausted.
+    ///
+    /// The certificate has one exception, shared with batch `search`: if
+    /// the run was truncated by the `max_cursors` safety valve
+    /// (`stats().hit_cursor_limit`), the remaining results are the best
+    /// found so far, not provably the best overall.
+    ///
+    /// The returned query is a clone; the session keeps its own copy
+    /// (see [`Self::queries`]).
+    pub fn next_query(&mut self) -> Option<RankedQuery> {
+        self.advance().map(|index| self.queries[index].clone())
+    }
+
+    /// Re-arms the session for more results: raises the result bound to
+    /// `new_k` so the stream continues past the previous limit, including on
+    /// a session that already returned `None`. Values of `new_k` at or below
+    /// the current `k` are ignored (already-emitted queries cannot be
+    /// taken back).
+    ///
+    /// The exploration's pruning bounds (candidate-list capacity, the
+    /// per-(element, keyword) path cap, the combination limit) all scale
+    /// with `k`, so the cursor walk is deterministically re-run at the new
+    /// `k` — reusing the keyword mapping and the augmented summary graph.
+    /// Already-delivered queries are never re-emitted (the replayed
+    /// certified subgraphs map to canonical forms the dedup set already
+    /// holds) and keep their ranks, so a session raised from `k` to `k'`
+    /// emits exactly what a fresh `k'` session would. The one caveat: on
+    /// exact cost ties a candidate the smaller `k`'s tighter pruning had
+    /// suppressed can surface *between* already-delivered results in the
+    /// fresh-`k'` order; the raised session still emits it — nothing is
+    /// dropped — just at a later rank than the fresh session would assign.
+    pub fn raise_k(&mut self, new_k: usize) {
+        if new_k <= self.config.k {
+            return;
+        }
+        self.config.k = new_k;
+        let start = Instant::now();
+        self.prior_stats.absorb(self.state.stats());
+        self.state = ExplorationState::new(&self.augmented, &self.config);
+        self.drained = false;
+        self.exploration_time += start.elapsed();
+    }
+
+    /// Interleaves the streaming answer phase with the exploration: pops
+    /// queries with [`Self::next_query`] and evaluates each one the moment
+    /// it is certified, stopping as soon as at least `min_answers` answers
+    /// exist (each evaluation is limited to the still-missing count, like
+    /// [`KeywordSearchEngine::answer_queries`]). The paper's Fig. 5
+    /// interaction, without ever computing queries the answer phase does
+    /// not reach.
+    ///
+    /// Consumes the stream from its current position. The interleaved
+    /// exploration slices accrue to the session's exploration time (they
+    /// surface in [`Self::into_outcome`]'s `exploration_time`), and the
+    /// reported `answer_time` covers only the evaluation side — the two
+    /// halves of the Fig. 5 total stay disjoint and summable, exactly like
+    /// the batch `search` + [`KeywordSearchEngine::answer_queries`] split.
+    /// A `min_answers` of zero returns an empty phase without touching the
+    /// stream (the batch loop, by contrast, always probes its first query).
+    pub fn answers_until(&mut self, min_answers: usize) -> AnswerPhase {
+        let start = Instant::now();
+        let exploration_before = self.exploration_time;
+        let mut answers = Vec::new();
+        let mut total = 0usize;
+        let mut queries_processed = 0usize;
+        while total < min_answers {
+            let Some(index) = self.advance() else {
+                break;
+            };
+            queries_processed += 1;
+            let engine = self.engine;
+            if let Ok(set) = engine.answers(&self.queries[index].query, Some(min_answers - total)) {
+                total += set.len();
+                answers.push(set);
+            }
+        }
+        let interleaved = self.exploration_time - exploration_before;
+        AnswerPhase {
+            answers,
+            queries_processed,
+            answer_time: start.elapsed().saturating_sub(interleaved),
+        }
+    }
+
+    /// Drains the remaining queries and returns the batch [`SearchOutcome`]
+    /// — the shape the old `search` call produced, including the timing
+    /// split and the exploration counters.
+    ///
+    /// The queries are identical to a full [`Explorer`](crate::Explorer)
+    /// run, bit for bit, but the exploration *counters* can come out
+    /// slightly lower: the drain stops at the k-th certification
+    /// (`cost <= bound`), whereas the batch loop keeps popping until the
+    /// strict threshold (`kth cost < bound`) fires, so on cost ties the
+    /// drained session skips a few trailing pops (and may report
+    /// `terminated_by_threshold = false` where the batch run reports
+    /// `true`). Counters are comparable across sessions, not across the
+    /// two driving modes.
+    pub fn into_outcome(mut self) -> SearchOutcome {
+        while self.advance().is_some() {}
+        let exploration = self.stats();
+        SearchOutcome {
+            queries: self.queries,
+            keywords: self.keywords,
+            exploration,
+            augmented_elements: self.augmented.element_count(),
+            keyword_mapping_time: self.keyword_mapping_time,
+            exploration_time: self.exploration_time,
+        }
+    }
+}
+
+impl std::fmt::Debug for SearchSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchSession")
+            .field("config", &self.config)
+            .field("keywords", &self.keywords)
+            .field("emitted", &self.queries.len())
+            .field("drained", &self.drained)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwsearch_rdf::fixtures::figure1_graph;
+
+    fn engine() -> KeywordSearchEngine {
+        KeywordSearchEngine::builder(figure1_graph()).build()
+    }
+
+    #[test]
+    fn next_query_streams_the_batch_result() {
+        let engine = engine();
+        let batch = engine.search(&["cimiano", "publication"]).unwrap();
+        let mut session = engine.session(&["cimiano", "publication"]).unwrap();
+        let mut streamed = Vec::new();
+        while let Some(q) = session.next_query() {
+            streamed.push(q);
+        }
+        assert_eq!(streamed.len(), batch.queries.len());
+        for (got, want) in streamed.iter().zip(batch.queries.iter()) {
+            assert_eq!(got.rank, want.rank);
+            assert_eq!(got.cost.to_bits(), want.cost.to_bits());
+            assert_eq!(got.query.canonicalized(), want.query.canonicalized());
+        }
+        // Drained for good.
+        assert!(session.next_query().is_none());
+    }
+
+    #[test]
+    fn first_query_needs_no_more_pops_than_the_full_run() {
+        let engine = engine();
+        let mut session = engine.session(&["2006", "cimiano", "aifb"]).unwrap();
+        let first = session.next_query().expect("the running example matches");
+        assert_eq!(first.rank, 1);
+        let first_pops = session.stats().queue_pops;
+
+        let drained = engine
+            .session(&["2006", "cimiano", "aifb"])
+            .unwrap()
+            .into_outcome();
+        assert!(
+            first_pops <= drained.exploration.queue_pops,
+            "certifying rank 1 ({first_pops} pops) must not exceed the drained run ({})",
+            drained.exploration.queue_pops
+        );
+    }
+
+    #[test]
+    fn raise_k_after_draining_matches_a_fresh_larger_session() {
+        let engine = engine();
+        let keywords = ["cimiano", "publication"];
+
+        let mut session = engine
+            .session_with(&keywords, SearchConfig::with_k(3))
+            .unwrap();
+        let mut collected = Vec::new();
+        while let Some(q) = session.next_query() {
+            collected.push(q);
+        }
+        assert_eq!(collected.len(), 3);
+        session.raise_k(10);
+        while let Some(q) = session.next_query() {
+            collected.push(q);
+        }
+
+        let fresh = engine
+            .session_with(&keywords, SearchConfig::with_k(10))
+            .unwrap()
+            .into_outcome();
+        assert_eq!(collected.len(), fresh.queries.len());
+        for (got, want) in collected.iter().zip(fresh.queries.iter()) {
+            assert_eq!(got.rank, want.rank);
+            assert_eq!(got.cost.to_bits(), want.cost.to_bits());
+            assert_eq!(got.query.canonicalized(), want.query.canonicalized());
+        }
+    }
+
+    #[test]
+    fn raise_k_with_smaller_or_equal_k_is_a_no_op() {
+        let engine = engine();
+        let mut session = engine
+            .session_with(&["publications"], SearchConfig::with_k(3))
+            .unwrap();
+        let first = session.next_query().unwrap();
+        session.raise_k(3);
+        session.raise_k(1);
+        assert_eq!(session.config().k, 3);
+        let second = session.next_query().unwrap();
+        assert!(first.cost <= second.cost + 1e-12);
+    }
+
+    #[test]
+    fn answers_until_interleaves_evaluation_with_exploration() {
+        let engine = engine();
+        let mut session = engine.session(&["publications"]).unwrap();
+        let phase = session.answers_until(2);
+        assert!(phase.total_answers() >= 2, "two publications exist");
+        assert!(phase.queries_processed >= 1);
+        // The session kept every emitted query; the stream can continue.
+        assert_eq!(session.queries().len(), phase.queries_processed);
+        let outcome = session.into_outcome();
+        assert!(outcome.queries.len() >= phase.queries_processed);
+    }
+
+    #[test]
+    fn session_reports_keyword_matches() {
+        let engine = engine();
+        let session = engine.session(&["cimiano", "xyzzy-unknown"]).unwrap();
+        let report = session.keyword_matches();
+        assert_eq!(report.len(), 2);
+        assert!(report[0].is_matched());
+        assert!(!report[1].is_matched());
+        assert_eq!(report[1].keyword, "xyzzy-unknown");
+    }
+}

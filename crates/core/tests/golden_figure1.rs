@@ -3,8 +3,13 @@
 //! bit-for-bit (f64 bit patterns) and element sets label-for-label, so any
 //! behavioural drift in the exploration order, the candidate list, or the
 //! cost functions is caught immediately.
+//!
+//! Every case is checked twice: once through the batch [`Explorer`] and
+//! once by streaming certified subgraphs out of a suspended
+//! [`ExplorationState`] one at a time — pinning the *session pop order* to
+//! the very same golden tables.
 
-use kwsearch_core::{Explorer, ScoringFunction, SearchConfig};
+use kwsearch_core::{ExplorationState, Explorer, ScoringFunction, SearchConfig};
 use kwsearch_keyword_index::KeywordIndex;
 use kwsearch_rdf::fixtures::figure1_graph;
 use kwsearch_summary::{AugmentedSummaryGraph, SummaryGraph};
@@ -21,7 +26,8 @@ fn check(keywords: &[&str], scoring: ScoringFunction, expected: &[Golden]) {
     let index = KeywordIndex::build(&g);
     let matches = index.lookup_all(keywords);
     let aug = AugmentedSummaryGraph::build(&g, &base, &matches);
-    let outcome = Explorer::new(&aug, SearchConfig::with_k(10).scoring(scoring)).run();
+    let config = SearchConfig::with_k(10).scoring(scoring);
+    let outcome = Explorer::new(&aug, config.clone()).run();
     assert_eq!(
         outcome.subgraphs.len(),
         expected.len(),
@@ -45,6 +51,36 @@ fn check(keywords: &[&str], scoring: ScoringFunction, expected: &[Golden]) {
             "{keywords:?} {scoring} rank {i}: element set"
         );
     }
+
+    // The streaming pop order reproduces the batch order exactly: popping
+    // certified subgraphs one at a time from a suspended exploration yields
+    // the same sequence, bit for bit.
+    let mut state = ExplorationState::new(&aug, &config);
+    for (i, want) in expected.iter().enumerate() {
+        let got = state
+            .next_certified(&aug, &config)
+            .unwrap_or_else(|| panic!("{keywords:?} {scoring} streamed pop {i}: missing"));
+        assert_eq!(
+            got.cost.to_bits(),
+            want.cost_bits,
+            "{keywords:?} {scoring} streamed pop {i}: cost {} != expected bits",
+            got.cost
+        );
+        let mut labels: Vec<&str> = got
+            .elements()
+            .iter()
+            .map(|&e| aug.element_label(e))
+            .collect();
+        labels.sort_unstable();
+        assert_eq!(
+            labels, want.labels,
+            "{keywords:?} {scoring} streamed pop {i}: element set"
+        );
+    }
+    assert!(
+        state.next_certified(&aug, &config).is_none(),
+        "{keywords:?} {scoring}: the stream ends with the golden table"
+    );
 }
 
 #[test]

@@ -9,7 +9,7 @@
 //!   removal, stemming),
 //! * [`stemmer`] — a Porter stemmer,
 //! * [`stopwords`] — the built-in English stop-word list,
-//! * [`levenshtein`] — bounded edit distance for syntactic similarity,
+//! * [`levenshtein`](mod@levenshtein) — bounded edit distance for syntactic similarity,
 //! * [`thesaurus`] — synonym/hypernym expansion standing in for WordNet,
 //! * [`inverted`] — the term → posting-list inverted index,
 //! * [`keyword_index`] — the keyword-to-element map returning, for each

@@ -12,7 +12,7 @@
 //! for answers nobody asked for.
 //!
 //! The previous breadth-first evaluator materialized every intermediate join
-//! result before applying the limit; it is kept verbatim in [`reference`] as
+//! result before applying the limit; it is kept verbatim in [`reference`](mod@reference) as
 //! the executable specification that the streaming evaluator is tested (and
 //! benchmarked) against.
 

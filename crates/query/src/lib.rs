@@ -6,7 +6,7 @@
 //! This crate is that engine:
 //!
 //! * [`model`] — the query language: variables, constants, atoms
-//!   `P(v1, v2)` and [`ConjunctiveQuery`](model::ConjunctiveQuery) with
+//!   `P(v1, v2)` and [`ConjunctiveQuery`] with
 //!   distinguished / undistinguished variables,
 //! * [`sparql`] and [`sql`] — rendering of a conjunctive query into the
 //!   SPARQL and single-table SQL forms shown in Fig. 1c of the paper,

@@ -13,10 +13,10 @@
 //!
 //! On top of the typed graph the crate provides
 //!
-//! * a compact string [`Interner`](interner::Interner) shared by all labels,
-//! * a [`GraphBuilder`](builder::GraphBuilder) that ingests RDF triples and
+//! * a compact string [`Interner`] shared by all labels,
+//! * a [`GraphBuilder`] that ingests RDF triples and
 //!   classifies them into the four edge kinds,
-//! * an indexed [`TripleStore`](store::TripleStore) offering pattern scans
+//! * an indexed [`TripleStore`] offering pattern scans
 //!   (`(s?, p?, o?)`) used by the conjunctive-query evaluator,
 //! * a line-oriented [N-Triples-like parser/serialiser](ntriples), and
 //! * [graph statistics](stats) used by the evaluation harness.

@@ -10,7 +10,7 @@
 //!
 //! At query time the summary graph is *augmented* (Definition 5) with the
 //! V-vertices and A-edges returned by the keyword index, producing the
-//! [`AugmentedSummaryGraph`](augment::AugmentedSummaryGraph) on which the
+//! [`AugmentedSummaryGraph`] on which the
 //! top-k exploration of the core crate runs.
 
 #![deny(missing_docs)]

@@ -3,7 +3,10 @@
 //! Generates a synthetic bibliographic graph (publications, authors, venues),
 //! indexes it and answers several keyword queries of the kind the paper's
 //! user study collected — including a query with a typo and one using a
-//! synonym, to show the imprecise keyword matching at work.
+//! synonym, to show the imprecise keyword matching at work. Each query runs
+//! through `SearchSession::answers_until`, which interleaves query
+//! computation with answer retrieval: exploration stops as soon as enough
+//! answers exist.
 //!
 //! Run with: `cargo run --release --example bibliographic_search`
 
@@ -21,7 +24,9 @@ fn main() {
         stats.values
     );
 
-    let engine = KeywordSearchEngine::with_config(dataset.graph.clone(), SearchConfig::with_k(5));
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone())
+        .k(5)
+        .build();
     println!("indexed in {:?}\n", engine.index_build_time());
 
     // Keyword queries a user might type.
@@ -53,22 +58,35 @@ fn main() {
 
     for (intent, keywords) in queries {
         println!("== {intent}: {keywords:?}");
-        let (outcome, phase) = engine.search_and_answer(&keywords, 5);
-        match outcome.best() {
+        let mut session = match engine.session(&keywords) {
+            Ok(session) => session,
+            Err(error) => {
+                println!("   {error}\n");
+                continue;
+            }
+        };
+        // Interleaved answer phase: queries are evaluated the moment they
+        // are certified, and exploration stops once 5 answers exist.
+        let phase = session.answers_until(5);
+        match session.queries().first() {
             Some(best) => {
                 println!("   best query (cost {:.3}): {}", best.cost, best.query);
                 println!(
-                    "   processed {} queries, retrieved {} answers in {:?} (+{:?} answer phase)",
+                    "   processed {} queries, retrieved {} answers in {:?} ({} cursor pops)",
                     phase.queries_processed,
                     phase.total_answers(),
-                    outcome.computation_time(),
-                    phase.answer_time
+                    phase.answer_time,
+                    session.stats().queue_pops
                 );
             }
             None => println!("   no interpretation found"),
         }
-        if !outcome.unmatched_keywords.is_empty() {
-            println!("   unmatched keywords: {:?}", outcome.unmatched_keywords);
+        let unmatched: Vec<&str> = session
+            .unmatched_keywords()
+            .map(|m| m.keyword.as_str())
+            .collect();
+        if !unmatched.is_empty() {
+            println!("   unmatched keywords: {unmatched:?}");
         }
         println!();
     }

@@ -10,7 +10,10 @@
 //! `kwsearch_rdf::ntriples`) or one of the built-in generators
 //! `dblp`, `lubm`, `tap`, `example`. For every keyword query the tool prints
 //! the top-k conjunctive queries as natural-language descriptions and SPARQL,
-//! and evaluates the best one.
+//! and evaluates the best one. The search runs through a `SearchSession`,
+//! whose per-keyword match report drives the "keyword ignored" note and
+//! whose typed `SearchError` turns an all-unmatched query into a proper
+//! non-zero exit instead of an empty result list.
 //!
 //! Example:
 //!
@@ -67,18 +70,27 @@ fn main() -> ExitCode {
         graph.vertex_count()
     );
 
-    let engine = KeywordSearchEngine::with_config(graph, SearchConfig::with_k(k));
+    let engine = KeywordSearchEngine::builder(graph).k(k).build();
     println!("indexed in {:?}\n", engine.index_build_time());
 
-    let outcome = engine.search(&keywords);
-    if !outcome.unmatched_keywords.is_empty() {
-        let names: Vec<&str> = outcome
-            .unmatched_keywords
-            .iter()
-            .map(|&i| keywords[i].as_str())
-            .collect();
-        println!("note: no graph element matches {names:?}; those keywords were ignored\n");
+    let session = match engine.session(&keywords) {
+        Ok(session) => session,
+        Err(error) => {
+            // Every keyword failed to match: a typed error instead of an
+            // empty result list that looks like "no connection exists".
+            eprintln!("error: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let unmatched: Vec<&str> = session
+        .unmatched_keywords()
+        .map(|m| m.keyword.as_str())
+        .collect();
+    if !unmatched.is_empty() {
+        println!("note: no graph element matches {unmatched:?}; those keywords were ignored\n");
     }
+
+    let outcome = session.into_outcome();
     if outcome.queries.is_empty() {
         println!("no interpretation found for {keywords:?}");
         return ExitCode::SUCCESS;

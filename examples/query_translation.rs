@@ -16,7 +16,7 @@ use searchwebdb::query::{sparql, sql};
 
 fn main() {
     let dataset = TapDataset::generate(TapConfig::default());
-    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone()).build();
 
     // "Which country is this city located in?"
     let city = dataset
@@ -43,7 +43,9 @@ fn main() {
     }
 
     // Steps 2–5: augmentation, exploration, top-k, query mapping.
-    let outcome = engine.search(&keywords);
+    let outcome = engine
+        .search(&keywords)
+        .expect("the city label always matches");
     println!(
         "\nexplored {} summary elements, expanded {} cursors, produced {} queries\n",
         outcome.augmented_elements,

@@ -1,9 +1,9 @@
 //! Quickstart: keyword search over the paper's running example.
 //!
 //! Builds the RDF graph of Fig. 1a, indexes it, runs the keyword query
-//! `2006 cimiano aifb` from the paper, prints the top-k conjunctive queries
-//! (as SPARQL and as a natural-language-like description) and evaluates the
-//! best one.
+//! `2006 cimiano aifb` from the paper through a streaming `SearchSession`,
+//! prints the top-k conjunctive queries (as SPARQL and as a
+//! natural-language-like description) and evaluates the best one.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -18,7 +18,7 @@ fn main() {
     );
 
     // 2. Off-line preprocessing: keyword index + summary graph + triple store.
-    let engine = KeywordSearchEngine::new(graph);
+    let engine = KeywordSearchEngine::builder(graph).k(10).build();
     println!(
         "\nsummary graph: {} nodes, {} edges (built in {:?})",
         engine.summary().node_count(),
@@ -26,29 +26,25 @@ fn main() {
         engine.index_build_time()
     );
 
-    // 3. The keyword query of the running example.
+    // 3. The keyword query of the running example, as a streaming session:
+    //    the exploration is an anytime algorithm, so the rank-1 query is
+    //    certified after a fraction of the work the full top-k needs.
     let keywords = ["2006", "cimiano", "aifb"];
     println!("\nkeyword query: {:?}\n", keywords);
-    let outcome = engine.search(&keywords);
+    let mut session = engine.session(&keywords).expect("keywords match");
 
-    println!(
-        "computed {} queries in {:?} (exploration expanded {} cursors on {} summary elements)\n",
-        outcome.queries.len(),
-        outcome.computation_time(),
-        outcome.exploration.cursors_expanded,
-        outcome.augmented_elements
-    );
-
-    for ranked in &outcome.queries {
-        println!("--- rank {} (cost {:.3}) ---", ranked.rank, ranked.cost);
-        println!("{}", ranked.description());
-        println!("{}\n", ranked.sparql());
-    }
-
-    // 4. Let the "user" pick the best query and evaluate it.
-    let best = outcome
-        .best()
+    let best = session
+        .next_query()
         .expect("the running example produces queries");
+    println!(
+        "rank 1 certified after {} cursor pops:",
+        session.stats().queue_pops
+    );
+    println!("{}", best.description());
+    println!("{}\n", best.sparql());
+
+    // 4. Evaluate the best query while the rest of the top-k is still
+    //    uncomputed.
     let answers = engine.answers(&best.query, None).expect("query evaluates");
     println!("answers of the top-ranked query:");
     for row in answers.labelled_rows(engine.graph()) {
@@ -57,5 +53,20 @@ fn main() {
             .map(|(var, label)| format!("?{var} = {label}"))
             .collect();
         println!("  {}", rendered.join(", "));
+    }
+
+    // 5. Drain the session into the familiar batch outcome.
+    let outcome = session.into_outcome();
+    println!(
+        "\ncomputed {} queries in {:?} (exploration expanded {} cursors on {} summary elements)\n",
+        outcome.queries.len(),
+        outcome.computation_time(),
+        outcome.exploration.cursors_expanded,
+        outcome.augmented_elements
+    );
+    for ranked in &outcome.queries {
+        println!("--- rank {} (cost {:.3}) ---", ranked.rank, ranked.cost);
+        println!("{}", ranked.description());
+        println!("{}\n", ranked.sparql());
     }
 }

@@ -17,7 +17,7 @@ fn main() {
         stats.relation_labels
     );
 
-    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone()).build();
 
     // A keyword query: a professor's name plus the kind of thing we want.
     let professor = dataset.professor_names[0].clone();
@@ -27,7 +27,9 @@ fn main() {
     // Compare the three scoring functions of Section V.
     for scoring in ScoringFunction::all() {
         let config = SearchConfig::with_k(3).scoring(scoring);
-        let outcome = engine.search_with(&keywords, &config);
+        let outcome = engine
+            .search_with(&keywords, &config)
+            .expect("the professor's name always matches");
         println!("-- scoring {scoring} --");
         for ranked in &outcome.queries {
             println!(

@@ -12,16 +12,22 @@
 //! let graph = searchwebdb::rdf::fixtures::figure1_graph();
 //!
 //! // 2. Index it: keyword index, summary graph, triple store.
-//! let engine = KeywordSearchEngine::new(graph);
+//! let engine = KeywordSearchEngine::builder(graph).k(10).build();
 //!
-//! // 3. Translate keywords into the top-k conjunctive queries.
-//! let outcome = engine.search(&["2006", "cimiano", "aifb"]);
-//! let best = outcome.best().expect("the running example has a match");
+//! // 3. Open a streaming search session: the top-k exploration is an
+//! //    anytime algorithm, so the best query is certified long before the
+//! //    k-th — `next_query` explores only as far as rank 1 requires.
+//! let mut session = engine.session(&["2006", "cimiano", "aifb"]).unwrap();
+//! let best = session.next_query().expect("the running example has a match");
 //! println!("{}", best.sparql());
 //!
 //! // 4. Process the chosen query with the underlying query engine.
 //! let answers = engine.answers(&best.query, None).unwrap();
 //! assert!(!answers.is_empty());
+//!
+//! // 5. Or drain the session into the familiar batch outcome.
+//! let outcome = session.into_outcome();
+//! assert_eq!(outcome.best().unwrap().rank, 1);
 //! ```
 //!
 //! The sub-crates can also be used individually:
@@ -48,7 +54,8 @@ pub use kwsearch_summary as summary;
 /// The most commonly used types, re-exported for glob import.
 pub mod prelude {
     pub use kwsearch_core::{
-        AnswerPhase, KeywordSearchEngine, RankedQuery, ScoringFunction, SearchConfig, SearchOutcome,
+        AnswerPhase, EngineBuilder, KeywordMatch, KeywordSearchEngine, RankedQuery,
+        ScoringFunction, SearchConfig, SearchError, SearchOutcome, SearchSession,
     };
     pub use kwsearch_keyword_index::KeywordIndex;
     pub use kwsearch_query::{AnswerSet, ConjunctiveQuery, QueryBuilder};

@@ -11,9 +11,9 @@ fn running_example_from_ntriples_to_answers() {
     // back, index it and run the paper's keyword query.
     let document = ntriples::write_graph(&fixtures::figure1_graph());
     let graph = ntriples::parse_graph(&document).expect("round-trip parses");
-    let engine = KeywordSearchEngine::new(graph);
+    let engine = KeywordSearchEngine::builder(graph).build();
 
-    let outcome = engine.search(&["2006", "cimiano", "aifb"]);
+    let outcome = engine.search(&["2006", "cimiano", "aifb"]).unwrap();
     assert!(!outcome.queries.is_empty());
     let best = outcome.best().unwrap();
 
@@ -35,12 +35,16 @@ fn running_example_from_ntriples_to_answers() {
 #[test]
 fn generated_bibliographic_dataset_supports_the_full_pipeline() {
     let dataset = DblpDataset::small();
-    let engine = KeywordSearchEngine::with_config(dataset.graph.clone(), SearchConfig::with_k(5));
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone())
+        .k(5)
+        .build();
 
     // Author + year: the classic information need of the paper's user study.
     let author = dataset.author_names[dataset.authorship[0][0]].clone();
     let year = dataset.years[0].clone();
-    let (outcome, phase) = engine.search_and_answer(&[author.clone(), year], 5);
+    let (outcome, phase) = engine
+        .search_and_answer(&[author.clone(), year], 5)
+        .unwrap();
 
     assert!(!outcome.queries.is_empty(), "queries must be generated");
     assert!(phase.queries_processed >= 1);
@@ -54,11 +58,11 @@ fn generated_bibliographic_dataset_supports_the_full_pipeline() {
 #[test]
 fn scoring_functions_rank_differently_but_all_terminate() {
     let dataset = DblpDataset::small();
-    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone()).build();
     let keywords = vec![dataset.venue_names[0].clone(), dataset.years[3].clone()];
     for scoring in ScoringFunction::all() {
         let config = SearchConfig::with_k(10).scoring(scoring);
-        let outcome = engine.search_with(&keywords, &config);
+        let outcome = engine.search_with(&keywords, &config).unwrap();
         assert!(
             !outcome.queries.is_empty(),
             "no queries under scoring {scoring}"
@@ -72,9 +76,11 @@ fn scoring_functions_rank_differently_but_all_terminate() {
 #[test]
 fn lubm_and_tap_datasets_are_searchable() {
     let lubm = LubmDataset::generate(LubmConfig::with_universities(1));
-    let engine = KeywordSearchEngine::new(lubm.graph.clone());
+    let engine = KeywordSearchEngine::builder(lubm.graph.clone()).build();
     let professor = lubm.professor_names[0].clone();
-    let outcome = engine.search(&[professor, "department".to_string()]);
+    let outcome = engine
+        .search(&[professor, "department".to_string()])
+        .unwrap();
     assert!(!outcome.queries.is_empty());
     let best = outcome.best().unwrap();
     let answers = engine.answers(&best.query, Some(10)).unwrap();
@@ -85,32 +91,36 @@ fn lubm_and_tap_datasets_are_searchable() {
     );
 
     let tap = TapDataset::small();
-    let engine = KeywordSearchEngine::new(tap.graph.clone());
+    let engine = KeywordSearchEngine::builder(tap.graph.clone()).build();
     let city = tap
         .instances
         .iter()
         .find(|(c, _)| c == "City")
         .map(|(_, l)| l[0].clone())
         .unwrap();
-    let outcome = engine.search(&[city, "country".to_string()]);
+    let outcome = engine.search(&[city, "country".to_string()]).unwrap();
     assert!(!outcome.queries.is_empty());
 }
 
 #[test]
 fn unmatched_and_empty_keyword_queries_are_handled_gracefully() {
-    let engine = KeywordSearchEngine::new(fixtures::figure1_graph());
-    let outcome = engine.search(&["zzz-no-such-keyword"]);
-    assert!(outcome.queries.is_empty());
-    assert_eq!(outcome.unmatched_keywords, vec![0]);
+    let engine = KeywordSearchEngine::builder(fixtures::figure1_graph()).build();
+    let error = engine.search(&["zzz-no-such-keyword"]).unwrap_err();
+    let report = error.keywords();
+    assert_eq!(report.len(), 1);
+    assert_eq!(report[0].position, 0);
+    assert_eq!(report[0].keyword, "zzz-no-such-keyword");
+    assert!(!report[0].is_matched());
 
-    let outcome = engine.search::<&str>(&[]);
+    let outcome = engine.search::<&str>(&[]).unwrap();
     assert!(outcome.queries.is_empty());
+    assert!(outcome.keywords.is_empty());
 }
 
 #[test]
 fn sparql_and_sql_renderings_are_produced_for_every_result() {
-    let engine = KeywordSearchEngine::new(fixtures::figure1_graph());
-    let outcome = engine.search(&["cimiano", "publication"]);
+    let engine = KeywordSearchEngine::builder(fixtures::figure1_graph()).build();
+    let outcome = engine.search(&["cimiano", "publication"]).unwrap();
     for ranked in &outcome.queries {
         let sparql = ranked.sparql();
         assert!(sparql.starts_with("SELECT"));
@@ -124,11 +134,15 @@ fn sparql_and_sql_renderings_are_produced_for_every_result() {
 #[test]
 fn increasing_k_only_appends_results() {
     let dataset = DblpDataset::small();
-    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone()).build();
     let keywords = vec![dataset.author_names[0].clone(), "publications".to_string()];
 
-    let small = engine.search_with(&keywords, &SearchConfig::with_k(2));
-    let large = engine.search_with(&keywords, &SearchConfig::with_k(8));
+    let small = engine
+        .search_with(&keywords, &SearchConfig::with_k(2))
+        .unwrap();
+    let large = engine
+        .search_with(&keywords, &SearchConfig::with_k(8))
+        .unwrap();
     assert!(large.queries.len() >= small.queries.len());
     // The top results and costs agree (top-k guarantee): the cheaper list is
     // a prefix of the larger one in terms of cost.

@@ -13,10 +13,10 @@ use searchwebdb::rdf::fixtures;
 #[test]
 fn both_approaches_interpret_the_running_example() {
     let graph = fixtures::figure1_graph();
-    let engine = KeywordSearchEngine::new(graph.clone());
+    let engine = KeywordSearchEngine::builder(graph.clone()).build();
     let keywords = ["2006", "Cimiano", "AIFB"];
 
-    let outcome = engine.search(&keywords);
+    let outcome = engine.search(&keywords).unwrap();
     assert!(!outcome.queries.is_empty(), "our approach finds queries");
 
     let groups = match_keywords(&graph, &keywords);
@@ -40,10 +40,10 @@ fn summary_exploration_touches_fewer_elements_than_data_graph_search() {
     // summary graph, which is orders of magnitude smaller than the data
     // graph the baselines have to search.
     let dataset = DblpDataset::small();
-    let engine = KeywordSearchEngine::new(dataset.graph.clone());
+    let engine = KeywordSearchEngine::builder(dataset.graph.clone()).build();
     let keywords = vec![dataset.author_names[0].clone(), dataset.years[0].clone()];
 
-    let outcome = engine.search(&keywords);
+    let outcome = engine.search(&keywords).unwrap();
     assert!(!outcome.queries.is_empty());
 
     let groups = match_keywords(&dataset.graph, &keywords);
@@ -84,7 +84,7 @@ fn answer_trees_and_query_answers_name_the_same_entities() {
     // our generated query for the same keywords (the paper argues queries
     // retrieve *all* answers, a superset of the distinct roots).
     let graph = fixtures::figure1_graph();
-    let engine = KeywordSearchEngine::new(graph.clone());
+    let engine = KeywordSearchEngine::builder(graph.clone()).build();
     let keywords = ["2006", "Cimiano"];
 
     let groups = match_keywords(&graph, &keywords);
@@ -92,7 +92,7 @@ fn answer_trees_and_query_answers_name_the_same_entities() {
     let pub1 = graph.entity("pub1URI").unwrap();
     assert!(trees.trees.iter().any(|t| t.root == pub1));
 
-    let outcome = engine.search(&keywords);
+    let outcome = engine.search(&keywords).unwrap();
     let best = outcome.best().unwrap();
     let answers = engine.answers(&best.query, None).unwrap();
     assert!(

@@ -20,11 +20,11 @@ fn engine_answers_the_running_example_end_to_end() {
 
     // Off-line preprocessing across kwsearch-keyword-index and
     // kwsearch-summary, wired together by kwsearch-core.
-    let engine = KeywordSearchEngine::new(graph);
+    let engine = KeywordSearchEngine::builder(graph).build();
     assert!(engine.summary().node_count() > 0);
 
     // The paper's keyword query: the 2006 publication by Cimiano at AIFB.
-    let outcome = engine.search(&["2006", "cimiano", "aifb"]);
+    let outcome = engine.search(&["2006", "cimiano", "aifb"]).unwrap();
     assert!(
         !outcome.queries.is_empty(),
         "the running example must produce at least one query interpretation"
