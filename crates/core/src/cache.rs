@@ -1,0 +1,625 @@
+//! The bounded augmentation cache.
+//!
+//! The first two phases of every search — keyword-to-element mapping and
+//! summary-graph augmentation — depend only on the engine's immutable
+//! indexes, the search configuration and the *normalized* query terms.
+//! Repeated or overlapping queries therefore redo identical work, and under
+//! serving traffic (see [`crate::serve`]) the repetition dominates: a few
+//! hot keyword combinations account for most requests.
+//!
+//! [`AugmentationCache`] memoizes that work. It is a bounded, thread-safe
+//! LRU map from [`AugmentationKey`] — the pair of the full
+//! [`SearchConfig`] (embedded verbatim, so cross-config
+//! collisions are impossible by construction) and the
+//! per-keyword normalized query terms — to the finished augmentation
+//! ([`AugmentationSnapshot`]) plus the per-keyword match counts the session
+//! report needs. A hit skips the matching *and* the augmentation phase
+//! entirely, and is **bit-identical** to a fresh run: the snapshot captures
+//! the built augmented graph exactly (same dense element ids, same CSR
+//! order, same scores), and the exploration that runs on top is
+//! deterministic. The cross-thread determinism suite and the cache-coherence
+//! proptests pin this property.
+//!
+//! Determinism buys a second layer for free: once any session under a key
+//! has drained naturally, its complete emission log (the ranked queries, in
+//! order) is written back to the entry, and later same-key sessions *replay*
+//! the log instead of exploring — the dominant cost of a repeated query
+//! drops to cloning its results. A replayed session is still a full
+//! [`SearchSession`](crate::SearchSession): `raise_k` falls back to real
+//! exploration (over the snapshot's augmented graph) and fast-forwards past
+//! the replayed prefix, exactly like raising a session that explored
+//! honestly.
+//!
+//! Keying on the normalized terms (lower-cased, tokenized, stop words
+//! removed — see
+//! [`KeywordIndex::normalized_query_terms`](kwsearch_keyword_index::KeywordIndex::normalized_query_terms))
+//! rather than the raw strings lets `"Cimiano"` and `"cimiano"` share an
+//! entry; keeping the per-keyword term lists *in query order* is essential,
+//! because the augmentation assigns dense element ids in keyword order and a
+//! reordered query may legitimately break cost ties differently. Keying on
+//! the configuration means
+//! [`KeywordSearchEngine::set_config`](crate::KeywordSearchEngine::set_config)
+//! never invalidates or corrupts existing entries: searches under the new
+//! configuration simply populate their own keys, and switching back rehits
+//! the old ones.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use kwsearch_summary::AugmentationSnapshot;
+
+use crate::config::SearchConfig;
+use crate::result::RankedQuery;
+
+/// The key of one cached augmentation: the search configuration (embedded
+/// verbatim — see [`SearchConfig`]'s `Eq + Hash` note) plus the normalized
+/// query terms of every keyword, in query order.
+///
+/// The snapshot itself is configuration-independent (augmentation takes no
+/// [`SearchConfig`]), so keying it under the config deliberately trades
+/// some duplication — one snapshot per distinct config sweeping the same
+/// keywords — for a single, simple invariant: everything under a key was
+/// produced under that key's exact configuration, replay logs included.
+/// Splitting the key (snapshot by terms, log by config + terms) would share
+/// the snapshot across sweeps and is the natural next step if that
+/// duplication ever shows up in [`CacheStats::heap_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AugmentationKey {
+    config: SearchConfig,
+    terms: Vec<Vec<String>>,
+}
+
+impl AugmentationKey {
+    /// Builds a key from a configuration and the per-keyword normalized
+    /// term lists (one entry per input keyword, in query order; keywords
+    /// that normalize to nothing contribute an empty list).
+    pub fn new(config: SearchConfig, terms: Vec<Vec<String>>) -> Self {
+        Self { config, terms }
+    }
+
+    /// Number of keywords the key covers.
+    pub fn keyword_count(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// A cached augmentation: everything a session start needs to skip the
+/// matching and augmentation phases, plus — once some session under this key
+/// has drained naturally — the certified-result replay log that lets later
+/// sessions skip the exploration too.
+#[derive(Debug)]
+pub(crate) struct CachedAugmentation {
+    /// Per-keyword element-match counts (aligned with the query order), used
+    /// to rebuild the session's keyword report without re-running the
+    /// matching.
+    pub(crate) element_matches: Vec<usize>,
+    /// The finished augmentation, detached from the data graph — or `None`
+    /// for a *negative* entry: the keywords all failed to match, the session
+    /// start errors before augmenting, and caching that verdict keeps a hot
+    /// failing query from re-running (or, worse, serializing coalesced
+    /// waiters behind) the matching on every request.
+    pub(crate) snapshot: Option<AugmentationSnapshot>,
+    /// The complete ranked-query stream a drained session under this key
+    /// emitted, in emission order. `None` until the first session drains.
+    /// The exploration is deterministic over the (immutable) indexes and the
+    /// keyed configuration, so replaying this log is bit-identical to
+    /// re-exploring — the determinism suite and the cache-coherence
+    /// proptests pin that. Written once (racing drained sessions computed
+    /// identical logs; the first one wins).
+    results: Mutex<Option<Arc<Vec<RankedQuery>>>>,
+}
+
+impl CachedAugmentation {
+    pub(crate) fn new(element_matches: Vec<usize>, snapshot: Option<AugmentationSnapshot>) -> Self {
+        Self {
+            element_matches,
+            snapshot,
+            results: Mutex::new(None),
+        }
+    }
+
+    /// Approximate heap footprint of the entry (the snapshot dominates;
+    /// match counts and the replay log are comparatively negligible).
+    fn heap_bytes(&self) -> usize {
+        self.snapshot
+            .as_ref()
+            .map(AugmentationSnapshot::heap_bytes)
+            .unwrap_or(0)
+    }
+
+    /// The replay log, if a session under this key already drained.
+    pub(crate) fn results(&self) -> Option<Arc<Vec<RankedQuery>>> {
+        self.results
+            .lock()
+            .expect("augmentation result log poisoned")
+            .clone()
+    }
+
+    /// Stores the complete emission log of a drained session (first writer
+    /// wins; identical by determinism).
+    pub(crate) fn store_results(&self, queries: &[RankedQuery]) {
+        let mut slot = self
+            .results
+            .lock()
+            .expect("augmentation result log poisoned");
+        if slot.is_none() {
+            *slot = Some(Arc::new(queries.to_vec()));
+        }
+    }
+}
+
+/// Cumulative counters of one [`AugmentationCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes that avoided computing: the key was resident, or an in-flight
+    /// computation of the same key was joined (request coalescing).
+    pub hits: u64,
+    /// Probes that had to compute (they became the key's owner).
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// The capacity bound (0 means the cache is disabled).
+    pub capacity: usize,
+    /// Approximate heap footprint of the resident snapshots, in bytes — the
+    /// number to watch when sizing `capacity` for a large graph, where a
+    /// single augmentation snapshot can run to megabytes.
+    pub heap_bytes: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit (`0.0` when nothing was looked up).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<AugmentationKey, Entry>,
+    /// Keys some session is currently computing (request coalescing):
+    /// same-key probes join the owner's [`InFlight`] instead of redoing the
+    /// matching and augmentation — the thundering-herd guard for serving
+    /// workloads, where the same hot query arrives on many workers at once.
+    in_flight: HashMap<AugmentationKey, Arc<InFlight>>,
+    /// Monotonic logical clock stamping every hit/insert for LRU eviction.
+    tick: u64,
+    /// Approximate heap bytes of the resident entries (kept incrementally).
+    heap_bytes: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    last_used: u64,
+    payload: Arc<CachedAugmentation>,
+}
+
+impl CacheInner {
+    fn remove(&mut self, key: &AugmentationKey) -> Option<Entry> {
+        let entry = self.map.remove(key)?;
+        self.heap_bytes = self.heap_bytes.saturating_sub(entry.payload.heap_bytes());
+        Some(entry)
+    }
+}
+
+/// The rendezvous between the owner computing a key and the probes waiting
+/// on it. The slot distinguishes pending (`None`), completed
+/// (`Some(Some(_))`) and abandoned (`Some(None)` — the owner errored or
+/// panicked; waiters retry and one of them becomes the new owner).
+#[derive(Debug, Default)]
+struct InFlight {
+    slot: Mutex<Option<Option<Arc<CachedAugmentation>>>>,
+    done: Condvar,
+}
+
+impl InFlight {
+    fn wait(&self) -> Option<Arc<CachedAugmentation>> {
+        let mut slot = self.slot.lock().expect("in-flight slot poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.done.wait(slot).expect("in-flight slot poisoned");
+        }
+    }
+
+    fn finish(&self, result: Option<Arc<CachedAugmentation>>) {
+        let mut slot = self.slot.lock().expect("in-flight slot poisoned");
+        *slot = Some(result);
+        drop(slot);
+        self.done.notify_all();
+    }
+}
+
+/// The outcome of [`AugmentationCache::probe`].
+pub(crate) enum CacheProbe<'c> {
+    /// The augmentation is available — resident, or just finished by the
+    /// in-flight owner this probe joined.
+    Hit(Arc<CachedAugmentation>),
+    /// This probe owns the computation: it must run the matching and
+    /// augmentation and then call [`ComputeTicket::complete`] (dropping the
+    /// ticket instead — e.g. on an all-unmatched error — releases the
+    /// waiters to compute for themselves).
+    Compute(ComputeTicket<'c>),
+}
+
+/// The obligation of the probe that owns a missing key (see
+/// [`CacheProbe::Compute`]).
+pub(crate) struct ComputeTicket<'c> {
+    cache: &'c AugmentationCache,
+    key: Option<AugmentationKey>,
+    flight: Arc<InFlight>,
+}
+
+impl ComputeTicket<'_> {
+    /// Publishes the computed augmentation: inserts it (evicting LRU entries
+    /// past the capacity bound), wakes every waiter joined on the key, and
+    /// returns the resident entry for the replay-log write-back.
+    pub(crate) fn complete(mut self, payload: CachedAugmentation) -> Arc<CachedAugmentation> {
+        let key = self.key.take().expect("ticket completed twice");
+        let payload = self.cache.insert_resolved(&key, payload);
+        self.flight.finish(Some(Arc::clone(&payload)));
+        payload
+    }
+}
+
+impl Drop for ComputeTicket<'_> {
+    fn drop(&mut self) {
+        // Abandoned (error or panic on the computing path): deregister the
+        // key and release the waiters empty-handed so they can retry.
+        if let Some(key) = self.key.take() {
+            let mut inner = self
+                .cache
+                .inner
+                .lock()
+                .expect("augmentation cache poisoned");
+            inner.in_flight.remove(&key);
+            drop(inner);
+            self.flight.finish(None);
+        }
+    }
+}
+
+/// A bounded, thread-safe LRU cache of finished augmentations.
+///
+/// Owned by a [`PreparedGraph`](crate::PreparedGraph) and consulted by every
+/// session start. All methods take `&self`; the cache is internally
+/// synchronized with a [`Mutex`], so a `PreparedGraph` stays `Sync` and many
+/// worker threads can share one cache. The critical sections are tiny (a
+/// hash probe plus an `Arc` clone — the snapshot itself is cloned *outside*
+/// the lock), so contention stays negligible even at high request rates.
+///
+/// A capacity of 0 disables the cache: every lookup misses and insertions
+/// are dropped.
+#[derive(Debug)]
+pub struct AugmentationCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl AugmentationCache {
+    /// The capacity used by [`Default`] and by engines that do not configure
+    /// one explicitly.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// Creates a cache bounded to `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+        }
+    }
+
+    /// Whether the cache stores anything at all (capacity > 0).
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current counters (len/capacity plus cumulative hit/miss/eviction
+    /// counts).
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("augmentation cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            len: inner.map.len(),
+            capacity: self.capacity,
+            heap_bytes: inner.heap_bytes,
+        }
+    }
+
+    /// Drops every entry (the counters keep accumulating).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("augmentation cache poisoned");
+        inner.map.clear();
+        inner.heap_bytes = 0;
+    }
+
+    /// Probes a key: a resident entry (or one an in-flight owner finishes
+    /// while we wait) comes back as [`CacheProbe::Hit`]; otherwise this
+    /// probe becomes the key's owner and receives the
+    /// [`ComputeTicket`] obligation. Blocks only while another session is
+    /// computing the same key — never during an unrelated computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cache is disabled (capacity 0); callers skip the
+    /// cache entirely in that case.
+    pub(crate) fn probe(&self, key: AugmentationKey) -> CacheProbe<'_> {
+        assert!(self.capacity > 0, "probe on a disabled cache");
+        loop {
+            let flight = {
+                let mut inner = self.inner.lock().expect("augmentation cache poisoned");
+                inner.tick += 1;
+                let tick = inner.tick;
+                if let Some(entry) = inner.map.get_mut(&key) {
+                    entry.last_used = tick;
+                    let payload = Arc::clone(&entry.payload);
+                    inner.hits += 1;
+                    return CacheProbe::Hit(payload);
+                }
+                match inner.in_flight.get(&key) {
+                    Some(flight) => Arc::clone(flight),
+                    None => {
+                        let flight = Arc::new(InFlight::default());
+                        inner.in_flight.insert(key.clone(), Arc::clone(&flight));
+                        inner.misses += 1;
+                        return CacheProbe::Compute(ComputeTicket {
+                            cache: self,
+                            key: Some(key),
+                            flight,
+                        });
+                    }
+                }
+            };
+            // Join the owner outside the cache lock.
+            match flight.wait() {
+                Some(payload) => {
+                    let mut inner = self.inner.lock().expect("augmentation cache poisoned");
+                    inner.hits += 1;
+                    return CacheProbe::Hit(payload);
+                }
+                // The owner abandoned the key (error/panic); retry — the
+                // next round either finds a new owner or becomes one.
+                None => continue,
+            }
+        }
+    }
+
+    /// Publishes an owner's finished augmentation: deregisters the in-flight
+    /// marker and inserts the entry, evicting least-recently-used entries
+    /// past the capacity bound. Returns the resident entry (the freshly
+    /// inserted one; the in-flight marker guarantees no same-key race).
+    fn insert_resolved(
+        &self,
+        key: &AugmentationKey,
+        payload: CachedAugmentation,
+    ) -> Arc<CachedAugmentation> {
+        let mut inner = self.inner.lock().expect("augmentation cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.in_flight.remove(key);
+        while inner.map.len() >= self.capacity {
+            // O(capacity) scan; capacities are small (default 128) and
+            // eviction is off the hit path.
+            let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            inner.remove(&oldest);
+            inner.evictions += 1;
+        }
+        let payload = Arc::new(payload);
+        inner.heap_bytes += payload.heap_bytes();
+        inner.map.insert(
+            key.clone(),
+            Entry {
+                last_used: tick,
+                payload: Arc::clone(&payload),
+            },
+        );
+        inner.insertions += 1;
+        payload
+    }
+}
+
+impl Default for AugmentationCache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwsearch_keyword_index::KeywordIndex;
+    use kwsearch_rdf::fixtures::figure1_graph;
+    use kwsearch_summary::{AugmentedSummaryGraph, SummaryGraph};
+
+    fn payload(keywords: &[&str]) -> CachedAugmentation {
+        let g = figure1_graph();
+        let base = SummaryGraph::build(&g);
+        let index = KeywordIndex::build(&g);
+        let matches = index.lookup_all(keywords);
+        let augmented = AugmentedSummaryGraph::build(&g, &base, &matches);
+        CachedAugmentation::new(
+            matches.iter().map(Vec::len).collect(),
+            Some(augmented.to_snapshot()),
+        )
+    }
+
+    fn key(tag: &str) -> AugmentationKey {
+        AugmentationKey::new(SearchConfig::with_k(7), vec![vec![tag.to_string()]])
+    }
+
+    /// Probes expecting to own the computation, and completes it.
+    fn fill(cache: &AugmentationCache, tag: &str, keywords: &[&str]) -> Arc<CachedAugmentation> {
+        match cache.probe(key(tag)) {
+            CacheProbe::Compute(ticket) => ticket.complete(payload(keywords)),
+            CacheProbe::Hit(_) => panic!("key {tag} unexpectedly resident"),
+        }
+    }
+
+    /// Probes expecting a resident entry.
+    fn hit(cache: &AugmentationCache, tag: &str) -> Option<Arc<CachedAugmentation>> {
+        match cache.probe(key(tag)) {
+            CacheProbe::Hit(payload) => Some(payload),
+            CacheProbe::Compute(_) => None, // dropping the ticket abandons it
+        }
+    }
+
+    #[test]
+    fn hits_misses_and_insertions_are_counted() {
+        let cache = AugmentationCache::new(4);
+        fill(&cache, "a", &["aifb"]);
+        let resident = hit(&cache, "a").expect("inserted entry hits");
+        assert_eq!(resident.element_matches.len(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.len, 1);
+        assert!(stats.hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn capacity_bound_holds_and_lru_entry_is_evicted() {
+        let cache = AugmentationCache::new(2);
+        fill(&cache, "a", &["aifb"]);
+        fill(&cache, "b", &["cimiano"]);
+        // Touch "a" so "b" becomes the LRU entry.
+        assert!(hit(&cache, "a").is_some());
+        fill(&cache, "c", &["2006"]);
+        let stats = cache.stats();
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(hit(&cache, "a").is_some(), "recently used survives");
+        assert!(hit(&cache, "b").is_none(), "LRU entry was evicted");
+        assert!(hit(&cache, "c").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = AugmentationCache::new(0);
+        assert!(!cache.is_enabled());
+        assert_eq!(cache.stats().len, 0);
+        assert_eq!(cache.stats().capacity, 0);
+    }
+
+    #[test]
+    fn keys_distinguish_config_order_and_terms() {
+        let terms = |words: &[&str]| -> Vec<Vec<String>> {
+            words.iter().map(|w| vec![w.to_string()]).collect()
+        };
+        let k1 = SearchConfig::with_k(1);
+        let base = AugmentationKey::new(k1.clone(), terms(&["a", "b"]));
+        assert_eq!(base, AugmentationKey::new(k1.clone(), terms(&["a", "b"])));
+        assert_ne!(
+            base,
+            AugmentationKey::new(SearchConfig::with_k(2), terms(&["a", "b"]))
+        );
+        assert_ne!(base, AugmentationKey::new(k1.clone(), terms(&["b", "a"])));
+        assert_ne!(base, AugmentationKey::new(k1, terms(&["a"])));
+        assert_eq!(base.keyword_count(), 2);
+    }
+
+    #[test]
+    fn heap_bytes_track_insertions_evictions_and_clear() {
+        let cache = AugmentationCache::new(1);
+        assert_eq!(cache.stats().heap_bytes, 0);
+        fill(&cache, "a", &["aifb"]);
+        let after_a = cache.stats().heap_bytes;
+        assert!(after_a > 0);
+        fill(&cache, "b", &["cimiano"]); // evicts "a"
+        let stats = cache.stats();
+        assert_eq!(stats.len, 1);
+        assert!(stats.heap_bytes > 0);
+        cache.clear();
+        assert_eq!(cache.stats().heap_bytes, 0);
+    }
+
+    #[test]
+    fn clear_keeps_counters_but_drops_entries() {
+        let cache = AugmentationCache::new(4);
+        fill(&cache, "a", &["aifb"]);
+        cache.clear();
+        assert_eq!(cache.stats().len, 0);
+        assert_eq!(cache.stats().insertions, 1);
+        assert!(hit(&cache, "a").is_none());
+    }
+
+    #[test]
+    fn concurrent_probes_coalesce_on_one_owner() {
+        let cache = Arc::new(AugmentationCache::new(4));
+        let ticket = match cache.probe(key("shared")) {
+            CacheProbe::Compute(ticket) => ticket,
+            CacheProbe::Hit(_) => panic!("the key cannot be resident yet"),
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || match cache.probe(key("shared")) {
+                CacheProbe::Hit(payload) => payload.element_matches.len(),
+                CacheProbe::Compute(_) => panic!("a joined probe must hit, not recompute"),
+            })
+        };
+        // Give the waiter a moment to join the in-flight computation (the
+        // test is correct either way — a late probe hits the resident entry).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ticket.complete(payload(&["aifb"]));
+        assert_eq!(waiter.join().unwrap(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn abandoned_owner_releases_waiters_to_retry() {
+        let cache = Arc::new(AugmentationCache::new(4));
+        let ticket = match cache.probe(key("doomed")) {
+            CacheProbe::Compute(ticket) => ticket,
+            CacheProbe::Hit(_) => panic!("the key cannot be resident yet"),
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || match cache.probe(key("doomed")) {
+                // Either ordering is legal: the waiter may probe after the
+                // abandonment (fresh owner) or join and be released to retry.
+                CacheProbe::Compute(ticket) => {
+                    ticket.complete(payload(&["cimiano"]));
+                    true
+                }
+                CacheProbe::Hit(_) => false,
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(ticket); // the owner errors out
+        assert!(
+            waiter.join().unwrap(),
+            "after the abandonment the waiter must become the new owner"
+        );
+        assert!(
+            hit(&cache, "doomed").is_some(),
+            "the retry populated the key"
+        );
+    }
+}

@@ -3,7 +3,12 @@
 use crate::scoring::ScoringFunction;
 
 /// Tuning knobs of the top-k query computation.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// All fields are discrete (`Eq + Hash`), so the configuration can serve
+/// directly as (part of) a cache key — the augmentation cache embeds the
+/// whole config in its [`AugmentationKey`](crate::AugmentationKey), which
+/// makes cross-config collisions impossible by construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SearchConfig {
     /// Number of queries to compute (`k` in Algorithm 1/2).
     pub k: usize,
@@ -91,6 +96,34 @@ mod tests {
         assert_eq!(config.k, 5);
         assert_eq!(config.scoring, ScoringFunction::PathLength);
         assert_eq!(config.dmax, 3);
+    }
+
+    #[test]
+    fn configs_are_usable_as_cache_keys() {
+        // The augmentation cache embeds the whole config in its key; every
+        // field must therefore participate in equality.
+        let base = SearchConfig::default();
+        assert_eq!(base, SearchConfig::default());
+        let variants = [
+            SearchConfig::with_k(3),
+            SearchConfig::default().scoring(ScoringFunction::PathLength),
+            SearchConfig::default().dmax(3),
+            SearchConfig {
+                max_cursors: 7,
+                ..SearchConfig::default()
+            },
+            SearchConfig {
+                max_paths_per_element: Some(2),
+                ..SearchConfig::default()
+            },
+            SearchConfig {
+                expand_pruned_paths: true,
+                ..SearchConfig::default()
+            },
+        ];
+        for variant in &variants {
+            assert_ne!(&base, variant, "{variant:?} must differ from the default");
+        }
     }
 
     #[test]

@@ -21,16 +21,19 @@
 //!   each query the instant the still-missing number of answers has been
 //!   found, and [`AnswerPhase`] reports that phase's timing.
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use kwsearch_keyword_index::{KeywordIndex, KeywordIndexConfig};
-use kwsearch_query::{AnswerSet, ConjunctiveQuery, EvalError, Evaluator};
+use kwsearch_query::{AnswerSet, ConjunctiveQuery, EvalError};
 use kwsearch_rdf::{DataGraph, GraphStats, TripleStore};
 use kwsearch_summary::SummaryGraph;
 
+use crate::cache::{AugmentationCache, CacheStats};
 use crate::config::SearchConfig;
 use crate::error::{KeywordMatch, SearchError};
 use crate::exploration::ExplorationStats;
+use crate::prepared::PreparedGraph;
 use crate::result::RankedQuery;
 use crate::scoring::ScoringFunction;
 use crate::session::SearchSession;
@@ -118,6 +121,7 @@ pub struct EngineBuilder {
     graph: DataGraph,
     config: SearchConfig,
     keyword_config: KeywordIndexConfig,
+    cache_capacity: usize,
     /// Fine-grained overrides, applied on top of `config` at `build()` time
     /// so setter order never matters (`.k(5).search_config(..)` and
     /// `.search_config(..).k(5)` behave the same).
@@ -159,6 +163,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Bounds the augmentation cache to `capacity` entries (0 disables
+    /// caching). Defaults to [`AugmentationCache::DEFAULT_CAPACITY`].
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
     /// Runs the off-line preprocessing and returns the ready engine.
     pub fn build(self) -> KeywordSearchEngine {
         let mut config = self.config;
@@ -171,35 +182,27 @@ impl EngineBuilder {
         if let Some(dmax) = self.dmax {
             config.dmax = dmax;
         }
-        let start = Instant::now();
-        let keyword_index = KeywordIndex::build_with(
-            &self.graph,
-            kwsearch_keyword_index::Analyzer::new(),
-            kwsearch_keyword_index::Thesaurus::builtin(),
-            self.keyword_config,
-        );
-        let summary = SummaryGraph::build(&self.graph);
-        let store = TripleStore::build(&self.graph);
-        let index_build_time = start.elapsed();
+        let prepared =
+            PreparedGraph::index_with(self.graph, self.keyword_config, self.cache_capacity);
         KeywordSearchEngine {
-            graph: self.graph,
-            keyword_index,
-            summary,
-            store,
+            prepared: Arc::new(prepared),
             config,
-            index_build_time,
         }
     }
 }
 
-/// The keyword-search engine: data graph + indices + configuration.
+/// The keyword-search engine: an [`Arc`]-shared [`PreparedGraph`] (data
+/// graph + immutable indexes + augmentation cache) plus the default search
+/// configuration.
+///
+/// Cloning an engine is cheap — the clone shares the prepared graph and its
+/// cache — and [`KeywordSearchEngine::prepared`] hands the `Arc` itself to
+/// code that wants to serve the same preparation from many threads (see
+/// [`crate::serve`] and [`PreparedGraph`] for the sharing pattern).
+#[derive(Clone)]
 pub struct KeywordSearchEngine {
-    graph: DataGraph,
-    keyword_index: KeywordIndex,
-    summary: SummaryGraph,
-    store: TripleStore,
+    prepared: Arc<PreparedGraph>,
     config: SearchConfig,
-    index_build_time: Duration,
 }
 
 impl KeywordSearchEngine {
@@ -209,34 +212,48 @@ impl KeywordSearchEngine {
             graph,
             config: SearchConfig::default(),
             keyword_config: KeywordIndexConfig::default(),
+            cache_capacity: AugmentationCache::DEFAULT_CAPACITY,
             k: None,
             scoring: None,
             dmax: None,
         }
     }
 
+    /// Wraps an already-shared preparation with the given default search
+    /// configuration — the inverse of [`Self::prepared`].
+    pub fn from_prepared(prepared: Arc<PreparedGraph>, config: SearchConfig) -> Self {
+        Self { prepared, config }
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
 
+    /// The shared, immutable read path: indexes plus augmentation cache.
+    /// Clone the returned `Arc` to serve this engine's preparation from
+    /// other threads.
+    pub fn prepared(&self) -> &Arc<PreparedGraph> {
+        &self.prepared
+    }
+
     /// The indexed data graph.
     pub fn graph(&self) -> &DataGraph {
-        &self.graph
+        self.prepared.graph()
     }
 
     /// The keyword index.
     pub fn keyword_index(&self) -> &KeywordIndex {
-        &self.keyword_index
+        self.prepared.keyword_index()
     }
 
     /// The summary graph (graph index).
     pub fn summary(&self) -> &SummaryGraph {
-        &self.summary
+        self.prepared.summary()
     }
 
     /// The triple store used for query processing.
     pub fn store(&self) -> &TripleStore {
-        &self.store
+        self.prepared.store()
     }
 
     /// The search configuration.
@@ -245,19 +262,31 @@ impl KeywordSearchEngine {
     }
 
     /// Replaces the search configuration.
+    ///
+    /// Cached augmentations are keyed on the full configuration (next to
+    /// the normalized keyword terms), so entries populated under the old
+    /// configuration are neither invalidated nor — crucially — ever served
+    /// to searches running under the new one; switching back re-hits them.
+    /// Engines cloned from this one (or sharing its [`Self::prepared`]) keep
+    /// their own configuration and are unaffected.
     pub fn set_config(&mut self, config: SearchConfig) {
         self.config = config;
+    }
+
+    /// Counters of the shared augmentation cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.prepared.augmentation_cache().stats()
     }
 
     /// How long the off-line preprocessing (keyword index + summary graph +
     /// triple store) took.
     pub fn index_build_time(&self) -> Duration {
-        self.index_build_time
+        self.prepared.index_build_time()
     }
 
     /// Structural statistics of the indexed data graph.
     pub fn graph_stats(&self) -> GraphStats {
-        GraphStats::compute(&self.graph)
+        self.prepared.graph_stats()
     }
 
     // ------------------------------------------------------------------
@@ -282,7 +311,7 @@ impl KeywordSearchEngine {
         keywords: &[S],
         config: SearchConfig,
     ) -> Result<SearchSession<'_>, SearchError> {
-        SearchSession::start(self, keywords, config)
+        self.prepared.session(keywords, config)
     }
 
     /// Computes the top-k conjunctive queries for a keyword query using the
@@ -311,7 +340,7 @@ impl KeywordSearchEngine {
         query: &ConjunctiveQuery,
         limit: Option<usize>,
     ) -> Result<AnswerSet, EvalError> {
-        Evaluator::with_borrowed_store(&self.graph, &self.store).evaluate_with_limit(query, limit)
+        self.prepared.answers(query, limit)
     }
 
     /// Processes already-computed ranked queries in rank order until at
@@ -320,25 +349,7 @@ impl KeywordSearchEngine {
     /// streaming evaluator, each query stops the instant the still-missing
     /// number of answers has been found.
     pub fn answer_queries(&self, queries: &[RankedQuery], min_answers: usize) -> AnswerPhase {
-        let start = Instant::now();
-        let mut answers = Vec::new();
-        let mut total = 0usize;
-        let mut queries_processed = 0usize;
-        for ranked in queries {
-            queries_processed += 1;
-            if let Ok(set) = self.answers(&ranked.query, Some(min_answers.saturating_sub(total))) {
-                total += set.len();
-                answers.push(set);
-            }
-            if total >= min_answers {
-                break;
-            }
-        }
-        AnswerPhase {
-            answers,
-            queries_processed,
-            answer_time: start.elapsed(),
-        }
+        self.prepared.answer_queries(queries, min_answers)
     }
 
     /// The full interaction measured in the paper's Fig. 5: compute the
@@ -516,6 +527,73 @@ mod tests {
         // Every evaluation is limited to the still-missing count, so asking
         // for one answer retrieves exactly one.
         assert_eq!(phase.total_answers(), 1);
+    }
+
+    /// Regression test for the `set_config` / augmentation-cache
+    /// interaction: entries cached under one configuration must never leak
+    /// into searches running under another (the cache key embeds the config
+    /// verbatim), and switching back must re-hit the old entries with
+    /// bit-identical results.
+    #[test]
+    fn set_config_neither_corrupts_nor_invalidates_cached_augmentations() {
+        let graph = figure1_graph();
+        let keywords = ["cimiano", "publication"];
+        let config_a = SearchConfig::default();
+        let config_b = SearchConfig::with_k(2).scoring(ScoringFunction::PathLength);
+
+        // Uncached reference engines, one per configuration.
+        let fresh = |config: &SearchConfig| {
+            let mut engine = KeywordSearchEngine::builder(graph.clone())
+                .cache_capacity(0)
+                .build();
+            engine.set_config(config.clone());
+            engine.search(&keywords).unwrap()
+        };
+        let fresh_a = fresh(&config_a);
+        let fresh_b = fresh(&config_b);
+
+        let assert_identical = |got: &SearchOutcome, want: &SearchOutcome| {
+            assert_eq!(got.queries.len(), want.queries.len());
+            for (g, w) in got.queries.iter().zip(want.queries.iter()) {
+                assert_eq!(g.cost.to_bits(), w.cost.to_bits());
+                assert_eq!(g.query.canonicalized(), w.query.canonicalized());
+            }
+        };
+
+        let mut engine = KeywordSearchEngine::builder(graph).build();
+        let a_miss = engine.search(&keywords).unwrap(); // populate under A
+        let a_hit = engine.search(&keywords).unwrap(); // hit under A
+        assert_eq!(engine.cache_stats().hits, 1);
+        assert_identical(&a_miss, &fresh_a);
+        assert_identical(&a_hit, &fresh_a);
+
+        engine.set_config(config_b.clone());
+        let b_miss = engine.search(&keywords).unwrap(); // must NOT reuse A's entry
+        assert_eq!(
+            engine.cache_stats().hits,
+            1,
+            "the config change must miss, not reuse the old entry"
+        );
+        assert_identical(&b_miss, &fresh_b);
+
+        engine.set_config(config_a);
+        let a_rehit = engine.search(&keywords).unwrap(); // old entry still valid
+        assert_eq!(engine.cache_stats().hits, 2, "switching back re-hits");
+        assert_identical(&a_rehit, &fresh_a);
+    }
+
+    #[test]
+    fn cloned_engines_share_the_prepared_graph_and_cache() {
+        let engine = engine();
+        let clone = engine.clone();
+        assert!(Arc::ptr_eq(engine.prepared(), clone.prepared()));
+        let _ = engine.search(&["cimiano"]).unwrap();
+        let _ = clone.search(&["cimiano"]).unwrap();
+        assert_eq!(
+            engine.cache_stats().hits,
+            1,
+            "the clone hits the shared cache"
+        );
     }
 
     #[test]

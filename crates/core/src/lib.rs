@@ -20,7 +20,12 @@
 //!    [`KeywordSearchEngine`] facade, and [`session`] exposes it as a
 //!    resumable, streaming [`SearchSession`]: the exploration is an
 //!    *anytime* algorithm, so ranked queries are handed out one at a time,
-//!    each provably rank-correct the moment it is returned.
+//!    each provably rank-correct the moment it is returned,
+//! 7. [`prepared`] splits the immutable read path ([`PreparedGraph`]) off
+//!    the engine so one preparation can be `Arc`-shared across threads,
+//!    [`cache`] memoizes finished augmentations (bit-identical hits), and
+//!    [`serve`] runs many sessions concurrently against one shared
+//!    preparation from a [`SearchService`] worker pool.
 //!
 //! Scoring (Section V) is configurable through [`ScoringFunction`]: path
 //! length (C1), popularity (C2), or popularity weighted by the keyword
@@ -29,24 +34,30 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod config;
 pub mod cursor;
 pub mod engine;
 pub mod error;
 pub mod exploration;
+pub mod prepared;
 pub mod query_map;
 pub mod result;
 pub mod scoring;
+pub mod serve;
 pub mod session;
 pub mod subgraph;
 pub mod topk;
 
+pub use cache::{AugmentationCache, AugmentationKey, CacheStats};
 pub use config::SearchConfig;
 pub use engine::{AnswerPhase, EngineBuilder, KeywordSearchEngine, SearchOutcome};
 pub use error::{KeywordMatch, SearchError};
 pub use exploration::{ExplorationOutcome, ExplorationState, ExplorationStats, Explorer};
+pub use prepared::PreparedGraph;
 pub use query_map::map_subgraph_to_query;
 pub use result::RankedQuery;
 pub use scoring::ScoringFunction;
+pub use serve::{SearchRequest, SearchResponse, SearchService, SearchTicket};
 pub use session::SearchSession;
 pub use subgraph::{MatchingSubgraph, SubgraphPath};

@@ -1,0 +1,419 @@
+//! Concurrent serving of one prepared graph from a worker pool.
+//!
+//! The read path of the engine is immutable (see [`PreparedGraph`]), so
+//! serving many keyword searches at once needs no sharding, copying or
+//! locking of the indexes: a [`SearchService`] owns an
+//! `Arc<PreparedGraph>`, spawns a fixed pool of `std::thread` workers, and
+//! feeds them from a submission queue. Each worker runs ordinary
+//! [`SearchSession`](crate::SearchSession)s against the shared preparation —
+//! the augmentation cache inside the prepared graph is shared too, so hot
+//! keyword combinations are matched and augmented once, pool-wide.
+//!
+//! Results are delivered through per-request [`SearchTicket`]s:
+//!
+//! ```
+//! use kwsearch_core::serve::{SearchRequest, SearchService};
+//! use kwsearch_core::{KeywordSearchEngine, SearchConfig};
+//! use kwsearch_rdf::fixtures::figure1_graph;
+//!
+//! let engine = KeywordSearchEngine::builder(figure1_graph()).build();
+//! let service = SearchService::start(
+//!     engine.prepared().clone(),
+//!     SearchConfig::default(),
+//!     4, // workers
+//! );
+//! let tickets: Vec<_> = [vec!["cimiano".to_string()], vec!["aifb".to_string()]]
+//!     .into_iter()
+//!     .map(|keywords| service.submit(SearchRequest::new(keywords)))
+//!     .collect();
+//! for ticket in tickets {
+//!     let response = ticket.wait();
+//!     assert!(!response.result.unwrap().queries.is_empty());
+//! }
+//! ```
+//!
+//! Determinism is unaffected by concurrency: sessions share nothing mutable
+//! but the internally synchronized cache, whose hits are bit-identical to
+//! fresh runs — the cross-thread determinism suite
+//! (`tests/concurrent_determinism.rs`) pins exactly this.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::config::SearchConfig;
+use crate::engine::{AnswerPhase, SearchOutcome};
+use crate::error::SearchError;
+use crate::prepared::PreparedGraph;
+
+/// One keyword search to be served by a [`SearchService`] worker.
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    /// The keyword query.
+    pub keywords: Vec<String>,
+    /// Per-request configuration; `None` uses the service default.
+    pub config: Option<SearchConfig>,
+    /// When set, the worker interleaves the answer phase with the
+    /// exploration ([`SearchSession::answers_until`](crate::SearchSession::answers_until))
+    /// until at least this many answers exist, and the returned outcome
+    /// covers only the queries the answer phase reached (no drain past the
+    /// target).
+    pub min_answers: Option<usize>,
+}
+
+impl SearchRequest {
+    /// A plain top-k request with the service's default configuration.
+    pub fn new<S: AsRef<str>>(keywords: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            keywords: keywords
+                .into_iter()
+                .map(|k| k.as_ref().to_string())
+                .collect(),
+            config: None,
+            min_answers: None,
+        }
+    }
+
+    /// Overrides the search configuration for this request.
+    pub fn with_config(mut self, config: SearchConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Asks for the interleaved answer phase until `min_answers` answers.
+    pub fn with_min_answers(mut self, min_answers: usize) -> Self {
+        self.min_answers = Some(min_answers);
+        self
+    }
+}
+
+/// What a worker produced for one [`SearchRequest`].
+#[derive(Debug)]
+pub struct SearchResponse {
+    /// The search outcome, or the typed search error.
+    pub result: Result<SearchOutcome, SearchError>,
+    /// The answer phase, when the request asked for one.
+    pub answer_phase: Option<AnswerPhase>,
+    /// Wall-clock service time on the worker (queueing excluded).
+    pub service_time: Duration,
+    /// Index of the worker that served the request.
+    pub worker: usize,
+}
+
+/// The receiving end of one submitted request.
+#[must_use = "a dropped ticket discards the response"]
+#[derive(Debug)]
+pub struct SearchTicket {
+    receiver: mpsc::Receiver<SearchResponse>,
+}
+
+impl SearchTicket {
+    /// Blocks until the response is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving worker died without replying (a worker panic —
+    /// a bug, not an expected condition).
+    pub fn wait(self) -> SearchResponse {
+        self.receiver
+            .recv()
+            .expect("search worker dropped the reply channel without responding")
+    }
+}
+
+struct Job {
+    request: SearchRequest,
+    reply: mpsc::Sender<SearchResponse>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The submission queue: a mutex-protected deque with a condition variable,
+/// closed on shutdown so idle workers wake up and exit.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        debug_assert!(!state.closed, "submit after shutdown");
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("job queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().expect("job queue poisoned").jobs.len()
+    }
+}
+
+/// A `std::thread` worker pool serving keyword searches against one shared
+/// [`PreparedGraph`].
+///
+/// Workers run until the service is dropped (or [`Self::shutdown`] is
+/// called): outstanding submissions are drained, then the threads are
+/// joined. The service is `Send + Sync`, so it can itself be shared — e.g.
+/// behind an `Arc` in a network front-end — and submissions from many
+/// producer threads interleave safely.
+pub struct SearchService {
+    prepared: Arc<PreparedGraph>,
+    default_config: SearchConfig,
+    queue: Arc<JobQueue>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SearchService {
+    /// Starts a pool of `workers` threads (at least one) serving sessions
+    /// against `prepared` with `default_config`.
+    pub fn start(
+        prepared: Arc<PreparedGraph>,
+        default_config: SearchConfig,
+        workers: usize,
+    ) -> Self {
+        let queue = Arc::new(JobQueue::new());
+        let workers = (0..workers.max(1))
+            .map(|worker| {
+                let prepared = Arc::clone(&prepared);
+                let queue = Arc::clone(&queue);
+                let default_config = default_config.clone();
+                std::thread::Builder::new()
+                    .name(format!("kwsearch-worker-{worker}"))
+                    .spawn(move || worker_loop(worker, &prepared, &default_config, &queue))
+                    .expect("spawning a search worker thread")
+            })
+            .collect();
+        Self {
+            prepared,
+            default_config,
+            queue,
+            workers,
+        }
+    }
+
+    /// Enqueues a request and returns the ticket its response arrives on.
+    pub fn submit(&self, request: SearchRequest) -> SearchTicket {
+        let (reply, receiver) = mpsc::channel();
+        self.queue.push(Job { request, reply });
+        SearchTicket { receiver }
+    }
+
+    /// Convenience: submits a plain top-k request for `keywords`.
+    pub fn submit_keywords<S: AsRef<str>>(&self, keywords: &[S]) -> SearchTicket {
+        self.submit(SearchRequest::new(keywords.iter().map(AsRef::as_ref)))
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of submitted requests not yet picked up by a worker.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The shared preparation the pool serves.
+    pub fn prepared(&self) -> &Arc<PreparedGraph> {
+        &self.prepared
+    }
+
+    /// The configuration used for requests without an explicit one.
+    pub fn default_config(&self) -> &SearchConfig {
+        &self.default_config
+    }
+
+    /// Closes the submission queue, drains outstanding requests and joins
+    /// the workers. Dropping the service does the same; this form merely
+    /// makes the blocking explicit.
+    pub fn shutdown(self) {}
+}
+
+impl Drop for SearchService {
+    fn drop(&mut self) {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            // A panicking worker poisoned nothing shared (sessions are
+            // per-request); surface the panic here instead of hiding it —
+            // unless this drop is itself running during an unwind (e.g. the
+            // caller's `SearchTicket::wait` panicked about the dead worker),
+            // where a second panic would abort the process and destroy the
+            // original message.
+            if let Err(panic) = worker.join() {
+                if std::thread::panicking() {
+                    eprintln!("kwsearch-core: search worker panicked: {panic:?}");
+                } else {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SearchService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchService")
+            .field("workers", &self.workers.len())
+            .field("pending", &self.pending())
+            .field("default_config", &self.default_config)
+            .finish_non_exhaustive()
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    prepared: &PreparedGraph,
+    default_config: &SearchConfig,
+    queue: &JobQueue,
+) {
+    while let Some(job) = queue.pop() {
+        let Job { request, reply } = job;
+        let start = Instant::now();
+        let config = request
+            .config
+            .clone()
+            .unwrap_or_else(|| default_config.clone());
+        let (result, answer_phase) = match prepared.session(&request.keywords, config) {
+            Ok(mut session) => match request.min_answers {
+                Some(min_answers) => {
+                    let phase = session.answers_until(min_answers);
+                    (Ok(session.into_partial_outcome()), Some(phase))
+                }
+                None => (Ok(session.into_outcome()), None),
+            },
+            Err(error) => (Err(error), None),
+        };
+        // A closed ticket (submitter gave up) is not an error.
+        let _ = reply.send(SearchResponse {
+            result,
+            answer_phase,
+            service_time: start.elapsed(),
+            worker,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::KeywordSearchEngine;
+    use kwsearch_rdf::fixtures::figure1_graph;
+
+    fn service(workers: usize) -> SearchService {
+        let engine = KeywordSearchEngine::builder(figure1_graph()).build();
+        SearchService::start(engine.prepared().clone(), SearchConfig::default(), workers)
+    }
+
+    #[test]
+    fn serves_concurrent_submissions_identically_to_direct_sessions() {
+        let service = service(4);
+        let direct = service
+            .prepared()
+            .session(&["2006", "cimiano", "aifb"], SearchConfig::default())
+            .unwrap()
+            .into_outcome();
+        let tickets: Vec<_> = (0..8)
+            .map(|_| service.submit_keywords(&["2006", "cimiano", "aifb"]))
+            .collect();
+        for ticket in tickets {
+            let response = ticket.wait();
+            let outcome = response.result.expect("the running example matches");
+            assert_eq!(outcome.queries.len(), direct.queries.len());
+            for (got, want) in outcome.queries.iter().zip(direct.queries.iter()) {
+                assert_eq!(got.cost.to_bits(), want.cost.to_bits());
+                assert_eq!(got.query.canonicalized(), want.query.canonicalized());
+            }
+            assert!(response.worker < service.worker_count());
+        }
+    }
+
+    #[test]
+    fn min_answers_requests_carry_an_answer_phase() {
+        let service = service(2);
+        let response = service
+            .submit(SearchRequest::new(["publications"]).with_min_answers(2))
+            .wait();
+        let phase = response.answer_phase.expect("answer phase was requested");
+        assert!(phase.total_answers() >= 2, "two publications exist");
+        let outcome = response.result.unwrap();
+        assert_eq!(outcome.queries.len(), phase.queries_processed);
+    }
+
+    #[test]
+    fn per_request_config_overrides_the_default() {
+        let service = service(2);
+        let response = service
+            .submit(
+                SearchRequest::new(["cimiano", "publication"]).with_config(SearchConfig::with_k(2)),
+            )
+            .wait();
+        assert!(response.result.unwrap().queries.len() <= 2);
+    }
+
+    #[test]
+    fn unmatched_keywords_surface_as_typed_errors() {
+        let service = service(1);
+        let response = service.submit_keywords(&["xyzzy-unknown"]).wait();
+        let SearchError::AllKeywordsUnmatched { keywords } = response.result.unwrap_err();
+        assert_eq!(keywords.len(), 1);
+    }
+
+    #[test]
+    fn shutdown_drains_outstanding_requests() {
+        let service = service(1);
+        let tickets: Vec<_> = (0..4)
+            .map(|_| service.submit_keywords(&["publications"]))
+            .collect();
+        service.shutdown();
+        for ticket in tickets {
+            assert!(ticket.wait().result.is_ok());
+        }
+    }
+
+    #[test]
+    fn workers_share_the_augmentation_cache() {
+        let service = service(4);
+        let tickets: Vec<_> = (0..12)
+            .map(|_| service.submit_keywords(&["cimiano", "aifb"]))
+            .collect();
+        for ticket in tickets {
+            let _ = ticket.wait().result.unwrap();
+        }
+        let stats = service.prepared().augmentation_cache().stats();
+        // 12 identical requests: at least the non-racing majority hit.
+        assert!(stats.hits >= 8, "expected shared-cache hits, got {stats:?}");
+    }
+}

@@ -28,17 +28,19 @@ use std::time::{Duration, Instant};
 
 use kwsearch_summary::AugmentedSummaryGraph;
 
+use crate::cache::{AugmentationKey, CacheProbe, CachedAugmentation};
 use crate::config::SearchConfig;
-use crate::engine::{AnswerPhase, KeywordSearchEngine, SearchOutcome};
+use crate::engine::{AnswerPhase, SearchOutcome};
 use crate::error::{KeywordMatch, SearchError};
 use crate::exploration::ExplorationState;
+use crate::prepared::PreparedGraph;
 use crate::query_map::map_subgraph_to_query;
 use crate::result::RankedQuery;
 
 /// A resumable, streaming keyword search over one engine.
 ///
-/// Created by [`KeywordSearchEngine::session`] (or
-/// [`KeywordSearchEngine::session_with`] for an explicit configuration).
+/// Created by [`KeywordSearchEngine::session`](crate::KeywordSearchEngine::session) (or
+/// [`KeywordSearchEngine::session_with`](crate::KeywordSearchEngine::session_with) for an explicit configuration).
 /// The session runs the keyword-to-element mapping and the summary-graph
 /// augmentation eagerly — those are cheap and shared by every result — and
 /// then advances the cursor exploration *lazily*:
@@ -50,14 +52,20 @@ use crate::result::RankedQuery;
 /// * [`Self::raise_k`] re-arms a (possibly drained) session for more
 ///   results,
 /// * [`Self::into_outcome`] drains the rest and returns the familiar batch
-///   [`SearchOutcome`] — [`KeywordSearchEngine::search`] is exactly this.
+///   [`SearchOutcome`] — [`KeywordSearchEngine::search`](crate::KeywordSearchEngine::search) is exactly this.
 #[must_use = "a search session does nothing until queries are pulled from it"]
 pub struct SearchSession<'e> {
-    engine: &'e KeywordSearchEngine,
+    prepared: &'e PreparedGraph,
     config: SearchConfig,
     keywords: Vec<KeywordMatch>,
-    augmented: AugmentedSummaryGraph<'e>,
-    state: ExplorationState,
+    /// The augmented summary graph and the suspended cursor walk over it.
+    /// `None` only for a cache hit whose replay log is still serving the
+    /// stream — the expensive reconstruction is deferred until something
+    /// actually needs to explore ([`Self::materialize`]), which on the hot
+    /// serving path is never.
+    exploration: Option<(AugmentedSummaryGraph<'e>, ExplorationState)>,
+    /// Element count of the (possibly not yet materialized) augmented graph.
+    augmented_elements: usize,
     /// Queries emitted so far, in rank order (rank 1 first).
     queries: Vec<RankedQuery>,
     /// Canonical forms of the emitted queries, for deduplication: different
@@ -65,6 +73,20 @@ pub struct SearchSession<'e> {
     seen: BTreeSet<String>,
     /// Set once the stream is known to be complete for the current `k`.
     drained: bool,
+    /// The cache entry this session's key resolved to (hit or fresh
+    /// insert); a naturally drained, never-raised session writes its
+    /// complete emission log back here so later same-key sessions can skip
+    /// the exploration (see [`crate::cache`]).
+    cache_entry: Option<std::sync::Arc<crate::cache::CachedAugmentation>>,
+    /// A complete emission log written by an earlier drained session under
+    /// the same key, plus the replay position: while set, [`Self::advance`]
+    /// emits from the log instead of exploring — bit-identically, since the
+    /// exploration is deterministic. Dropped by [`Self::raise_k`], which
+    /// falls back to real exploration.
+    replay: Option<(std::sync::Arc<Vec<RankedQuery>>, usize)>,
+    /// Whether [`Self::raise_k`] changed the configuration away from the
+    /// one the cache key was computed for (disables the write-back).
+    raised: bool,
     /// Counters of exploration runs retired by [`Self::raise_k`]: the
     /// session's reported stats cover all the work it performed, matching
     /// the accumulated `exploration_time`.
@@ -78,13 +100,79 @@ pub struct SearchSession<'e> {
 
 impl<'e> SearchSession<'e> {
     pub(crate) fn start<S: AsRef<str>>(
-        engine: &'e KeywordSearchEngine,
+        prepared: &'e PreparedGraph,
         keywords: &[S],
         config: SearchConfig,
     ) -> Result<Self, SearchError> {
-        // 1. Keyword-to-element mapping.
+        // 0. Probe the augmentation cache: the matching and augmentation
+        // phases depend only on the immutable indexes, the configuration and
+        // the normalized query terms, so a hit replays a previous session
+        // start bit for bit (see `crate::cache`). A probe that finds another
+        // session computing the same key joins it (request coalescing)
+        // instead of duplicating the work.
         let mapping_start = Instant::now();
-        let all_matches = engine.keyword_index().lookup_all(keywords);
+        let cache = prepared.augmentation_cache();
+        let probe = cache.is_enabled().then(|| {
+            cache.probe(AugmentationKey::new(
+                config.clone(),
+                keywords
+                    .iter()
+                    .map(|k| prepared.keyword_index().normalized_query_terms(k.as_ref()))
+                    .collect(),
+            ))
+        });
+        let ticket = match probe {
+            Some(CacheProbe::Hit(cached)) => {
+                let report: Vec<KeywordMatch> = keywords
+                    .iter()
+                    .zip(&cached.element_matches)
+                    .enumerate()
+                    .map(|(position, (keyword, &element_matches))| KeywordMatch {
+                        position,
+                        keyword: keyword.as_ref().to_string(),
+                        element_matches,
+                    })
+                    .collect();
+                // A negative entry: these keywords are known to match
+                // nothing at all — re-raise the error without re-matching.
+                let Some(snapshot) = cached.snapshot.as_ref() else {
+                    return Err(SearchError::AllKeywordsUnmatched { keywords: report });
+                };
+                let keyword_mapping_time = mapping_start.elapsed();
+                let exploration_start = Instant::now();
+                let replay = cached.results().map(|log| (log, 0));
+                // With a replay log the graph and the cursor state may never
+                // be needed (the hot serving path): defer the snapshot
+                // reconstruction until something actually explores.
+                let exploration = if replay.is_some() {
+                    None
+                } else {
+                    let augmented =
+                        AugmentedSummaryGraph::from_snapshot(prepared.graph(), snapshot.clone());
+                    let state = ExplorationState::new(&augmented, &config);
+                    Some((augmented, state))
+                };
+                let exploration_time = exploration_start.elapsed();
+                let augmented_elements = snapshot.element_count();
+                let mut session = Self::assemble(
+                    prepared,
+                    config,
+                    report,
+                    exploration,
+                    augmented_elements,
+                    keyword_mapping_time,
+                    exploration_time,
+                );
+                session.cache_entry = Some(cached);
+                session.replay = replay;
+                return Ok(session);
+            }
+            Some(CacheProbe::Compute(ticket)) => Some(ticket),
+            None => None,
+        };
+
+        // 1. Keyword-to-element mapping.
+        let all_matches = prepared.keyword_index().lookup_all(keywords);
         let keyword_mapping_time = mapping_start.elapsed();
 
         let report: Vec<KeywordMatch> = keywords
@@ -98,34 +186,102 @@ impl<'e> SearchSession<'e> {
             })
             .collect();
         if !report.is_empty() && report.iter().all(|k| !k.is_matched()) {
+            // Cache the *negative* verdict (snapshot-less entry): repeats of
+            // a failing query — and any coalesced waiters parked behind this
+            // computation — get the typed error straight from the cache
+            // instead of re-running (or serializing on) the matching.
+            if let Some(ticket) = ticket {
+                let _ = ticket.complete(CachedAugmentation::new(
+                    report.iter().map(|k| k.element_matches).collect(),
+                    None,
+                ));
+            }
             return Err(SearchError::AllKeywordsUnmatched { keywords: report });
         }
         let matches: Vec<_> = all_matches.into_iter().filter(|m| !m.is_empty()).collect();
 
         // 2. Augmentation + the seeded exploration state.
         let exploration_start = Instant::now();
-        let augmented = AugmentedSummaryGraph::build(engine.graph(), engine.summary(), &matches);
+        let augmented =
+            AugmentedSummaryGraph::build(prepared.graph(), prepared.summary(), &matches);
+        let cache_entry = ticket.map(|ticket| {
+            ticket.complete(CachedAugmentation::new(
+                report.iter().map(|k| k.element_matches).collect(),
+                Some(augmented.to_snapshot()),
+            ))
+        });
         let state = ExplorationState::new(&augmented, &config);
         let exploration_time = exploration_start.elapsed();
 
-        Ok(Self {
-            engine,
+        let augmented_elements = augmented.element_count();
+        let mut session = Self::assemble(
+            prepared,
             config,
-            keywords: report,
-            augmented,
-            state,
+            report,
+            Some((augmented, state)),
+            augmented_elements,
+            keyword_mapping_time,
+            exploration_time,
+        );
+        session.cache_entry = cache_entry;
+        Ok(session)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        prepared: &'e PreparedGraph,
+        config: SearchConfig,
+        keywords: Vec<KeywordMatch>,
+        exploration: Option<(AugmentedSummaryGraph<'e>, ExplorationState)>,
+        augmented_elements: usize,
+        keyword_mapping_time: Duration,
+        exploration_time: Duration,
+    ) -> Self {
+        Self {
+            prepared,
+            config,
+            keywords,
+            exploration,
+            augmented_elements,
             queries: Vec::new(),
             seen: BTreeSet::new(),
             drained: false,
+            cache_entry: None,
+            replay: None,
+            raised: false,
             prior_stats: crate::exploration::ExplorationStats::default(),
             keyword_mapping_time,
             exploration_time,
-        })
+        }
     }
 
-    /// The engine this session searches.
-    pub fn engine(&self) -> &'e KeywordSearchEngine {
-        self.engine
+    /// Reconstructs the augmented graph and the seeded cursor state from the
+    /// cache entry's snapshot — the deferred half of a replay-served cache
+    /// hit, needed only when the session has to explore for real (log
+    /// exhausted prematurely is impossible — logs are complete — so this
+    /// fires only on [`Self::raise_k`]).
+    fn materialize(&mut self) {
+        if self.exploration.is_some() {
+            return;
+        }
+        let prepared: &'e PreparedGraph = self.prepared;
+        let entry = self
+            .cache_entry
+            .as_ref()
+            .expect("only cache-hit sessions defer materialization");
+        let snapshot = entry
+            .snapshot
+            .as_ref()
+            .expect("negative entries never produce a session")
+            .clone();
+        let augmented = AugmentedSummaryGraph::from_snapshot(prepared.graph(), snapshot);
+        let state = ExplorationState::new(&augmented, &self.config);
+        self.exploration = Some((augmented, state));
+    }
+
+    /// The prepared graph this session searches.
+    pub fn prepared(&self) -> &'e PreparedGraph {
+        self.prepared
     }
 
     /// The configuration the session runs with (its `k` bounds the stream).
@@ -155,10 +311,14 @@ impl<'e> SearchSession<'e> {
     /// stay consistent with the accumulated exploration time. After
     /// [`Self::next_query`] returned the rank-1 result, `stats().queue_pops`
     /// is typically a small fraction of what a drained session reports —
-    /// that gap is what streaming buys.
+    /// that gap is what streaming buys. A session served from the cache's
+    /// replay log reports only the (near-zero) work it actually did;
+    /// counters describe effort, never results.
     pub fn stats(&self) -> crate::exploration::ExplorationStats {
         let mut stats = self.prior_stats;
-        stats.absorb(self.state.stats());
+        if let Some((_, state)) = &self.exploration {
+            stats.absorb(state.stats());
+        }
         stats
     }
 
@@ -173,17 +333,38 @@ impl<'e> SearchSession<'e> {
         let start = Instant::now();
         let result = loop {
             if self.queries.len() >= self.config.k {
-                self.drained = true;
+                self.drain_complete();
                 break None;
             }
-            let Some(subgraph) = self.state.next_certified(&self.augmented, &self.config) else {
-                self.drained = true;
+            // Replay: an earlier drained session under the same cache key
+            // recorded its complete emission log; the exploration is
+            // deterministic, so emitting from the log is bit-identical to
+            // re-exploring (the canonical set still grows so a later
+            // `raise_k` can fast-forward past the replayed prefix).
+            if let Some((log, position)) = &mut self.replay {
+                if let Some(ranked) = log.get(*position) {
+                    let ranked = ranked.clone();
+                    *position += 1;
+                    self.seen.insert(ranked.query.canonicalized().to_string());
+                    debug_assert_eq!(ranked.rank, self.queries.len() + 1);
+                    self.queries.push(ranked);
+                    break Some(self.queries.len() - 1);
+                }
+                self.drained = true; // the log is complete — nothing follows
+                break None;
+            }
+            self.materialize();
+            let Some((augmented, state)) = self.exploration.as_mut() else {
+                unreachable!("materialize() always fills the exploration")
+            };
+            let Some(subgraph) = state.next_certified(augmented, &self.config) else {
+                self.drain_complete();
                 break None;
             };
             // Query mapping + deduplication: different subgraphs can
             // normalise to the same conjunctive query; only the first
             // (cheapest) occurrence is emitted.
-            let query = map_subgraph_to_query(&self.augmented, &subgraph);
+            let query = map_subgraph_to_query(augmented, &subgraph);
             let canonical = query.canonicalized().to_string();
             if !self.seen.insert(canonical) {
                 continue;
@@ -198,6 +379,27 @@ impl<'e> SearchSession<'e> {
         };
         self.exploration_time += start.elapsed();
         result
+    }
+
+    /// Marks the stream drained and, when this session explored under an
+    /// unraised cache key, writes its complete emission log back to the
+    /// cache entry so later same-key sessions replay instead of exploring.
+    fn drain_complete(&mut self) {
+        self.drained = true;
+        if self.raised || self.replay.is_some() {
+            return;
+        }
+        // A run truncated by the `max_cursors` safety valve yields
+        // best-effort results whose lack of certification is only visible
+        // through `stats().hit_cursor_limit` — and a replayed session
+        // reports its own (clean) stats. Never cache such a log: repeats
+        // must re-explore so the flag reaches the caller every time.
+        if self.stats().hit_cursor_limit {
+            return;
+        }
+        if let Some(entry) = &self.cache_entry {
+            entry.store_results(&self.queries);
+        }
     }
 
     /// Pops the next ranked query, advancing the exploration only until the
@@ -241,8 +443,21 @@ impl<'e> SearchSession<'e> {
         }
         self.config.k = new_k;
         let start = Instant::now();
-        self.prior_stats.absorb(self.state.stats());
-        self.state = ExplorationState::new(&self.augmented, &self.config);
+        // The session's configuration now differs from the one its cache key
+        // was computed for: stop replaying (the log covers the old `k` only)
+        // and never write this session's log back under the stale key. The
+        // re-exploration below fast-forwards past everything already emitted
+        // — replayed or explored — via the canonical dedup set.
+        self.raised = true;
+        self.replay = None;
+        if let Some((augmented, state)) = self.exploration.as_mut() {
+            self.prior_stats.absorb(state.stats());
+            *state = ExplorationState::new(augmented, &self.config);
+        } else {
+            // A replay-served session that never explored: reconstruct the
+            // graph and seed the walk under the raised configuration.
+            self.materialize();
+        }
         self.drained = false;
         self.exploration_time += start.elapsed();
     }
@@ -251,7 +466,7 @@ impl<'e> SearchSession<'e> {
     /// queries with [`Self::next_query`] and evaluates each one the moment
     /// it is certified, stopping as soon as at least `min_answers` answers
     /// exist (each evaluation is limited to the still-missing count, like
-    /// [`KeywordSearchEngine::answer_queries`]). The paper's Fig. 5
+    /// [`KeywordSearchEngine::answer_queries`](crate::KeywordSearchEngine::answer_queries)). The paper's Fig. 5
     /// interaction, without ever computing queries the answer phase does
     /// not reach.
     ///
@@ -260,7 +475,7 @@ impl<'e> SearchSession<'e> {
     /// surface in [`Self::into_outcome`]'s `exploration_time`), and the
     /// reported `answer_time` covers only the evaluation side — the two
     /// halves of the Fig. 5 total stay disjoint and summable, exactly like
-    /// the batch `search` + [`KeywordSearchEngine::answer_queries`] split.
+    /// the batch `search` + [`KeywordSearchEngine::answer_queries`](crate::KeywordSearchEngine::answer_queries) split.
     /// A `min_answers` of zero returns an empty phase without touching the
     /// stream (the batch loop, by contrast, always probes its first query).
     pub fn answers_until(&mut self, min_answers: usize) -> AnswerPhase {
@@ -274,8 +489,9 @@ impl<'e> SearchSession<'e> {
                 break;
             };
             queries_processed += 1;
-            let engine = self.engine;
-            if let Ok(set) = engine.answers(&self.queries[index].query, Some(min_answers - total)) {
+            let prepared = self.prepared;
+            if let Ok(set) = prepared.answers(&self.queries[index].query, Some(min_answers - total))
+            {
                 total += set.len();
                 answers.push(set);
             }
@@ -303,12 +519,22 @@ impl<'e> SearchSession<'e> {
     /// two driving modes.
     pub fn into_outcome(mut self) -> SearchOutcome {
         while self.advance().is_some() {}
+        self.into_partial_outcome()
+    }
+
+    /// Returns the batch [`SearchOutcome`] over the queries emitted *so
+    /// far*, without draining the rest of the stream — the terminal form of
+    /// an anytime consumer (e.g. a serving worker that ran
+    /// [`Self::answers_until`] and has no use for queries the answer phase
+    /// never reached). [`Self::into_outcome`] is `advance`-to-exhaustion
+    /// followed by this.
+    pub fn into_partial_outcome(self) -> SearchOutcome {
         let exploration = self.stats();
         SearchOutcome {
             queries: self.queries,
             keywords: self.keywords,
             exploration,
-            augmented_elements: self.augmented.element_count(),
+            augmented_elements: self.augmented_elements,
             keyword_mapping_time: self.keyword_mapping_time,
             exploration_time: self.exploration_time,
         }
@@ -329,6 +555,7 @@ impl std::fmt::Debug for SearchSession<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::KeywordSearchEngine;
     use kwsearch_rdf::fixtures::figure1_graph;
 
     fn engine() -> KeywordSearchEngine {
@@ -415,6 +642,94 @@ mod tests {
         assert_eq!(session.config().k, 3);
         let second = session.next_query().unwrap();
         assert!(first.cost <= second.cost + 1e-12);
+    }
+
+    #[test]
+    fn replayed_sessions_match_and_raise_k_falls_back_to_exploration() {
+        let keywords = ["cimiano", "publication"];
+        // Honest reference: a cache-disabled engine, drained at k=3 and then
+        // raised to 10.
+        let mut honest_engine = KeywordSearchEngine::builder(figure1_graph())
+            .cache_capacity(0)
+            .build();
+        honest_engine.set_config(SearchConfig::with_k(3));
+        let mut honest = honest_engine.session(&keywords).unwrap();
+        let mut want = Vec::new();
+        while let Some(q) = honest.next_query() {
+            want.push(q);
+        }
+        honest.raise_k(10);
+        while let Some(q) = honest.next_query() {
+            want.push(q);
+        }
+
+        let engine = engine();
+        // First drain populates the augmentation entry and its replay log.
+        let first = engine
+            .session_with(&keywords, SearchConfig::with_k(3))
+            .unwrap()
+            .into_outcome();
+        assert!(first.exploration.queue_pops > 0);
+
+        // Second session replays the log (no exploration work) and then
+        // falls back to honest exploration when raised.
+        let mut replayed = engine
+            .session_with(&keywords, SearchConfig::with_k(3))
+            .unwrap();
+        let mut got = Vec::new();
+        while let Some(q) = replayed.next_query() {
+            got.push(q);
+        }
+        assert_eq!(
+            replayed.stats().queue_pops,
+            0,
+            "a replayed drain pops nothing off the cursor queue"
+        );
+        replayed.raise_k(10);
+        while let Some(q) = replayed.next_query() {
+            got.push(q);
+        }
+
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!(g.rank, w.rank);
+            assert_eq!(g.cost.to_bits(), w.cost.to_bits());
+            assert_eq!(g.query.canonicalized(), w.query.canonicalized());
+        }
+    }
+
+    #[test]
+    fn truncated_runs_are_not_replayed_so_the_limit_flag_survives_repeats() {
+        // A max_cursors small enough to trip the safety valve but large
+        // enough to certify at least one result on the running example.
+        let config = SearchConfig {
+            max_cursors: 40,
+            ..SearchConfig::default()
+        };
+        let engine = engine();
+        let first = engine
+            .session_with(&["2006", "cimiano", "aifb"], config.clone())
+            .unwrap()
+            .into_outcome();
+        assert!(
+            first.exploration.hit_cursor_limit,
+            "the config must trip the safety valve for this test to bite"
+        );
+        // The repeat must re-explore (no replay log was written), so the
+        // caller sees the uncertified-results flag again.
+        let second = engine
+            .session_with(&["2006", "cimiano", "aifb"], config)
+            .unwrap()
+            .into_outcome();
+        assert!(
+            second.exploration.hit_cursor_limit,
+            "a replayed truncated run would report clean stats and claim \
+             certification the results do not have"
+        );
+        assert_eq!(first.queries.len(), second.queries.len());
+        for (a, b) in first.queries.iter().zip(second.queries.iter()) {
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        }
     }
 
     #[test]

@@ -366,3 +366,124 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 }
+
+/// The bit-identity key of one search outcome: per rank the cost bits, the
+/// canonical query string and the sorted element labels — the equality the
+/// augmentation-cache coherence properties demand.
+fn outcome_key(outcome: &kwsearch_core::SearchOutcome) -> Vec<(u64, String, Vec<String>)> {
+    outcome
+        .queries
+        .iter()
+        .map(|q| {
+            (
+                q.cost.to_bits(),
+                q.query.canonicalized().to_string(),
+                element_key(q),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cache coherence: for random graphs, keyword sets and all three
+    /// scoring functions, a cache-hit search equals a cache-miss search
+    /// bit for bit — both compared against an engine whose cache is
+    /// disabled, so neither direction of the memoization can drift.
+    #[test]
+    fn cache_hits_equal_cache_misses_exactly(spec in random_graph()) {
+        prop_assume!(spec.value_labels.len() >= 2);
+        let graph = build(&spec);
+        let keywords: Vec<String> = spec.value_labels.iter().take(2).cloned().collect();
+
+        let cached = KeywordSearchEngine::builder(graph.clone()).cache_capacity(8).build();
+        let uncached = KeywordSearchEngine::builder(graph).cache_capacity(0).build();
+
+        for scoring in ScoringFunction::all() {
+            let config = SearchConfig::with_k(5).scoring(scoring);
+            let reference = uncached.search_with(&keywords, &config).unwrap();
+            let miss = cached.search_with(&keywords, &config).unwrap();
+            let hit = cached.search_with(&keywords, &config).unwrap();
+            prop_assert_eq!(
+                outcome_key(&miss),
+                outcome_key(&reference),
+                "scoring {}: cache-miss run differs from the uncached engine",
+                scoring
+            );
+            prop_assert_eq!(
+                outcome_key(&hit),
+                outcome_key(&reference),
+                "scoring {}: cache-hit run differs from the uncached engine",
+                scoring
+            );
+        }
+        let stats = cached.cache_stats();
+        prop_assert_eq!(stats.hits, 3, "one hit per scoring function: {:?}", stats);
+    }
+
+    /// Evicting mid-sequence never changes results: a capacity-1 cache is
+    /// thrashed by alternating keyword sets (every search after the first
+    /// either hits or re-computes a just-evicted entry), and every outcome
+    /// stays bit-identical to the uncached engine's.
+    #[test]
+    fn eviction_mid_sequence_never_changes_results(spec in random_graph()) {
+        prop_assume!(spec.value_labels.len() >= 2);
+        let graph = build(&spec);
+        let a = vec![spec.value_labels[0].clone()];
+        let b = vec![spec.value_labels[1].clone()];
+        let config = SearchConfig::with_k(4);
+
+        let thrashed = KeywordSearchEngine::builder(graph.clone()).cache_capacity(1).build();
+        let uncached = KeywordSearchEngine::builder(graph).cache_capacity(0).build();
+
+        for round in 0..3 {
+            for keywords in [&a, &b] {
+                let got = thrashed.search_with(keywords, &config).unwrap();
+                let want = uncached.search_with(keywords, &config).unwrap();
+                prop_assert_eq!(
+                    outcome_key(&got),
+                    outcome_key(&want),
+                    "round {}, keywords {:?}: thrashed cache drifted",
+                    round,
+                    keywords
+                );
+            }
+        }
+        let stats = thrashed.cache_stats();
+        prop_assert!(stats.len <= 1, "capacity bound violated: {:?}", stats);
+        prop_assert!(stats.evictions >= 4, "alternation must evict: {:?}", stats);
+    }
+
+    /// The LRU capacity bound holds under adversarial key sequences: every
+    /// distinct (keyword set, config) pair inserts its own entry, yet the
+    /// resident count never exceeds the configured capacity.
+    #[test]
+    fn lru_capacity_bound_holds_under_adversarial_keys(spec in random_graph()) {
+        prop_assume!(spec.value_labels.len() >= 2);
+        let graph = build(&spec);
+        let capacity = 3usize;
+        let engine = KeywordSearchEngine::builder(graph).cache_capacity(capacity).build();
+
+        // Adversarial mix: distinct keyword sets × distinct ks (distinct
+        // config keys), with re-touches of early keys interleaved so
+        // recency ordering actually matters.
+        for k in [1usize, 2, 3] {
+            let config = SearchConfig::with_k(k);
+            for width in 1..=spec.value_labels.len().min(3) {
+                let keywords: Vec<String> =
+                    spec.value_labels.iter().take(width).cloned().collect();
+                let _ = engine.search_with(&keywords, &config);
+                let _ = engine.search_with(&keywords[..1], &config);
+                let stats = engine.cache_stats();
+                prop_assert!(
+                    stats.len <= capacity,
+                    "capacity bound violated: {:?}",
+                    stats
+                );
+            }
+        }
+        let stats = engine.cache_stats();
+        prop_assert!(stats.insertions > capacity as u64, "the sequence overflows: {:?}", stats);
+    }
+}

@@ -271,14 +271,23 @@ impl KeywordIndex {
         (classes, has_untyped)
     }
 
-    /// Looks up one keyword, returning matches sorted by descending score.
-    pub fn lookup(&self, keyword: &str) -> Vec<KeywordMatch> {
-        let raw_tokens: Vec<String> = self
-            .analyzer
+    /// The normalized query terms of a keyword: tokenized and stop-word
+    /// filtered — exactly the per-term input [`Self::lookup`] matches on
+    /// (stemming, fuzzy and thesaurus expansion are all derived from these
+    /// terms). Two keywords with equal normalized terms therefore produce
+    /// identical matches, which makes the terms a sound cache key for
+    /// everything downstream of the keyword-to-element mapping.
+    pub fn normalized_query_terms(&self, keyword: &str) -> Vec<String> {
+        self.analyzer
             .tokenize(keyword)
             .into_iter()
             .filter(|t| !crate::stopwords::is_stop_word(t))
-            .collect();
+            .collect()
+    }
+
+    /// Looks up one keyword, returning matches sorted by descending score.
+    pub fn lookup(&self, keyword: &str) -> Vec<KeywordMatch> {
+        let raw_tokens = self.normalized_query_terms(keyword);
         if raw_tokens.is_empty() {
             return Vec::new();
         }
@@ -588,6 +597,19 @@ mod tests {
                 assert!(m.score > 0.0 && m.score <= 1.0 + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn normalized_query_terms_predict_lookup_equality() {
+        let (idx, _) = index();
+        // Same normalized terms (case, stop words) => identical matches.
+        for (a, b) in [("Cimiano", "cimiano"), ("the publication", "publication")] {
+            assert_eq!(idx.normalized_query_terms(a), idx.normalized_query_terms(b));
+            assert_eq!(idx.lookup(a), idx.lookup(b));
+        }
+        // Stop-word-only input normalizes to nothing, like lookup.
+        assert!(idx.normalized_query_terms("the of and").is_empty());
+        assert!(idx.normalized_query_terms("").is_empty());
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod cost;
 pub mod element;
 pub mod summary;
 
-pub use augment::{AugmentedSummaryGraph, KeywordElement};
+pub use augment::{AugmentationSnapshot, AugmentedSummaryGraph, KeywordElement};
 pub use cost::CostModel;
 pub use element::{
     SummaryEdge, SummaryEdgeId, SummaryEdgeKind, SummaryElement, SummaryNode, SummaryNodeId,

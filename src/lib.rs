@@ -30,6 +30,23 @@
 //! assert_eq!(outcome.best().unwrap().rank, 1);
 //! ```
 //!
+//! For serving many clients, the engine's immutable read path
+//! ([`PreparedGraph`](core::PreparedGraph)) is `Send + Sync` and
+//! `Arc`-shareable, and [`core::serve`] runs a worker pool against one
+//! shared preparation — repeated queries are answered from the shared
+//! augmentation cache, bit-identically to fresh runs (see the README's
+//! "Concurrent serving" section):
+//!
+//! ```
+//! use searchwebdb::prelude::*;
+//!
+//! let graph = searchwebdb::rdf::fixtures::figure1_graph();
+//! let engine = KeywordSearchEngine::builder(graph).build();
+//! let service = SearchService::start(engine.prepared().clone(), engine.config().clone(), 2);
+//! let ticket = service.submit(SearchRequest::new(["cimiano", "aifb"]));
+//! assert!(!ticket.wait().result.unwrap().queries.is_empty());
+//! ```
+//!
 //! The sub-crates can also be used individually:
 //!
 //! * [`rdf`] — the typed RDF data graph, triple store and N-Triples I/O,
@@ -54,8 +71,10 @@ pub use kwsearch_summary as summary;
 /// The most commonly used types, re-exported for glob import.
 pub mod prelude {
     pub use kwsearch_core::{
-        AnswerPhase, EngineBuilder, KeywordMatch, KeywordSearchEngine, RankedQuery,
-        ScoringFunction, SearchConfig, SearchError, SearchOutcome, SearchSession,
+        AnswerPhase, AugmentationCache, CacheStats, EngineBuilder, KeywordMatch,
+        KeywordSearchEngine, PreparedGraph, RankedQuery, ScoringFunction, SearchConfig,
+        SearchError, SearchOutcome, SearchRequest, SearchResponse, SearchService, SearchSession,
+        SearchTicket,
     };
     pub use kwsearch_keyword_index::KeywordIndex;
     pub use kwsearch_query::{AnswerSet, ConjunctiveQuery, QueryBuilder};

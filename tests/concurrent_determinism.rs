@@ -1,0 +1,181 @@
+//! Cross-thread determinism suite.
+//!
+//! One `Arc<PreparedGraph>` (with its shared augmentation cache) is hammered
+//! by several threads running repeated, interleaved session scenarios —
+//! plain drains, `raise_k` resumptions and `answers_until` interleavings —
+//! and every result must be **bit-identical** (cost bits, element sets,
+//! canonical query strings, answer rows) to a single-threaded run on a
+//! fresh, *cache-disabled* preparation. This is the proof obligation of the
+//! concurrent serving architecture: sharing the read path and memoizing
+//! augmentations may change timings, never results.
+//!
+//! CI runs this suite twice — with `--test-threads=1` and with the default
+//! parallelism — so the scenarios are exercised both as the only load on the
+//! process and racing against each other.
+
+use std::sync::Arc;
+use std::thread;
+
+use searchwebdb::core::{PreparedGraph, SearchConfig, SearchSession};
+use searchwebdb::datagen::workload::dblp_performance_queries;
+use searchwebdb::datagen::DblpDataset;
+use searchwebdb::rdf::fixtures::figure1_graph;
+use searchwebdb::rdf::DataGraph;
+
+/// Worker threads sharing one preparation.
+const THREADS: usize = 4;
+/// Scenario repetitions per thread.
+const REPEATS: usize = 3;
+
+/// The bit-identity fingerprint of one emitted query.
+type QueryKey = (u64, String, Vec<String>);
+
+/// The full fingerprint of one scenario run: emitted queries in order, plus
+/// the answer rows of an `answers_until` phase when the scenario ran one.
+type ScenarioKey = (Vec<QueryKey>, Vec<String>);
+
+fn query_key(ranked: &searchwebdb::core::RankedQuery) -> QueryKey {
+    let mut elements: Vec<String> = ranked
+        .subgraph
+        .elements()
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    elements.sort_unstable();
+    (
+        ranked.cost.to_bits(),
+        ranked.query.canonicalized().to_string(),
+        elements,
+    )
+}
+
+/// The three interleaved session shapes the suite exercises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Scenario {
+    /// Drain a session at the default k.
+    Drain,
+    /// Drain at k = 2, then `raise_k` to the default k and drain the rest.
+    RaiseK,
+    /// Run `answers_until(3)`, then drain the remainder.
+    AnswersUntil,
+}
+
+const SCENARIOS: [Scenario; 3] = [Scenario::Drain, Scenario::RaiseK, Scenario::AnswersUntil];
+
+fn run_scenario(prepared: &PreparedGraph, scenario: Scenario, keywords: &[String]) -> ScenarioKey {
+    let full = SearchConfig::default();
+    let collect = |session: &mut SearchSession<'_>| {
+        let mut queries = Vec::new();
+        while let Some(ranked) = session.next_query() {
+            queries.push(query_key(&ranked));
+        }
+        queries
+    };
+    match scenario {
+        Scenario::Drain => {
+            let mut session = prepared.session(keywords, full).unwrap();
+            (collect(&mut session), Vec::new())
+        }
+        Scenario::RaiseK => {
+            let mut session = prepared.session(keywords, SearchConfig::with_k(2)).unwrap();
+            let mut queries = collect(&mut session);
+            session.raise_k(full.k);
+            queries.extend(collect(&mut session));
+            (queries, Vec::new())
+        }
+        Scenario::AnswersUntil => {
+            let mut session = prepared.session(keywords, full).unwrap();
+            let phase = session.answers_until(3);
+            let mut answers: Vec<String> = phase
+                .answers
+                .iter()
+                .flat_map(|set| set.rows().iter().map(|row| format!("{row:?}")))
+                .collect();
+            answers.sort_unstable();
+            // The queries the answer phase consumed, then the drained rest.
+            let mut queries: Vec<QueryKey> = session.queries().iter().map(query_key).collect();
+            queries.extend(collect(&mut session));
+            (queries, answers)
+        }
+    }
+}
+
+/// Single-threaded reference: every (scenario, keyword set) run on a fresh,
+/// cache-disabled preparation — no sharing, no memoization, no concurrency.
+fn reference_runs(graph: &DataGraph, workload: &[Vec<String>]) -> Vec<ScenarioKey> {
+    // A disabled cache means the preparation holds no per-query state at
+    // all, so one pristine instance serves every reference run.
+    let pristine = PreparedGraph::index_with(graph.clone(), Default::default(), 0);
+    let mut runs = Vec::new();
+    for keywords in workload {
+        for scenario in SCENARIOS {
+            runs.push(run_scenario(&pristine, scenario, keywords));
+        }
+    }
+    runs
+}
+
+/// The suite body: N threads × M repeats of all scenarios against one
+/// shared, cache-enabled preparation, all compared bit-for-bit against the
+/// single-threaded cache-disabled reference.
+fn assert_concurrent_runs_match_reference(graph: DataGraph, workload: Vec<Vec<String>>) {
+    let reference = reference_runs(&graph, &workload);
+    let shared = Arc::new(PreparedGraph::index(graph));
+
+    thread::scope(|scope| {
+        for thread_id in 0..THREADS {
+            let shared = Arc::clone(&shared);
+            let workload = &workload;
+            let reference = &reference;
+            scope.spawn(move || {
+                for repeat in 0..REPEATS {
+                    // Stagger the starting offset per (thread, repeat) so
+                    // cache hits, misses and racing inserts interleave
+                    // differently on every pass.
+                    let offset = (thread_id + repeat) % workload.len();
+                    for step in 0..workload.len() {
+                        let kw_index = (offset + step) % workload.len();
+                        let keywords = &workload[kw_index];
+                        for (s, scenario) in SCENARIOS.into_iter().enumerate() {
+                            let got = run_scenario(&shared, scenario, keywords);
+                            let want = &reference[kw_index * SCENARIOS.len() + s];
+                            assert_eq!(
+                                &got, want,
+                                "thread {thread_id}, repeat {repeat}: {scenario:?} over \
+                                 {keywords:?} diverged from the single-threaded reference"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = shared.augmentation_cache().stats();
+    assert!(
+        stats.hits > 0,
+        "the repeated workload must exercise cache hits: {stats:?}"
+    );
+}
+
+#[test]
+fn figure1_scenarios_are_bit_identical_across_threads() {
+    let workload = vec![
+        vec!["2006".into(), "cimiano".into(), "aifb".into()],
+        vec!["cimiano".into(), "publication".into()],
+        vec!["publications".into()],
+    ];
+    assert_concurrent_runs_match_reference(figure1_graph(), workload);
+}
+
+#[test]
+fn dblp_scenarios_are_bit_identical_across_threads() {
+    let dataset = DblpDataset::small();
+    let workload: Vec<Vec<String>> = dblp_performance_queries(&dataset)
+        .into_iter()
+        .take(3)
+        .map(|q| q.keywords)
+        .collect();
+    assert!(!workload.is_empty());
+    assert_concurrent_runs_match_reference(dataset.graph.clone(), workload);
+}
