@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks of conjunctive-query evaluation (the query
 //! processing stage) and of the baseline searches.
 
+// lint: allow-file(no-unwrap, reason = "benchmark harness: a panic aborts the run with a clear message, which is the desired failure mode")
+
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use kwsearch_baselines::{bidirectional_search, match_keywords};

@@ -32,6 +32,8 @@
 //!
 //! See the README "Performance" section for the JSON schema (v4).
 
+// lint: allow-file(no-unwrap, reason = "benchmark harness: a panic aborts the run with a clear message, which is the desired failure mode")
+
 use std::time::Instant;
 
 use kwsearch_bench::{
@@ -240,7 +242,7 @@ fn run_concurrency(
             .collect();
         let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
         service.shutdown();
-        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        latencies_ms.sort_by(f64::total_cmp);
         levels.push(ConcurrencyLevel {
             workers,
             jobs: jobs.len(),
@@ -703,6 +705,14 @@ fn available_parallelism() -> usize {
 }
 
 fn main() {
+    // Perf numbers are only meaningful with the debug-invariant sanitizer
+    // compiled out (release) or explicitly disabled; refuse to record
+    // datapoints that silently include the sanitizer's overhead.
+    assert!(
+        !kwsearch_core::invariants::enabled(),
+        "the debug-invariant sanitizer is active; build with --release \
+         (or set KWSEARCH_DEBUG_INVARIANTS=0) before trusting perf numbers"
+    );
     let profile = ScaleProfile::from_env();
     let config = SearchConfig::default();
     let worker_levels = worker_levels_from_env();

@@ -44,12 +44,14 @@
 //! the old ones.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use kwsearch_summary::AugmentationSnapshot;
 
 use crate::config::SearchConfig;
+use crate::invariants;
 use crate::result::RankedQuery;
+use crate::sync::lock_unpoisoned;
 
 /// The key of one cached augmentation: the search configuration (embedded
 /// verbatim — see [`SearchConfig`]'s `Eq + Hash` note) plus the normalized
@@ -129,21 +131,39 @@ impl CachedAugmentation {
 
     /// The replay log, if a session under this key already drained.
     pub(crate) fn results(&self) -> Option<Arc<Vec<RankedQuery>>> {
-        self.results
-            .lock()
-            .expect("augmentation result log poisoned")
-            .clone()
+        lock_unpoisoned(&self.results).clone()
     }
 
     /// Stores the complete emission log of a drained session (first writer
     /// wins; identical by determinism).
     pub(crate) fn store_results(&self, queries: &[RankedQuery]) {
-        let mut slot = self
-            .results
-            .lock()
-            .expect("augmentation result log poisoned");
-        if slot.is_none() {
-            *slot = Some(Arc::new(queries.to_vec()));
+        let mut slot = lock_unpoisoned(&self.results);
+        match slot.as_ref() {
+            None => *slot = Some(Arc::new(queries.to_vec())),
+            Some(existing) => {
+                // debug-invariants: racing drained sessions must have
+                // computed bit-identical logs (the determinism contract the
+                // first-writer-wins policy relies on).
+                if invariants::enabled() {
+                    assert_eq!(
+                        existing.len(),
+                        queries.len(),
+                        "replay-log write-back disagrees in length with the resident log"
+                    );
+                    for (resident, late) in existing.iter().zip(queries) {
+                        assert_eq!(
+                            resident.cost.to_bits(),
+                            late.cost.to_bits(),
+                            "replay-log write-back disagrees in cost with the resident log"
+                        );
+                        assert_eq!(
+                            resident.query.canonicalized(),
+                            late.query.canonicalized(),
+                            "replay-log write-back disagrees in query with the resident log"
+                        );
+                    }
+                }
+            }
         }
     }
 }
@@ -225,18 +245,19 @@ struct InFlight {
 }
 
 impl InFlight {
+    // lint: wait-loop
     fn wait(&self) -> Option<Arc<CachedAugmentation>> {
-        let mut slot = self.slot.lock().expect("in-flight slot poisoned");
+        let mut slot = lock_unpoisoned(&self.slot);
         loop {
             if let Some(result) = slot.as_ref() {
                 return result.clone();
             }
-            slot = self.done.wait(slot).expect("in-flight slot poisoned");
+            slot = self.done.wait(slot).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn finish(&self, result: Option<Arc<CachedAugmentation>>) {
-        let mut slot = self.slot.lock().expect("in-flight slot poisoned");
+        let mut slot = lock_unpoisoned(&self.slot);
         *slot = Some(result);
         drop(slot);
         self.done.notify_all();
@@ -268,6 +289,7 @@ impl ComputeTicket<'_> {
     /// past the capacity bound), wakes every waiter joined on the key, and
     /// returns the resident entry for the replay-log write-back.
     pub(crate) fn complete(mut self, payload: CachedAugmentation) -> Arc<CachedAugmentation> {
+        // lint: allow(no-unwrap, reason = "completion consumes the ticket by value, so the key is always present; the Option exists only for the Drop impl")
         let key = self.key.take().expect("ticket completed twice");
         let payload = self.cache.insert_resolved(&key, payload);
         self.flight.finish(Some(Arc::clone(&payload)));
@@ -280,11 +302,7 @@ impl Drop for ComputeTicket<'_> {
         // Abandoned (error or panic on the computing path): deregister the
         // key and release the waiters empty-handed so they can retry.
         if let Some(key) = self.key.take() {
-            let mut inner = self
-                .cache
-                .inner
-                .lock()
-                .expect("augmentation cache poisoned");
+            let mut inner = lock_unpoisoned(&self.cache.inner);
             inner.in_flight.remove(&key);
             drop(inner);
             self.flight.finish(None);
@@ -335,7 +353,7 @@ impl AugmentationCache {
     /// Current counters (len/capacity plus cumulative hit/miss/eviction
     /// counts).
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("augmentation cache poisoned");
+        let inner = lock_unpoisoned(&self.inner);
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -349,7 +367,7 @@ impl AugmentationCache {
 
     /// Drops every entry (the counters keep accumulating).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("augmentation cache poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.map.clear();
         inner.heap_bytes = 0;
     }
@@ -368,7 +386,7 @@ impl AugmentationCache {
         assert!(self.capacity > 0, "probe on a disabled cache");
         loop {
             let flight = {
-                let mut inner = self.inner.lock().expect("augmentation cache poisoned");
+                let mut inner = lock_unpoisoned(&self.inner);
                 inner.tick += 1;
                 let tick = inner.tick;
                 if let Some(entry) = inner.map.get_mut(&key) {
@@ -394,7 +412,7 @@ impl AugmentationCache {
             // Join the owner outside the cache lock.
             match flight.wait() {
                 Some(payload) => {
-                    let mut inner = self.inner.lock().expect("augmentation cache poisoned");
+                    let mut inner = lock_unpoisoned(&self.inner);
                     inner.hits += 1;
                     return CacheProbe::Hit(payload);
                 }
@@ -414,7 +432,7 @@ impl AugmentationCache {
         key: &AugmentationKey,
         payload: CachedAugmentation,
     ) -> Arc<CachedAugmentation> {
-        let mut inner = self.inner.lock().expect("augmentation cache poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         inner.in_flight.remove(key);
@@ -423,6 +441,7 @@ impl AugmentationCache {
             // eviction is off the hit path.
             let Some(oldest) = inner
                 .map
+                // lint: unordered-ok(reason = "min_by_key over last_used ticks, which the monotonic clock keeps unique — the selected entry is independent of hash order")
                 .iter()
                 .min_by_key(|(_, entry)| entry.last_used)
                 .map(|(key, _)| key.clone())
@@ -442,6 +461,27 @@ impl AugmentationCache {
             },
         );
         inner.insertions += 1;
+        // debug-invariants: the eviction loop above must have restored the
+        // capacity bound, and the incremental heap-byte estimate must agree
+        // with a full recount.
+        if invariants::enabled() {
+            assert!(
+                inner.map.len() <= self.capacity,
+                "LRU bound violated: {} resident entries exceed capacity {}",
+                inner.map.len(),
+                self.capacity
+            );
+            let recount: usize = inner
+                .map
+                // lint: unordered-ok(reason = "summing heap bytes — addition over usize is commutative, the total is independent of hash order")
+                .values()
+                .map(|entry| entry.payload.heap_bytes())
+                .sum();
+            assert_eq!(
+                recount, inner.heap_bytes,
+                "incremental heap-byte estimate drifted from the recount"
+            );
+        }
         payload
     }
 }

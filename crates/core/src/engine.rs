@@ -199,7 +199,7 @@ impl EngineBuilder {
 /// cache — and [`KeywordSearchEngine::prepared`] hands the `Arc` itself to
 /// code that wants to serve the same preparation from many threads (see
 /// [`crate::serve`] and [`PreparedGraph`] for the sharing pattern).
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct KeywordSearchEngine {
     prepared: Arc<PreparedGraph>,
     config: SearchConfig,

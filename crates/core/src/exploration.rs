@@ -95,6 +95,7 @@ pub struct ExplorationOutcome {
 
 /// The cursor-based explorer over an augmented summary graph: the batch
 /// facade over [`ExplorationState`] (one call, run to completion).
+#[derive(Debug)]
 pub struct Explorer<'a, 'g> {
     graph: &'a AugmentedSummaryGraph<'g>,
     config: SearchConfig,
@@ -163,6 +164,10 @@ pub struct ExplorationState {
     /// Whether the main loop has terminated (threshold, exhaustion, or the
     /// cursor safety valve).
     finished: bool,
+    /// debug-invariants: cost of the last popped queue entry, for the pop
+    /// monotonicity check (absent from release builds).
+    #[cfg(debug_assertions)]
+    last_pop_cost: f64,
 }
 
 impl ExplorationState {
@@ -189,6 +194,8 @@ impl ExplorationState {
                 stats: ExplorationStats::default(),
                 certified: 0,
                 finished: true,
+                #[cfg(debug_assertions)]
+                last_pop_cost: f64::NEG_INFINITY,
             };
         }
 
@@ -228,6 +235,8 @@ impl ExplorationState {
             stats,
             certified: 0,
             finished: false,
+            #[cfg(debug_assertions)]
+            last_pop_cost: f64::NEG_INFINITY,
         }
     }
 
@@ -247,9 +256,17 @@ impl ExplorationState {
         self.certified
     }
 
+    /// debug-invariants: cost of the cheapest still-pending cursor, the
+    /// upper bound every certified emission must respect.
+    #[cfg(debug_assertions)]
+    pub(crate) fn cheapest_pending_cost(&self) -> Option<f64> {
+        self.queue.peek().map(|top| top.cost)
+    }
+
     /// One iteration of the main loop (Algorithm 1, line 7): pop the
     /// globally cheapest cursor, record its path, generate candidates,
     /// expand to neighbours, and run the top-k threshold test.
+    // lint: hot-path
     fn step(&mut self, graph: &AugmentedSummaryGraph<'_>, config: &SearchConfig) {
         debug_assert!(!self.finished, "step on a finished exploration");
         if self.arena.len() >= config.max_cursors {
@@ -267,6 +284,19 @@ impl ExplorationState {
         self.stats.queue_pops += 1;
         self.stats.cursors_expanded += 1;
 
+        // debug-invariants: pops must come out in non-decreasing cost order —
+        // the property every Theorem-1 certificate builds on.
+        #[cfg(debug_assertions)]
+        if crate::invariants::enabled() {
+            assert!(
+                entry.cost >= self.last_pop_cost,
+                "cursor-heap pop monotonicity violated: popped {} after {}",
+                entry.cost,
+                self.last_pop_cost
+            );
+            self.last_pop_cost = entry.cost;
+        }
+
         // Line 10: bound the exploration depth.
         if cursor.distance < config.dmax {
             let element = cursor.element;
@@ -279,6 +309,7 @@ impl ExplorationState {
             let paths = self.element_paths[element_idx].get_or_insert_with(|| {
                 stats.elements_visited += 1;
                 ElementPaths {
+                    // lint: allow(no-alloc-hot-path, reason = "lazy one-time init per *visited* element — amortized over the run, never per pop")
                     per_keyword: vec![Vec::new(); m],
                 }
             });

@@ -33,6 +33,7 @@
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(missing_debug_implementations)]
 
 pub mod cache;
 pub mod config;
@@ -40,6 +41,7 @@ pub mod cursor;
 pub mod engine;
 pub mod error;
 pub mod exploration;
+pub mod invariants;
 pub mod prepared;
 pub mod query_map;
 pub mod result;
@@ -47,6 +49,7 @@ pub mod scoring;
 pub mod serve;
 pub mod session;
 pub mod subgraph;
+mod sync;
 pub mod topk;
 
 pub use cache::{AugmentationCache, AugmentationKey, CacheStats};

@@ -38,7 +38,7 @@
 //! (`tests/concurrent_determinism.rs`) pins exactly this.
 
 use std::collections::VecDeque;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -46,6 +46,7 @@ use crate::config::SearchConfig;
 use crate::engine::{AnswerPhase, SearchOutcome};
 use crate::error::SearchError;
 use crate::prepared::PreparedGraph;
+use crate::sync::lock_unpoisoned;
 
 /// One keyword search to be served by a [`SearchService`] worker.
 #[derive(Debug, Clone)]
@@ -118,6 +119,7 @@ impl SearchTicket {
     pub fn wait(self) -> SearchResponse {
         self.receiver
             .recv()
+            // lint: allow(no-unwrap, reason = "documented panic: a worker dying without replying is a bug surfaced here, not an expected condition")
             .expect("search worker dropped the reply channel without responding")
     }
 }
@@ -149,15 +151,16 @@ impl JobQueue {
     }
 
     fn push(&self, job: Job) {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = lock_unpoisoned(&self.state);
         debug_assert!(!state.closed, "submit after shutdown");
         state.jobs.push_back(job);
         drop(state);
         self.ready.notify_one();
     }
 
+    // lint: wait-loop
     fn pop(&self) -> Option<Job> {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = lock_unpoisoned(&self.state);
         loop {
             if let Some(job) = state.jobs.pop_front() {
                 return Some(job);
@@ -165,19 +168,22 @@ impl JobQueue {
             if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).expect("job queue poisoned");
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = lock_unpoisoned(&self.state);
         state.closed = true;
         drop(state);
         self.ready.notify_all();
     }
 
     fn len(&self) -> usize {
-        self.state.lock().expect("job queue poisoned").jobs.len()
+        lock_unpoisoned(&self.state).jobs.len()
     }
 }
 
@@ -213,6 +219,7 @@ impl SearchService {
                 std::thread::Builder::new()
                     .name(format!("kwsearch-worker-{worker}"))
                     .spawn(move || worker_loop(worker, &prepared, &default_config, &queue))
+                    // lint: allow(no-unwrap, reason = "thread spawning fails only on resource exhaustion at pool startup; no graceful degradation exists")
                     .expect("spawning a search worker thread")
             })
             .collect();

@@ -96,6 +96,17 @@ pub struct SearchSession<'e> {
     /// all advancing calls (the lazy equivalent of the batch
     /// `exploration_time`).
     exploration_time: Duration,
+    /// debug-invariants: a shadow exploration over the cached snapshot that
+    /// cross-checks every replayed emission against honest exploration.
+    /// Deliberately separate from `exploration` so a replayed session still
+    /// reports zero exploration work in [`Self::stats`] (counters describe
+    /// effort; the shadow is a checker, not work the session performed).
+    #[cfg(debug_assertions)]
+    shadow: Option<(AugmentedSummaryGraph<'e>, ExplorationState)>,
+    /// debug-invariants: the shadow's own dedup set, mirroring `seen` for
+    /// the honest emission order.
+    #[cfg(debug_assertions)]
+    shadow_seen: BTreeSet<String>,
 }
 
 impl<'e> SearchSession<'e> {
@@ -252,6 +263,10 @@ impl<'e> SearchSession<'e> {
             prior_stats: crate::exploration::ExplorationStats::default(),
             keyword_mapping_time,
             exploration_time,
+            #[cfg(debug_assertions)]
+            shadow: None,
+            #[cfg(debug_assertions)]
+            shadow_seen: BTreeSet::new(),
         }
     }
 
@@ -268,10 +283,12 @@ impl<'e> SearchSession<'e> {
         let entry = self
             .cache_entry
             .as_ref()
+            // lint: allow(no-unwrap, reason = "structural invariant: only cache-hit sessions leave the exploration unmaterialized, and those always hold their entry")
             .expect("only cache-hit sessions defer materialization");
         let snapshot = entry
             .snapshot
             .as_ref()
+            // lint: allow(no-unwrap, reason = "structural invariant: a negative (snapshot-less) entry errors out in start() before a session exists")
             .expect("negative entries never produce a session")
             .clone();
         let augmented = AugmentedSummaryGraph::from_snapshot(prepared.graph(), snapshot);
@@ -347,6 +364,8 @@ impl<'e> SearchSession<'e> {
                     *position += 1;
                     self.seen.insert(ranked.query.canonicalized().to_string());
                     debug_assert_eq!(ranked.rank, self.queries.len() + 1);
+                    #[cfg(debug_assertions)]
+                    self.check_replayed_emission(&ranked);
                     self.queries.push(ranked);
                     break Some(self.queries.len() - 1);
                 }
@@ -361,6 +380,33 @@ impl<'e> SearchSession<'e> {
                 self.drain_complete();
                 break None;
             };
+            // debug-invariants: the Theorem-1 rank certificate — an emitted
+            // subgraph costs at most the cheapest still-pending cursor (no
+            // undiscovered subgraph can outrank it), and within one
+            // exploration run the emission costs are non-decreasing. Both
+            // are void when the `max_cursors` safety valve truncated the run
+            // (results are explicitly uncertified then).
+            #[cfg(debug_assertions)]
+            if crate::invariants::enabled() && !state.stats().hit_cursor_limit {
+                if let Some(bound) = state.cheapest_pending_cost() {
+                    assert!(
+                        subgraph.cost <= bound,
+                        "certificate violated: emitting cost {} above the cheapest \
+                         pending cursor cost {bound}",
+                        subgraph.cost
+                    );
+                }
+                if !self.raised {
+                    if let Some(last) = self.queries.last() {
+                        assert!(
+                            subgraph.cost >= last.cost,
+                            "emission monotonicity violated: cost {} after {}",
+                            subgraph.cost,
+                            last.cost
+                        );
+                    }
+                }
+            }
             // Query mapping + deduplication: different subgraphs can
             // normalise to the same conjunctive query; only the first
             // (cheapest) occurrence is emitted.
@@ -379,6 +425,63 @@ impl<'e> SearchSession<'e> {
         };
         self.exploration_time += start.elapsed();
         result
+    }
+
+    /// debug-invariants: cross-checks one replayed emission against a shadow
+    /// exploration running honestly over the cached snapshot. The shadow is
+    /// built lazily on the first replayed emission (so replay stays free when
+    /// the sanitizer is off) and advanced in lockstep: every replayed query
+    /// must match the shadow's next deduplicated emission bit for bit.
+    #[cfg(debug_assertions)]
+    fn check_replayed_emission(&mut self, replayed: &RankedQuery) {
+        if !crate::invariants::enabled() {
+            return;
+        }
+        if self.shadow.is_none() {
+            let Some(snapshot) = self
+                .cache_entry
+                .as_ref()
+                .and_then(|entry| entry.snapshot.as_ref())
+            else {
+                return; // nothing to shadow (cannot happen for replay hits)
+            };
+            let augmented =
+                AugmentedSummaryGraph::from_snapshot(self.prepared.graph(), snapshot.clone());
+            let state = ExplorationState::new(&augmented, &self.config);
+            self.shadow = Some((augmented, state));
+        }
+        let Some((augmented, state)) = self.shadow.as_mut() else {
+            return;
+        };
+        loop {
+            let Some(subgraph) = state.next_certified(augmented, &self.config) else {
+                panic!(
+                    "replay-log equality violated: the log emits rank {} but the \
+                     shadow exploration is exhausted",
+                    replayed.rank
+                );
+            };
+            let query = map_subgraph_to_query(augmented, &subgraph);
+            let canonical = query.canonicalized().to_string();
+            if !self.shadow_seen.insert(canonical.clone()) {
+                continue; // the honest stream dedups identically
+            }
+            assert_eq!(
+                replayed.cost.to_bits(),
+                subgraph.cost.to_bits(),
+                "replay-log equality violated: rank {} cost differs from honest \
+                 exploration",
+                replayed.rank
+            );
+            assert_eq!(
+                replayed.query.canonicalized().to_string(),
+                canonical,
+                "replay-log equality violated: rank {} query differs from honest \
+                 exploration",
+                replayed.rank
+            );
+            return;
+        }
     }
 
     /// Marks the stream drained and, when this session explored under an

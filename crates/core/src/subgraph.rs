@@ -30,6 +30,7 @@ impl SubgraphPath {
         *self
             .elements
             .first()
+            // lint: allow(no-unwrap, reason = "paths are constructed from a keyword element, so `elements` is never empty")
             .expect("a path always contains at least the keyword element")
     }
 

@@ -1,0 +1,49 @@
+//! Lock-poisoning recovery for the crate's internal synchronization.
+//!
+//! `std`'s mutexes poison when a holder panics, and the previous revisions
+//! of [`crate::cache`] and [`crate::serve`] escalated that into a panic on
+//! every *subsequent* access — one panicking worker could cascade into a
+//! pool-wide abort. Recovery is sound for every lock in this crate because
+//! each critical section leaves the protected state consistent at all its
+//! panic points:
+//!
+//! * the cache's map/in-flight tables are only mutated through insert/remove
+//!   calls that are individually atomic with respect to panics — a recovered
+//!   guard can at worst observe advisory counters (hits, ticks, heap-byte
+//!   estimates) that miss one update, never a torn entry, and cached search
+//!   results stay bit-identical because payloads are published as whole
+//!   `Arc`s;
+//! * the in-flight rendezvous slot and the job queue are single-assignment
+//!   (`*slot = …`, `push_back`/`pop_front`) between wait points.
+//!
+//! Panics from serving workers are still surfaced — [`crate::serve`] joins
+//! its threads and re-raises — but read paths keep working instead of
+//! amplifying the failure.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard when a previous holder panicked.
+/// Condvar re-acquisitions recover the same way, inline in the two
+/// `// lint: wait-loop` fns (`cache.rs` single-flight, `serve.rs` queue).
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn a_poisoned_mutex_is_recovered_not_propagated() {
+        let mutex = Arc::new(Mutex::new(7u32));
+        let clone = Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&mutex), 7);
+    }
+}

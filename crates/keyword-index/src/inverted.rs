@@ -50,14 +50,19 @@ impl<T: Clone + PartialEq> InvertedIndex<T> {
         self.postings.contains_key(term)
     }
 
-    /// Iterates over the vocabulary.
+    /// Iterates over the vocabulary in unspecified order.
+    ///
+    /// Callers that care about ordering must sort; the fuzzy matcher folds
+    /// every term through an order-independent best-score accumulator.
     pub fn terms(&self) -> impl Iterator<Item = &str> + '_ {
+        // lint: unordered-ok(reason = "documented as unspecified order; the sole production caller accumulates a per-element max score, which is commutative")
         self.postings.keys().map(String::as_str)
     }
 
-    /// Iterates over `(term, postings)` pairs.
+    /// Iterates over `(term, postings)` pairs in unspecified order.
     pub fn entries(&self) -> impl Iterator<Item = (&str, &[T])> + '_ {
         self.postings
+            // lint: unordered-ok(reason = "documented as unspecified order; used only by inspection paths and tests that sort or count")
             .iter()
             .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
@@ -81,6 +86,7 @@ impl<T: Clone + PartialEq> InvertedIndex<T> {
     pub fn heap_bytes(&self) -> usize {
         let term_bytes: usize = self
             .postings
+            // lint: unordered-ok(reason = "summing byte sizes — addition over usize is commutative, so hash order cannot change the total")
             .keys()
             .map(|k| k.len() + std::mem::size_of::<String>())
             .sum();

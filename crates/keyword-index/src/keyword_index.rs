@@ -235,6 +235,7 @@ impl KeywordIndex {
             }
         }
         let mut connections: Vec<ValueConnection> = per_attribute
+            // lint: unordered-ok(reason = "drained into a Vec that is sorted by attribute id two lines below, erasing hash order")
             .into_iter()
             .map(
                 |(attribute, (classes, has_untyped_source))| ValueConnection {
@@ -355,6 +356,7 @@ impl KeywordIndex {
         // of the best per-term score, so an element matching every keyword
         // token scores higher than one matching only some.
         let mut matches: Vec<KeywordMatch> = per_element
+            // lint: unordered-ok(reason = "drained into a Vec that is immediately sorted by (total_cmp score, element ref), erasing hash order")
             .into_iter()
             .map(|(element, term_scores)| {
                 let score = term_scores.iter().sum::<f64>() / num_terms as f64;
@@ -366,8 +368,7 @@ impl KeywordIndex {
             .collect();
         matches.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.score)
                 .then_with(|| a.element.element_ref().cmp(&b.element.element_ref()))
         });
         matches.truncate(self.config.max_matches_per_keyword);
@@ -426,6 +427,7 @@ impl KeywordIndex {
     pub fn heap_bytes(&self) -> usize {
         let connections: usize = self
             .value_connections
+            // lint: unordered-ok(reason = "summing byte sizes — addition over usize is commutative, so hash order cannot change the total")
             .values()
             .map(|v| {
                 v.len() * std::mem::size_of::<ValueConnection>()
@@ -434,6 +436,7 @@ impl KeywordIndex {
             .sum();
         let attributes: usize = self
             .attribute_classes
+            // lint: unordered-ok(reason = "summing byte sizes — addition over usize is commutative, so hash order cannot change the total")
             .values()
             .map(|(c, _)| c.len() * 4 + std::mem::size_of::<EdgeLabelId>())
             .sum();

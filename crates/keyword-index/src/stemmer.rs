@@ -25,6 +25,7 @@ pub fn porter_stem(word: &str) -> String {
     stemmer.step4();
     stemmer.step5a();
     stemmer.step5b();
+    // lint: allow(no-unwrap, reason = "the input is filtered to ASCII before stemming and every step only removes or appends ASCII bytes")
     String::from_utf8(stemmer.b).expect("stemming preserves ASCII")
 }
 
@@ -176,6 +177,7 @@ impl Stemmer {
             if self.ends_with("at") || self.ends_with("bl") || self.ends_with("iz") {
                 self.b.push(b'e');
             } else if self.double_consonant(self.b.len()) {
+                // lint: allow(no-unwrap, reason = "double_consonant(len) just returned true, which requires at least two buffered bytes")
                 let last = *self.b.last().unwrap();
                 if !matches!(last, b'l' | b's' | b'z') {
                     self.b.pop();

@@ -1,0 +1,526 @@
+//! A hand-rolled Rust lexer — just enough syntax awareness for the lint
+//! rules, with zero dependencies.
+//!
+//! The tokenizer's one job is to never misclassify the contexts that trip
+//! naive `grep`-style linters:
+//!
+//! * string literals (`"… .unwrap() …"` is prose, not a call), including
+//!   escapes, multi-line strings, byte strings, and raw strings with any
+//!   number of `#` guards,
+//! * comments, including **nested** block comments and doc comments (code in
+//!   doc examples is documentation, not workspace code),
+//! * lifetimes vs char literals (`'a` the lifetime vs `'a'` the char),
+//! * raw identifiers (`r#type`) vs raw strings (`r#"…"#`).
+//!
+//! Everything else is kept deliberately coarse: identifiers, numbers
+//! (classified int vs float, which the `float-ordering` rule needs), and
+//! punctuation (multi-char operators like `==` and `::` lexed as one token so
+//! rules can match on them directly).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, text keeps `r#`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text includes the quote).
+    Lifetime,
+    /// A char literal such as `'x'` or `'\n'`.
+    Char,
+    /// A (possibly byte) string literal, escapes unprocessed.
+    Str,
+    /// A raw (possibly byte) string literal, `#` guards included.
+    RawStr,
+    /// A numeric literal; `float` distinguishes `1.0` / `1e3` from `42`.
+    Number {
+        /// Whether the literal is a float (`.` fraction, exponent, or an
+        /// `f32`/`f64` suffix).
+        float: bool,
+    },
+    /// Punctuation; multi-char operators (`==`, `::`, `->`, …) are one token.
+    Punct,
+    /// A `//` comment to end of line; `doc` marks `///` and `//!`.
+    LineComment {
+        /// Whether the comment is a doc comment.
+        doc: bool,
+    },
+    /// A `/* … */` comment (nesting handled); `doc` marks `/**` and `/*!`.
+    BlockComment {
+        /// Whether the comment is a doc comment.
+        doc: bool,
+    },
+}
+
+/// One lexed token: kind, source text, and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'s> {
+    /// The classification of the token.
+    pub kind: TokenKind,
+    /// The exact source text, borrowed from the input.
+    pub text: &'s str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Whether the token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+}
+
+/// Lexes `source` into tokens. Unterminated literals and comments are
+/// tolerated (the remainder of the file becomes one token): the linter must
+/// degrade gracefully on code that does not compile rather than panic.
+pub fn tokenize(source: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token<'s>>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token<'s>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start, line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, line),
+                b'r' | b'b' if self.raw_or_byte_literal(start, line) => {}
+                b'"' => {
+                    self.pos += 1;
+                    self.string_body(b'"');
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'\'' => self.quote(start, line),
+                b'0'..=b'9' => self.number(start, line),
+                _ if is_ident_start(b) => {
+                    self.ident_run();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ => self.punct(start, line),
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+        });
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        let doc = {
+            let rest = &self.bytes[self.pos..];
+            // `///` and `//!` are doc comments; `////…` is an ordinary rule.
+            (rest.get(2) == Some(&b'/') && rest.get(3) != Some(&b'/')) || rest.get(2) == Some(&b'!')
+        };
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment { doc }, start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        let doc = {
+            let rest = &self.bytes[self.pos..];
+            (rest.get(2) == Some(&b'*') && rest.get(3) != Some(&b'*') && rest.get(3) != Some(&b'/'))
+                || rest.get(2) == Some(&b'!')
+        };
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::BlockComment { doc }, start, line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and raw identifiers
+    /// (`r#match`). Returns `false` when the `r`/`b` is just the start of an
+    /// ordinary identifier, leaving the position untouched.
+    fn raw_or_byte_literal(&mut self, start: usize, line: u32) -> bool {
+        let mut cursor = self.pos + 1;
+        let mut raw = self.bytes[self.pos] == b'r';
+        if self.bytes[self.pos] == b'b' && self.bytes.get(cursor) == Some(&b'r') {
+            raw = true;
+            cursor += 1;
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.bytes.get(cursor) == Some(&b'#') {
+                hashes += 1;
+                cursor += 1;
+            }
+            if self.bytes.get(cursor) == Some(&b'"') {
+                // A raw string: scan for `"` followed by `hashes` hashes.
+                self.pos = cursor + 1;
+                loop {
+                    match self.bytes.get(self.pos) {
+                        None => break,
+                        Some(b'\n') => {
+                            self.line += 1;
+                            self.pos += 1;
+                        }
+                        Some(b'"') => {
+                            let close = &self.bytes[self.pos + 1..];
+                            if close.len() >= hashes && close[..hashes].iter().all(|&h| h == b'#') {
+                                self.pos += 1 + hashes;
+                                break;
+                            }
+                            self.pos += 1;
+                        }
+                        Some(_) => self.pos += 1,
+                    }
+                }
+                self.push(TokenKind::RawStr, start, line);
+                return true;
+            }
+            if hashes == 1
+                && self.bytes[self.pos] == b'r'
+                && self.bytes.get(cursor).copied().is_some_and(is_ident_start)
+            {
+                // Raw identifier `r#ident`.
+                self.pos = cursor;
+                self.ident_run();
+                self.push(TokenKind::Ident, start, line);
+                return true;
+            }
+            return false;
+        }
+        // `b"…"` byte string (with escapes).
+        if self.bytes[self.pos] == b'b' && self.bytes.get(cursor) == Some(&b'"') {
+            self.pos = cursor + 1;
+            self.string_body(b'"');
+            self.push(TokenKind::Str, start, line);
+            return true;
+        }
+        // `b'x'` byte char.
+        if self.bytes[self.pos] == b'b' && self.bytes.get(cursor) == Some(&b'\'') {
+            self.pos = cursor;
+            self.quote(start, line);
+            return true;
+        }
+        false
+    }
+
+    /// Consumes a quoted body up to an unescaped `close`, tracking newlines.
+    fn string_body(&mut self, close: u8) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b if b == close => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+    fn quote(&mut self, start: usize, line: u32) {
+        let after = self.peek(1);
+        if after == Some(b'\\') {
+            // Escaped char literal.
+            self.pos += 2; // ' and backslash
+            self.pos += 1; // the escaped character (enough for \n, \', \\ …)
+            self.string_body(b'\''); // tolerate \x7f and \u{…} forms
+            self.push(TokenKind::Char, start, line);
+            return;
+        }
+        if after.is_some_and(is_ident_start) {
+            // `'a'` is a char, `'abc` (no closing quote after the run) is a
+            // lifetime such as `'static`.
+            let mut cursor = self.pos + 1;
+            while self.bytes.get(cursor).copied().is_some_and(is_ident_char) {
+                cursor += 1;
+            }
+            if self.bytes.get(cursor) == Some(&b'\'') && cursor == self.pos + 2 {
+                self.pos = cursor + 1;
+                self.push(TokenKind::Char, start, line);
+            } else {
+                self.pos = cursor;
+                self.push(TokenKind::Lifetime, start, line);
+            }
+            return;
+        }
+        // Any other single character: `'+'`, `' '` … (or a stray quote).
+        self.pos += 1;
+        if self.peek(1) == Some(b'\'') {
+            self.pos += 2;
+            self.push(TokenKind::Char, start, line);
+        } else {
+            self.push(TokenKind::Punct, start, line);
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        let mut float = false;
+        if self.bytes[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'))
+        {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_hexdigit() || b == b'_')
+            {
+                self.pos += 1;
+            }
+        } else {
+            self.digit_run();
+            // A fraction only if `.` is followed by a digit (so `0..10` and
+            // `x.0` tuple access stay separate tokens).
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                self.pos += 1;
+                self.digit_run();
+            }
+            if matches!(self.peek(0), Some(b'e' | b'E')) {
+                let sign = usize::from(matches!(self.peek(1), Some(b'+' | b'-')));
+                if self.peek(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+                    float = true;
+                    self.pos += 1 + sign;
+                    self.digit_run();
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, …) rides on the token.
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_char) {
+            self.pos += 1;
+        }
+        if matches!(&self.src[suffix_start..self.pos], "f32" | "f64") {
+            float = true;
+        }
+        self.push(TokenKind::Number { float }, start, line);
+    }
+
+    fn digit_run(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn ident_run(&mut self) {
+        while self.peek(0).is_some_and(is_ident_char) {
+            self.pos += 1;
+        }
+    }
+
+    fn punct(&mut self, start: usize, line: u32) {
+        const THREE: &[&str] = &["..=", "<<=", ">>=", "..."];
+        const TWO: &[&str] = &[
+            "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=", "*=", "/=",
+            "%=", "^=", "&=", "|=", "<<", ">>",
+        ];
+        let rest = &self.src[self.pos..];
+        for ops in [THREE, TWO] {
+            if let Some(op) = ops.iter().find(|op| rest.starts_with(**op)) {
+                self.pos += op.len();
+                self.push(TokenKind::Punct, start, line);
+                return;
+            }
+        }
+        // One character (take a whole UTF-8 scalar so we never split one).
+        let ch_len = rest.chars().next().map_or(1, char::len_utf8);
+        self.pos += ch_len;
+        self.push(TokenKind::Punct, start, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x == y::z();");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["let", "x", "==", "y", "::", "z", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn strings_swallow_code_like_text() {
+        let toks = kinds(r#"let s = "a.unwrap() // not a comment";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hash_guards() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; done"###);
+        let raw: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::RawStr)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(raw, vec![r###"r#"quote " inside"#"###]);
+        assert!(toks.iter().any(|(_, t)| t == "done"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| !matches!(k, TokenKind::BlockComment { .. }))
+                .count(),
+            2,
+            "only `a` and `b` are code"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let s = 'static; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'x'"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let nl = '\n'; let q = '\''; let u = '\u{1F600}';");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges() {
+        let toks = kinds("1.0 42 0..10 1e-12 0x1f 3f64 2u32 x.0");
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::Number { float: true }))
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "1e-12", "3f64"]);
+        assert!(toks.iter().any(|(_, t)| t == ".."));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged_as_doc() {
+        let toks = tokenize("/// doc\n//! inner\n// plain\n/** block doc */\n/* plain */");
+        let docs: Vec<bool> = toks
+            .iter()
+            .map(|t| {
+                matches!(
+                    t.kind,
+                    TokenKind::LineComment { doc: true } | TokenKind::BlockComment { doc: true }
+                )
+            })
+            .collect();
+        assert_eq!(docs, vec![true, true, false, true, false]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let b = b"bytes"; let c = b'x'; let r = br#"raw"#;"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            1
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::RawStr).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\n/* c\nc */\nb";
+        let toks = tokenize(src);
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        let _ = tokenize("let s = \"unterminated");
+        let _ = tokenize("let s = r#\"unterminated");
+        let _ = tokenize("/* unterminated");
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture: the `float-ordering` rule (linted as
+//! `crates/rdf/src/float_ordering.rs`, i.e. *not* a blessed site).
+
+fn flagged_partial_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+fn flagged_float_literal_eq(x: f64) -> bool {
+    x == 0.5
+}
+
+fn fine_total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+fn fine_integer_eq(x: u32) -> bool {
+    x == 5
+}
+
+#[derive(PartialEq, Eq)]
+struct Wrapper(u32);
+
+impl Ord for Wrapper {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Wrapper {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: the `no-alloc-hot-path` rule (linted as
+//! `crates/rdf/src/no_alloc_hot_path.rs`).
+
+// lint: hot-path
+fn flagged_allocations(input: &[u32]) -> usize {
+    let copies = input.to_vec();
+    let label = format!("{}", copies.len());
+    label.len()
+}
+
+// lint: hot-path
+fn clean_pop_loop(input: &[u32]) -> u32 {
+    let mut total = 0;
+    for &v in input {
+        total += v;
+    }
+    total
+}
+
+// lint: hot-path
+fn allowed_lazy_init(input: &[u32]) -> Vec<u32> {
+    // lint: allow(no-alloc-hot-path, reason = "fixture: amortized one-time init")
+    input.to_vec()
+}
+
+fn unmarked_fns_may_allocate(input: &[u32]) -> Vec<u32> {
+    input.to_vec()
+}

@@ -1,0 +1,23 @@
+//! Fixture: the `no-unwrap` rule (linted as `crates/rdf/src/no_unwrap.rs`).
+
+fn flagged_unwrap(input: Option<u32>) -> u32 {
+    input.unwrap()
+}
+
+fn flagged_expect(input: Option<u32>) -> u32 {
+    input.expect("present")
+}
+
+fn allowed_with_reason(input: Option<u32>) -> u32 {
+    // lint: allow(no-unwrap, reason = "fixture: documented invariant")
+    input.unwrap()
+}
+
+fn not_a_panic_site(input: Option<u32>) -> u32 {
+    input.unwrap_or_default()
+}
+
+#[test]
+fn test_context_is_exempt() {
+    assert_eq!(Some(7).unwrap(), 7);
+}

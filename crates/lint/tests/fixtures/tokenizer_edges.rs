@@ -1,0 +1,32 @@
+//! Fixture: tokenizer edge cases (linted as
+//! `crates/rdf/src/tokenizer_edges.rs`). Every `.unwrap()` / `partial_cmp`
+//! below lives inside a string, raw string, or comment — except the one real
+//! violation at the bottom, whose line number proves the lexer kept count.
+
+fn strings_do_not_hide_code() -> &'static str {
+    "calling .unwrap() inside a string is just text"
+}
+
+fn raw_strings_stay_text(input: &str) -> String {
+    let pattern = r#"partial_cmp("quoted") and .lock() stay text"#;
+    let mut owned = String::from(input);
+    owned.push_str(pattern);
+    owned
+}
+
+/* Block comments nest in Rust:
+   /* inner .unwrap() and partial_cmp stay comments */
+   and this is still part of the outer comment. */
+fn lifetimes_are_not_char_literals(x: &'static u32) -> char {
+    let c = 'x';
+    let _ = *x;
+    c
+}
+
+fn ranges_are_not_floats() -> usize {
+    (0..10).count()
+}
+
+fn real_violation(input: Option<u32>) -> u32 {
+    input.unwrap()
+}

@@ -1,0 +1,26 @@
+//! Fixture: the `unordered-iteration` rule (linted as
+//! `crates/core/src/unordered_iteration.rs`, i.e. inside an order-sensitive
+//! crate).
+
+use std::collections::HashMap;
+
+fn flagged_keys(scores: &HashMap<String, f64>) -> usize {
+    scores.keys().count()
+}
+
+fn flagged_for_loop(scores: &HashMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in scores {
+        total += *v;
+    }
+    total
+}
+
+fn annotated_commutative(scores: &HashMap<String, f64>) -> f64 {
+    // lint: unordered-ok(reason = "fixture: summing is commutative")
+    scores.values().sum()
+}
+
+fn fine_btree(sorted: &std::collections::BTreeMap<String, f64>) -> usize {
+    sorted.keys().count()
+}

@@ -367,8 +367,10 @@ impl Iterator for AnswerStream<'_> {
                 if frame.matches.is_none() {
                     frame.matches = Some(scan_pattern(self.store, &self.row, pattern));
                 }
+                // lint: allow(no-unwrap, reason = "the branch above fills frame.matches when it is None, so it is Some here")
                 let match_count = frame.matches.as_ref().expect("just populated").len();
                 while frame.match_idx < match_count {
+                    // lint: allow(no-unwrap, reason = "frame.matches was populated before entering this loop and is not cleared inside it")
                     let m = frame.matches.as_ref().expect("just populated")[frame.match_idx];
                     frame.match_idx += 1;
                     if bind(&mut self.row, frame, pattern, m) {
@@ -391,6 +393,7 @@ impl Iterator for AnswerStream<'_> {
                     .compiled
                     .projection
                     .iter()
+                    // lint: allow(no-unwrap, reason = "this branch runs only once every atom is matched, which binds every variable in the row")
                     .map(|&i| self.row[i].expect("all query variables are bound at full depth"))
                     .collect();
                 if self.seen.insert(projected.clone()) {
@@ -478,6 +481,7 @@ pub mod reference {
         let mut projected = Vec::with_capacity(rows.len());
         for row in rows {
             let out: Option<Vec<VertexId>> = proj_indices.iter().map(|&i| row[i]).collect();
+            // lint: allow(no-unwrap, reason = "rows surviving every join bind all variables; an unbound slot here is an evaluator bug")
             let out = out.expect("all query variables are bound after the final join");
             projected.push(out);
             if let Some(limit) = limit {
@@ -517,6 +521,7 @@ pub mod reference {
                     other => {
                         let c = other
                             .as_constant()
+                            // lint: allow(no-unwrap, reason = "the match arm above handles Variable, so this term can only be a constant")
                             .expect("non-variable term is a constant");
                         match resolve_subject_constant(graph, kind, c) {
                             Some(v) => Some(v),
@@ -529,6 +534,7 @@ pub mod reference {
                     other => {
                         let c = other
                             .as_constant()
+                            // lint: allow(no-unwrap, reason = "the match arm above handles Variable, so this term can only be a constant")
                             .expect("non-variable term is a constant");
                         match resolve_object_constant(graph, kind, c) {
                             Some(v) => Some(v),

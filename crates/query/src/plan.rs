@@ -100,6 +100,7 @@ pub fn plan_atoms(query: &ConjunctiveQuery, graph: &DataGraph, store: &TripleSto
                 let atom = &query.atoms()[i];
                 (usize::MAX - atom.constant_count(), estimates[i])
             })
+            // lint: allow(no-unwrap, reason = "the loop guard guarantees `remaining` is non-empty, so min_by_key sees at least one candidate")
             .expect("candidates is non-empty");
         remaining.remove(&best);
         for v in query.atoms()[best].variables() {
@@ -200,6 +201,7 @@ impl CompiledQuery {
                     other => {
                         let c = other
                             .as_constant()
+                            // lint: allow(no-unwrap, reason = "the match arm above handles Variable, so this term can only be a constant")
                             .expect("non-variable term is a constant");
                         match resolve_subject_constant(graph, kind, c) {
                             Some(v) => Slot::Const(v),
@@ -212,6 +214,7 @@ impl CompiledQuery {
                     other => {
                         let c = other
                             .as_constant()
+                            // lint: allow(no-unwrap, reason = "the match arm above handles Variable, so this term can only be a constant")
                             .expect("non-variable term is a constant");
                         match resolve_object_constant(graph, kind, c) {
                             Some(v) => Slot::Const(v),

@@ -35,6 +35,7 @@ impl GraphBuilder {
         let o = self.graph.add_class(sup);
         self.graph
             .add_edge(s, EdgeLabel::SubClass, o)
+            // lint: allow(no-unwrap, reason = "both endpoints were just created as class vertices, which add_edge accepts for SubClass")
             .expect("class-to-class subclass edge is always valid");
         self
     }
@@ -45,6 +46,7 @@ impl GraphBuilder {
         let c = self.graph.add_class(class);
         self.graph
             .add_edge(e, EdgeLabel::Type, c)
+            // lint: allow(no-unwrap, reason = "the endpoints were just created as entity and class vertices, which add_edge accepts for Type")
             .expect("entity-to-class type edge is always valid");
         e
     }
@@ -68,6 +70,7 @@ impl GraphBuilder {
         let label = EdgeLabel::Attribute(self.graph.intern(attr));
         self.graph
             .add_edge(e, label, v)
+            // lint: allow(no-unwrap, reason = "the endpoints were just created as entity and value vertices, which add_edge accepts for attributes")
             .expect("entity-to-value attribute edge is always valid");
         self
     }
@@ -79,6 +82,7 @@ impl GraphBuilder {
         let label = EdgeLabel::Relation(self.graph.intern(pred));
         self.graph
             .add_edge(s, label, o)
+            // lint: allow(no-unwrap, reason = "both endpoints were just created as entity vertices, which add_edge accepts for relations")
             .expect("entity-to-entity relation edge is always valid");
         self
     }

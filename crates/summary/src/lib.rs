@@ -15,6 +15,7 @@
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(missing_debug_implementations)]
 
 pub mod augment;
 pub mod cost;

@@ -135,6 +135,7 @@ impl SummaryGraph {
     fn schema_nodes_of_entity(&self, graph: &DataGraph, entity: VertexId) -> Vec<SummaryNodeId> {
         let classes = graph.classes_of(entity);
         if classes.is_empty() {
+            // lint: allow(no-unwrap, reason = "build() creates the Thing node unconditionally before any entity is summarized")
             vec![self.thing_node.expect("Thing node always exists")]
         } else {
             classes.into_iter().map(|c| self.class_nodes[&c]).collect()
@@ -206,6 +207,7 @@ impl SummaryGraph {
 
     /// The `Thing` node.
     pub fn thing_node(&self) -> SummaryNodeId {
+        // lint: allow(no-unwrap, reason = "build() creates the Thing node unconditionally, and it is the only constructor")
         self.thing_node.expect("Thing node always exists")
     }
 
