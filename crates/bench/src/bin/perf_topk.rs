@@ -1,7 +1,7 @@
 //! `perf_topk` — the exploration + answer-phase performance tracker.
 //!
 //! Runs the DBLP, TAP and LUBM keyword workloads through the top-k engine at
-//! the scale selected by `KWSEARCH_SCALE` (small/medium/large, default
+//! the scale selected by `KWSEARCH_SCALE` (small/medium/large/huge, default
 //! medium), prints per-query tables, and writes a machine-readable
 //! `BENCH_topk.json` (override the path with `KWSEARCH_BENCH_OUT`) so every
 //! commit leaves a perf datapoint that CI archives.
@@ -21,6 +21,10 @@
 //!   rank order until ≥ `MIN_ANSWERS` answers exist, via the streaming
 //!   evaluator, next to the same loop driven by the pre-streaming
 //!   materializing reference evaluator as the baseline,
+//! * **ingest** — per dataset: streamed N-Triples ingest from disk (time
+//!   and triples/sec), index build time, snapshot size on disk, snapshot
+//!   save/load times, and the cold-start speedup of loading the snapshot
+//!   instead of re-ingesting + re-indexing the source triples,
 //! * **concurrency** — the whole workload, repeated `repeat_factor` times,
 //!   served by a [`SearchService`] worker pool against one shared
 //!   `Arc<PreparedGraph>` at each worker count in `KWSEARCH_WORKERS`
@@ -30,7 +34,7 @@
 //!   cold-vs-warm pass over the workload isolating the augmentation-cache
 //!   speedup.
 //!
-//! See the README "Performance" section for the JSON schema (v4).
+//! See the README "Performance" section for the JSON schema (v5).
 
 // lint: allow-file(no-unwrap, reason = "benchmark harness: a panic aborts the run with a clear message, which is the desired failure mode")
 
@@ -125,10 +129,42 @@ struct ConcurrencyReport {
     cache: CacheEffect,
 }
 
+/// The cold-start section of one dataset: streamed N-Triples ingest, index
+/// build, snapshot save/load, and the snapshot's cold-start speedup.
+struct IngestReport {
+    /// Triples parsed from the N-Triples file.
+    triples: usize,
+    /// Size of the N-Triples file on disk.
+    ntriples_bytes: u64,
+    /// Wall time of the streamed ingest (file → `DataGraph`).
+    ingest_ms: f64,
+    /// Wall time of the index build (`DataGraph` → `PreparedGraph`).
+    index_ms: f64,
+    /// Size of the prepared-graph snapshot on disk.
+    snapshot_bytes: u64,
+    /// Wall time of writing the snapshot.
+    save_ms: f64,
+    /// Wall time of loading the snapshot back into a `PreparedGraph`.
+    load_ms: f64,
+}
+
+impl IngestReport {
+    fn triples_per_sec(&self) -> f64 {
+        self.triples as f64 / (self.ingest_ms / 1000.0).max(1e-9)
+    }
+
+    /// Cold-start speedup: rebuilding from source triples (ingest + index)
+    /// vs loading the snapshot.
+    fn load_speedup(&self) -> f64 {
+        (self.ingest_ms + self.index_ms) / self.load_ms.max(1e-9)
+    }
+}
+
 struct DatasetReport {
     name: &'static str,
     records: Vec<QueryRecord>,
     concurrency: ConcurrencyReport,
+    ingest: IngestReport,
 }
 
 impl DatasetReport {
@@ -284,6 +320,65 @@ fn run_concurrency(
     }
 }
 
+/// The ingest/snapshot section: round-trips `graph` through an on-disk
+/// N-Triples file and a prepared-graph snapshot, timing every leg. Temp
+/// files live in the system temp directory and are removed afterwards.
+fn measure_ingest(name: &str, graph: &kwsearch_rdf::DataGraph) -> IngestReport {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let nt_path = dir.join(format!("kwsearch-perf-{pid}-{name}.nt"));
+    let snap_path = dir.join(format!("kwsearch-perf-{pid}-{name}.snap"));
+
+    let ntriples_bytes =
+        kwsearch_datagen::write_ntriples_file(graph, &nt_path).expect("write N-Triples temp file");
+
+    let start = Instant::now();
+    let mut ingested = kwsearch_rdf::DataGraph::new();
+    let reader = std::io::BufReader::new(std::fs::File::open(&nt_path).expect("reopen temp file"));
+    let stats =
+        kwsearch_rdf::ingest_ntriples(reader, &mut ingested).expect("ingest generated N-Triples");
+    let ingest_ms = start.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(
+        ingested.edge_count(),
+        graph.edge_count(),
+        "streamed ingest must reproduce the generated graph"
+    );
+
+    let start = Instant::now();
+    let prepared = kwsearch_core::PreparedGraph::index(ingested);
+    let index_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let start = Instant::now();
+    prepared.save_to_path(&snap_path).expect("save snapshot");
+    let save_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let snapshot_bytes = std::fs::metadata(&snap_path).expect("stat snapshot").len();
+
+    // Drop the built preparation before timing the load so the load's
+    // allocations reuse the freed pages — with a second full copy of the
+    // indexes resident, the timing is dominated by first-touch page faults
+    // instead of decoding (see `ingest_large` for the same hygiene).
+    let edge_count = prepared.graph().edge_count();
+    drop(prepared);
+
+    let start = Instant::now();
+    let loaded = kwsearch_core::PreparedGraph::load_from_path(&snap_path).expect("load snapshot");
+    let load_ms = start.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(loaded.graph().edge_count(), edge_count);
+
+    std::fs::remove_file(&nt_path).ok();
+    std::fs::remove_file(&snap_path).ok();
+
+    IngestReport {
+        triples: stats.triples,
+        ntriples_bytes,
+        ingest_ms,
+        index_ms,
+        snapshot_bytes,
+        save_ms,
+        load_ms,
+    }
+}
+
 fn run_workload(
     name: &'static str,
     engine: &KeywordSearchEngine,
@@ -374,10 +469,12 @@ fn run_workload(
         });
     }
     let concurrency = run_concurrency(engine, queries, config, worker_levels);
+    let ingest = measure_ingest(name, engine.graph());
     DatasetReport {
         name,
         records,
         concurrency,
+        ingest,
     }
 }
 
@@ -556,6 +653,58 @@ fn print_concurrency_table(report: &DatasetReport) {
     );
 }
 
+fn print_ingest_table(report: &DatasetReport) {
+    let ing = &report.ingest;
+    println!("== {} ingest & snapshot cold start ==", report.name);
+    let mut table = Table::new([
+        "triples",
+        "nt bytes",
+        "ingest (ms)",
+        "triples/s",
+        "index (ms)",
+        "snap bytes",
+        "save (ms)",
+        "load (ms)",
+        "speedup",
+    ]);
+    table.row([
+        ing.triples.to_string(),
+        ing.ntriples_bytes.to_string(),
+        format!("{:.3}", ing.ingest_ms),
+        format!("{:.0}", ing.triples_per_sec()),
+        format!("{:.3}", ing.index_ms),
+        ing.snapshot_bytes.to_string(),
+        format!("{:.3}", ing.save_ms),
+        format!("{:.3}", ing.load_ms),
+        format!("{:.2}x", ing.load_speedup()),
+    ]);
+    table.print();
+    println!(
+        "cold start: rebuild {:.3} ms vs snapshot load {:.3} ms\n",
+        ing.ingest_ms + ing.index_ms,
+        ing.load_ms
+    );
+}
+
+fn ingest_json(ing: &IngestReport) -> String {
+    format!(
+        concat!(
+            "{{\"triples\": {}, \"ntriples_bytes\": {}, \"ingest_ms\": {}, ",
+            "\"triples_per_sec\": {}, \"index_ms\": {}, \"snapshot_bytes\": {}, ",
+            "\"save_ms\": {}, \"load_ms\": {}, \"load_speedup\": {}}}"
+        ),
+        ing.triples,
+        ing.ntriples_bytes,
+        json_f64(ing.ingest_ms),
+        json_f64(ing.triples_per_sec()),
+        json_f64(ing.index_ms),
+        ing.snapshot_bytes,
+        json_f64(ing.save_ms),
+        json_f64(ing.load_ms),
+        json_f64(ing.load_speedup()),
+    )
+}
+
 fn concurrency_json(conc: &ConcurrencyReport) -> String {
     let levels: Vec<String> = conc
         .levels
@@ -645,6 +794,7 @@ fn report_json(
                     "\"streaming\": {{\"total_first_query_ms\": {}, \"total_to_k_ms\": {}}}, ",
                     "\"answer_phase\": {{\"min_answers\": {}, \"total_wall_ms\": {}, ",
                     "\"total_materializing_wall_ms\": {}}}, ",
+                    "\"ingest\": {}, ",
                     "\"concurrency\": {}, \"queries\": [\n      {}\n    ]}}"
                 ),
                 json_string(report.name),
@@ -654,6 +804,7 @@ fn report_json(
                 MIN_ANSWERS,
                 json_f64(report.total_answer_ms()),
                 json_f64(report.total_materializing_ms()),
+                ingest_json(&report.ingest),
                 concurrency_json(&report.concurrency),
                 queries.join(",\n      ")
             )
@@ -663,7 +814,7 @@ fn report_json(
     format!(
         concat!(
             "{{\n",
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             "  \"scale\": {},\n",
             "  \"config\": {{\"k\": {}, \"dmax\": {}, \"scoring\": {}, \"min_answers\": {}}},\n",
             "  \"workers\": [{}],\n",
@@ -738,6 +889,7 @@ fn main() {
     print_streaming_table(&dblp_report);
     print_answer_table(&dblp_report);
     print_concurrency_table(&dblp_report);
+    print_ingest_table(&dblp_report);
 
     let tap = tap_dataset(profile);
     let tap_engine = KeywordSearchEngine::builder(tap.graph.clone()).build();
@@ -750,6 +902,7 @@ fn main() {
     print_streaming_table(&tap_report);
     print_answer_table(&tap_report);
     print_concurrency_table(&tap_report);
+    print_ingest_table(&tap_report);
 
     let lubm = lubm_dataset(profile);
     let lubm_engine = KeywordSearchEngine::builder(lubm.graph.clone()).build();
@@ -764,6 +917,7 @@ fn main() {
     print_streaming_table(&lubm_report);
     print_answer_table(&lubm_report);
     print_concurrency_table(&lubm_report);
+    print_ingest_table(&lubm_report);
 
     let out_path =
         std::env::var("KWSEARCH_BENCH_OUT").unwrap_or_else(|_| "BENCH_topk.json".to_string());

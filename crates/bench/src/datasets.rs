@@ -7,7 +7,10 @@
 //!
 //! * `KWSEARCH_SCALE=small`  — quick smoke runs (default for tests),
 //! * `KWSEARCH_SCALE=medium` — the default for the figure binaries,
-//! * `KWSEARCH_SCALE=large`  — larger runs for timing headroom.
+//! * `KWSEARCH_SCALE=large`  — ~10⁶ triples (DBLP tier), the scale the
+//!   snapshot cold-start speedup is certified at,
+//! * `KWSEARCH_SCALE=huge`   — ~10⁷ triples, approaching the paper's full
+//!   DBLP evaluation scale.
 
 use kwsearch_datagen::{DblpConfig, DblpDataset, LubmConfig, LubmDataset, TapConfig, TapDataset};
 
@@ -18,8 +21,11 @@ pub enum ScaleProfile {
     Small,
     /// Default benchmark scale.
     Medium,
-    /// Larger runs.
+    /// ~10⁶ triples on the DBLP tier (a DBLP-like publication expands to
+    /// roughly nine triples).
     Large,
+    /// ~10⁷ triples on the DBLP tier.
+    Huge,
 }
 
 impl ScaleProfile {
@@ -29,6 +35,7 @@ impl ScaleProfile {
         match std::env::var("KWSEARCH_SCALE").as_deref() {
             Ok("small") => ScaleProfile::Small,
             Ok("large") => ScaleProfile::Large,
+            Ok("huge") => ScaleProfile::Huge,
             _ => ScaleProfile::Medium,
         }
     }
@@ -39,6 +46,7 @@ impl ScaleProfile {
             ScaleProfile::Small => "small",
             ScaleProfile::Medium => "medium",
             ScaleProfile::Large => "large",
+            ScaleProfile::Huge => "huge",
         }
     }
 
@@ -47,7 +55,8 @@ impl ScaleProfile {
         match self {
             ScaleProfile::Small => 300,
             ScaleProfile::Medium => 3_000,
-            ScaleProfile::Large => 12_000,
+            ScaleProfile::Large => 120_000,
+            ScaleProfile::Huge => 1_200_000,
         }
     }
 
@@ -57,6 +66,7 @@ impl ScaleProfile {
             ScaleProfile::Small => 1,
             ScaleProfile::Medium => 4,
             ScaleProfile::Large => 10,
+            ScaleProfile::Huge => 40,
         }
     }
 
@@ -66,6 +76,7 @@ impl ScaleProfile {
             ScaleProfile::Small => 4,
             ScaleProfile::Medium => 15,
             ScaleProfile::Large => 40,
+            ScaleProfile::Huge => 150,
         }
     }
 }
@@ -96,6 +107,8 @@ mod tests {
     fn profiles_scale_monotonically() {
         assert!(ScaleProfile::Small.dblp_publications() < ScaleProfile::Medium.dblp_publications());
         assert!(ScaleProfile::Medium.dblp_publications() < ScaleProfile::Large.dblp_publications());
+        assert!(ScaleProfile::Large.dblp_publications() < ScaleProfile::Huge.dblp_publications());
+        assert!(ScaleProfile::Large.lubm_universities() < ScaleProfile::Huge.lubm_universities());
         assert!(
             ScaleProfile::Small.lubm_universities() <= ScaleProfile::Medium.lubm_universities()
         );

@@ -25,7 +25,10 @@
 //!    the engine so one preparation can be `Arc`-shared across threads,
 //!    [`cache`] memoizes finished augmentations (bit-identical hits), and
 //!    [`serve`] runs many sessions concurrently against one shared
-//!    preparation from a [`SearchService`] worker pool.
+//!    preparation from a [`SearchService`] worker pool,
+//! 8. [`persist`] saves a [`PreparedGraph`] to a checksummed, versioned
+//!    disk snapshot and loads it back with bulk buffer reads — an O(bytes)
+//!    cold start that skips re-indexing entirely.
 //!
 //! Scoring (Section V) is configurable through [`ScoringFunction`]: path
 //! length (C1), popularity (C2), or popularity weighted by the keyword
@@ -42,6 +45,7 @@ pub mod engine;
 pub mod error;
 pub mod exploration;
 pub mod invariants;
+pub mod persist;
 pub mod prepared;
 pub mod query_map;
 pub mod result;
@@ -57,6 +61,7 @@ pub use config::SearchConfig;
 pub use engine::{AnswerPhase, EngineBuilder, KeywordSearchEngine, SearchOutcome};
 pub use error::{KeywordMatch, SearchError};
 pub use exploration::{ExplorationOutcome, ExplorationState, ExplorationStats, Explorer};
+pub use kwsearch_rdf::snapshot::SnapshotError;
 pub use prepared::PreparedGraph;
 pub use query_map::map_subgraph_to_query;
 pub use result::RankedQuery;

@@ -106,6 +106,27 @@ impl PreparedGraph {
         }
     }
 
+    /// Assembles a prepared graph from already-built parts — the snapshot
+    /// load path ([`crate::persist`]). `index_build_time` carries the
+    /// original build cost recorded in the snapshot.
+    pub(crate) fn from_parts(
+        graph: DataGraph,
+        keyword_index: KeywordIndex,
+        summary: SummaryGraph,
+        store: TripleStore,
+        cache_capacity: usize,
+        index_build_time: Duration,
+    ) -> Self {
+        Self {
+            graph,
+            keyword_index,
+            summary,
+            store,
+            cache: AugmentationCache::new(cache_capacity),
+            index_build_time,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------

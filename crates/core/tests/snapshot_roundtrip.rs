@@ -1,0 +1,272 @@
+//! Snapshot round-trip suite: a loaded [`PreparedGraph`] must be
+//! *bit-identical* to the one it was saved from — same cost bits, canonical
+//! query strings, element sets and answer rows, for all three scoring
+//! functions — on the paper's Figure 1 graph and on randomly generated
+//! graphs. Corrupt input (truncation, bit flips, foreign files, future
+//! format versions) must yield a typed [`SnapshotError`], never a panic or
+//! a partially-initialised graph.
+
+use proptest::prelude::*;
+
+use kwsearch_core::{PreparedGraph, ScoringFunction, SearchConfig};
+use kwsearch_rdf::fixtures::figure1_graph;
+use kwsearch_rdf::snapshot::{SnapshotError, FORMAT_VERSION};
+use kwsearch_rdf::{DataGraph, Triple};
+
+/// One emitted query's identity: cost bits, canonical conjunctive query and
+/// sorted element labels.
+type QueryKey = (u64, String, Vec<String>);
+
+/// A drained session's identity: queries in emission order plus the sorted
+/// answer rows of an `answers_until` phase.
+type SessionKey = (Vec<QueryKey>, Vec<String>);
+
+/// The bit-identity fingerprint of draining one session: per emitted query
+/// the cost bits, canonical conjunctive query and sorted element labels,
+/// plus the sorted answer rows of an `answers_until` phase.
+fn fingerprint(prepared: &PreparedGraph, keywords: &[String], config: SearchConfig) -> SessionKey {
+    let mut session = match prepared.session(keywords, config) {
+        Ok(session) => session,
+        Err(_) => return (Vec::new(), Vec::new()),
+    };
+    let phase = session.answers_until(2);
+    let mut answers: Vec<String> = phase
+        .answers
+        .iter()
+        .flat_map(|set| set.rows().iter().map(|row| format!("{row:?}")))
+        .collect();
+    answers.sort_unstable();
+    let mut queries: Vec<QueryKey> = session
+        .queries()
+        .iter()
+        .map(|ranked| {
+            let mut elements: Vec<String> = ranked
+                .subgraph
+                .elements()
+                .iter()
+                .map(|e| format!("{e:?}"))
+                .collect();
+            elements.sort_unstable();
+            (
+                ranked.cost.to_bits(),
+                ranked.query.canonicalized().to_string(),
+                elements,
+            )
+        })
+        .collect();
+    while let Some(ranked) = session.next_query() {
+        let mut elements: Vec<String> = ranked
+            .subgraph
+            .elements()
+            .iter()
+            .map(|e| format!("{e:?}"))
+            .collect();
+        elements.sort_unstable();
+        queries.push((
+            ranked.cost.to_bits(),
+            ranked.query.canonicalized().to_string(),
+            elements,
+        ));
+    }
+    (queries, answers)
+}
+
+fn saved_bytes(prepared: &PreparedGraph) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    prepared.save(&mut bytes).expect("in-memory save");
+    bytes
+}
+
+/// Asserts save → load is invisible to searches: every scoring function,
+/// on the given workload, produces bit-identical streams on both sides.
+fn assert_roundtrip_invisible(graph: DataGraph, workload: &[Vec<String>]) {
+    let built = PreparedGraph::index(graph);
+    let loaded = PreparedGraph::load(saved_bytes(&built).as_slice()).expect("load own snapshot");
+    assert_eq!(loaded.graph().vertex_count(), built.graph().vertex_count());
+    assert_eq!(loaded.graph().edge_count(), built.graph().edge_count());
+    for keywords in workload {
+        for scoring in ScoringFunction::all() {
+            let config = SearchConfig::with_k(5).scoring(scoring);
+            assert_eq!(
+                fingerprint(&loaded, keywords, config.clone()),
+                fingerprint(&built, keywords, config),
+                "snapshot round trip changed results for {keywords:?} under {scoring}"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure1_roundtrip_is_bit_identical() {
+    let workload = vec![
+        vec![
+            "2006".to_string(),
+            "cimiano".to_string(),
+            "aifb".to_string(),
+        ],
+        vec!["cimiano".to_string(), "publication".to_string()],
+        vec!["publications".to_string()],
+    ];
+    assert_roundtrip_invisible(figure1_graph(), &workload);
+}
+
+#[test]
+fn loaded_graphs_accept_further_mutation() {
+    // A loaded graph keeps its adjacency in the frozen CSR form; the first
+    // mutation must transparently inflate it and leave the graph fully
+    // editable — and a re-saved snapshot of the *unmutated* load must be
+    // byte-identical to the original.
+    let built = PreparedGraph::index(figure1_graph());
+    let bytes = saved_bytes(&built);
+    let loaded = PreparedGraph::load(bytes.as_slice()).expect("load");
+    assert_eq!(saved_bytes(&loaded), bytes, "re-save must be byte-stable");
+
+    let mut graph = loaded.graph().clone();
+    let before = graph.edge_count();
+    graph
+        .insert_triple(&Triple::attribute("pub1URI", "note", "post-load edit"))
+        .expect("mutating a loaded graph");
+    assert_eq!(graph.edge_count(), before + 1);
+    let reindexed = PreparedGraph::index(graph);
+    assert_eq!(reindexed.graph().edge_count(), before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption robustness: typed errors, never panics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn truncated_snapshots_are_rejected_at_every_length() {
+    let bytes = saved_bytes(&PreparedGraph::index(figure1_graph()));
+    // Sampling every prefix would be slow (the snapshot is tens of KiB);
+    // a stride plus the boundary cases covers header, table and payloads.
+    let mut cuts: Vec<usize> = (0..bytes.len()).step_by(257).collect();
+    cuts.extend([0, 1, 7, 8, 15, 16, bytes.len() - 1]);
+    for cut in cuts {
+        match PreparedGraph::load(&bytes[..cut]) {
+            Err(
+                SnapshotError::Truncated | SnapshotError::BadMagic | SnapshotError::Corrupt { .. },
+            ) => {}
+            other => panic!("prefix of {cut} bytes must be rejected, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn flipped_payload_byte_is_a_checksum_mismatch() {
+    let bytes = saved_bytes(&PreparedGraph::index(figure1_graph()));
+    // The last byte belongs to the last section's payload.
+    let mut flipped = bytes.clone();
+    *flipped.last_mut().expect("non-empty snapshot") ^= 0x01;
+    assert!(matches!(
+        PreparedGraph::load(flipped.as_slice()),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn foreign_files_are_rejected_by_magic() {
+    let mut bytes = saved_bytes(&PreparedGraph::index(figure1_graph()));
+    bytes[0] ^= 0xFF;
+    assert!(matches!(
+        PreparedGraph::load(bytes.as_slice()),
+        Err(SnapshotError::BadMagic)
+    ));
+    assert!(matches!(
+        PreparedGraph::load(&b"PK\x03\x04 definitely a zip file"[..]),
+        Err(SnapshotError::BadMagic)
+    ));
+}
+
+#[test]
+fn future_format_versions_are_rejected_with_the_found_version() {
+    let mut bytes = saved_bytes(&PreparedGraph::index(figure1_graph()));
+    // The version field is the little-endian u32 right after the magic.
+    let future = FORMAT_VERSION + 1;
+    bytes[8..12].copy_from_slice(&future.to_le_bytes());
+    assert!(matches!(
+        PreparedGraph::load(bytes.as_slice()),
+        Err(SnapshotError::UnsupportedVersion { found }) if found == future
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Property: round trips are invisible on random graphs too.
+// ---------------------------------------------------------------------------
+
+/// A compact random data graph, mirroring the generator of the core
+/// proptest suite: a handful of classes, entities with attributes drawn
+/// from a small label pool, and random relations.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    triples: Vec<Triple>,
+    value_labels: Vec<String>,
+}
+
+fn random_graph() -> impl Strategy<Value = RandomGraph> {
+    let classes = ["Alpha", "Beta", "Gamma"];
+    let values = ["red", "green", "blue", "cyan", "amber"];
+    let relations = ["linksTo", "near", "uses"];
+
+    (
+        proptest::collection::vec((0usize..12, 0usize..classes.len()), 3..12),
+        proptest::collection::vec((0usize..12, 0usize..values.len()), 2..12),
+        proptest::collection::vec((0usize..12, 0usize..relations.len(), 0usize..12), 0..16),
+    )
+        .prop_map(move |(types, attrs, rels)| {
+            let mut triples = Vec::new();
+            let mut used_values = Vec::new();
+            for (e, c) in &types {
+                triples.push(Triple::typed(format!("e{e}"), classes[*c]));
+            }
+            for (e, v) in &attrs {
+                triples.push(Triple::attribute(format!("e{e}"), "label", values[*v]));
+                if !used_values.contains(&values[*v].to_string()) {
+                    used_values.push(values[*v].to_string());
+                }
+            }
+            for (s, r, o) in &rels {
+                triples.push(Triple::relation(
+                    format!("e{s}"),
+                    relations[*r],
+                    format!("e{o}"),
+                ));
+            }
+            RandomGraph {
+                triples,
+                value_labels: used_values,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Save → load is invisible on random graphs: all three scoring
+    /// functions produce bit-identical query streams and answer rows on
+    /// the loaded preparation, and re-saving it is byte-stable.
+    #[test]
+    fn random_graph_roundtrip_is_bit_identical(spec in random_graph()) {
+        prop_assume!(spec.value_labels.len() >= 2);
+        let mut graph = DataGraph::new();
+        for t in &spec.triples {
+            graph.insert_triple(t).expect("generated triples are well-formed");
+        }
+        let keywords: Vec<String> = spec.value_labels.iter().take(2).cloned().collect();
+
+        let built = PreparedGraph::index(graph);
+        let bytes = saved_bytes(&built);
+        let loaded = PreparedGraph::load(bytes.as_slice()).expect("load own snapshot");
+        prop_assert_eq!(saved_bytes(&loaded), bytes);
+
+        for scoring in ScoringFunction::all() {
+            let config = SearchConfig::with_k(5).scoring(scoring);
+            prop_assert_eq!(
+                fingerprint(&loaded, &keywords, config.clone()),
+                fingerprint(&built, &keywords, config),
+                "snapshot round trip changed results under {}",
+                scoring
+            );
+        }
+    }
+}

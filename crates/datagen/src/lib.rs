@@ -23,6 +23,12 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use kwsearch_rdf::DataGraph;
+
 pub mod dblp;
 pub mod lubm;
 pub mod names;
@@ -35,3 +41,15 @@ pub use lubm::{LubmConfig, LubmDataset};
 pub use tap::{TapConfig, TapDataset};
 pub use workload::{EffectivenessQuery, PerformanceQuery};
 pub use zipf::ZipfSampler;
+
+/// Writes a generated graph to `path` as N-Triples through the streaming
+/// writer (no intermediate `String` of the whole document), returning the
+/// number of bytes on disk. This is how the `large`/`huge` benchmark tiers
+/// materialise their 10⁶–10⁷ triple inputs for the ingest measurements.
+pub fn write_ntriples_file<P: AsRef<Path>>(graph: &DataGraph, path: P) -> io::Result<u64> {
+    let file = File::create(&path)?;
+    let mut writer = BufWriter::new(file);
+    kwsearch_rdf::ntriples::write_graph_to(graph, &mut writer)?;
+    writer.flush()?;
+    Ok(std::fs::metadata(&path)?.len())
+}

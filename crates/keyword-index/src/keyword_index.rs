@@ -13,11 +13,13 @@
 
 use std::collections::HashMap;
 
+use kwsearch_rdf::snapshot::{SectionDecoder, SectionEncoder, SnapshotError};
 use kwsearch_rdf::{DataGraph, EdgeLabel, EdgeLabelId, VertexId, VertexKind};
 
 use crate::analyzer::Analyzer;
 use crate::inverted::InvertedIndex;
 use crate::levenshtein::bounded_levenshtein;
+use crate::postings::{unpack, AttributeTable, ConnectionTable, PostingLists};
 use crate::thesaurus::Thesaurus;
 
 /// Reference to an indexable graph element.
@@ -129,14 +131,19 @@ impl Default for KeywordIndexConfig {
 }
 
 /// The keyword index: an IR engine over the labels of the data graph.
+///
+/// Construction accumulates into a hash-based [`InvertedIndex`] and then
+/// freezes everything into flat, offset-indexed columns
+/// ([`PostingLists`], [`ConnectionTable`], [`AttributeTable`]) — the shape
+/// that both lookups and disk snapshots operate on.
 #[derive(Debug, Clone)]
 pub struct KeywordIndex {
     analyzer: Analyzer,
     thesaurus: Thesaurus,
     config: KeywordIndexConfig,
-    index: InvertedIndex<ElementRef>,
-    value_connections: HashMap<VertexId, Vec<ValueConnection>>,
-    attribute_classes: HashMap<EdgeLabelId, (Vec<VertexId>, bool)>,
+    postings: PostingLists,
+    values: ConnectionTable,
+    attributes: AttributeTable,
     indexed_elements: usize,
 }
 
@@ -172,19 +179,22 @@ impl KeywordIndex {
         }
 
         // Values, together with their [V-vertex, A-edge, (C-vertex…)] data.
-        let mut value_connections: HashMap<VertexId, Vec<ValueConnection>> = HashMap::new();
+        // `vertices_of_kind` yields ascending vertex ids, the push order the
+        // frozen table requires.
+        let mut values = ConnectionTable::default();
         for value in graph.vertices_of_kind(VertexKind::Value) {
             let label = graph.vertex_label(value);
             for term in analyzer.analyze_unique(label) {
                 index.insert(&term, ElementRef::Value(value));
             }
             indexed_elements += 1;
-            value_connections.insert(value, Self::connections_of_value(graph, value));
+            values.push(value, &Self::connections_of_value(graph, value));
         }
 
         // Edge labels (relations and attributes), together with the
-        // [A-edge, (C-vertex…)] data for attributes.
-        let mut attribute_classes: HashMap<EdgeLabelId, (Vec<VertexId>, bool)> = HashMap::new();
+        // [A-edge, (C-vertex…)] data for attributes. `edge_labels` yields
+        // ascending label ids.
+        let mut attributes = AttributeTable::default();
         for (label_id, label) in graph.edge_labels() {
             match label {
                 EdgeLabel::Relation(sym) => {
@@ -200,7 +210,8 @@ impl KeywordIndex {
                         index.insert(&term, ElementRef::Attribute(label_id));
                     }
                     indexed_elements += 1;
-                    attribute_classes.insert(label_id, Self::classes_of_attribute(graph, label_id));
+                    let (classes, has_untyped) = Self::classes_of_attribute(graph, label_id);
+                    attributes.push(label_id, &classes, has_untyped);
                 }
                 EdgeLabel::Type | EdgeLabel::SubClass => {}
             }
@@ -210,9 +221,9 @@ impl KeywordIndex {
             analyzer,
             thesaurus,
             config,
-            index,
-            value_connections,
-            attribute_classes,
+            postings: PostingLists::from_inverted(&index),
+            values,
+            attributes,
             indexed_elements,
         }
     }
@@ -301,13 +312,13 @@ impl KeywordIndex {
             let stemmed = crate::stemmer::porter_stem(raw);
 
             // 1. Exact (post-analysis) matches.
-            for &element in self.index.get(&stemmed) {
-                record(&mut per_element, element, term_idx, num_terms, 1.0);
+            for &packed in self.postings.get_packed(&stemmed) {
+                record(&mut per_element, unpack(packed), term_idx, num_terms, 1.0);
             }
 
-            // 2. Fuzzy matches against the vocabulary.
+            // 2. Fuzzy matches against the (sorted) vocabulary.
             if self.config.fuzzy {
-                for vocab_term in self.index.terms() {
+                for (vocab_term, packed_postings) in self.postings.iter() {
                     if vocab_term == stemmed {
                         continue;
                     }
@@ -324,8 +335,8 @@ impl KeywordIndex {
                     if sim < self.config.min_fuzzy_similarity {
                         continue;
                     }
-                    for &element in self.index.get(vocab_term) {
-                        record(&mut per_element, element, term_idx, num_terms, sim);
+                    for &packed in packed_postings {
+                        record(&mut per_element, unpack(packed), term_idx, num_terms, sim);
                     }
                 }
             }
@@ -343,8 +354,14 @@ impl KeywordIndex {
                     for related in self.thesaurus.related(&variant) {
                         let weight = related.relation.weight();
                         for expanded in self.analyzer.analyze_unique(&related.term) {
-                            for &element in self.index.get(&expanded) {
-                                record(&mut per_element, element, term_idx, num_terms, weight);
+                            for &packed in self.postings.get_packed(&expanded) {
+                                record(
+                                    &mut per_element,
+                                    unpack(packed),
+                                    term_idx,
+                                    num_terms,
+                                    weight,
+                                );
                             }
                         }
                     }
@@ -386,11 +403,7 @@ impl KeywordIndex {
             ElementRef::Class(class) => MatchedElement::Class { class },
             ElementRef::Relation(label) => MatchedElement::Relation { label },
             ElementRef::Attribute(label) => {
-                let (classes, has_untyped_source) = self
-                    .attribute_classes
-                    .get(&label)
-                    .cloned()
-                    .unwrap_or_default();
+                let (classes, has_untyped_source) = self.attributes.get(label).unwrap_or_default();
                 MatchedElement::Attribute {
                     label,
                     classes,
@@ -399,18 +412,14 @@ impl KeywordIndex {
             }
             ElementRef::Value(value) => MatchedElement::Value {
                 value,
-                connections: self
-                    .value_connections
-                    .get(&value)
-                    .cloned()
-                    .unwrap_or_default(),
+                connections: self.values.get(value),
             },
         }
     }
 
-    /// Number of distinct terms in the inverted index.
+    /// Number of distinct terms in the index.
     pub fn term_count(&self) -> usize {
-        self.index.term_count()
+        self.postings.term_count()
     }
 
     /// Number of indexed graph elements.
@@ -420,32 +429,67 @@ impl KeywordIndex {
 
     /// Total number of postings.
     pub fn posting_count(&self) -> usize {
-        self.index.posting_count()
+        self.postings.posting_count()
     }
 
     /// Approximate heap size in bytes (Fig. 6b index-size report).
     pub fn heap_bytes(&self) -> usize {
-        let connections: usize = self
-            .value_connections
-            // lint: unordered-ok(reason = "summing byte sizes — addition over usize is commutative, so hash order cannot change the total")
-            .values()
-            .map(|v| {
-                v.len() * std::mem::size_of::<ValueConnection>()
-                    + v.iter().map(|c| c.classes.len() * 4).sum::<usize>()
-            })
-            .sum();
-        let attributes: usize = self
-            .attribute_classes
-            // lint: unordered-ok(reason = "summing byte sizes — addition over usize is commutative, so hash order cannot change the total")
-            .values()
-            .map(|(c, _)| c.len() * 4 + std::mem::size_of::<EdgeLabelId>())
-            .sum();
-        self.index.heap_bytes() + connections + attributes
+        self.postings.heap_bytes() + self.values.heap_bytes() + self.attributes.heap_bytes()
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &KeywordIndexConfig {
         &self.config
+    }
+
+    /// Serialises the complete index — analysis configuration, thesaurus,
+    /// frozen posting lists and augmentation side tables — into one section.
+    pub fn write_snapshot(&self, enc: &mut SectionEncoder) {
+        enc.put_u32(u32::from(self.analyzer.stemming));
+        enc.put_u32(u32::from(self.analyzer.remove_stop_words));
+        enc.put_u32(u32::from(self.analyzer.split_camel_case));
+        enc.put_u32(u32::from(self.config.fuzzy));
+        enc.put_u64(self.config.max_edit_distance as u64);
+        enc.put_f64(self.config.min_fuzzy_similarity);
+        enc.put_u32(u32::from(self.config.semantic));
+        enc.put_u64(self.config.max_matches_per_keyword as u64);
+        self.thesaurus.write_snapshot(enc);
+        self.postings.write_snapshot(enc);
+        self.values.write_snapshot(enc);
+        self.attributes.write_snapshot(enc);
+        enc.put_u64(self.indexed_elements as u64);
+    }
+
+    /// Reads an index serialised by [`Self::write_snapshot`]. The posting
+    /// lists and side tables load as bulk buffer reads; only the small
+    /// thesaurus is re-hashed.
+    pub fn read_snapshot(dec: &mut SectionDecoder<'_>) -> Result<Self, SnapshotError> {
+        let analyzer = Analyzer {
+            stemming: dec.get_u32()? != 0,
+            remove_stop_words: dec.get_u32()? != 0,
+            split_camel_case: dec.get_u32()? != 0,
+        };
+        let config = KeywordIndexConfig {
+            fuzzy: dec.get_u32()? != 0,
+            max_edit_distance: dec.get_u64()? as usize,
+            min_fuzzy_similarity: dec.get_f64()?,
+            semantic: dec.get_u32()? != 0,
+            max_matches_per_keyword: dec.get_u64()? as usize,
+        };
+        let thesaurus = Thesaurus::read_snapshot(dec)?;
+        let postings = PostingLists::read_snapshot(dec)?;
+        let values = ConnectionTable::read_snapshot(dec)?;
+        let attributes = AttributeTable::read_snapshot(dec)?;
+        let indexed_elements = dec.get_u64()? as usize;
+        Ok(Self {
+            analyzer,
+            thesaurus,
+            config,
+            postings,
+            values,
+            attributes,
+            indexed_elements,
+        })
     }
 }
 
@@ -666,6 +710,35 @@ mod tests {
         assert!(idx.element_count() > 10);
         assert!(idx.posting_count() >= idx.term_count());
         assert!(idx.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        use kwsearch_rdf::snapshot::{SnapshotReader, SnapshotWriter};
+        let (idx, _) = index();
+        let bytes_of = |idx: &KeywordIndex| {
+            let mut enc = SectionEncoder::new();
+            idx.write_snapshot(&mut enc);
+            let mut writer = SnapshotWriter::new();
+            writer.add_section(4, enc);
+            let mut bytes = Vec::new();
+            writer.write_to(&mut bytes).unwrap();
+            bytes
+        };
+        let bytes = bytes_of(&idx);
+        let reader = SnapshotReader::read_from(bytes.as_slice()).unwrap();
+        let mut dec = reader.section(4).unwrap();
+        let loaded = KeywordIndex::read_snapshot(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(loaded.term_count(), idx.term_count());
+        assert_eq!(loaded.element_count(), idx.element_count());
+        assert_eq!(loaded.posting_count(), idx.posting_count());
+        for keyword in ["publications", "AIFB", "author", "year", "cimano", "papers"] {
+            assert_eq!(loaded.lookup(keyword), idx.lookup(keyword), "{keyword}");
+        }
+        // Save → load → save is byte-identical.
+        assert_eq!(bytes_of(&loaded), bytes);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`stopwords`] — the built-in English stop-word list,
 //! * [`levenshtein`](mod@levenshtein) — bounded edit distance for syntactic similarity,
 //! * [`thesaurus`] — synonym/hypernym expansion standing in for WordNet,
-//! * [`inverted`] — the term → posting-list inverted index,
+//! * [`inverted`] — the build-time term → posting-list accumulator,
+//! * [`postings`] — the frozen flat posting lists and augmentation side
+//!   tables that lookups and disk snapshots operate on,
 //! * [`keyword_index`] — the keyword-to-element map returning, for each
 //!   keyword, the matching classes, values, relations and attributes with
 //!   their neighbourhood data structures (`[V-vertex, A-edge, (C-vertex…)]`)
@@ -28,6 +30,7 @@ pub mod analyzer;
 pub mod inverted;
 pub mod keyword_index;
 pub mod levenshtein;
+pub mod postings;
 pub mod stemmer;
 pub mod stopwords;
 pub mod thesaurus;
@@ -38,5 +41,6 @@ pub use keyword_index::{
     ElementRef, KeywordIndex, KeywordIndexConfig, KeywordMatch, MatchedElement, ValueConnection,
 };
 pub use levenshtein::{bounded_levenshtein, levenshtein, similarity};
+pub use postings::PostingLists;
 pub use stemmer::porter_stem;
 pub use thesaurus::Thesaurus;

@@ -1,0 +1,515 @@
+//! Frozen, snapshot-friendly storage for the keyword index.
+//!
+//! [`InvertedIndex`] is the *build-time* accumulator;
+//! once construction finishes it is frozen into [`PostingLists`]: the sorted
+//! vocabulary as one string blob plus an offsets column, and all posting
+//! lists as one packed `u32` column sliced by a second offsets column.
+//! Lookups binary-search the vocabulary, and a snapshot load is a handful of
+//! bulk buffer reads — no per-term allocation, hashing or parsing.
+//!
+//! The same flattening is applied to the two augmentation side tables:
+//! [`ConnectionTable`] (per V-vertex `[V-vertex, A-edge, (C-vertex…)]`
+//! structures) and [`AttributeTable`] (per A-edge label `(C-vertex…)`
+//! structures).
+
+use kwsearch_rdf::snapshot::{SectionDecoder, SectionEncoder, SnapshotError};
+use kwsearch_rdf::{EdgeLabelId, VertexId};
+
+use crate::inverted::InvertedIndex;
+use crate::keyword_index::{ElementRef, ValueConnection};
+
+const TAG_CLASS: u32 = 0;
+const TAG_VALUE: u32 = 1;
+const TAG_RELATION: u32 = 2;
+const TAG_ATTRIBUTE: u32 = 3;
+const TAG_SHIFT: u32 = 30;
+const ID_MASK: u32 = (1 << TAG_SHIFT) - 1;
+
+/// Packs an element reference into one `u32`: a 2-bit kind tag plus a
+/// 30-bit dense id. 2³⁰ vertices/labels is two orders of magnitude above
+/// the `huge` (10⁷ triple) tier.
+pub(crate) fn pack(element: ElementRef) -> u32 {
+    let (tag, id) = match element {
+        ElementRef::Class(v) => (TAG_CLASS, v.index() as u32),
+        ElementRef::Value(v) => (TAG_VALUE, v.index() as u32),
+        ElementRef::Relation(l) => (TAG_RELATION, l.index() as u32),
+        ElementRef::Attribute(l) => (TAG_ATTRIBUTE, l.index() as u32),
+    };
+    assert!(
+        id <= ID_MASK,
+        "dense id exceeds 30-bit packed posting space"
+    );
+    (tag << TAG_SHIFT) | id
+}
+
+/// Inverse of [`pack`].
+pub(crate) fn unpack(packed: u32) -> ElementRef {
+    let id = packed & ID_MASK;
+    match packed >> TAG_SHIFT {
+        TAG_CLASS => ElementRef::Class(VertexId::from_index(id)),
+        TAG_VALUE => ElementRef::Value(VertexId::from_index(id)),
+        TAG_RELATION => ElementRef::Relation(EdgeLabelId::from_index(id)),
+        _ => ElementRef::Attribute(EdgeLabelId::from_index(id)),
+    }
+}
+
+/// The frozen term → packed-posting map.
+#[derive(Debug, Clone, Default)]
+pub struct PostingLists {
+    /// All vocabulary terms concatenated in sorted order.
+    term_bytes: String,
+    /// `term_offsets[i]..term_offsets[i + 1]` delimits term `i`.
+    term_offsets: Vec<u32>,
+    /// `posting_offsets[i]..posting_offsets[i + 1]` delimits the postings
+    /// of term `i`.
+    posting_offsets: Vec<u32>,
+    /// All packed postings, concatenated per term.
+    postings: Vec<u32>,
+}
+
+impl PostingLists {
+    /// Freezes a build-time inverted index. Terms are sorted; each posting
+    /// list keeps its insertion order.
+    pub fn from_inverted(index: &InvertedIndex<ElementRef>) -> Self {
+        let mut entries: Vec<(&str, &[ElementRef])> = index.entries().collect();
+        entries.sort_unstable_by_key(|(term, _)| *term);
+        let mut out = Self {
+            term_offsets: vec![0],
+            posting_offsets: vec![0],
+            ..Self::default()
+        };
+        for (term, postings) in entries {
+            out.term_bytes.push_str(term);
+            out.term_offsets.push(out.term_bytes.len() as u32);
+            out.postings.extend(postings.iter().map(|&e| pack(e)));
+            out.posting_offsets.push(out.postings.len() as u32);
+        }
+        out
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.term_offsets.len() - 1
+    }
+
+    /// Total number of postings.
+    pub fn posting_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    #[inline]
+    fn term_at(&self, i: usize) -> &str {
+        &self.term_bytes[self.term_offsets[i] as usize..self.term_offsets[i + 1] as usize]
+    }
+
+    #[inline]
+    fn postings_at(&self, i: usize) -> &[u32] {
+        &self.postings[self.posting_offsets[i] as usize..self.posting_offsets[i + 1] as usize]
+    }
+
+    /// The packed posting list of `term` (empty if unknown); binary search
+    /// over the sorted vocabulary.
+    pub fn get_packed(&self, term: &str) -> &[u32] {
+        let mut lo = 0usize;
+        let mut hi = self.term_count();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.term_at(mid) < term {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < self.term_count() && self.term_at(lo) == term {
+            self.postings_at(lo)
+        } else {
+            &[]
+        }
+    }
+
+    /// Iterates `(term, packed postings)` in sorted term order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[u32])> + '_ {
+        (0..self.term_count()).map(|i| (self.term_at(i), self.postings_at(i)))
+    }
+
+    /// Approximate heap bytes (Fig. 6b index-size report).
+    pub fn heap_bytes(&self) -> usize {
+        self.term_bytes.len()
+            + (self.term_offsets.len() + self.posting_offsets.len() + self.postings.len())
+                * std::mem::size_of::<u32>()
+    }
+
+    /// Serialises the four flat buffers verbatim.
+    pub fn write_snapshot(&self, enc: &mut SectionEncoder) {
+        enc.put_str(&self.term_bytes);
+        enc.put_u32_slice(&self.term_offsets);
+        enc.put_u32_slice(&self.posting_offsets);
+        enc.put_u32_slice(&self.postings);
+    }
+
+    /// Bulk-loads the four flat buffers, validating the offset structure and
+    /// sorted vocabulary.
+    pub fn read_snapshot(dec: &mut SectionDecoder<'_>) -> Result<Self, SnapshotError> {
+        let term_bytes = dec.get_string()?;
+        let term_offsets = dec.get_u32_vec()?;
+        let posting_offsets = dec.get_u32_vec()?;
+        let postings = dec.get_u32_vec()?;
+        validate_offsets(dec, &term_offsets, term_bytes.len(), "posting term")?;
+        if term_offsets
+            .iter()
+            .any(|&o| !term_bytes.is_char_boundary(o as usize))
+        {
+            return Err(dec.corrupt("posting term offset splits a UTF-8 character"));
+        }
+        if posting_offsets.len() != term_offsets.len() {
+            return Err(dec.corrupt("posting offsets do not match the term count"));
+        }
+        validate_offsets(dec, &posting_offsets, postings.len(), "posting list")?;
+        let out = Self {
+            term_bytes,
+            term_offsets,
+            posting_offsets,
+            postings,
+        };
+        for i in 1..out.term_count() {
+            if out.term_at(i - 1) >= out.term_at(i) {
+                return Err(dec.corrupt("posting vocabulary is not sorted"));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// An offsets column must start at 0, be monotone, and end at `total`.
+fn validate_offsets(
+    dec: &SectionDecoder<'_>,
+    offsets: &[u32],
+    total: usize,
+    what: &str,
+) -> Result<(), SnapshotError> {
+    if offsets.first() != Some(&0) || offsets.last().map(|&o| o as usize) != Some(total) {
+        return Err(dec.corrupt(format!("{what} offsets do not cover the buffer")));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(dec.corrupt(format!("{what} offsets are not monotone")));
+    }
+    Ok(())
+}
+
+/// Frozen per-V-vertex `[V-vertex, A-edge, (C-vertex…)]` structures.
+///
+/// Three-level CSR: value → connections → classes, with one flag column per
+/// connection. Lookup is a binary search over the sorted value ids;
+/// [`Self::get`] materialises the `Vec<ValueConnection>` shape the
+/// augmentation consumes (the previous `HashMap` representation also cloned
+/// per lookup, so the output and its cost are unchanged).
+#[derive(Debug, Clone, Default)]
+pub struct ConnectionTable {
+    values: Vec<u32>,
+    conn_offsets: Vec<u32>,
+    attrs: Vec<u32>,
+    flags: Vec<u32>,
+    class_offsets: Vec<u32>,
+    classes: Vec<u32>,
+}
+
+impl ConnectionTable {
+    /// Builds from `(value, connections)` pairs; `push` order must be by
+    /// ascending value id (the build loop iterates vertices in id order).
+    pub fn push(&mut self, value: VertexId, connections: &[ValueConnection]) {
+        if self.conn_offsets.is_empty() {
+            self.conn_offsets.push(0);
+            self.class_offsets.push(0);
+        }
+        debug_assert!(self.values.last().is_none_or(|&v| v < value.index() as u32));
+        self.values.push(value.index() as u32);
+        for conn in connections {
+            self.attrs.push(conn.attribute.index() as u32);
+            self.flags.push(u32::from(conn.has_untyped_source));
+            self.classes
+                .extend(conn.classes.iter().map(|c| c.index() as u32));
+            self.class_offsets.push(self.classes.len() as u32);
+        }
+        self.conn_offsets.push(self.attrs.len() as u32);
+    }
+
+    /// The connections of `value` (empty if the vertex carries none).
+    pub fn get(&self, value: VertexId) -> Vec<ValueConnection> {
+        let Ok(i) = self.values.binary_search(&(value.index() as u32)) else {
+            return Vec::new();
+        };
+        let (start, end) = (
+            self.conn_offsets[i] as usize,
+            self.conn_offsets[i + 1] as usize,
+        );
+        (start..end)
+            .map(|c| ValueConnection {
+                attribute: EdgeLabelId::from_index(self.attrs[c]),
+                classes: self.classes
+                    [self.class_offsets[c] as usize..self.class_offsets[c + 1] as usize]
+                    .iter()
+                    .map(|&v| VertexId::from_index(v))
+                    .collect(),
+                has_untyped_source: self.flags[c] != 0,
+            })
+            .collect()
+    }
+
+    /// Approximate heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        (self.values.len()
+            + self.conn_offsets.len()
+            + self.attrs.len()
+            + self.flags.len()
+            + self.class_offsets.len()
+            + self.classes.len())
+            * std::mem::size_of::<u32>()
+    }
+
+    /// Serialises the six flat columns verbatim.
+    pub fn write_snapshot(&self, enc: &mut SectionEncoder) {
+        enc.put_u32_slice(&self.values);
+        enc.put_u32_slice(&self.conn_offsets);
+        enc.put_u32_slice(&self.attrs);
+        enc.put_u32_slice(&self.flags);
+        enc.put_u32_slice(&self.class_offsets);
+        enc.put_u32_slice(&self.classes);
+    }
+
+    /// Bulk-loads the six flat columns, validating the CSR structure.
+    pub fn read_snapshot(dec: &mut SectionDecoder<'_>) -> Result<Self, SnapshotError> {
+        let values = dec.get_u32_vec()?;
+        let conn_offsets = dec.get_u32_vec()?;
+        let attrs = dec.get_u32_vec()?;
+        let flags = dec.get_u32_vec()?;
+        let class_offsets = dec.get_u32_vec()?;
+        let classes = dec.get_u32_vec()?;
+        if values.is_empty() && conn_offsets.is_empty() {
+            // An empty table round-trips to all-empty columns.
+            return Ok(Self::default());
+        }
+        if values.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(dec.corrupt("connection table values are not sorted"));
+        }
+        if conn_offsets.len() != values.len() + 1 {
+            return Err(dec.corrupt("connection offsets do not match the value count"));
+        }
+        validate_offsets(dec, &conn_offsets, attrs.len(), "connection")?;
+        if flags.len() != attrs.len() {
+            return Err(dec.corrupt("connection flag column length mismatch"));
+        }
+        if class_offsets.len() != attrs.len() + 1 {
+            return Err(dec.corrupt("class offsets do not match the connection count"));
+        }
+        validate_offsets(dec, &class_offsets, classes.len(), "connection class")?;
+        Ok(Self {
+            values,
+            conn_offsets,
+            attrs,
+            flags,
+            class_offsets,
+            classes,
+        })
+    }
+}
+
+/// Frozen per-attribute-label `(C-vertex…)` structures plus untyped flag.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeTable {
+    attrs: Vec<u32>,
+    flags: Vec<u32>,
+    class_offsets: Vec<u32>,
+    classes: Vec<u32>,
+}
+
+impl AttributeTable {
+    /// Builds from entries pushed in ascending attribute-label-id order.
+    pub fn push(&mut self, label: EdgeLabelId, classes: &[VertexId], has_untyped: bool) {
+        if self.class_offsets.is_empty() {
+            self.class_offsets.push(0);
+        }
+        debug_assert!(self.attrs.last().is_none_or(|&a| a < label.index() as u32));
+        self.attrs.push(label.index() as u32);
+        self.flags.push(u32::from(has_untyped));
+        self.classes
+            .extend(classes.iter().map(|c| c.index() as u32));
+        self.class_offsets.push(self.classes.len() as u32);
+    }
+
+    /// The classes and untyped flag of `label`, if it is an indexed
+    /// attribute.
+    pub fn get(&self, label: EdgeLabelId) -> Option<(Vec<VertexId>, bool)> {
+        let i = self.attrs.binary_search(&(label.index() as u32)).ok()?;
+        let classes = self.classes
+            [self.class_offsets[i] as usize..self.class_offsets[i + 1] as usize]
+            .iter()
+            .map(|&v| VertexId::from_index(v))
+            .collect();
+        Some((classes, self.flags[i] != 0))
+    }
+
+    /// Approximate heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        (self.attrs.len() + self.flags.len() + self.class_offsets.len() + self.classes.len())
+            * std::mem::size_of::<u32>()
+    }
+
+    /// Serialises the four flat columns verbatim.
+    pub fn write_snapshot(&self, enc: &mut SectionEncoder) {
+        enc.put_u32_slice(&self.attrs);
+        enc.put_u32_slice(&self.flags);
+        enc.put_u32_slice(&self.class_offsets);
+        enc.put_u32_slice(&self.classes);
+    }
+
+    /// Bulk-loads the four flat columns, validating the structure.
+    pub fn read_snapshot(dec: &mut SectionDecoder<'_>) -> Result<Self, SnapshotError> {
+        let attrs = dec.get_u32_vec()?;
+        let flags = dec.get_u32_vec()?;
+        let class_offsets = dec.get_u32_vec()?;
+        let classes = dec.get_u32_vec()?;
+        if attrs.is_empty() && class_offsets.is_empty() {
+            return Ok(Self::default());
+        }
+        if attrs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(dec.corrupt("attribute table labels are not sorted"));
+        }
+        if flags.len() != attrs.len() {
+            return Err(dec.corrupt("attribute flag column length mismatch"));
+        }
+        if class_offsets.len() != attrs.len() + 1 {
+            return Err(dec.corrupt("attribute class offsets do not match the label count"));
+        }
+        validate_offsets(dec, &class_offsets, classes.len(), "attribute class")?;
+        Ok(Self {
+            attrs,
+            flags,
+            class_offsets,
+            classes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let elements = [
+            ElementRef::Class(VertexId::from_index(0)),
+            ElementRef::Value(VertexId::from_index(12345)),
+            ElementRef::Relation(EdgeLabelId::from_index(ID_MASK)),
+            ElementRef::Attribute(EdgeLabelId::from_index(7)),
+        ];
+        for e in elements {
+            assert_eq!(unpack(pack(e)), e);
+        }
+    }
+
+    #[test]
+    fn frozen_lists_match_the_inverted_index() {
+        let mut inv = InvertedIndex::new();
+        inv.insert("beta", ElementRef::Class(VertexId::from_index(1)));
+        inv.insert("alpha", ElementRef::Value(VertexId::from_index(2)));
+        inv.insert("alpha", ElementRef::Value(VertexId::from_index(3)));
+        inv.insert("gamma", ElementRef::Relation(EdgeLabelId::from_index(0)));
+        let frozen = PostingLists::from_inverted(&inv);
+        assert_eq!(frozen.term_count(), 3);
+        assert_eq!(frozen.posting_count(), inv.posting_count());
+        // Sorted vocabulary.
+        let terms: Vec<&str> = frozen.iter().map(|(t, _)| t).collect();
+        assert_eq!(terms, vec!["alpha", "beta", "gamma"]);
+        // Postings preserved in insertion order.
+        let alpha: Vec<ElementRef> = frozen
+            .get_packed("alpha")
+            .iter()
+            .map(|&p| unpack(p))
+            .collect();
+        assert_eq!(
+            alpha,
+            vec![
+                ElementRef::Value(VertexId::from_index(2)),
+                ElementRef::Value(VertexId::from_index(3)),
+            ]
+        );
+        assert!(frozen.get_packed("missing").is_empty());
+        assert!(frozen.get_packed("").is_empty());
+    }
+
+    #[test]
+    fn posting_snapshot_round_trips() {
+        use kwsearch_rdf::snapshot::{SnapshotReader, SnapshotWriter};
+        let mut inv = InvertedIndex::new();
+        for (i, term) in ["x", "yy", "zzz", "aa"].iter().enumerate() {
+            inv.insert(term, ElementRef::Class(VertexId::from_index(i as u32)));
+        }
+        let frozen = PostingLists::from_inverted(&inv);
+        let mut enc = SectionEncoder::new();
+        frozen.write_snapshot(&mut enc);
+        let mut writer = SnapshotWriter::new();
+        writer.add_section(9, enc);
+        let mut bytes = Vec::new();
+        writer.write_to(&mut bytes).unwrap();
+        let reader = SnapshotReader::read_from(bytes.as_slice()).unwrap();
+        let mut dec = reader.section(9).unwrap();
+        let loaded = PostingLists::read_snapshot(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(loaded.term_count(), frozen.term_count());
+        for (a, b) in loaded.iter().zip(frozen.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn connection_table_lookups() {
+        let mut table = ConnectionTable::default();
+        table.push(
+            VertexId::from_index(3),
+            &[ValueConnection {
+                attribute: EdgeLabelId::from_index(1),
+                classes: vec![VertexId::from_index(9)],
+                has_untyped_source: false,
+            }],
+        );
+        table.push(
+            VertexId::from_index(8),
+            &[
+                ValueConnection {
+                    attribute: EdgeLabelId::from_index(0),
+                    classes: vec![],
+                    has_untyped_source: true,
+                },
+                ValueConnection {
+                    attribute: EdgeLabelId::from_index(2),
+                    classes: vec![VertexId::from_index(4), VertexId::from_index(5)],
+                    has_untyped_source: false,
+                },
+            ],
+        );
+        assert_eq!(table.get(VertexId::from_index(3)).len(), 1);
+        let conns = table.get(VertexId::from_index(8));
+        assert_eq!(conns.len(), 2);
+        assert!(conns[0].has_untyped_source);
+        assert_eq!(conns[1].classes.len(), 2);
+        assert!(table.get(VertexId::from_index(7)).is_empty());
+    }
+
+    #[test]
+    fn attribute_table_lookups() {
+        let mut table = AttributeTable::default();
+        table.push(
+            EdgeLabelId::from_index(2),
+            &[VertexId::from_index(1)],
+            false,
+        );
+        table.push(EdgeLabelId::from_index(5), &[], true);
+        let (classes, untyped) = table.get(EdgeLabelId::from_index(2)).unwrap();
+        assert_eq!(classes, vec![VertexId::from_index(1)]);
+        assert!(!untyped);
+        let (classes, untyped) = table.get(EdgeLabelId::from_index(5)).unwrap();
+        assert!(classes.is_empty());
+        assert!(untyped);
+        assert!(table.get(EdgeLabelId::from_index(3)).is_none());
+    }
+}

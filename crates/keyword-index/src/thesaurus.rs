@@ -14,6 +14,8 @@
 
 use std::collections::HashMap;
 
+use kwsearch_rdf::snapshot::{SectionDecoder, SectionEncoder, SnapshotError};
+
 /// Relation between a term and a related term.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Relation {
@@ -32,6 +34,25 @@ impl Relation {
             Relation::Synonym => 0.9,
             Relation::Hypernym => 0.7,
             Relation::Hyponym => 0.7,
+        }
+    }
+
+    /// Stable numeric tag used by the snapshot format.
+    fn tag(self) -> u32 {
+        match self {
+            Relation::Synonym => 0,
+            Relation::Hypernym => 1,
+            Relation::Hyponym => 2,
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    fn from_tag(tag: u32) -> Option<Self> {
+        match tag {
+            0 => Some(Relation::Synonym),
+            1 => Some(Relation::Hypernym),
+            2 => Some(Relation::Hyponym),
+            _ => None,
         }
     }
 }
@@ -163,6 +184,53 @@ impl Thesaurus {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Serialises the table with terms in sorted order, so equal thesauri
+    /// produce byte-identical snapshots.
+    pub fn write_snapshot(&self, enc: &mut SectionEncoder) {
+        let mut terms: Vec<&String> = self
+            .entries
+            // lint: unordered-ok(reason = "keys are collected and sorted before serialisation, erasing hash order")
+            .keys()
+            .collect();
+        terms.sort_unstable();
+        enc.put_u64(terms.len() as u64);
+        for term in terms {
+            enc.put_str(term);
+            let related = &self.entries[term];
+            enc.put_u64(related.len() as u64);
+            for r in related {
+                enc.put_str(&r.term);
+                enc.put_u32(r.relation.tag());
+            }
+        }
+    }
+
+    /// Reads a table serialised by [`Self::write_snapshot`]. The thesaurus
+    /// is small (hundreds of entries), so rebuilding the hash map here does
+    /// not threaten the O(bytes) load budget.
+    pub fn read_snapshot(dec: &mut SectionDecoder<'_>) -> Result<Self, SnapshotError> {
+        let term_count = dec.get_u64()?;
+        let mut entries = HashMap::new();
+        for _ in 0..term_count {
+            let term = dec.get_string()?;
+            let related_count = dec.get_u64()?;
+            let mut related = Vec::new();
+            for _ in 0..related_count {
+                let related_term = dec.get_string()?;
+                let relation = Relation::from_tag(dec.get_u32()?)
+                    .ok_or_else(|| dec.corrupt("unknown thesaurus relation tag"))?;
+                related.push(RelatedTerm {
+                    term: related_term,
+                    relation,
+                });
+            }
+            if entries.insert(term, related).is_some() {
+                return Err(dec.corrupt("duplicate thesaurus term"));
+            }
+        }
+        Ok(Self { entries })
+    }
 }
 
 #[cfg(test)]
@@ -235,5 +303,31 @@ mod tests {
     fn relation_weights_order_synonyms_first() {
         assert!(Relation::Synonym.weight() > Relation::Hypernym.weight());
         assert_eq!(Relation::Hypernym.weight(), Relation::Hyponym.weight());
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_is_deterministic() {
+        use kwsearch_rdf::snapshot::{SnapshotReader, SnapshotWriter};
+        let t = Thesaurus::builtin();
+        let bytes_of = |t: &Thesaurus| {
+            let mut enc = SectionEncoder::new();
+            t.write_snapshot(&mut enc);
+            let mut writer = SnapshotWriter::new();
+            writer.add_section(1, enc);
+            let mut bytes = Vec::new();
+            writer.write_to(&mut bytes).unwrap();
+            bytes
+        };
+        let bytes = bytes_of(&t);
+        // Deterministic despite the HashMap backing store.
+        assert_eq!(bytes, bytes_of(&Thesaurus::builtin()));
+        let reader = SnapshotReader::read_from(bytes.as_slice()).unwrap();
+        let mut dec = reader.section(1).unwrap();
+        let loaded = Thesaurus::read_snapshot(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(loaded.len(), t.len());
+        for term in ["publication", "researcher", "person", "film"] {
+            assert_eq!(loaded.related(term), t.related(term));
+        }
     }
 }

@@ -38,6 +38,22 @@ pub enum RdfError {
     UnknownVertex(String),
     /// A referenced predicate label does not exist in the graph.
     UnknownPredicate(String),
+    /// An I/O failure during streamed ingest or serialisation.
+    ///
+    /// Carries the error message rather than the `std::io::Error` itself so
+    /// the type stays `Clone + PartialEq`.
+    Io {
+        /// Message of the underlying I/O error.
+        message: String,
+    },
+}
+
+impl From<std::io::Error> for RdfError {
+    fn from(e: std::io::Error) -> Self {
+        RdfError::Io {
+            message: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for RdfError {
@@ -61,6 +77,7 @@ impl fmt::Display for RdfError {
             }
             RdfError::UnknownVertex(label) => write!(f, "unknown vertex `{label}`"),
             RdfError::UnknownPredicate(label) => write!(f, "unknown predicate `{label}`"),
+            RdfError::Io { message } => write!(f, "I/O error: {message}"),
         }
     }
 }

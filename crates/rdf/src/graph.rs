@@ -14,8 +14,9 @@ use std::collections::{HashMap, HashSet};
 
 use crate::error::RdfError;
 use crate::interner::{Interner, Symbol};
+use crate::snapshot::{SectionDecoder, SectionEncoder, SnapshotError};
 use crate::term::Term;
-use crate::triple::{EdgeKind, Triple};
+use crate::triple::{EdgeKind, Triple, TripleRef};
 use crate::vocab;
 use crate::Result;
 
@@ -28,6 +29,14 @@ impl VertexId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Reconstructs a vertex id from its dense index (snapshot loading).
+    /// The caller is responsible for the index being in range for the
+    /// graph the id is used with.
+    #[inline]
+    pub fn from_index(index: u32) -> Self {
+        Self(index)
     }
 }
 
@@ -52,6 +61,13 @@ impl EdgeLabelId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Reconstructs an edge-label id from its dense index (snapshot
+    /// loading). The caller is responsible for the index being in range.
+    #[inline]
+    pub fn from_index(index: u32) -> Self {
+        Self(index)
     }
 }
 
@@ -130,6 +146,72 @@ pub struct Edge {
     pub to: VertexId,
 }
 
+/// Per-vertex edge lists in one of two physical forms.
+///
+/// A graph built by inserts uses the inflated list-of-lists form. A graph
+/// loaded from a snapshot keeps the two flat CSR columns it was stored as —
+/// re-inflating them would cost one small allocation *per vertex*, the
+/// single hottest part of a load at 10⁶-edge scale — and inflates lazily on
+/// the first mutation, the same strategy as the lazily rebuilt edge-dedup
+/// set. Reads are slices in both forms, so lookups never pay for the split.
+#[derive(Debug, Clone)]
+enum Adjacency {
+    /// Append-friendly form: `lists[v]` are the edges of vertex `v`.
+    Lists(Vec<Vec<EdgeId>>),
+    /// Frozen snapshot form: the edges of vertex `v` are
+    /// `flat[offsets[v]..offsets[v + 1]]`.
+    Csr {
+        offsets: Vec<u32>,
+        flat: Vec<EdgeId>,
+    },
+}
+
+impl Default for Adjacency {
+    fn default() -> Self {
+        Adjacency::Lists(Vec::new())
+    }
+}
+
+impl Adjacency {
+    /// The edges of vertex `v`.
+    #[inline]
+    fn edges(&self, v: usize) -> &[EdgeId] {
+        match self {
+            Adjacency::Lists(lists) => &lists[v],
+            Adjacency::Csr { offsets, flat } => &flat[offsets[v] as usize..offsets[v + 1] as usize],
+        }
+    }
+
+    /// Converts the frozen form to lists; no-op when already inflated.
+    fn inflate(&mut self) {
+        if let Adjacency::Csr { offsets, flat } = self {
+            let lists = offsets
+                .windows(2)
+                .map(|pair| flat[pair[0] as usize..pair[1] as usize].to_vec())
+                .collect();
+            *self = Adjacency::Lists(lists);
+        }
+    }
+
+    fn lists_mut(&mut self) -> &mut Vec<Vec<EdgeId>> {
+        self.inflate();
+        match self {
+            Adjacency::Lists(lists) => lists,
+            Adjacency::Csr { .. } => unreachable!("inflate leaves the lists form"),
+        }
+    }
+
+    /// Appends an empty edge list for a new vertex.
+    fn push_vertex(&mut self) {
+        self.lists_mut().push(Vec::new());
+    }
+
+    /// Appends an edge to the list of vertex `v`.
+    fn push_edge(&mut self, v: usize, e: EdgeId) {
+        self.lists_mut()[v].push(e);
+    }
+}
+
 /// The in-memory typed RDF data graph.
 #[derive(Debug, Default, Clone)]
 pub struct DataGraph {
@@ -138,12 +220,16 @@ pub struct DataGraph {
     edges: Vec<Edge>,
     edge_labels: Vec<EdgeLabel>,
     edge_label_ids: HashMap<EdgeLabel, EdgeLabelId>,
-    out_adj: Vec<Vec<EdgeId>>,
-    in_adj: Vec<Vec<EdgeId>>,
+    out_adj: Adjacency,
+    in_adj: Adjacency,
     entities: HashMap<Symbol, VertexId>,
     classes: HashMap<Symbol, VertexId>,
     values: HashMap<Symbol, VertexId>,
     edge_set: HashSet<(VertexId, EdgeLabelId, VertexId)>,
+    /// Set when the graph was loaded from a snapshot: `edge_set` is then
+    /// empty and is rebuilt lazily on the first mutation, keeping snapshot
+    /// loads O(bytes). `false` (the default) means `edge_set` is in sync.
+    edge_set_stale: bool,
 }
 
 impl DataGraph {
@@ -183,8 +269,8 @@ impl DataGraph {
     fn push_vertex(&mut self, kind: VertexKind, label: Symbol) -> VertexId {
         let id = VertexId(self.vertices.len() as u32);
         self.vertices.push(Vertex { kind, label });
-        self.out_adj.push(Vec::new());
-        self.in_adj.push(Vec::new());
+        self.out_adj.push_vertex();
+        self.in_adj.push_vertex();
         id
     }
 
@@ -398,10 +484,14 @@ impl DataGraph {
     /// existing edge id is returned.
     pub fn add_edge(&mut self, from: VertexId, label: EdgeLabel, to: VertexId) -> Result<EdgeId> {
         self.validate_edge(label, from, to)?;
+        if self.edge_set_stale {
+            self.edge_set = self.edges.iter().map(|e| (e.from, e.label, e.to)).collect();
+            self.edge_set_stale = false;
+        }
         let label_id = self.ensure_edge_label(label);
         if self.edge_set.contains(&(from, label_id, to)) {
             // Linear scan over the (short) out-adjacency list of `from`.
-            for &e in &self.out_adj[from.index()] {
+            for &e in self.out_adj.edges(from.index()) {
                 let edge = self.edges[e.index()];
                 if edge.label == label_id && edge.to == to {
                     return Ok(e);
@@ -415,8 +505,8 @@ impl DataGraph {
             from,
             to,
         });
-        self.out_adj[from.index()].push(id);
-        self.in_adj[to.index()].push(id);
+        self.out_adj.push_edge(from.index(), id);
+        self.in_adj.push_edge(to.index(), id);
         self.edge_set.insert((from, label_id, to));
         Ok(id)
     }
@@ -459,6 +549,58 @@ impl DataGraph {
         }
     }
 
+    /// Builds the malformed-schema-triple error off the hot ingest path —
+    /// the allocation only ever happens on invalid input.
+    #[cold]
+    fn literal_object_error(kind: &str, value: &str) -> RdfError {
+        RdfError::InvalidEdge {
+            reason: format!("`{kind}` triple with literal object \"{value}\""),
+        }
+    }
+
+    /// Inserts a borrowed triple, creating the vertices it refers to.
+    ///
+    /// This is the streamed-ingest twin of [`Self::insert_triple`]: it
+    /// performs the same classification and interning in the same order (so
+    /// a graph ingested from a stream is bit-identical to one built from
+    /// owned [`Triple`]s) but never allocates an intermediate `String`.
+    // lint: hot-path
+    pub fn insert_triple_ref(&mut self, triple: &TripleRef<'_>) -> Result<EdgeId> {
+        match triple.edge_kind() {
+            EdgeKind::Type => {
+                if !triple.object.is_iri() {
+                    return Err(Self::literal_object_error("type", triple.object.value()));
+                }
+                let s = self.add_entity(triple.subject);
+                let o = self.add_class(triple.object.value());
+                self.add_edge(s, EdgeLabel::Type, o)
+            }
+            EdgeKind::SubClass => {
+                if !triple.object.is_iri() {
+                    return Err(Self::literal_object_error(
+                        "subclass",
+                        triple.object.value(),
+                    ));
+                }
+                let s = self.add_class(triple.subject);
+                let o = self.add_class(triple.object.value());
+                self.add_edge(s, EdgeLabel::SubClass, o)
+            }
+            EdgeKind::Relation => {
+                let s = self.add_entity(triple.subject);
+                let o = self.add_entity(triple.object.value());
+                let p = self.interner.intern(triple.predicate);
+                self.add_edge(s, EdgeLabel::Relation(p), o)
+            }
+            EdgeKind::Attribute => {
+                let s = self.add_entity(triple.subject);
+                let o = self.add_value(triple.object.value());
+                let p = self.interner.intern(triple.predicate);
+                self.add_edge(s, EdgeLabel::Attribute(p), o)
+            }
+        }
+    }
+
     /// The edge record for `e`.
     pub fn edge(&self, e: EdgeId) -> Edge {
         self.edges[e.index()]
@@ -476,17 +618,17 @@ impl DataGraph {
 
     /// Outgoing edges of `v`.
     pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
-        &self.out_adj[v.index()]
+        self.out_adj.edges(v.index())
     }
 
     /// Incoming edges of `v`.
     pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
-        &self.in_adj[v.index()]
+        self.in_adj.edges(v.index())
     }
 
     /// Undirected degree of `v`.
     pub fn degree(&self, v: VertexId) -> usize {
-        self.out_adj[v.index()].len() + self.in_adj[v.index()].len()
+        self.out_adj.edges(v.index()).len() + self.in_adj.edges(v.index()).len()
     }
 
     /// All vertices adjacent to `v` (through incoming or outgoing edges),
@@ -494,10 +636,10 @@ impl DataGraph {
     /// that explore the full data graph.
     pub fn neighbors(&self, v: VertexId) -> Vec<(EdgeId, VertexId)> {
         let mut out = Vec::with_capacity(self.degree(v));
-        for &e in &self.out_adj[v.index()] {
+        for &e in self.out_adj.edges(v.index()) {
             out.push((e, self.edges[e.index()].to));
         }
-        for &e in &self.in_adj[v.index()] {
+        for &e in self.in_adj.edges(v.index()) {
             out.push((e, self.edges[e.index()].from));
         }
         out
@@ -511,7 +653,7 @@ impl DataGraph {
     /// edges).
     pub fn classes_of(&self, entity: VertexId) -> Vec<VertexId> {
         let mut classes = Vec::new();
-        for &e in &self.out_adj[entity.index()] {
+        for &e in self.out_adj.edges(entity.index()) {
             let edge = self.edges[e.index()];
             if self.edge_label(edge.label) == EdgeLabel::Type {
                 classes.push(edge.to);
@@ -523,7 +665,7 @@ impl DataGraph {
     /// The direct instances of a class (sources of its incoming `type` edges).
     pub fn instances_of(&self, class: VertexId) -> Vec<VertexId> {
         let mut instances = Vec::new();
-        for &e in &self.in_adj[class.index()] {
+        for &e in self.in_adj.edges(class.index()) {
             let edge = self.edges[e.index()];
             if self.edge_label(edge.label) == EdgeLabel::Type {
                 instances.push(edge.from);
@@ -535,7 +677,7 @@ impl DataGraph {
     /// Direct super-classes of a class.
     pub fn superclasses_of(&self, class: VertexId) -> Vec<VertexId> {
         let mut supers = Vec::new();
-        for &e in &self.out_adj[class.index()] {
+        for &e in self.out_adj.edges(class.index()) {
             let edge = self.edges[e.index()];
             if self.edge_label(edge.label) == EdgeLabel::SubClass {
                 supers.push(edge.to);
@@ -547,7 +689,7 @@ impl DataGraph {
     /// Direct sub-classes of a class.
     pub fn subclasses_of(&self, class: VertexId) -> Vec<VertexId> {
         let mut subs = Vec::new();
-        for &e in &self.in_adj[class.index()] {
+        for &e in self.in_adj.edges(class.index()) {
             let edge = self.edges[e.index()];
             if self.edge_label(edge.label) == EdgeLabel::SubClass {
                 subs.push(edge.from);
@@ -596,6 +738,244 @@ impl DataGraph {
             })
             .collect()
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot
+    // ------------------------------------------------------------------
+
+    /// Serialises the graph into a snapshot section as flat buffers:
+    /// interner, vertex kind/label columns, edge label table, edge columns
+    /// and both adjacency lists in CSR form.
+    pub fn write_snapshot(&self, enc: &mut SectionEncoder) {
+        self.interner.write_snapshot(enc);
+
+        let kinds: Vec<u32> = self
+            .vertices
+            .iter()
+            .map(|v| match v.kind {
+                VertexKind::Entity => 0,
+                VertexKind::Class => 1,
+                VertexKind::Value => 2,
+            })
+            .collect();
+        let labels: Vec<u32> = self.vertices.iter().map(|v| v.label.0).collect();
+        enc.put_u32_slice(&kinds);
+        enc.put_u32_slice(&labels);
+
+        let mut label_tags = Vec::with_capacity(self.edge_labels.len());
+        let mut label_syms = Vec::with_capacity(self.edge_labels.len());
+        for label in &self.edge_labels {
+            let (tag, sym) = match *label {
+                EdgeLabel::Relation(s) => (0, s.0),
+                EdgeLabel::Attribute(s) => (1, s.0),
+                EdgeLabel::Type => (2, u32::MAX),
+                EdgeLabel::SubClass => (3, u32::MAX),
+            };
+            label_tags.push(tag);
+            label_syms.push(sym);
+        }
+        enc.put_u32_slice(&label_tags);
+        enc.put_u32_slice(&label_syms);
+
+        let edge_labels: Vec<u32> = self.edges.iter().map(|e| e.label.0).collect();
+        let edge_from: Vec<u32> = self.edges.iter().map(|e| e.from.0).collect();
+        let edge_to: Vec<u32> = self.edges.iter().map(|e| e.to.0).collect();
+        enc.put_u32_slice(&edge_labels);
+        enc.put_u32_slice(&edge_from);
+        enc.put_u32_slice(&edge_to);
+
+        write_csr(enc, &self.out_adj);
+        write_csr(enc, &self.in_adj);
+    }
+
+    /// Rebuilds a graph from [`Self::write_snapshot`] output.
+    ///
+    /// Flat columns are bulk-loaded; only the small symbol→vertex and edge
+    /// label lookup maps are re-derived (cheap `u32`-keyed inserts). The
+    /// edge deduplication set is rebuilt lazily on the first mutation.
+    pub fn read_snapshot(dec: &mut SectionDecoder<'_>) -> std::result::Result<Self, SnapshotError> {
+        let interner = Interner::read_snapshot(dec)?;
+
+        let kinds = dec.get_u32_column()?;
+        let labels = dec.get_u32_column()?;
+        if kinds.len() != labels.len() {
+            return Err(dec.corrupt("vertex kind and label columns differ in length"));
+        }
+        let n_syms = interner.len() as u32;
+        let mut vertices = Vec::with_capacity(kinds.len());
+        // The partition sizes are derived from bytes that physically exist
+        // in the (already checksummed) payload, so reserving them up front
+        // is safe and halves the load cost of the largest lookup tables.
+        let mut partition_sizes = [0usize; 3];
+        for kind in kinds.iter() {
+            if let Some(slot) = partition_sizes.get_mut(kind as usize) {
+                *slot += 1;
+            }
+        }
+        let mut entities = HashMap::with_capacity(partition_sizes[0]);
+        let mut classes = HashMap::with_capacity(partition_sizes[1]);
+        let mut values = HashMap::with_capacity(partition_sizes[2]);
+        for (i, (kind, label)) in kinds.iter().zip(labels.iter()).enumerate() {
+            if label >= n_syms {
+                return Err(dec.corrupt(format!("vertex {i} label out of interner range")));
+            }
+            let kind = match kind {
+                0 => VertexKind::Entity,
+                1 => VertexKind::Class,
+                2 => VertexKind::Value,
+                other => return Err(dec.corrupt(format!("vertex {i} has bad kind tag {other}"))),
+            };
+            let id = VertexId(i as u32);
+            let sym = Symbol(label);
+            let partition = match kind {
+                VertexKind::Entity => &mut entities,
+                VertexKind::Class => &mut classes,
+                VertexKind::Value => &mut values,
+            };
+            if partition.insert(sym, id).is_some() {
+                return Err(dec.corrupt(format!("duplicate vertex label in partition at {i}")));
+            }
+            vertices.push(Vertex { kind, label: sym });
+        }
+
+        let label_tags = dec.get_u32_vec()?;
+        let label_syms = dec.get_u32_vec()?;
+        if label_tags.len() != label_syms.len() {
+            return Err(dec.corrupt("edge label tag and symbol columns differ in length"));
+        }
+        let mut edge_labels = Vec::with_capacity(label_tags.len());
+        let mut edge_label_ids = HashMap::new();
+        for (i, (&tag, &sym)) in label_tags.iter().zip(&label_syms).enumerate() {
+            let label = match tag {
+                0 | 1 => {
+                    if sym >= n_syms {
+                        return Err(
+                            dec.corrupt(format!("edge label {i} symbol out of interner range"))
+                        );
+                    }
+                    if tag == 0 {
+                        EdgeLabel::Relation(Symbol(sym))
+                    } else {
+                        EdgeLabel::Attribute(Symbol(sym))
+                    }
+                }
+                2 => EdgeLabel::Type,
+                3 => EdgeLabel::SubClass,
+                other => return Err(dec.corrupt(format!("edge label {i} has bad tag {other}"))),
+            };
+            if edge_label_ids
+                .insert(label, EdgeLabelId(i as u32))
+                .is_some()
+            {
+                return Err(dec.corrupt(format!("duplicate edge label at {i}")));
+            }
+            edge_labels.push(label);
+        }
+
+        let e_labels = dec.get_u32_column()?;
+        let e_from = dec.get_u32_column()?;
+        let e_to = dec.get_u32_column()?;
+        if e_labels.len() != e_from.len() || e_labels.len() != e_to.len() {
+            return Err(dec.corrupt("edge columns differ in length"));
+        }
+        let n_vertices = vertices.len() as u32;
+        let n_labels = edge_labels.len() as u32;
+        let mut edges = Vec::with_capacity(e_labels.len());
+        for (i, ((label, from), to)) in e_labels
+            .iter()
+            .zip(e_from.iter())
+            .zip(e_to.iter())
+            .enumerate()
+        {
+            if label >= n_labels || from >= n_vertices || to >= n_vertices {
+                return Err(dec.corrupt(format!("edge {i} refers past the tables")));
+            }
+            edges.push(Edge {
+                label: EdgeLabelId(label),
+                from: VertexId(from),
+                to: VertexId(to),
+            });
+        }
+
+        let n_edges = edges.len();
+        let out_adj = read_csr(dec, vertices.len(), n_edges, "out-adjacency")?;
+        let in_adj = read_csr(dec, vertices.len(), n_edges, "in-adjacency")?;
+
+        Ok(Self {
+            interner,
+            vertices,
+            edges,
+            edge_labels,
+            edge_label_ids,
+            out_adj,
+            in_adj,
+            entities,
+            classes,
+            values,
+            edge_set: HashSet::new(),
+            edge_set_stale: true,
+        })
+    }
+}
+
+/// Writes adjacency as CSR: an offsets column plus one flat column.
+///
+/// Both physical forms of [`Adjacency`] produce identical bytes — the frozen
+/// form is already CSR and is written verbatim, the lists form is flattened
+/// — so save/load round trips are byte-stable regardless of how the graph
+/// came to be.
+fn write_csr(enc: &mut SectionEncoder, adj: &Adjacency) {
+    match adj {
+        Adjacency::Lists(lists) => {
+            let mut offsets = Vec::with_capacity(lists.len() + 1);
+            let mut flat = Vec::new();
+            offsets.push(0u32);
+            for list in lists {
+                flat.extend(list.iter().map(|e| e.0));
+                offsets.push(flat.len() as u32);
+            }
+            enc.put_u32_slice(&offsets);
+            enc.put_u32_slice(&flat);
+        }
+        Adjacency::Csr { offsets, flat } => {
+            enc.put_u32_slice(offsets);
+            let flat: Vec<u32> = flat.iter().map(|e| e.0).collect();
+            enc.put_u32_slice(&flat);
+        }
+    }
+}
+
+/// Reads CSR columns back as the frozen [`Adjacency::Csr`] form.
+///
+/// The two columns are validated and kept as-is — no per-vertex allocation
+/// happens on the load path; the list-of-lists shape is only re-inflated if
+/// the loaded graph is later mutated.
+fn read_csr(
+    dec: &mut SectionDecoder<'_>,
+    n_lists: usize,
+    n_edges: usize,
+    what: &str,
+) -> std::result::Result<Adjacency, SnapshotError> {
+    let offsets = dec.get_u32_vec()?;
+    let flat_col = dec.get_u32_column()?;
+    if offsets.len() != n_lists + 1 || offsets.first() != Some(&0) {
+        return Err(dec.corrupt(format!("{what} CSR offsets have the wrong shape")));
+    }
+    if *offsets.last().unwrap_or(&0) as usize != flat_col.len() {
+        return Err(dec.corrupt(format!("{what} CSR offsets do not cover the edge column")));
+    }
+    if offsets.windows(2).any(|pair| pair[0] > pair[1]) {
+        return Err(dec.corrupt(format!("{what} CSR offsets are not monotone")));
+    }
+    let n_edges = n_edges as u32;
+    let mut flat = Vec::with_capacity(flat_col.len());
+    for e in flat_col.iter() {
+        if e >= n_edges {
+            return Err(dec.corrupt(format!("{what} CSR refers to a nonexistent edge")));
+        }
+        flat.push(EdgeId(e));
+    }
+    Ok(Adjacency::Csr { offsets, flat })
 }
 
 #[cfg(test)]
@@ -768,6 +1148,92 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    fn snapshot_round_trip(g: &DataGraph) -> DataGraph {
+        use crate::snapshot::{SnapshotReader, SnapshotWriter};
+        let mut enc = SectionEncoder::new();
+        g.write_snapshot(&mut enc);
+        let mut writer = SnapshotWriter::new();
+        writer.add_section(7, enc);
+        let mut bytes = Vec::new();
+        writer.write_to(&mut bytes).unwrap();
+        let reader = SnapshotReader::read_from(bytes.as_slice()).unwrap();
+        let mut dec = reader.section(7).unwrap();
+        let loaded = DataGraph::read_snapshot(&mut dec).unwrap();
+        dec.finish().unwrap();
+        loaded
+    }
+
+    #[test]
+    fn snapshot_preserves_structure_and_lookups() {
+        let g = example_graph();
+        let loaded = snapshot_round_trip(&g);
+        assert_eq!(loaded.vertex_count(), g.vertex_count());
+        assert_eq!(loaded.edge_count(), g.edge_count());
+        assert_eq!(loaded.edge_label_count(), g.edge_label_count());
+        for v in g.vertices() {
+            assert_eq!(loaded.vertex(v), g.vertex(v));
+            assert_eq!(loaded.vertex_label(v), g.vertex_label(v));
+            assert_eq!(loaded.out_edges(v), g.out_edges(v));
+            assert_eq!(loaded.in_edges(v), g.in_edges(v));
+        }
+        for e in g.edges() {
+            assert_eq!(loaded.edge(e), g.edge(e));
+        }
+        assert_eq!(loaded.entity("pub1URI"), g.entity("pub1URI"));
+        assert_eq!(loaded.class("Researcher"), g.class("Researcher"));
+        assert_eq!(loaded.value("2006"), g.value("2006"));
+        let mut a = g.triples();
+        let mut b = loaded.triples();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loaded_graph_still_deduplicates_edges() {
+        let g = example_graph();
+        let mut loaded = snapshot_round_trip(&g);
+        // The lazy edge_set rebuild must kick in on the first mutation.
+        let before = loaded.edge_count();
+        loaded
+            .insert_triple(&Triple::relation("pub1URI", "author", "re1URI"))
+            .unwrap();
+        assert_eq!(loaded.edge_count(), before);
+        loaded
+            .insert_triple(&Triple::relation("pub1URI", "cites", "pub2URI"))
+            .unwrap();
+        assert_eq!(loaded.edge_count(), before + 1);
+    }
+
+    #[test]
+    fn insert_triple_ref_matches_insert_triple() {
+        use crate::term::TermRef;
+        use crate::triple::TripleRef;
+        let owned = example_graph();
+        let mut streamed = DataGraph::new();
+        for t in owned.triples() {
+            let object = match &t.object {
+                Term::Iri(v) => TermRef::Iri(v),
+                Term::Literal(v) => TermRef::Literal(v),
+            };
+            streamed
+                .insert_triple_ref(&TripleRef {
+                    subject: t.subject.value(),
+                    predicate: &t.predicate,
+                    object,
+                })
+                .unwrap();
+        }
+        assert_eq!(streamed.vertex_count(), owned.vertex_count());
+        assert_eq!(streamed.edge_count(), owned.edge_count());
+        for v in owned.vertices() {
+            assert_eq!(streamed.vertex(v), owned.vertex(v));
+        }
+        for e in owned.edges() {
+            assert_eq!(streamed.edge(e), owned.edge(e));
+        }
     }
 
     #[test]

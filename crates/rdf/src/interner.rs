@@ -5,8 +5,14 @@
 //! by a compact [`Symbol`]. Interning keeps the graph representation small
 //! and makes label comparisons O(1), which matters because the exploration
 //! algorithm compares labels in its inner loop.
+//!
+//! The representation is snapshot-friendly: all strings live in one
+//! concatenated UTF-8 blob addressed by an offsets array, and deduplication
+//! uses an open-addressing hash table of symbol ids. All three parts are
+//! flat buffers, so a snapshot load is a bulk copy plus a single UTF-8
+//! validation pass — no per-string allocation and no rehashing.
 
-use std::collections::HashMap;
+use crate::snapshot::{fnv1a64, SectionDecoder, SectionEncoder, SnapshotError};
 
 /// A handle to an interned string.
 ///
@@ -23,11 +29,33 @@ impl Symbol {
     }
 }
 
+/// Marks an empty slot in the probe table.
+const EMPTY: u32 = u32::MAX;
+
+/// Initial probe-table capacity (power of two).
+const INITIAL_TABLE: usize = 16;
+
 /// A deduplicating string table.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Interner {
-    strings: Vec<Box<str>>,
-    map: HashMap<Box<str>, Symbol>,
+    /// All interned strings concatenated; `offsets` delimits them.
+    bytes: String,
+    /// `offsets[i]..offsets[i + 1]` is the byte range of symbol `i`;
+    /// always has `len() + 1` entries starting with 0.
+    offsets: Vec<u32>,
+    /// Open-addressing probe table over symbol ids (`EMPTY` = free slot);
+    /// capacity is a power of two.
+    table: Vec<u32>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self {
+            bytes: String::new(),
+            offsets: vec![0],
+            table: vec![EMPTY; INITIAL_TABLE],
+        }
+    }
 }
 
 impl Interner {
@@ -36,21 +64,72 @@ impl Interner {
         Self::default()
     }
 
+    #[inline]
+    fn str_at(&self, idx: u32) -> &str {
+        let start = self.offsets[idx as usize] as usize;
+        let end = self.offsets[idx as usize + 1] as usize;
+        &self.bytes[start..end]
+    }
+
+    /// Probes for `s`; returns either its symbol id or the free slot index
+    /// where it would be inserted.
+    #[inline]
+    fn probe(&self, s: &str) -> Result<u32, usize> {
+        let mask = self.table.len() - 1;
+        let mut slot = fnv1a64(s.as_bytes()) as usize & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => return Err(slot),
+                idx => {
+                    if self.str_at(idx) == s {
+                        return Ok(idx);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
     /// Interns `s`, returning the existing symbol if it has been seen before.
     pub fn intern(&mut self, s: &str) -> Symbol {
-        if let Some(&sym) = self.map.get(s) {
-            return sym;
+        match self.probe(s) {
+            Ok(idx) => Symbol(idx),
+            Err(slot) => {
+                let idx = self.len() as u32;
+                assert!(idx < EMPTY, "interner is full");
+                assert!(
+                    self.bytes.len() + s.len() <= u32::MAX as usize,
+                    "interner blob exceeds u32 addressing"
+                );
+                self.bytes.push_str(s);
+                self.offsets.push(self.bytes.len() as u32);
+                self.table[slot] = idx;
+                // Keep the load factor below ~0.7 so probes stay short.
+                if (self.len() + 1) * 10 >= self.table.len() * 7 {
+                    self.grow_table();
+                }
+                Symbol(idx)
+            }
         }
-        let sym = Symbol(self.strings.len() as u32);
-        let boxed: Box<str> = s.into();
-        self.strings.push(boxed.clone());
-        self.map.insert(boxed, sym);
-        sym
+    }
+
+    fn grow_table(&mut self) {
+        let new_cap = self.table.len() * 2;
+        let mask = new_cap - 1;
+        let mut table = vec![EMPTY; new_cap];
+        for idx in 0..self.len() as u32 {
+            let mut slot = fnv1a64(self.str_at(idx).as_bytes()) as usize & mask;
+            while table[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = idx;
+        }
+        self.table = table;
     }
 
     /// Looks up a string without interning it.
     pub fn get(&self, s: &str) -> Option<Symbol> {
-        self.map.get(s).copied()
+        self.probe(s).ok().map(Symbol)
     }
 
     /// Resolves a symbol back to its string.
@@ -58,41 +137,92 @@ impl Interner {
     /// # Panics
     /// Panics if the symbol was produced by a different interner.
     pub fn resolve(&self, sym: Symbol) -> &str {
-        &self.strings[sym.index()]
+        self.str_at(sym.0)
     }
 
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
-        self.strings.len()
+        self.offsets.len() - 1
     }
 
     /// Whether no strings have been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.strings.is_empty()
+        self.len() == 0
     }
 
     /// Iterates over all `(symbol, string)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> + '_ {
-        self.strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+        (0..self.len() as u32).map(|i| (Symbol(i), self.str_at(i)))
     }
 
     /// Approximate number of heap bytes used by the interner. Used by the
     /// index-size experiment (Fig. 6b).
     pub fn heap_bytes(&self) -> usize {
-        let string_bytes: usize = self.strings.iter().map(|s| s.len()).sum();
-        // Each entry is stored twice (vec + map key) plus map/vec overhead.
-        2 * string_bytes
-            + self.strings.len() * std::mem::size_of::<Box<str>>()
-            + self.map.len() * (std::mem::size_of::<Box<str>>() + std::mem::size_of::<Symbol>())
+        self.bytes.len()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.table.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Serialises the interner into a snapshot section: blob, offsets and
+    /// probe table verbatim, so loading needs no rehashing.
+    pub fn write_snapshot(&self, enc: &mut SectionEncoder) {
+        enc.put_str(&self.bytes);
+        enc.put_u32_slice(&self.offsets);
+        enc.put_u32_slice(&self.table);
+    }
+
+    /// Rebuilds an interner from [`Self::write_snapshot`] output.
+    ///
+    /// The blob is UTF-8 validated in one pass and every offset is checked to
+    /// be a monotone char boundary; the probe table is taken verbatim.
+    pub fn read_snapshot(dec: &mut SectionDecoder<'_>) -> Result<Self, SnapshotError> {
+        let bytes = dec.get_string()?;
+        let offsets = dec.get_u32_vec()?;
+        let table = dec.get_u32_vec()?;
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err(dec.corrupt("interner offsets must start at 0"));
+        }
+        if offsets[offsets.len() - 1] as usize != bytes.len() {
+            return Err(dec.corrupt("interner offsets do not cover the blob"));
+        }
+        let len = offsets.len() - 1;
+        for pair in offsets.windows(2) {
+            if pair[0] > pair[1] {
+                return Err(dec.corrupt("interner offsets are not monotone"));
+            }
+        }
+        for &off in &offsets {
+            if !bytes.is_char_boundary(off as usize) {
+                return Err(dec.corrupt("interner offset splits a UTF-8 character"));
+            }
+        }
+        if !table.len().is_power_of_two() || table.len() < INITIAL_TABLE || table.len() <= len {
+            return Err(dec.corrupt("interner probe table has an invalid capacity"));
+        }
+        let mut seen = 0usize;
+        for &slot in &table {
+            if slot != EMPTY {
+                if slot as usize >= len {
+                    return Err(dec.corrupt("interner probe table points past the string count"));
+                }
+                seen += 1;
+            }
+        }
+        if seen != len {
+            return Err(dec.corrupt("interner probe table does not cover every string"));
+        }
+        Ok(Self {
+            bytes,
+            offsets,
+            table,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::{SnapshotReader, SnapshotWriter};
 
     #[test]
     fn interning_deduplicates() {
@@ -143,5 +273,48 @@ mod tests {
             large.intern(&format!("some-longer-label-{i}"));
         }
         assert!(large.heap_bytes() > small.heap_bytes());
+    }
+
+    #[test]
+    fn survives_table_growth() {
+        let mut interner = Interner::new();
+        let symbols: Vec<_> = (0..5_000)
+            .map(|i| interner.intern(&format!("label-{i}")))
+            .collect();
+        for (i, sym) in symbols.iter().enumerate() {
+            assert_eq!(interner.resolve(*sym), format!("label-{i}"));
+            assert_eq!(interner.get(&format!("label-{i}")), Some(*sym));
+        }
+        assert_eq!(interner.len(), 5_000);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_keeps_symbols() {
+        let mut interner = Interner::new();
+        let labels = ["publication", "", "Thanh Tran", "naïve-ütf8", "2009"];
+        let symbols: Vec<_> = labels.iter().map(|l| interner.intern(l)).collect();
+
+        let mut enc = SectionEncoder::new();
+        interner.write_snapshot(&mut enc);
+        let mut writer = SnapshotWriter::new();
+        writer.add_section(1, enc);
+        let mut bytes = Vec::new();
+        writer.write_to(&mut bytes).unwrap();
+
+        let reader = SnapshotReader::read_from(bytes.as_slice()).unwrap();
+        let mut dec = reader.section(1).unwrap();
+        let loaded = Interner::read_snapshot(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(loaded.len(), interner.len());
+        for (label, sym) in labels.iter().zip(&symbols) {
+            assert_eq!(loaded.resolve(*sym), *label);
+            assert_eq!(loaded.get(label), Some(*sym));
+        }
+        // Interning into the loaded copy keeps deduplicating.
+        let mut loaded = loaded;
+        assert_eq!(loaded.intern("publication"), symbols[0]);
+        let fresh = loaded.intern("brand-new");
+        assert_eq!(fresh.index(), labels.len());
     }
 }

@@ -32,6 +32,7 @@ pub mod fixtures;
 pub mod graph;
 pub mod interner;
 pub mod ntriples;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod term;
@@ -42,10 +43,12 @@ pub use builder::GraphBuilder;
 pub use error::RdfError;
 pub use graph::{DataGraph, Edge, EdgeId, EdgeLabel, EdgeLabelId, Vertex, VertexId, VertexKind};
 pub use interner::{Interner, Symbol};
+pub use ntriples::{ingest_ntriples, IngestStats};
+pub use snapshot::{SectionDecoder, SectionEncoder, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::GraphStats;
 pub use store::{SpoRow, TriplePattern, TripleStore};
-pub use term::Term;
-pub use triple::{EdgeKind, Triple};
+pub use term::{Term, TermRef};
+pub use triple::{EdgeKind, Triple, TripleRef};
 
 /// Convenience result type used throughout the crate.
 pub type Result<T> = std::result::Result<T, RdfError>;

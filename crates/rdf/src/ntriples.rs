@@ -12,11 +12,23 @@
 //! and `\\` escapes. This is deliberately a small subset of W3C N-Triples —
 //! enough to persist and exchange the generated datasets and the paper's
 //! running example.
+//!
+//! Two API layers exist:
+//!
+//! * the owning layer ([`parse_line`], [`parse_document`], [`write_document`])
+//!   trades allocations for convenience, and
+//! * the **streamed layer** ([`parse_line_ref`], [`ingest_ntriples`],
+//!   [`write_graph_to`]) parses borrowed [`TripleRef`]s with a reused
+//!   scratch buffer and inserts them into a [`DataGraph`] without ever
+//!   materialising the whole document or an owned `Triple` — this is the
+//!   ingest path for the 10⁶–10⁷ triple tiers.
+
+use std::io::{self, BufRead, Write};
 
 use crate::error::RdfError;
-use crate::graph::DataGraph;
-use crate::term::Term;
-use crate::triple::Triple;
+use crate::graph::{DataGraph, EdgeLabel};
+use crate::term::{Term, TermRef};
+use crate::triple::{Triple, TripleRef};
 use crate::Result;
 
 /// Serialises a single triple to one line (without trailing newline).
@@ -49,8 +61,10 @@ fn escape_literal(s: &str) -> String {
     out
 }
 
-fn unescape_literal(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+/// Streaming unescape into a caller-provided buffer; the inverse of
+/// [`escape_literal`] without the intermediate `String`.
+// lint: hot-path
+fn unescape_into(s: &str, out: &mut String) {
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
         if c == '\\' {
@@ -63,7 +77,6 @@ fn unescape_literal(s: &str) -> String {
             out.push(c);
         }
     }
-    out
 }
 
 /// Serialises a whole document (one line per triple).
@@ -76,9 +89,60 @@ pub fn write_document(triples: &[Triple]) -> String {
     out
 }
 
-/// Serialises all edges of a data graph.
+/// Serialises all edges of a data graph into one in-memory `String`.
+///
+/// For large graphs prefer [`write_graph_to`], which streams to any writer
+/// without materialising the triples.
 pub fn write_graph(graph: &DataGraph) -> String {
     write_document(&graph.triples())
+}
+
+/// Writes `s` with `"`/`\`/newline escaping, copying unescaped runs in bulk.
+fn write_escaped<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    let mut rest = s;
+    while let Some(i) = rest.find(['"', '\\', '\n']) {
+        w.write_all(&rest.as_bytes()[..i])?;
+        match rest.as_bytes()[i] {
+            b'"' => w.write_all(b"\\\"")?,
+            b'\\' => w.write_all(b"\\\\")?,
+            _ => w.write_all(b"\\n")?,
+        }
+        rest = &rest[i + 1..];
+    }
+    w.write_all(rest.as_bytes())
+}
+
+/// Streams all edges of a data graph as N-Triples lines to `w` without
+/// materialising the triples or any per-line `String`.
+///
+/// Wrap `w` in a `BufWriter` when writing to a file.
+pub fn write_graph_to<W: Write>(graph: &DataGraph, w: &mut W) -> io::Result<()> {
+    for e in graph.edges() {
+        let edge = graph.edge(e);
+        w.write_all(b"<")?;
+        w.write_all(graph.vertex_label(edge.from).as_bytes())?;
+        w.write_all(b"> <")?;
+        w.write_all(graph.edge_label_name(edge.label).as_bytes())?;
+        w.write_all(b"> ")?;
+        if matches!(graph.edge_label(edge.label), EdgeLabel::Attribute(_)) {
+            w.write_all(b"\"")?;
+            write_escaped(w, graph.vertex_label(edge.to))?;
+            w.write_all(b"\" .\n")?;
+        } else {
+            w.write_all(b"<")?;
+            w.write_all(graph.vertex_label(edge.to).as_bytes())?;
+            w.write_all(b"> .\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// A parsed term that still borrows the input line; literals remember
+/// whether they contain escapes so unescaping can be skipped on the
+/// (overwhelmingly common) clean path.
+enum RawTerm<'a> {
+    Iri(&'a str),
+    Literal { raw: &'a str, escaped: bool },
 }
 
 struct Cursor<'a> {
@@ -105,7 +169,10 @@ impl<'a> Cursor<'a> {
         self.line.as_bytes().get(self.pos).copied()
     }
 
-    fn parse_term(&mut self) -> Result<Term> {
+    /// Parses one term without allocating: IRIs and literals are returned
+    /// as slices of the input line.
+    // lint: hot-path
+    fn parse_term_raw(&mut self) -> Result<RawTerm<'a>> {
         self.skip_ws();
         match self.peek() {
             Some(b'<') => {
@@ -115,19 +182,21 @@ impl<'a> Cursor<'a> {
                     .ok_or_else(|| self.error("unterminated IRI"))?;
                 let iri = &self.line[self.pos + 1..end];
                 self.pos = end + 1;
-                Ok(Term::iri(iri))
+                Ok(RawTerm::Iri(iri))
             }
             Some(b'"') => {
                 // Scan for the closing unescaped quote.
                 let bytes = self.line.as_bytes();
                 let mut i = self.pos + 1;
                 let mut escaped = false;
+                let mut any_escape = false;
                 while i < bytes.len() {
                     let b = bytes[i];
                     if escaped {
                         escaped = false;
                     } else if b == b'\\' {
                         escaped = true;
+                        any_escape = true;
                     } else if b == b'"' {
                         break;
                     }
@@ -138,17 +207,13 @@ impl<'a> Cursor<'a> {
                 }
                 let raw = &self.line[self.pos + 1..i];
                 self.pos = i + 1;
-                Ok(Term::literal(unescape_literal(raw)))
+                Ok(RawTerm::Literal {
+                    raw,
+                    escaped: any_escape,
+                })
             }
             Some(_) => Err(self.error("expected `<` or `\"` at start of term")),
             None => Err(self.error("unexpected end of line")),
-        }
-    }
-
-    fn parse_predicate(&mut self) -> Result<String> {
-        match self.parse_term()? {
-            Term::Iri(p) => Ok(p),
-            Term::Literal(_) => Err(self.error("predicate must be an IRI")),
         }
     }
 
@@ -168,9 +233,18 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Parses one line into a triple. Returns `Ok(None)` for blank lines and
-/// comments.
-pub fn parse_line(line: &str, line_no: usize) -> Result<Option<Triple>> {
+/// Parses one line into a borrowed [`TripleRef`] without allocating.
+///
+/// Returns `Ok(None)` for blank lines and comments. `scratch` is only
+/// written when the object literal contains escape sequences; reusing one
+/// buffer across lines is what removes the per-line allocation churn of the
+/// owning parser.
+// lint: hot-path
+pub fn parse_line_ref<'a>(
+    line: &'a str,
+    line_no: usize,
+    scratch: &'a mut String,
+) -> Result<Option<TripleRef<'a>>> {
     let trimmed = line.trim();
     if trimmed.is_empty() || trimmed.starts_with('#') {
         return Ok(None);
@@ -180,34 +254,100 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Option<Triple>> {
         pos: 0,
         line_no,
     };
-    let subject = cursor.parse_term()?;
-    if !subject.is_iri() {
-        return Err(cursor.error("subject must be an IRI"));
-    }
-    let predicate = cursor.parse_predicate()?;
-    let object = cursor.parse_term()?;
+    let subject = match cursor.parse_term_raw()? {
+        RawTerm::Iri(s) => s,
+        RawTerm::Literal { .. } => return Err(cursor.error("subject must be an IRI")),
+    };
+    let predicate = match cursor.parse_term_raw()? {
+        RawTerm::Iri(p) => p,
+        RawTerm::Literal { .. } => return Err(cursor.error("predicate must be an IRI")),
+    };
+    let object = match cursor.parse_term_raw()? {
+        RawTerm::Iri(o) => TermRef::Iri(o),
+        RawTerm::Literal { raw, escaped } => {
+            if escaped {
+                scratch.clear();
+                unescape_into(raw, &mut *scratch);
+                TermRef::Literal(&scratch[..])
+            } else {
+                TermRef::Literal(raw)
+            }
+        }
+    };
     cursor.expect_dot()?;
-    Ok(Some(Triple::new(subject, predicate, object)))
+    Ok(Some(TripleRef {
+        subject,
+        predicate,
+        object,
+    }))
 }
 
-/// Parses a whole document into triples.
+/// Parses one line into an owned triple. Returns `Ok(None)` for blank lines
+/// and comments.
+pub fn parse_line(line: &str, line_no: usize) -> Result<Option<Triple>> {
+    let mut scratch = String::new();
+    Ok(parse_line_ref(line, line_no, &mut scratch)?.map(TripleRef::to_triple))
+}
+
+/// Parses a whole document into owned triples.
 pub fn parse_document(input: &str) -> Result<Vec<Triple>> {
     let mut triples = Vec::new();
+    let mut scratch = String::new();
     for (i, line) in input.lines().enumerate() {
-        if let Some(t) = parse_line(line, i + 1)? {
-            triples.push(t);
+        if let Some(t) = parse_line_ref(line, i + 1, &mut scratch)? {
+            triples.push(t.to_triple());
         }
     }
     Ok(triples)
 }
 
-/// Parses a document directly into a [`DataGraph`].
+/// Parses a document directly into a [`DataGraph`] over the streamed,
+/// allocation-free path.
 pub fn parse_graph(input: &str) -> Result<DataGraph> {
     let mut graph = DataGraph::new();
-    for t in parse_document(input)? {
-        graph.insert_triple(&t)?;
+    let mut scratch = String::new();
+    for (i, line) in input.lines().enumerate() {
+        if let Some(t) = parse_line_ref(line, i + 1, &mut scratch)? {
+            graph.insert_triple_ref(&t)?;
+        }
     }
     Ok(graph)
+}
+
+/// Counters reported by [`ingest_ntriples`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Total lines read (including comments and blank lines).
+    pub lines: usize,
+    /// Triples inserted into the graph.
+    pub triples: usize,
+}
+
+/// Streams N-Triples from any `BufRead` source straight into a
+/// [`DataGraph`].
+///
+/// The document is never materialised: one line buffer and one literal
+/// scratch buffer are reused for the whole stream, and each triple is
+/// classified and interned via the borrowed [`DataGraph::insert_triple_ref`]
+/// path. The resulting graph is bit-identical to one built by parsing the
+/// same document with [`parse_graph`] or inserting owned [`Triple`]s in the
+/// same order.
+pub fn ingest_ntriples<R: BufRead>(mut reader: R, graph: &mut DataGraph) -> Result<IngestStats> {
+    let mut line = String::new();
+    let mut scratch = String::new();
+    let mut stats = IngestStats::default();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        stats.lines += 1;
+        if let Some(t) = parse_line_ref(&line, stats.lines, &mut scratch)? {
+            graph.insert_triple_ref(&t)?;
+            stats.triples += 1;
+        }
+    }
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -288,6 +428,72 @@ mod tests {
         ];
         for case in cases {
             assert!(parse_line(case, 1).is_err(), "should reject: {case}");
+        }
+    }
+
+    #[test]
+    fn parse_line_ref_borrows_clean_literals() {
+        let line = "<s> <year> \"2006\" .";
+        let mut scratch = String::new();
+        let t = parse_line_ref(line, 1, &mut scratch).unwrap().unwrap();
+        assert_eq!(t.subject, "s");
+        assert_eq!(t.predicate, "year");
+        assert_eq!(t.object, TermRef::Literal("2006"));
+        // The clean path must not touch the scratch buffer.
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn parse_line_ref_unescapes_into_scratch() {
+        let line = "<s> <title> \"a \\\"b\\\" c\" .";
+        let mut scratch = String::new();
+        let t = parse_line_ref(line, 1, &mut scratch).unwrap().unwrap();
+        assert_eq!(t.object, TermRef::Literal("a \"b\" c"));
+    }
+
+    #[test]
+    fn streamed_ingest_matches_owned_parse() {
+        let triples = figure1_triples();
+        let doc = write_document(&triples);
+
+        let mut streamed = DataGraph::new();
+        let stats = ingest_ntriples(doc.as_bytes(), &mut streamed).unwrap();
+        assert_eq!(stats.triples, triples.len());
+        assert_eq!(stats.lines, doc.lines().count());
+
+        let owned = parse_graph(&doc).unwrap();
+        assert_eq!(streamed.vertex_count(), owned.vertex_count());
+        assert_eq!(streamed.edge_count(), owned.edge_count());
+        for v in owned.vertices() {
+            assert_eq!(streamed.vertex(v), owned.vertex(v));
+            assert_eq!(streamed.vertex_label(v), owned.vertex_label(v));
+        }
+        for e in owned.edges() {
+            assert_eq!(streamed.edge(e), owned.edge(e));
+        }
+    }
+
+    #[test]
+    fn streamed_writer_matches_owning_writer() {
+        let mut g = DataGraph::new();
+        for t in figure1_triples() {
+            g.insert_triple(&t).unwrap();
+        }
+        g.insert_triple(&Triple::attribute("s", "title", "quo\"te\\back\nline"))
+            .unwrap();
+        let mut streamed = Vec::new();
+        write_graph_to(&g, &mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), write_graph(&g));
+    }
+
+    #[test]
+    fn ingest_reports_parse_errors_with_line_numbers() {
+        let doc = "<s> <p> <o> .\nnot a triple\n";
+        let mut g = DataGraph::new();
+        let err = ingest_ntriples(doc.as_bytes(), &mut g).unwrap_err();
+        match err {
+            RdfError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
         }
     }
 }

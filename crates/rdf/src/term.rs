@@ -54,6 +54,46 @@ impl fmt::Display for Term {
     }
 }
 
+/// A borrowed view of a [`Term`], used by the streamed N-Triples ingest
+/// path to avoid allocating a `String` per term.
+///
+/// Literal contents are already unescaped — on the fast path they borrow the
+/// input line directly; escaped literals borrow a reusable scratch buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermRef<'a> {
+    /// An IRI or other global identifier.
+    Iri(&'a str),
+    /// A literal data value (unescaped).
+    Literal(&'a str),
+}
+
+impl<'a> TermRef<'a> {
+    /// The textual value of the term, without syntactic decoration.
+    pub fn value(&self) -> &'a str {
+        match self {
+            TermRef::Iri(v) | TermRef::Literal(v) => v,
+        }
+    }
+
+    /// Whether the term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, TermRef::Iri(_))
+    }
+
+    /// Whether the term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, TermRef::Literal(_))
+    }
+
+    /// Converts into an owning [`Term`].
+    pub fn to_term(self) -> Term {
+        match self {
+            TermRef::Iri(v) => Term::iri(v),
+            TermRef::Literal(v) => Term::literal(v),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

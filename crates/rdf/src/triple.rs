@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::term::Term;
+use crate::term::{Term, TermRef};
 use crate::vocab;
 
 /// The four edge kinds of Definition 1.
@@ -103,6 +103,43 @@ impl Triple {
 impl fmt::Display for Triple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} <{}> {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A borrowed view of a [`Triple`], produced by the streamed N-Triples
+/// parser so a whole triple can be classified and interned without any
+/// intermediate `String` allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripleRef<'a> {
+    /// The subject IRI.
+    pub subject: &'a str,
+    /// The predicate label.
+    pub predicate: &'a str,
+    /// The object term.
+    pub object: TermRef<'a>,
+}
+
+impl<'a> TripleRef<'a> {
+    /// Classifies the triple exactly like [`Triple::edge_kind`].
+    pub fn edge_kind(&self) -> EdgeKind {
+        if self.predicate == vocab::TYPE {
+            EdgeKind::Type
+        } else if self.predicate == vocab::SUBCLASS {
+            EdgeKind::SubClass
+        } else if self.object.is_literal() {
+            EdgeKind::Attribute
+        } else {
+            EdgeKind::Relation
+        }
+    }
+
+    /// Converts into an owning [`Triple`].
+    pub fn to_triple(self) -> Triple {
+        Triple::new(
+            Term::iri(self.subject),
+            self.predicate,
+            self.object.to_term(),
+        )
     }
 }
 

@@ -119,8 +119,18 @@ fn reference_runs(graph: &DataGraph, workload: &[Vec<String>]) -> Vec<ScenarioKe
 /// shared, cache-enabled preparation, all compared bit-for-bit against the
 /// single-threaded cache-disabled reference.
 fn assert_concurrent_runs_match_reference(graph: DataGraph, workload: Vec<Vec<String>>) {
-    let reference = reference_runs(&graph, &workload);
-    let shared = Arc::new(PreparedGraph::index(graph));
+    let shared = Arc::new(PreparedGraph::index(graph.clone()));
+    assert_shared_runs_match_reference(shared, &graph, workload);
+}
+
+/// The same proof obligation, for an arbitrary shared preparation (freshly
+/// indexed or loaded from a snapshot) over `graph`.
+fn assert_shared_runs_match_reference(
+    shared: Arc<PreparedGraph>,
+    graph: &DataGraph,
+    workload: Vec<Vec<String>>,
+) {
+    let reference = reference_runs(graph, &workload);
 
     thread::scope(|scope| {
         for thread_id in 0..THREADS {
@@ -166,6 +176,26 @@ fn figure1_scenarios_are_bit_identical_across_threads() {
         vec!["publications".into()],
     ];
     assert_concurrent_runs_match_reference(figure1_graph(), workload);
+}
+
+#[test]
+fn snapshot_loaded_scenarios_are_bit_identical_across_threads() {
+    // The concurrency contract must hold for a preparation *loaded from a
+    // snapshot* exactly as for a freshly indexed one: the loaded graph
+    // keeps its adjacency in the frozen CSR form, and its augmentation
+    // cache starts empty, so this also races cache fills on the CSR read
+    // path against each other.
+    let graph = figure1_graph();
+    let workload = vec![
+        vec!["2006".into(), "cimiano".into(), "aifb".into()],
+        vec!["cimiano".into(), "publication".into()],
+        vec!["publications".into()],
+    ];
+    let built = PreparedGraph::index(graph.clone());
+    let mut bytes = Vec::new();
+    built.save(&mut bytes).expect("in-memory save");
+    let loaded = PreparedGraph::load(bytes.as_slice()).expect("load own snapshot");
+    assert_shared_runs_match_reference(Arc::new(loaded), &graph, workload);
 }
 
 #[test]
