@@ -1,0 +1,547 @@
+//! The execution engine behind [`explore`](crate::explore): one `Execution`
+//! per schedule, real OS threads serialized so exactly one model thread runs
+//! at a time, and a DFS over the scheduling decisions recorded along the way.
+//!
+//! Every instrumented operation funnels into one of two entry points:
+//!
+//! * [`Execution::yield_point`] — a scheduling decision where the calling
+//!   thread stays runnable (it may keep running or be preempted), and
+//! * [`Execution::block_point`] — the calling thread becomes blocked on a
+//!   resource and another thread must be chosen.
+//!
+//! Decisions are recorded as [`DecisionRecord`]s; after a passing execution
+//! the explorer backtracks to the deepest decision with an untried
+//! alternative (within the preemption bound) and replays that prefix.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex};
+
+use crate::{Config, Failure, FailureKind};
+
+/// Panic payload used to tear down an execution after a failure was
+/// recorded: every schedule point re-raises it while `aborting` is set, so
+/// blocked threads unwind instead of waiting forever.
+pub(crate) struct ExecAbort;
+
+/// What a blocked model thread is waiting for. Resources are identified by
+/// the address of the shim object, which is stable for the lifetime of one
+/// execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum BlockedOn {
+    /// Waiting to acquire the mutex at this address.
+    Mutex(usize),
+    /// Waiting for a notification on the condvar at this address.
+    Condvar(usize),
+    /// Waiting for the model thread with this index to finish.
+    Join(usize),
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked(BlockedOn),
+    Finished,
+}
+
+struct ThreadInfo {
+    status: Status,
+    /// Label of the operation this thread last blocked at (for diagnostics).
+    blocked_at: Option<&'static str>,
+}
+
+/// One scheduling decision: the canonical alternative list (the previously
+/// active thread first when it is still enabled, then the rest by index),
+/// which position was taken, and the preemption count before the decision.
+pub(crate) struct DecisionRecord {
+    pub alternatives: Vec<usize>,
+    pub chosen_pos: usize,
+    /// True when the previously active thread was not enabled, so every
+    /// alternative is a free (forced) switch rather than a preemption.
+    pub forced: bool,
+    pub preemptions_before: usize,
+}
+
+enum PickError {
+    NoneEnabled,
+    Divergence(String),
+}
+
+struct ExecState {
+    threads: Vec<ThreadInfo>,
+    active: usize,
+    preset: Vec<usize>,
+    schedule: Vec<usize>,
+    decisions: Vec<DecisionRecord>,
+    preemptions: usize,
+    steps: usize,
+    trace: Vec<String>,
+    failure: Option<Failure>,
+    aborting: bool,
+    done: bool,
+}
+
+impl ExecState {
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Chooses the next active thread, records the decision, and updates the
+    /// preemption count. `current` is the thread making the call.
+    fn pick(&mut self, current: usize) -> Result<usize, PickError> {
+        let enabled = self.runnable();
+        if enabled.is_empty() {
+            return Err(PickError::NoneEnabled);
+        }
+        let forced = !enabled.contains(&current);
+        let mut alternatives = enabled;
+        if !forced {
+            alternatives.retain(|&t| t != current);
+            alternatives.insert(0, current);
+        }
+        let idx = self.schedule.len();
+        let chosen = if idx < self.preset.len() {
+            let want = self.preset[idx];
+            if !alternatives.contains(&want) {
+                return Err(PickError::Divergence(format!(
+                    "schedule divergence at step {idx}: preset wants t{want} but the \
+                     enabled set is {alternatives:?} (model code must be deterministic)"
+                )));
+            }
+            want
+        } else {
+            alternatives[0]
+        };
+        let chosen_pos = alternatives
+            .iter()
+            .position(|&t| t == chosen)
+            .expect("chosen thread is an alternative");
+        self.decisions.push(DecisionRecord {
+            alternatives,
+            chosen_pos,
+            forced,
+            preemptions_before: self.preemptions,
+        });
+        if !forced && chosen != current {
+            self.preemptions += 1;
+        }
+        self.schedule.push(chosen);
+        self.active = chosen;
+        Ok(chosen)
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+
+    fn fail(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                kind,
+                message,
+                schedule: self.schedule.clone(),
+                trace: self.trace.clone(),
+            });
+        }
+        self.aborting = true;
+        self.done = true;
+    }
+
+    /// All unfinished threads are blocked: classify and record the failure.
+    ///
+    /// A thread stuck on a *mutex* means a lock cycle, so that outranks any
+    /// condvar waiter (an inverted-order deadlock usually strands one thread
+    /// on the condvar too); only when every stuck thread waits on condvars
+    /// or joins is the hang a lost wakeup.
+    fn fail_stuck(&mut self) {
+        let lock_cycle = self
+            .threads
+            .iter()
+            .any(|t| matches!(t.status, Status::Blocked(BlockedOn::Mutex(_))));
+        let lost_wakeup = !lock_cycle
+            && self
+                .threads
+                .iter()
+                .any(|t| matches!(t.status, Status::Blocked(BlockedOn::Condvar(_))));
+        let mut parts = Vec::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            if let Status::Blocked(on) = t.status {
+                let label = t.blocked_at.unwrap_or("?");
+                parts.push(format!("t{i} blocked at {label} ({on:?})"));
+            }
+        }
+        let kind = if lost_wakeup {
+            FailureKind::LostWakeup
+        } else {
+            FailureKind::Deadlock
+        };
+        let what = if lost_wakeup {
+            "lost wakeup: a thread waits on a condvar no one will ever notify"
+        } else {
+            "deadlock: every unfinished thread is blocked"
+        };
+        self.fail(kind, format!("{what}; {}", parts.join(", ")));
+    }
+}
+
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    cond: StdCondvar,
+    config: Config,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The per-OS-thread handle onto the execution it belongs to.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub exec: StdArc<Execution>,
+    pub id: usize,
+}
+
+/// The calling OS thread's model context, if it is a model thread inside an
+/// active execution. Shims fall back to plain `std` behavior when `None`.
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+impl Ctx {
+    pub fn yield_point(&self, label: &'static str) {
+        self.exec.yield_point(self.id, label);
+    }
+
+    pub fn block_point(&self, on: BlockedOn, label: &'static str) {
+        self.exec.block_point(self.id, on, label);
+    }
+
+    pub fn unblock(&self, on: BlockedOn) {
+        self.exec.unblock(on);
+    }
+
+    pub fn unblock_thread(&self, thread: usize, on: BlockedOn) {
+        self.exec.unblock_thread(thread, on);
+    }
+}
+
+impl Execution {
+    fn new(config: Config, preset: Vec<usize>) -> Self {
+        Execution {
+            state: StdMutex::new(ExecState {
+                threads: vec![ThreadInfo {
+                    status: Status::Runnable,
+                    blocked_at: None,
+                }],
+                active: 0,
+                preset,
+                schedule: Vec::new(),
+                decisions: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                trace: Vec::new(),
+                failure: None,
+                aborting: false,
+                done: false,
+            }),
+            cond: StdCondvar::new(),
+            config,
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        // The state mutex is only ever held for bookkeeping; a poisoned
+        // state means a bug inside the checker itself.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn abort_check(&self, st: &ExecState) {
+        if st.aborting {
+            std::panic::panic_any(ExecAbort);
+        }
+    }
+
+    fn step(&self, st: &mut ExecState, me: usize, label: &'static str) {
+        st.trace.push(format!("t{me} {label}"));
+        st.steps += 1;
+        if st.steps > self.config.max_steps && st.failure.is_none() {
+            st.fail(
+                FailureKind::StepLimit,
+                format!(
+                    "exceeded {} scheduling steps (possible livelock)",
+                    self.config.max_steps
+                ),
+            );
+            self.cond.notify_all();
+        }
+    }
+
+    fn apply_pick(&self, st: &mut ExecState, result: Result<usize, PickError>) {
+        match result {
+            Ok(_) => {}
+            Err(PickError::NoneEnabled) => {
+                st.fail_stuck();
+            }
+            Err(PickError::Divergence(msg)) => {
+                st.fail(FailureKind::Divergence, msg);
+            }
+        }
+        self.cond.notify_all();
+    }
+
+    /// Scheduling decision with the caller still runnable.
+    pub(crate) fn yield_point(&self, me: usize, label: &'static str) {
+        let mut st = self.lock_state();
+        self.abort_check(&st);
+        self.step(&mut st, me, label);
+        self.abort_check(&st);
+        let picked = st.pick(me);
+        self.apply_pick(&mut st, picked);
+        self.abort_check(&st);
+        while st.active != me {
+            st = self
+                .cond
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.abort_check(&st);
+        }
+    }
+
+    /// The caller blocks on `on`; returns once it was unblocked *and*
+    /// scheduled again.
+    pub(crate) fn block_point(&self, me: usize, on: BlockedOn, label: &'static str) {
+        let mut st = self.lock_state();
+        self.abort_check(&st);
+        self.step(&mut st, me, label);
+        self.abort_check(&st);
+        st.threads[me].status = Status::Blocked(on);
+        st.threads[me].blocked_at = Some(label);
+        let picked = st.pick(me);
+        self.apply_pick(&mut st, picked);
+        self.abort_check(&st);
+        while !(st.active == me && st.threads[me].status == Status::Runnable) {
+            st = self
+                .cond
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.abort_check(&st);
+        }
+        st.threads[me].blocked_at = None;
+    }
+
+    /// Marks every thread blocked on `on` runnable (they still have to be
+    /// scheduled by a later decision before they run).
+    pub(crate) fn unblock(&self, on: BlockedOn) {
+        let mut st = self.lock_state();
+        for t in &mut st.threads {
+            if t.status == Status::Blocked(on) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Marks one specific thread runnable if it is blocked on `on`.
+    pub(crate) fn unblock_thread(&self, thread: usize, on: BlockedOn) {
+        let mut st = self.lock_state();
+        if st.threads[thread].status == Status::Blocked(on) {
+            st.threads[thread].status = Status::Runnable;
+        }
+    }
+
+    /// Registers a new model thread (status runnable) and returns its index.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        let id = st.threads.len();
+        st.threads.push(ThreadInfo {
+            status: Status::Runnable,
+            blocked_at: None,
+        });
+        id
+    }
+
+    pub(crate) fn push_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(handle);
+    }
+
+    /// First wait of a freshly spawned model thread: parked until a decision
+    /// makes it active.
+    pub(crate) fn wait_first_schedule(&self, me: usize) {
+        let mut st = self.lock_state();
+        self.abort_check(&st);
+        while st.active != me {
+            st = self
+                .cond
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.abort_check(&st);
+        }
+    }
+
+    pub(crate) fn is_finished(&self, thread: usize) -> bool {
+        let st = self.lock_state();
+        st.threads[thread].status == Status::Finished
+    }
+
+    /// Normal completion of a model thread.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.lock_state();
+        if st.aborting {
+            st.threads[me].status = Status::Finished;
+            self.cond.notify_all();
+            return;
+        }
+        st.trace.push(format!("t{me} finish"));
+        st.threads[me].status = Status::Finished;
+        self.unblock_joiners(&mut st, me);
+        if st.all_finished() {
+            st.done = true;
+            self.cond.notify_all();
+            return;
+        }
+        let picked = st.pick(me);
+        self.apply_pick(&mut st, picked);
+    }
+
+    fn unblock_joiners(&self, st: &mut ExecState, target: usize) {
+        for t in &mut st.threads {
+            if t.status == Status::Blocked(BlockedOn::Join(target)) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Completion during teardown (the thread unwound via [`ExecAbort`]).
+    pub(crate) fn finish_quiet(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.threads[me].status = Status::Finished;
+        self.cond.notify_all();
+    }
+
+    /// A model thread panicked with a real (non-abort) payload: the
+    /// execution fails with the panic message.
+    pub(crate) fn fail_panic(&self, me: usize, payload: Box<dyn std::any::Any + Send>) {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        let mut st = self.lock_state();
+        st.threads[me].status = Status::Finished;
+        st.fail(FailureKind::Panic, format!("t{me} panicked: {msg}"));
+        self.cond.notify_all();
+    }
+}
+
+/// What one execution produced: the full decision sequence (for DFS
+/// backtracking) and the failure, if any.
+pub(crate) struct ExecOutcome {
+    pub schedule: Vec<usize>,
+    pub decisions: Vec<DecisionRecord>,
+    pub failure: Option<Failure>,
+}
+
+/// Runs `body` as model thread 0 under one specific schedule prefix.
+pub(crate) fn run_one(
+    config: Config,
+    preset: Vec<usize>,
+    body: StdArc<dyn Fn() + Send + Sync>,
+) -> ExecOutcome {
+    let exec = StdArc::new(Execution::new(config, preset));
+    let exec0 = StdArc::clone(&exec);
+    let handle = std::thread::Builder::new()
+        .name("model-t0".to_string())
+        .spawn(move || {
+            set_ctx(Some(Ctx {
+                exec: StdArc::clone(&exec0),
+                id: 0,
+            }));
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| body()));
+            set_ctx(None);
+            match result {
+                Ok(()) => exec0.finish(0),
+                Err(payload) if payload.is::<ExecAbort>() => exec0.finish_quiet(0),
+                Err(payload) => exec0.fail_panic(0, payload),
+            }
+        })
+        .expect("spawn model thread 0");
+    exec.push_os_handle(handle);
+
+    // Wait for the execution to finish or fail, then tear everything down.
+    {
+        let mut st = exec.lock_state();
+        while !st.done && !st.all_finished() {
+            st = exec
+                .cond
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.aborting = true;
+        exec.cond.notify_all();
+    }
+    // Join every OS thread spawned during the execution. New handles cannot
+    // appear anymore: spawning requires a running model thread, and all of
+    // them unwind at their next schedule point.
+    let mut pending: VecDeque<std::thread::JoinHandle<()>> = exec
+        .os_handles
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .drain(..)
+        .collect();
+    while let Some(handle) = pending.pop_front() {
+        let _ = handle.join();
+        let mut more = exec
+            .os_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        pending.extend(more.drain(..));
+    }
+
+    let mut st = exec.lock_state();
+    ExecOutcome {
+        schedule: std::mem::take(&mut st.schedule),
+        decisions: std::mem::take(&mut st.decisions),
+        failure: st.failure.take(),
+    }
+}
+
+/// DFS backtracking: the deepest decision with an untried alternative whose
+/// cost stays within the preemption bound yields the next schedule prefix.
+pub(crate) fn next_preset(
+    schedule: &[usize],
+    decisions: &[DecisionRecord],
+    max_preemptions: usize,
+) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        let d = &decisions[i];
+        for pos in (d.chosen_pos + 1)..d.alternatives.len() {
+            // In canonical order the first alternative is the only free one
+            // at a non-forced decision; every other choice preempts.
+            let cost = if d.forced { 0 } else { usize::from(pos > 0) };
+            if d.preemptions_before + cost <= max_preemptions {
+                let mut preset = schedule[..i].to_vec();
+                preset.push(d.alternatives[pos]);
+                return Some(preset);
+            }
+        }
+    }
+    None
+}

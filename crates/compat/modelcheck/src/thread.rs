@@ -1,0 +1,105 @@
+//! Model threads: `spawn`/`join` twins of `std::thread` that register the
+//! new thread with the active execution so the explorer can schedule it.
+//! Outside an exploration they delegate to real `std::thread` primitives.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc as StdArc, Mutex as StdMutex, PoisonError};
+
+use crate::exec::{self, BlockedOn, Ctx, ExecAbort};
+
+/// Handle to a spawned model (or, outside explorations, native) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Inner::Native(_) => f.debug_tuple("JoinHandle").field(&"native").finish(),
+            Inner::Model { target, .. } => f
+                .debug_tuple("JoinHandle")
+                .field(&format_args!("model t{target}"))
+                .finish(),
+        }
+    }
+}
+
+enum Inner<T> {
+    Native(std::thread::JoinHandle<T>),
+    Model {
+        target: usize,
+        slot: StdArc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Spawns a new thread. Inside an exploration the thread is registered with
+/// the scheduler and does not run until a scheduling decision picks it.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(ctx) = exec::current() else {
+        return JoinHandle(Inner::Native(std::thread::spawn(f)));
+    };
+    let id = ctx.exec.register_thread();
+    let slot: StdArc<StdMutex<Option<T>>> = StdArc::new(StdMutex::new(None));
+    let slot2 = StdArc::clone(&slot);
+    let exec2 = StdArc::clone(&ctx.exec);
+    let os = std::thread::Builder::new()
+        .name(format!("model-t{id}"))
+        .spawn(move || {
+            exec::set_ctx(Some(Ctx {
+                exec: StdArc::clone(&exec2),
+                id,
+            }));
+            exec2.wait_first_schedule(id);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+            exec::set_ctx(None);
+            match result {
+                Ok(value) => {
+                    *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+                    exec2.finish(id);
+                }
+                Err(payload) if payload.is::<ExecAbort>() => exec2.finish_quiet(id),
+                Err(payload) => exec2.fail_panic(id, payload),
+            }
+        })
+        .expect("spawn model thread");
+    ctx.exec.push_os_handle(os);
+    // The new thread is schedulable from here on; give the explorer the
+    // chance to run it immediately (that switch counts as a preemption).
+    ctx.yield_point("thread.spawn");
+    JoinHandle(Inner::Model { target: id, slot })
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. A model
+    /// thread that panics fails the whole execution, so the model arm only
+    /// returns `Ok`.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Native(handle) => handle.join(),
+            Inner::Model { target, slot } => {
+                let ctx = exec::current().expect("model JoinHandle joined outside an exploration");
+                ctx.yield_point("thread.join");
+                while !ctx.exec.is_finished(target) {
+                    ctx.block_point(BlockedOn::Join(target), "thread.join.blocked");
+                }
+                let value = slot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("finished model thread left no result");
+                Ok(value)
+            }
+        }
+    }
+}
+
+/// A scheduling decision with no other effect (a voluntary yield). Outside
+/// an exploration this is `std::thread::yield_now`.
+pub fn yield_now() {
+    match exec::current() {
+        Some(ctx) => ctx.yield_point("yield"),
+        None => std::thread::yield_now(),
+    }
+}

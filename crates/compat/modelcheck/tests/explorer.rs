@@ -1,0 +1,199 @@
+//! Self-tests for the model checker: known-good scenarios must pass
+//! exhaustively, known-bad scenarios must be caught with a replayable
+//! trace, and exploration must be deterministic.
+
+use kwsearch_modelcheck::sync::{Arc, Condvar, Mutex};
+use kwsearch_modelcheck::thread;
+use kwsearch_modelcheck::{explore, replay, Config, FailureKind};
+
+fn lock<T>(mutex: &Mutex<T>) -> kwsearch_modelcheck::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn counter_under_mutex_is_race_free() {
+    let report = explore(Config::with_preemptions(2), || {
+        let counter = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = counter.clone();
+                thread::spawn(move || {
+                    let mut guard = lock(&counter);
+                    *guard += 1;
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(*lock(&counter), 2);
+    });
+    let schedules = report.assert_pass();
+    assert!(
+        schedules > 1,
+        "expected multiple interleavings, got {schedules}"
+    );
+}
+
+/// The classic AB-BA inversion: requires one preemption to manifest.
+fn ab_ba_body() {
+    let a = Arc::new(Mutex::new(()));
+    let b = Arc::new(Mutex::new(()));
+    let (a2, b2) = (a.clone(), b.clone());
+    let t1 = thread::spawn(move || {
+        let _ga = lock(&a2);
+        let _gb = lock(&b2);
+    });
+    let (a3, b3) = (a.clone(), b.clone());
+    let t2 = thread::spawn(move || {
+        let _gb = lock(&b3);
+        let _ga = lock(&a3);
+    });
+    t1.join().unwrap();
+    t2.join().unwrap();
+}
+
+#[test]
+fn ab_ba_deadlock_is_found_and_replayable() {
+    let report = explore(Config::with_preemptions(1), ab_ba_body);
+    let failure = report.expect_failure();
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{failure}");
+    assert!(!failure.schedule.is_empty());
+    assert!(!failure.trace.is_empty());
+
+    // The recorded schedule reproduces exactly the same failure.
+    let replayed = replay(Config::with_preemptions(1), &failure.schedule, ab_ba_body)
+        .expect("replaying the failing schedule must fail again");
+    assert_eq!(replayed.kind, FailureKind::Deadlock);
+    assert_eq!(replayed.schedule, failure.schedule);
+}
+
+#[test]
+fn preemption_bound_zero_misses_the_ab_ba_deadlock() {
+    // With no preemptions each thread runs to completion once scheduled, so
+    // the inversion never manifests — exactly what context bounding means.
+    let report = explore(Config::with_preemptions(0), ab_ba_body);
+    let schedules = report.assert_pass();
+    assert!(
+        schedules >= 2,
+        "both thread orders explored, got {schedules}"
+    );
+}
+
+#[test]
+fn lost_wakeup_is_classified_and_traced() {
+    // Waiting without checking a predicate first: if the notifier runs
+    // before the waiter registers, the notification is lost forever.
+    let report = explore(Config::with_preemptions(0), || {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let pair2 = pair.clone();
+        let waiter = thread::spawn(move || {
+            let (slot, cond) = &*pair2;
+            let guard = lock(slot);
+            let _guard = cond.wait(guard).unwrap_or_else(|e| e.into_inner());
+        });
+        let (_, cond) = &*pair;
+        cond.notify_one();
+        waiter.join().unwrap();
+    });
+    let failure = report.expect_failure();
+    assert_eq!(failure.kind, FailureKind::LostWakeup, "{failure}");
+    assert!(
+        failure
+            .trace
+            .iter()
+            .any(|line| line.contains("condvar.blocked")),
+        "trace names the lost waiter: {failure}"
+    );
+}
+
+#[test]
+fn predicate_loop_fixes_the_lost_wakeup() {
+    let report = explore(Config::with_preemptions(2), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let waiter = thread::spawn(move || {
+            let (flag, cond) = &*pair2;
+            let mut guard = lock(flag);
+            while !*guard {
+                guard = cond.wait(guard).unwrap_or_else(|e| e.into_inner());
+            }
+        });
+        let (flag, cond) = &*pair;
+        *lock(flag) = true;
+        cond.notify_one();
+        waiter.join().unwrap();
+    });
+    report.assert_pass();
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        explore(Config::with_preemptions(2), || {
+            let counter = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let counter = counter.clone();
+                    thread::spawn(move || {
+                        *lock(&counter) += 1;
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().unwrap();
+            }
+            assert_eq!(*lock(&counter), 3);
+        })
+    };
+    let first = run().assert_pass();
+    let second = run().assert_pass();
+    assert_eq!(first, second, "schedule count must be reproducible");
+    assert!(
+        first > 10,
+        "three threads at bound 2 branch widely, got {first}"
+    );
+}
+
+#[test]
+fn poisoning_is_modeled() {
+    let report = explore(Config::with_preemptions(1), || {
+        let cell = Arc::new(Mutex::new(7u32));
+        let cell2 = cell.clone();
+        let t = thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = lock(&cell2);
+                panic!("poison the lock");
+            }));
+            assert!(result.is_err());
+        });
+        t.join().unwrap();
+        assert!(cell.is_poisoned());
+        // Recovery à la lock_unpoisoned: the value is still there.
+        let guard = cell.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(*guard, 7);
+    });
+    report.assert_pass();
+}
+
+#[test]
+fn shims_work_outside_explorations() {
+    // The fallback paths: plain blocking behavior on ordinary threads.
+    let queue = std::sync::Arc::new((Mutex::new(Vec::<u32>::new()), Condvar::new()));
+    let queue2 = std::sync::Arc::clone(&queue);
+    let producer = std::thread::spawn(move || {
+        let (items, ready) = &*queue2;
+        for i in 0..10 {
+            lock(items).push(i);
+            ready.notify_one();
+        }
+    });
+    let (items, ready) = &*queue;
+    let mut guard = lock(items);
+    while guard.len() < 10 {
+        guard = ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(guard);
+    producer.join().unwrap();
+    assert_eq!(*lock(items), (0..10).collect::<Vec<_>>());
+}

@@ -44,14 +44,14 @@
 //! the old ones.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::PoisonError;
 
 use kwsearch_summary::AugmentationSnapshot;
 
 use crate::config::SearchConfig;
 use crate::invariants;
 use crate::result::RankedQuery;
-use crate::sync::lock_unpoisoned;
+use crate::sync::{lock_unpoisoned, Arc, Condvar, Mutex};
 
 /// The key of one cached augmentation: the search configuration (embedded
 /// verbatim — see [`SearchConfig`]'s `Eq + Hash` note) plus the normalized
@@ -260,6 +260,11 @@ impl InFlight {
         let mut slot = lock_unpoisoned(&self.slot);
         *slot = Some(result);
         drop(slot);
+        // Seeded mutation (a): dropping this notify_all leaves every joined
+        // waiter blocked forever once the owner publishes — the model
+        // checker must report it as a lost wakeup
+        // (`tests/model_mutations.rs`).
+        #[cfg(not(all(kwsearch_model, kwsearch_model_mutation)))]
         self.done.notify_all();
     }
 }

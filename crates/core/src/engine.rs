@@ -21,7 +21,7 @@
 //!   each query the instant the still-missing number of answers has been
 //!   found, and [`AnswerPhase`] reports that phase's timing.
 
-use std::sync::Arc;
+use crate::sync::Arc;
 use std::time::Duration;
 
 use kwsearch_keyword_index::{KeywordIndex, KeywordIndexConfig};

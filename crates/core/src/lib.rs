@@ -45,6 +45,8 @@ pub mod engine;
 pub mod error;
 pub mod exploration;
 pub mod invariants;
+#[cfg(kwsearch_model)]
+pub mod model_scenarios;
 pub mod persist;
 pub mod prepared;
 pub mod query_map;
@@ -66,6 +68,6 @@ pub use prepared::PreparedGraph;
 pub use query_map::map_subgraph_to_query;
 pub use result::RankedQuery;
 pub use scoring::ScoringFunction;
-pub use serve::{SearchRequest, SearchResponse, SearchService, SearchTicket};
+pub use serve::{SearchRequest, SearchResponse, SearchService, SearchTicket, ServiceStats};
 pub use session::SearchSession;
 pub use subgraph::{MatchingSubgraph, SubgraphPath};

@@ -38,7 +38,11 @@
 //! (`tests/concurrent_determinism.rs`) pins exactly this.
 
 use std::collections::VecDeque;
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+// Reply tickets are per-request rendezvous channels between exactly one
+// worker and one caller; the model scenarios drive the job queue directly,
+// so `mpsc` stays a std primitive outside the facade.
+// lint: allow(no-raw-sync, reason = "mpsc reply channels are per-request rendezvous, never contended; model scenarios bypass them")
+use std::sync::{mpsc, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -46,7 +50,7 @@ use crate::config::SearchConfig;
 use crate::engine::{AnswerPhase, SearchOutcome};
 use crate::error::SearchError;
 use crate::prepared::PreparedGraph;
-use crate::sync::lock_unpoisoned;
+use crate::sync::{lock_unpoisoned, Arc, Condvar, Mutex};
 
 /// One keyword search to be served by a [`SearchService`] worker.
 #[derive(Debug, Clone)]
@@ -61,6 +65,9 @@ pub struct SearchRequest {
     /// covers only the queries the answer phase reached (no drain past the
     /// target).
     pub min_answers: Option<usize>,
+    /// Test seam: makes the serving worker panic mid-job (see
+    /// [`SearchRequest::with_injected_panic`]).
+    inject_panic: bool,
 }
 
 impl SearchRequest {
@@ -73,7 +80,18 @@ impl SearchRequest {
                 .collect(),
             config: None,
             min_answers: None,
+            inject_panic: false,
         }
+    }
+
+    /// Test seam: the worker that picks this request up panics mid-job
+    /// instead of serving it. Exists so the pool's panic containment
+    /// (drop-drain with a dead worker, poisoned-lock recovery) can be
+    /// exercised from tests; serving code never sets it.
+    #[doc(hidden)]
+    pub fn with_injected_panic(mut self) -> Self {
+        self.inject_panic = true;
+        self
     }
 
     /// Overrides the search configuration for this request.
@@ -124,9 +142,9 @@ impl SearchTicket {
     }
 }
 
-struct Job {
-    request: SearchRequest,
-    reply: mpsc::Sender<SearchResponse>,
+pub(crate) struct Job {
+    pub(crate) request: SearchRequest,
+    pub(crate) reply: mpsc::Sender<SearchResponse>,
 }
 
 #[derive(Default)]
@@ -135,34 +153,66 @@ struct QueueState {
     closed: bool,
 }
 
+/// Cumulative serving metrics, kept consistent with the queue they describe
+/// (see [`SearchService::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted by [`SearchService::submit`] since startup.
+    pub jobs_submitted: u64,
+    /// Requests handed to a worker since startup.
+    pub jobs_served: u64,
+    /// The deepest the submission queue has ever been.
+    pub peak_queue_depth: usize,
+}
+
 /// The submission queue: a mutex-protected deque with a condition variable,
-/// closed on shutdown so idle workers wake up and exit.
-struct JobQueue {
+/// closed on shutdown so idle workers wake up and exit, plus a metrics
+/// mutex updated while the queue lock is held.
+///
+/// Lock order (workspace-wide, pinned by the `lock-order` lint's
+/// acquisition graph): queue `state` **before** `metrics`. The nesting is
+/// deliberate — `peak_queue_depth` and the submitted/served counters must
+/// snapshot the queue they describe, so they are updated under the queue
+/// lock rather than after it.
+pub(crate) struct JobQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
+    metrics: Mutex<ServiceStats>,
 }
 
 impl JobQueue {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             state: Mutex::new(QueueState::default()),
             ready: Condvar::new(),
+            metrics: Mutex::new(ServiceStats::default()),
         }
     }
 
-    fn push(&self, job: Job) {
+    pub(crate) fn push(&self, job: Job) {
         let mut state = lock_unpoisoned(&self.state);
         debug_assert!(!state.closed, "submit after shutdown");
         state.jobs.push_back(job);
+        let depth = state.jobs.len();
+        // lint: allow(lock-discipline, reason = "documented order: queue state before metrics; the depth snapshot must match the queue it measures")
+        let mut metrics = lock_unpoisoned(&self.metrics);
+        metrics.jobs_submitted += 1;
+        metrics.peak_queue_depth = metrics.peak_queue_depth.max(depth);
+        drop(metrics);
         drop(state);
         self.ready.notify_one();
     }
 
     // lint: wait-loop
-    fn pop(&self) -> Option<Job> {
+    #[cfg(not(all(kwsearch_model, kwsearch_model_mutation)))]
+    pub(crate) fn pop(&self) -> Option<Job> {
         let mut state = lock_unpoisoned(&self.state);
         loop {
             if let Some(job) = state.jobs.pop_front() {
+                // lint: allow(lock-discipline, reason = "documented order: queue state before metrics, so served counts never outrun the queue")
+                let mut metrics = lock_unpoisoned(&self.metrics);
+                metrics.jobs_served += 1;
+                drop(metrics);
                 return Some(job);
             }
             if state.closed {
@@ -175,15 +225,46 @@ impl JobQueue {
         }
     }
 
-    fn close(&self) {
+    /// Seeded mutation (b): acquires `metrics` before `state` — the inverse
+    /// of `push`'s documented order, on the one nested pair that genuinely
+    /// races it (workers pop while submitters push). The model checker must
+    /// report the resulting AB-BA deadlock (`tests/model_mutations.rs`),
+    /// and the `lock-order` lint would flag the cycle were the inverted
+    /// edge not explicitly waived as a fixture.
+    // lint: wait-loop
+    #[cfg(all(kwsearch_model, kwsearch_model_mutation))]
+    pub(crate) fn pop(&self) -> Option<Job> {
+        let mut metrics = lock_unpoisoned(&self.metrics);
+        // lint: allow(lock-order, reason = "seeded mutation fixture: the inverted edge exists to be caught by the model checker, not to be ordered")
+        let mut state = lock_unpoisoned(&self.state); // lint: allow(lock-discipline, reason = "seeded mutation fixture, compiled only under kwsearch_model_mutation")
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                metrics.jobs_served += 1;
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub(crate) fn close(&self) {
         let mut state = lock_unpoisoned(&self.state);
         state.closed = true;
         drop(state);
         self.ready.notify_all();
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         lock_unpoisoned(&self.state).jobs.len()
+    }
+
+    pub(crate) fn stats(&self) -> ServiceStats {
+        *lock_unpoisoned(&self.metrics)
     }
 }
 
@@ -263,6 +344,12 @@ impl SearchService {
         &self.default_config
     }
 
+    /// Cumulative serving metrics: submissions, served jobs, and the peak
+    /// submission-queue depth.
+    pub fn stats(&self) -> ServiceStats {
+        self.queue.stats()
+    }
+
     /// Closes the submission queue, drains outstanding requests and joins
     /// the workers. Dropping the service does the same; this form merely
     /// makes the blocking explicit.
@@ -271,20 +358,33 @@ impl SearchService {
 
 impl Drop for SearchService {
     fn drop(&mut self) {
+        // Close (sets the flag and notifies) strictly before joining, so
+        // idle workers wake up and exit instead of waiting forever.
         self.queue.close();
+        // Join *every* worker before re-raising anything: resuming the
+        // first panic mid-loop would leak the remaining handles and skip
+        // draining their outstanding jobs.
+        let mut first_panic = None;
         for worker in self.workers.drain(..) {
+            if let Err(panic) = worker.join() {
+                if first_panic.is_none() {
+                    first_panic = Some(panic);
+                } else {
+                    eprintln!("kwsearch-core: additional search worker panicked: {panic:?}");
+                }
+            }
+        }
+        if let Some(panic) = first_panic {
             // A panicking worker poisoned nothing shared (sessions are
             // per-request); surface the panic here instead of hiding it —
             // unless this drop is itself running during an unwind (e.g. the
             // caller's `SearchTicket::wait` panicked about the dead worker),
             // where a second panic would abort the process and destroy the
             // original message.
-            if let Err(panic) = worker.join() {
-                if std::thread::panicking() {
-                    eprintln!("kwsearch-core: search worker panicked: {panic:?}");
-                } else {
-                    std::panic::resume_unwind(panic);
-                }
+            if std::thread::panicking() {
+                eprintln!("kwsearch-core: search worker panicked: {panic:?}");
+            } else {
+                std::panic::resume_unwind(panic);
             }
         }
     }
@@ -308,6 +408,9 @@ fn worker_loop(
 ) {
     while let Some(job) = queue.pop() {
         let Job { request, reply } = job;
+        if request.inject_panic {
+            panic!("injected worker panic (test seam)");
+        }
         let start = Instant::now();
         let config = request
             .config
@@ -408,6 +511,54 @@ mod tests {
         for ticket in tickets {
             assert!(ticket.wait().result.is_ok());
         }
+    }
+
+    #[test]
+    fn stats_track_submissions_served_jobs_and_peak_depth() {
+        let service = service(1);
+        let tickets: Vec<_> = (0..3)
+            .map(|_| service.submit_keywords(&["publications"]))
+            .collect();
+        for ticket in tickets {
+            let _ = ticket.wait().result.unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.jobs_submitted, 3);
+        assert_eq!(stats.jobs_served, 3);
+        assert!(
+            (1..=3).contains(&stats.peak_queue_depth),
+            "peak depth reflects real queueing: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn drop_completes_when_a_worker_panicked_mid_job() {
+        // One worker dies on the injected panic; the other keeps serving.
+        // Drop must still join both and then re-raise the worker's panic —
+        // the hang this guards against is a drop that waits on a thread
+        // that will never see the close flag, or that leaks live workers
+        // after the first panicked join.
+        let service = service(2);
+        let poisoned = service.submit(SearchRequest::new(["publications"]).with_injected_panic());
+        let healthy: Vec<_> = (0..4)
+            .map(|_| service.submit_keywords(&["publications"]))
+            .collect();
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || service.shutdown()));
+        let message = *result
+            .expect_err("the worker panic is re-raised from drop")
+            .downcast::<&str>()
+            .expect("the injected panic carries its message");
+        assert_eq!(message, "injected worker panic (test seam)");
+        // The panicked job's ticket is dead; the drain guarantee still
+        // holds for every job a live worker could reach.
+        for ticket in healthy {
+            assert!(ticket.wait().result.is_ok());
+        }
+        assert!(
+            poisoned.receiver.recv().is_err(),
+            "no reply from a dead worker"
+        );
     }
 
     #[test]

@@ -77,13 +77,13 @@ pub struct SearchSession<'e> {
     /// insert); a naturally drained, never-raised session writes its
     /// complete emission log back here so later same-key sessions can skip
     /// the exploration (see [`crate::cache`]).
-    cache_entry: Option<std::sync::Arc<crate::cache::CachedAugmentation>>,
+    cache_entry: Option<crate::sync::Arc<crate::cache::CachedAugmentation>>,
     /// A complete emission log written by an earlier drained session under
     /// the same key, plus the replay position: while set, [`Self::advance`]
     /// emits from the log instead of exploring — bit-identically, since the
     /// exploration is deterministic. Dropped by [`Self::raise_k`], which
     /// falls back to real exploration.
-    replay: Option<(std::sync::Arc<Vec<RankedQuery>>, usize)>,
+    replay: Option<(crate::sync::Arc<Vec<RankedQuery>>, usize)>,
     /// Whether [`Self::raise_k`] changed the configuration away from the
     /// one the cache key was computed for (disables the write-back).
     raised: bool,

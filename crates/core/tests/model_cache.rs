@@ -1,0 +1,52 @@
+//! Exhaustive model checking of the augmentation cache's concurrency
+//! contracts (single-flight coalescing, abandonment recovery, negative
+//! entries, eviction vs. write-back).
+//!
+//! Runs only under `RUSTFLAGS="--cfg kwsearch_model"`, where
+//! `kwsearch_core::sync` resolves to the `kwsearch-modelcheck` shims — and
+//! not under the additional `kwsearch_model_mutation` cfg, which sabotages
+//! the code under test on purpose (see `model_mutations.rs`).
+//!
+//! The asserted interleaving counts are exact: the DFS explorer is
+//! deterministic, so the count is a fingerprint of the explored space. A
+//! legitimate change to the scenario or to the shims' schedule points moves
+//! the number — update the constant after confirming the new exploration
+//! still passes. A count that silently *shrinks* without a code change
+//! means the explorer stopped exploring.
+
+#![cfg(all(kwsearch_model, not(kwsearch_model_mutation)))]
+
+use kwsearch_core::model_scenarios as scenarios;
+use kwsearch_modelcheck::Config;
+
+#[test]
+fn single_flight_coalescing_is_exhaustively_correct() {
+    let schedules =
+        scenarios::cache_single_flight_coalescing(Config::with_preemptions(2)).assert_pass();
+    assert_eq!(schedules, 49, "explored-space fingerprint moved");
+    println!("single-flight coalescing: {schedules} interleavings, all correct");
+}
+
+#[test]
+fn abandoned_owner_releases_waiters_to_retry() {
+    let schedules =
+        scenarios::cache_owner_abandons_waiters_retry(Config::with_preemptions(2)).assert_pass();
+    assert_eq!(schedules, 140, "explored-space fingerprint moved");
+    println!("owner abandonment: {schedules} interleavings, all correct");
+}
+
+#[test]
+fn negative_entries_serve_concurrent_probes_without_recomputing() {
+    let schedules =
+        scenarios::cache_negative_entry_is_cached(Config::with_preemptions(2)).assert_pass();
+    assert_eq!(schedules, 49, "explored-space fingerprint moved");
+    println!("negative entries: {schedules} interleavings, all correct");
+}
+
+#[test]
+fn replay_log_write_back_survives_concurrent_eviction() {
+    let schedules =
+        scenarios::cache_store_results_vs_eviction(Config::with_preemptions(2)).assert_pass();
+    assert_eq!(schedules, 41, "explored-space fingerprint moved");
+    println!("store vs eviction: {schedules} interleavings, all correct");
+}

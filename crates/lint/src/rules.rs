@@ -16,9 +16,31 @@ use crate::Diagnostic;
 pub const RULE_NAMES: &[&str] = &[
     "float-ordering",
     "lock-discipline",
+    "lock-order",
     "no-alloc-hot-path",
+    "no-raw-sync",
+    "no-unsafe",
     "no-unwrap",
     "unordered-iteration",
+];
+
+/// `std::sync` items that are *state*, not mere error plumbing: constructing
+/// or importing one of these in `crates/core` outside the `sync.rs` facade
+/// hides synchronization from the model checker (the facade swaps in the
+/// `kwsearch-modelcheck` shims under `--cfg kwsearch_model`).
+const RAW_SYNC_BANNED: &[&str] = &[
+    "Arc",
+    "Barrier",
+    "Condvar",
+    "Mutex",
+    "MutexGuard",
+    "Once",
+    "RwLock",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "Weak",
+    "atomic",
+    "mpsc",
 ];
 
 /// Crates whose iteration order can reach `SearchOutcome` and therefore must
@@ -211,43 +233,162 @@ fn find_fns(code: &[Token<'_>]) -> Vec<FnRegion> {
     fns
 }
 
+/// One observed nested acquisition: lock `second` was taken while a guard
+/// of lock `first` was live. The `lock-order` analysis aggregates these
+/// into a workspace-wide acquisition graph and reports any cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// Line of the *second* acquisition (the nesting site).
+    pub line: u32,
+    /// Name of the lock whose guard was already live.
+    pub first: String,
+    /// Name of the lock acquired under it.
+    pub second: String,
+}
+
 /// Runs every rule over one file and returns the raw (pre-`allow`)
 /// diagnostics.
 pub fn run_rules(ctx: &FileContext<'_>, ann: &Annotations) -> Vec<Diagnostic> {
+    run_rules_full(ctx, ann).0
+}
+
+/// [`run_rules`] plus the file's nested-acquisition edges for the
+/// cross-file `lock-order` analysis.
+pub fn run_rules_full(
+    ctx: &FileContext<'_>,
+    ann: &Annotations,
+) -> (Vec<Diagnostic>, Vec<LockSite>) {
     let mut diags = Vec::new();
+    let mut edges = Vec::new();
     no_unwrap(ctx, &mut diags);
+    no_unsafe(ctx, &mut diags);
+    no_raw_sync(ctx, &mut diags);
     float_ordering(ctx, &mut diags);
     unordered_iteration(ctx, &mut diags);
     no_alloc_hot_path(ctx, ann, &mut diags);
-    lock_discipline(ctx, ann, &mut diags);
-    diags
+    lock_discipline(ctx, ann, &mut diags, &mut edges);
+    (diags, edges)
 }
 
 /// **no-unwrap** — `.unwrap()` / `.expect(…)` abort the worker thread that
-/// runs them; outside tests, examples and doc code every panic site must be
-/// an explicit, reasoned decision (`allow` with reason) or be rewritten.
+/// runs them (and `.unwrap_unchecked(…)` is UB when the invariant slips);
+/// outside tests, examples and doc code every panic site must be an
+/// explicit, reasoned decision (`allow` with reason) or be rewritten.
 fn no_unwrap(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
     let code = &ctx.code;
     for i in 1..code.len() {
         let t = &code[i];
-        if t.kind != TokenKind::Ident || (t.text != "unwrap" && t.text != "expect") {
+        if t.kind != TokenKind::Ident
+            || (t.text != "unwrap" && t.text != "expect" && t.text != "unwrap_unchecked")
+        {
             continue;
         }
         if code[i - 1].text == "." && code.get(i + 1).map(|t| t.text) == Some("(") {
             if ctx.is_test_line(t.line) {
                 continue;
             }
+            let consequence = if t.text == "unwrap_unchecked" {
+                "undefined behavior the moment the invariant slips: prove the invariant or \
+                 handle the `None`/`Err` arm"
+            } else {
+                "handle the error or document the invariant with \
+                 `// lint: allow(no-unwrap, reason = \"…\")`"
+            };
             diags.push(ctx.diag(
                 t.line,
                 "no-unwrap",
-                format!(
-                    "`.{}(…)` in non-test code: handle the error or document the invariant with \
-                     `// lint: allow(no-unwrap, reason = \"…\")`",
-                    t.text
-                ),
+                format!("`.{}(…)` in non-test code: {consequence}", t.text),
             ));
         }
     }
+}
+
+/// **no-unsafe** — the workspace ships no `unsafe` outside the vendored
+/// `crates/compat` stand-ins (where the model checker's `UnsafeCell` shims
+/// live). An `unsafe` token anywhere else — tests included, since UB does
+/// not care about `cfg(test)` — needs a reasoned
+/// `// lint: allow(no-unsafe, reason = "…")`.
+fn no_unsafe(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
+    if ctx.path.starts_with("crates/compat/") {
+        return;
+    }
+    for t in &ctx.code {
+        if t.kind == TokenKind::Ident && t.text == "unsafe" {
+            diags.push(
+                ctx.diag(
+                    t.line,
+                    "no-unsafe",
+                    "`unsafe` outside crates/compat: the workspace is safe Rust — justify the \
+                 exception with `// lint: allow(no-unsafe, reason = \"…\")` or rewrite"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// **no-raw-sync** — `crates/core` must route all synchronization through
+/// its `sync.rs` facade, which swaps in the `kwsearch-modelcheck` shims
+/// under `--cfg kwsearch_model`. A raw `std::sync::{Mutex, Condvar, Arc,
+/// atomic, …}` import or path anywhere else in the crate creates state the
+/// model checker cannot schedule around. Error plumbing (`PoisonError`,
+/// `LockResult`, `OnceLock`, …) is fine — it never blocks. Test code is
+/// exempt (tests run natively, never under the model cfg).
+fn no_raw_sync(ctx: &FileContext<'_>, diags: &mut Vec<Diagnostic>) {
+    if !ctx.path.starts_with("crates/core/src/") || ctx.path == "crates/core/src/sync.rs" {
+        return;
+    }
+    let code = &ctx.code;
+    let mut i = 0;
+    while i + 3 < code.len() {
+        let path_start = code[i].kind == TokenKind::Ident
+            && code[i].text == "std"
+            && code[i + 1].text == "::"
+            && code[i + 2].text == "sync"
+            && code[i + 3].text == "::";
+        if !path_start || ctx.is_test_line(code[i].line) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 4;
+        if code.get(j).map(|t| t.text) == Some("{") {
+            // `use std::sync::{a, b::{c}}` — check every ident in the group.
+            let mut depth = 0usize;
+            while let Some(t) = code.get(j) {
+                match t.text {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    banned if t.kind == TokenKind::Ident && RAW_SYNC_BANNED.contains(&banned) => {
+                        diags.push(raw_sync_diag(ctx, t.line, banned));
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        } else if let Some(t) = code.get(j) {
+            if t.kind == TokenKind::Ident && RAW_SYNC_BANNED.contains(&t.text) {
+                diags.push(raw_sync_diag(ctx, t.line, t.text));
+            }
+        }
+        i = j + 1;
+    }
+}
+
+fn raw_sync_diag(ctx: &FileContext<'_>, line: u32, item: &str) -> Diagnostic {
+    ctx.diag(
+        line,
+        "no-raw-sync",
+        format!(
+            "`std::sync::{item}` in crates/core outside sync.rs: route it through the \
+             `crate::sync` facade so the model checker can schedule it, or justify with \
+             `// lint: allow(no-raw-sync, reason = \"…\")`"
+        ),
+    )
 }
 
 /// **float-ordering** — `partial_cmp` shortcuts and bare `f64` comparisons
@@ -480,18 +621,29 @@ fn no_alloc_hot_path(ctx: &FileContext<'_>, ann: &Annotations, diags: &mut Vec<D
     }
 }
 
-/// **lock-discipline** — a poor man's deadlock detector for the two lock
+/// **lock-discipline** — a poor man's deadlock detector for the lock
 /// hierarchies in the engine (`cache.rs` single-flight, `serve.rs` job
 /// queue):
 ///
-/// * taking a second `.lock()` while another guard is plausibly live in the
-///   same function is flagged (guards die at `drop(g)`, scope end, or the
-///   end of the statement for unbound temporaries);
+/// * taking a second lock — `.lock()` or the facade's `lock_unpoisoned(…)`
+///   — while another guard is plausibly live in the same function is
+///   flagged (guards die at `drop(g)`, scope end, or the end of the
+///   statement for unbound temporaries);
 /// * `Condvar`-style blocking waits (`.wait(guard)`, `.wait_timeout`,
 ///   `.wait_while`) are only permitted inside fns marked `// lint:
 ///   wait-loop`. A no-argument `.wait()` (e.g. `SearchTicket::wait`) is not
 ///   a condvar wait and is ignored.
-fn lock_discipline(ctx: &FileContext<'_>, ann: &Annotations, diags: &mut Vec<Diagnostic>) {
+///
+/// Every nested acquisition additionally contributes a `first → second`
+/// edge (by lock field name) to the workspace-wide acquisition graph the
+/// `lock-order` analysis checks for cycles; `// lint: allow(lock-order)`
+/// at the nesting site waives the edge.
+fn lock_discipline(
+    ctx: &FileContext<'_>,
+    ann: &Annotations,
+    diags: &mut Vec<Diagnostic>,
+    edges: &mut Vec<LockSite>,
+) {
     let code = &ctx.code;
     let wait_fns: Vec<(u32, u32)> = ann
         .wait_loop
@@ -509,14 +661,59 @@ fn lock_discipline(ctx: &FileContext<'_>, ann: &Annotations, diags: &mut Vec<Dia
         if ctx.is_test_line(region.line) {
             continue;
         }
-        // Guard names live per brace depth within this fn body.
-        let mut scopes: Vec<Vec<&str>> = vec![Vec::new()];
+        // Live guards per brace depth: (binding name, lock name).
+        let mut scopes: Vec<Vec<(&str, &str)>> = vec![Vec::new()];
         // The name a `let` in the current statement would bind, if any.
         let mut pending_let: Option<&str> = None;
-        // Whether the current statement contained a `.lock(` call.
-        let mut stmt_locked = false;
+        // The lock acquired in the current statement, if any.
+        let mut stmt_lock: Option<&str> = None;
         for i in region.body_start + 1..(region.body_end - 1).min(code.len()) {
             let t = &code[i];
+            // An acquisition is `recv.lock(` or `lock_unpoisoned(&recv)`;
+            // either way the *lock name* is the receiver's last path
+            // segment (the field holding the mutex).
+            let acquired: Option<&str> = if t.kind == TokenKind::Ident
+                && t.text == "lock"
+                && i >= 1
+                && code[i - 1].text == "."
+                && code.get(i + 1).map(|t| t.text) == Some("(")
+            {
+                Some(if i >= 2 && code[i - 2].kind == TokenKind::Ident {
+                    code[i - 2].text
+                } else {
+                    "?"
+                })
+            } else if t.kind == TokenKind::Ident
+                && t.text == "lock_unpoisoned"
+                && code.get(i + 1).map(|t| t.text) == Some("(")
+                && (i == 0 || code[i - 1].text != "fn")
+            {
+                Some(last_ident_in_parens(code, i + 1))
+            } else {
+                None
+            };
+            if let Some(lock_name) = acquired {
+                if let Some(&(live_guard, live_lock)) = scopes.iter().flatten().next() {
+                    diags.push(ctx.diag(
+                        t.line,
+                        "lock-discipline",
+                        format!(
+                            "acquiring `{lock_name}` while guard `{live_guard}` (of \
+                             `{live_lock}`) is still live in this scope: drop the first \
+                             guard before taking a second lock",
+                        ),
+                    ));
+                }
+                for &(_, live_lock) in scopes.iter().flatten() {
+                    edges.push(LockSite {
+                        line: t.line,
+                        first: live_lock.to_string(),
+                        second: lock_name.to_string(),
+                    });
+                }
+                stmt_lock = Some(lock_name);
+                continue;
+            }
             match t.text {
                 "{" => scopes.push(Vec::new()),
                 "}" => {
@@ -526,13 +723,13 @@ fn lock_discipline(ctx: &FileContext<'_>, ann: &Annotations, diags: &mut Vec<Dia
                     }
                 }
                 ";" => {
-                    if stmt_locked {
-                        if let (Some(name), Some(scope)) = (pending_let, scopes.last_mut()) {
-                            scope.push(name);
-                        }
+                    if let (Some(name), Some(lock), Some(scope)) =
+                        (pending_let, stmt_lock, scopes.last_mut())
+                    {
+                        scope.push((name, lock));
                     }
                     pending_let = None;
-                    stmt_locked = false;
+                    stmt_lock = None;
                 }
                 "let" => {
                     let mut j = i + 1;
@@ -547,27 +744,9 @@ fn lock_discipline(ctx: &FileContext<'_>, ann: &Annotations, diags: &mut Vec<Dia
                 "drop" if code.get(i + 1).map(|t| t.text) == Some("(") => {
                     if let Some(name) = code.get(i + 2).map(|t| t.text) {
                         for scope in &mut scopes {
-                            scope.retain(|g| *g != name);
+                            scope.retain(|&(g, _)| g != name);
                         }
                     }
-                }
-                "lock"
-                    if t.kind == TokenKind::Ident
-                        && i >= 1
-                        && code[i - 1].text == "."
-                        && code.get(i + 1).map(|t| t.text) == Some("(") =>
-                {
-                    if let Some(live) = scopes.iter().flatten().next() {
-                        diags.push(ctx.diag(
-                            t.line,
-                            "lock-discipline",
-                            format!(
-                                "`.lock()` while guard `{live}` is still live in this \
-                                 scope: drop the first guard before taking a second lock",
-                            ),
-                        ));
-                    }
-                    stmt_locked = true;
                 }
                 "wait" | "wait_timeout" | "wait_while" if t.kind == TokenKind::Ident => {
                     let condvar_wait = i >= 1
@@ -603,4 +782,26 @@ fn lock_discipline(ctx: &FileContext<'_>, ann: &Annotations, diags: &mut Vec<Dia
             ));
         }
     }
+}
+
+/// Last identifier inside the paren group opening at `open` — for
+/// `lock_unpoisoned(&self.state)` that is `state`, the field naming the
+/// lock. Falls back to `?` on an empty or unbalanced group.
+fn last_ident_in_parens<'s>(code: &[Token<'s>], open: usize) -> &'s str {
+    let mut depth = 0usize;
+    let mut last = "?";
+    for t in code.iter().skip(open) {
+        match t.text {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return last;
+                }
+            }
+            _ if t.kind == TokenKind::Ident => last = t.text,
+            _ => {}
+        }
+    }
+    last
 }

@@ -1,0 +1,20 @@
+//! Fixture: one half of a cross-file `lock-order` cycle (linted as
+//! `crates/rdf/src/lock_order_a.rs`). This file nests `alpha` → `beta`;
+//! `lock_order_b.rs` nests `beta` → `alpha`. Each half alone is just a
+//! `lock-discipline` finding; aggregated, the two edges close the classic
+//! AB-BA cycle the `lock-order` analysis reports.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+impl Shared {
+    pub fn alpha_then_beta(&self) -> u32 {
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+}

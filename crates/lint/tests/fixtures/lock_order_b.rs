@@ -1,0 +1,18 @@
+//! Fixture: the other half of the cross-file `lock-order` cycle (linted as
+//! `crates/rdf/src/lock_order_b.rs`; see `lock_order_a.rs`). Nests
+//! `beta` → `alpha`, inverting the sibling file's order.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+impl Shared {
+    pub fn beta_then_alpha(&self) -> u32 {
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: the `no-raw-sync` rule (linted as
+//! `crates/core/src/no_raw_sync.rs`, i.e. inside the crate whose
+//! synchronization must route through the `sync.rs` facade).
+
+use std::sync::Mutex;
+use std::sync::{mpsc, PoisonError};
+use std::sync::OnceLock;
+
+fn flagged_qualified_path() -> bool {
+    std::sync::atomic::AtomicBool::new(true).load(std::sync::atomic::Ordering::Relaxed)
+}
+
+fn allowed_with_reason() -> usize {
+    // lint: allow(no-raw-sync, reason = "fixture: measured fallback compiled only outside the model cfg")
+    std::sync::atomic::AtomicUsize::new(7).into_inner()
+}
+
+fn error_plumbing_is_fine(err: PoisonError<u32>) -> u32 {
+    let _once: OnceLock<u32> = OnceLock::new();
+    err.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn tests_run_natively_and_may_use_raw_sync() {
+        let shared = Mutex::new(1);
+        assert_eq!(*shared.lock().unwrap(), 1);
+    }
+}

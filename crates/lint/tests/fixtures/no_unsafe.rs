@@ -1,0 +1,27 @@
+//! Fixture: the `no-unsafe` rule (linted as `crates/rdf/src/no_unsafe.rs`).
+
+fn flagged_unsafe_block(bytes: &[u8]) -> u32 {
+    let mut total = 0u32;
+    unsafe {
+        for i in 0..bytes.len() {
+            total += u32::from(*bytes.get_unchecked(i));
+        }
+    }
+    total
+}
+
+fn allowed_with_reason(value: u64) -> i64 {
+    // lint: allow(no-unsafe, reason = "fixture: bit-pattern cast reviewed for every input")
+    unsafe { std::mem::transmute::<u64, i64>(value) }
+}
+
+fn safe_code_is_fine(values: &[u32]) -> u32 {
+    values.iter().sum()
+}
+
+#[test]
+fn test_code_is_not_exempt() {
+    let value = 1u8;
+    let read = unsafe { std::ptr::read(&value) };
+    assert_eq!(read, 1);
+}

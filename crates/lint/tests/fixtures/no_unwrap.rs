@@ -21,3 +21,8 @@ fn not_a_panic_site(input: Option<u32>) -> u32 {
 fn test_context_is_exempt() {
     assert_eq!(Some(7).unwrap(), 7);
 }
+
+fn flagged_unwrap_unchecked(input: Option<u32>) -> u32 {
+    // lint: allow(no-unsafe, reason = "fixture: exercising the unwrap_unchecked ban, not the unsafe one")
+    unsafe { input.unwrap_unchecked() }
+}
