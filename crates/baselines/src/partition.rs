@@ -8,6 +8,12 @@
 //! preserves the relevant behaviour: the search space shrinks to a
 //! keyword-dependent subset of the graph (recorded as a substitution in
 //! DESIGN.md).
+//!
+//! This block partitioning is a *baseline search heuristic* and is distinct
+//! from the engine's serving-side partitioner
+//! (`crates/core/src/shard/partition.rs`), which splits the data graph into
+//! edge-disjoint shards for the scatter-gather `ShardedService` — see the
+//! README's "Sharded serving" section.
 
 use std::collections::{HashSet, VecDeque};
 

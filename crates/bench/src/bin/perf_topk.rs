@@ -32,9 +32,14 @@
 //!   latency, with the shared augmentation cache cleared before each level
 //!   so every level does identical total work; next to it, a single-threaded
 //!   cold-vs-warm pass over the workload isolating the augmentation-cache
-//!   speedup.
+//!   speedup,
+//! * **sharded** — the same workload served scatter-gather by a
+//!   [`ShardedService`] over [`SHARD_COUNT`] partitioned preparations, at
+//!   each worker-per-shard level: QPS and p50/p99 end-to-end latency, the
+//!   mean scatter/merge/total split, and the early-emit ratio of the
+//!   rank-correct streaming merge.
 //!
-//! See the README "Performance" section for the JSON schema (v5).
+//! See the README "Performance" section for the JSON schema (v6).
 
 // lint: allow-file(no-unwrap, reason = "benchmark harness: a panic aborts the run with a clear message, which is the desired failure mode")
 
@@ -44,6 +49,7 @@ use kwsearch_bench::{
     best_of_ms, dblp_dataset, json_f64, json_string, lubm_dataset, tap_dataset, ScaleProfile, Table,
 };
 use kwsearch_core::serve::{SearchRequest, SearchService};
+use kwsearch_core::shard::{partition, ShardedService, ShardedServiceOptions};
 use kwsearch_core::{
     ExplorationStats, KeywordSearchEngine, RankedQuery, SearchConfig, SearchOutcome,
 };
@@ -64,6 +70,9 @@ const MIN_ANSWERS: usize = 10;
 /// tail latency are measured over a meaningful sample (steady-state jobs
 /// are sub-millisecond).
 const MIN_CONCURRENT_JOBS: usize = 240;
+
+/// Shards of the scatter-gather section.
+const SHARD_COUNT: usize = 4;
 
 struct QueryRecord {
     id: String,
@@ -160,11 +169,40 @@ impl IngestReport {
     }
 }
 
+/// One worker-per-shard level of the sharded scatter-gather section.
+struct ShardedLevel {
+    workers_per_shard: usize,
+    jobs: usize,
+    wall_ms: f64,
+    qps: f64,
+    /// Median end-to-end request latency (scatter + streaming merge).
+    p50_ms: f64,
+    /// 99th-percentile end-to-end request latency.
+    p99_ms: f64,
+}
+
+/// The sharded scatter-gather section of one dataset: the workload served
+/// by a [`ShardedService`] over [`SHARD_COUNT`] partitioned preparations.
+struct ShardedReport {
+    shard_count: usize,
+    /// Mean per-request scatter latency (lookups + match merge + enqueue).
+    scatter_ms: f64,
+    /// Mean per-request streaming-merge latency (overlaps the shards).
+    merge_ms: f64,
+    /// Mean per-request end-to-end latency.
+    total_ms: f64,
+    /// Merged emissions released before the last shard finished, over all
+    /// merged emissions — the streaming win over drain-then-merge.
+    early_emit_ratio: f64,
+    levels: Vec<ShardedLevel>,
+}
+
 struct DatasetReport {
     name: &'static str,
     records: Vec<QueryRecord>,
     concurrency: ConcurrencyReport,
     ingest: IngestReport,
+    sharded: ShardedReport,
 }
 
 impl DatasetReport {
@@ -264,10 +302,12 @@ fn run_concurrency(
         }
         let service = SearchService::start(prepared.clone(), config.clone(), workers);
         let start = Instant::now();
-        let tickets: Vec<_> = jobs
-            .iter()
-            .map(|keywords| service.submit(SearchRequest::new(keywords.iter())))
-            .collect();
+        let tickets = service
+            .submit_batch(
+                jobs.iter()
+                    .map(|keywords| SearchRequest::new(keywords.iter())),
+            )
+            .expect("the workload fits the admission bound");
         let mut latencies_ms: Vec<f64> = tickets
             .into_iter()
             .map(|ticket| {
@@ -317,6 +357,109 @@ fn run_concurrency(
             hits: stats_after.hits - stats_before.hits,
             misses: stats_after.misses - stats_before.misses,
         },
+    }
+}
+
+/// The sharded scatter-gather section: the workload (repeated like the
+/// concurrency section) served by a [`ShardedService`] over
+/// [`SHARD_COUNT`] partitioned preparations, at each worker-per-shard
+/// level, with as many client threads as workers per shard (the streaming
+/// merge runs on the client thread). Requests report their own scatter and
+/// merge latencies and early-emission counts; the aggregates are means and
+/// the merged-weighted early-emit ratio across every level.
+fn run_sharded(
+    graph: &kwsearch_rdf::DataGraph,
+    queries: &[(String, Vec<String>)],
+    config: &SearchConfig,
+    worker_levels: &[usize],
+) -> ShardedReport {
+    let plan = partition(graph, SHARD_COUNT);
+    let repeat_factor = MIN_CONCURRENT_JOBS.div_ceil(queries.len().max(1)).max(1);
+    let jobs: Vec<&Vec<String>> = (0..repeat_factor)
+        .flat_map(|_| queries.iter().map(|(_, keywords)| keywords))
+        .collect();
+
+    let mut levels = Vec::with_capacity(worker_levels.len());
+    let mut scatter_sum = 0.0f64;
+    let mut merge_sum = 0.0f64;
+    let mut total_sum = 0.0f64;
+    let mut requests = 0usize;
+    let mut early_total = 0u64;
+    let mut merged_total = 0u64;
+    for &workers in worker_levels {
+        // Shard preparations are consumed by the service; rebuild per level
+        // (outside the timed region) so every level starts identically.
+        let shards = plan.prepare_shards(graph, Default::default());
+        let service = ShardedService::start(
+            shards,
+            config.clone(),
+            ShardedServiceOptions {
+                workers_per_shard: workers,
+                ..ShardedServiceOptions::default()
+            },
+        );
+        let start = Instant::now();
+        let mut samples: Vec<(f64, f64, f64, usize, usize)> = std::thread::scope(|scope| {
+            let service = &service;
+            let jobs = &jobs;
+            let handles: Vec<_> = (0..workers)
+                .map(|client| {
+                    scope.spawn(move || {
+                        jobs.iter()
+                            .skip(client)
+                            .step_by(workers)
+                            .map(|keywords| {
+                                let t0 = Instant::now();
+                                let outcome = service
+                                    .search(SearchRequest::new(keywords.iter()))
+                                    .expect("workload keywords always match");
+                                (
+                                    t0.elapsed().as_secs_f64() * 1000.0,
+                                    outcome.scatter_time.as_secs_f64() * 1000.0,
+                                    outcome.merge_time.as_secs_f64() * 1000.0,
+                                    outcome.early_emissions,
+                                    outcome.queries.len(),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sharded client thread"))
+                .collect()
+        });
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        service.shutdown();
+        for &(total, scatter, merge, early, merged) in &samples {
+            total_sum += total;
+            scatter_sum += scatter;
+            merge_sum += merge;
+            early_total += early as u64;
+            merged_total += merged as u64;
+        }
+        requests += samples.len();
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let latencies_ms: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        levels.push(ShardedLevel {
+            workers_per_shard: workers,
+            jobs: jobs.len(),
+            wall_ms,
+            qps: jobs.len() as f64 / (wall_ms / 1000.0).max(1e-9),
+            p50_ms: percentile(&latencies_ms, 0.50),
+            p99_ms: percentile(&latencies_ms, 0.99),
+        });
+    }
+
+    let n = requests.max(1) as f64;
+    ShardedReport {
+        shard_count: SHARD_COUNT,
+        scatter_ms: scatter_sum / n,
+        merge_ms: merge_sum / n,
+        total_ms: total_sum / n,
+        early_emit_ratio: early_total as f64 / merged_total.max(1) as f64,
+        levels,
     }
 }
 
@@ -470,11 +613,13 @@ fn run_workload(
     }
     let concurrency = run_concurrency(engine, queries, config, worker_levels);
     let ingest = measure_ingest(name, engine.graph());
+    let sharded = run_sharded(engine.graph(), queries, config, worker_levels);
     DatasetReport {
         name,
         records,
         concurrency,
         ingest,
+        sharded,
     }
 }
 
@@ -653,6 +798,38 @@ fn print_concurrency_table(report: &DatasetReport) {
     );
 }
 
+fn print_sharded_table(report: &DatasetReport) {
+    let sh = &report.sharded;
+    println!(
+        "== {} sharded scatter-gather ({} shards, streaming merge) ==",
+        report.name, sh.shard_count
+    );
+    let mut table = Table::new([
+        "workers/shard",
+        "jobs",
+        "wall (ms)",
+        "QPS",
+        "p50 (ms)",
+        "p99 (ms)",
+    ]);
+    for level in &sh.levels {
+        table.row([
+            level.workers_per_shard.to_string(),
+            level.jobs.to_string(),
+            format!("{:.3}", level.wall_ms),
+            format!("{:.1}", level.qps),
+            format!("{:.3}", level.p50_ms),
+            format!("{:.3}", level.p99_ms),
+        ]);
+    }
+    table.print();
+    println!(
+        "per request: scatter {:.3} ms, merge {:.3} ms, total {:.3} ms; \
+         early-emit ratio {:.3}\n",
+        sh.scatter_ms, sh.merge_ms, sh.total_ms, sh.early_emit_ratio
+    );
+}
+
 fn print_ingest_table(report: &DatasetReport) {
     let ing = &report.ingest;
     println!("== {} ingest & snapshot cold start ==", report.name);
@@ -740,6 +917,39 @@ fn concurrency_json(conc: &ConcurrencyReport) -> String {
     )
 }
 
+fn sharded_json(sh: &ShardedReport) -> String {
+    let levels: Vec<String> = sh
+        .levels
+        .iter()
+        .map(|level| {
+            format!(
+                concat!(
+                    "{{\"workers_per_shard\": {}, \"jobs\": {}, \"wall_ms\": {}, ",
+                    "\"qps\": {}, \"p50_ms\": {}, \"p99_ms\": {}}}"
+                ),
+                level.workers_per_shard,
+                level.jobs,
+                json_f64(level.wall_ms),
+                json_f64(level.qps),
+                json_f64(level.p50_ms),
+                json_f64(level.p99_ms),
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"shard_count\": {}, \"scatter_ms\": {}, \"merge_ms\": {}, ",
+            "\"total_ms\": {}, \"early_emit_ratio\": {}, \"levels\": [{}]}}"
+        ),
+        sh.shard_count,
+        json_f64(sh.scatter_ms),
+        json_f64(sh.merge_ms),
+        json_f64(sh.total_ms),
+        json_f64(sh.early_emit_ratio),
+        levels.join(", "),
+    )
+}
+
 fn query_json(r: &QueryRecord) -> String {
     let keywords: Vec<String> = r.keywords.iter().map(|k| json_string(k)).collect();
     format!(
@@ -795,7 +1005,8 @@ fn report_json(
                     "\"answer_phase\": {{\"min_answers\": {}, \"total_wall_ms\": {}, ",
                     "\"total_materializing_wall_ms\": {}}}, ",
                     "\"ingest\": {}, ",
-                    "\"concurrency\": {}, \"queries\": [\n      {}\n    ]}}"
+                    "\"concurrency\": {}, \"sharded\": {}, ",
+                    "\"queries\": [\n      {}\n    ]}}"
                 ),
                 json_string(report.name),
                 json_f64(report.total_wall_ms()),
@@ -806,6 +1017,7 @@ fn report_json(
                 json_f64(report.total_materializing_ms()),
                 ingest_json(&report.ingest),
                 concurrency_json(&report.concurrency),
+                sharded_json(&report.sharded),
                 queries.join(",\n      ")
             )
         })
@@ -814,7 +1026,7 @@ fn report_json(
     format!(
         concat!(
             "{{\n",
-            "  \"schema_version\": 5,\n",
+            "  \"schema_version\": 6,\n",
             "  \"scale\": {},\n",
             "  \"config\": {{\"k\": {}, \"dmax\": {}, \"scoring\": {}, \"min_answers\": {}}},\n",
             "  \"workers\": [{}],\n",
@@ -889,6 +1101,7 @@ fn main() {
     print_streaming_table(&dblp_report);
     print_answer_table(&dblp_report);
     print_concurrency_table(&dblp_report);
+    print_sharded_table(&dblp_report);
     print_ingest_table(&dblp_report);
 
     let tap = tap_dataset(profile);
@@ -902,6 +1115,7 @@ fn main() {
     print_streaming_table(&tap_report);
     print_answer_table(&tap_report);
     print_concurrency_table(&tap_report);
+    print_sharded_table(&tap_report);
     print_ingest_table(&tap_report);
 
     let lubm = lubm_dataset(profile);
@@ -917,6 +1131,7 @@ fn main() {
     print_streaming_table(&lubm_report);
     print_answer_table(&lubm_report);
     print_concurrency_table(&lubm_report);
+    print_sharded_table(&lubm_report);
     print_ingest_table(&lubm_report);
 
     let out_path =

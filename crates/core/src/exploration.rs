@@ -25,6 +25,7 @@ use kwsearch_summary::AugmentedSummaryGraph;
 use crate::config::SearchConfig;
 use crate::cursor::{Cursor, CursorArena, CursorId, QueueEntry};
 use crate::subgraph::MatchingSubgraph;
+use crate::sync::CancelToken;
 use crate::topk::{combinations_with_new_cursor, CandidateList};
 
 /// Counters describing one exploration run.
@@ -101,6 +102,11 @@ pub struct Explorer<'a, 'g> {
     config: SearchConfig,
 }
 
+/// The deadline is polled when `queue_pops & DEADLINE_POLL_MASK == 0`: once
+/// every 64 pops (and on the very first), bounding both the clock-sampling
+/// overhead and the post-expiry overshoot.
+pub const DEADLINE_POLL_MASK: usize = 63;
+
 /// Per-element bookkeeping: the cursors that reached the element, per
 /// keyword (`n(w, (C1, …, Cm))` in Algorithm 1).
 #[derive(Debug, Clone)]
@@ -164,6 +170,16 @@ pub struct ExplorationState {
     /// Whether the main loop has terminated (threshold, exhaustion, or the
     /// cursor safety valve).
     finished: bool,
+    /// Absolute wall-clock bound: once it passes, the run aborts at the next
+    /// deadline poll (every [`DEADLINE_POLL_MASK`]+1-th pop).
+    deadline: Option<std::time::Instant>,
+    /// Cooperative-cancellation flag, polled once per pop.
+    cancel: Option<CancelToken>,
+    /// Whether the run was cut short by the deadline or the cancel token.
+    /// Unlike ordinary termination, an aborted run makes no completeness
+    /// claim, so [`Self::next_certified`] stops emitting instead of flushing
+    /// the retained candidates.
+    aborted: bool,
     /// debug-invariants: cost of the last popped queue entry, for the pop
     /// monotonicity check (absent from release builds).
     #[cfg(debug_assertions)]
@@ -194,6 +210,9 @@ impl ExplorationState {
                 stats: ExplorationStats::default(),
                 certified: 0,
                 finished: true,
+                deadline: None,
+                cancel: None,
+                aborted: false,
                 #[cfg(debug_assertions)]
                 last_pop_cost: f64::NEG_INFINITY,
             };
@@ -235,6 +254,9 @@ impl ExplorationState {
             stats,
             certified: 0,
             finished: false,
+            deadline: None,
+            cancel: None,
+            aborted: false,
             #[cfg(debug_assertions)]
             last_pop_cost: f64::NEG_INFINITY,
         }
@@ -256,6 +278,54 @@ impl ExplorationState {
         self.certified
     }
 
+    /// Whether the run was cut short by its deadline or cancel token (see
+    /// [`Self::set_deadline`] / [`Self::set_cancel`]).
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Installs an absolute wall-clock deadline. The clock is sampled every
+    /// [`DEADLINE_POLL_MASK`]+1-th pop (an `Instant::now` per pop would
+    /// dominate the per-pop cost), so the abort lands within that many pops
+    /// of expiry. `None` removes a previously installed deadline.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Installs a shared cancellation token, polled once per pop. The serving
+    /// layer cancels it on shutdown or when a request's deadline fires while
+    /// the job is queued or mid-merge.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = Some(cancel);
+    }
+
+    /// Lower bound on the cost of every emission [`Self::next_certified`] has
+    /// not yet handed out — the per-shard term of the cross-shard merge
+    /// certificate — or `None` when the stream is provably complete (nothing
+    /// pending: an unbounded future emission cost).
+    ///
+    /// Two sources bound the future stream and both must be taken: a retained
+    /// but uncertified candidate can cost *less* than the cheapest pending
+    /// cursor (it is merely waiting for the queue bound to reach it), so the
+    /// queue top alone is not a valid bound. On a finished run only the
+    /// retained candidates remain, and the (now irrelevant) leftover queue
+    /// entries are ignored rather than weakening the bound.
+    pub fn emission_lower_bound(&self) -> Option<f64> {
+        let candidate = self
+            .candidates
+            .best()
+            .get(self.certified)
+            .map(|front| front.cost);
+        if self.finished {
+            return candidate;
+        }
+        let cursor = self.queue.peek().map(|top| top.cost);
+        match (candidate, cursor) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (bound, None) | (None, bound) => bound,
+        }
+    }
+
     /// debug-invariants: cost of the cheapest still-pending cursor, the
     /// upper bound every certified emission must respect.
     #[cfg(debug_assertions)]
@@ -269,6 +339,22 @@ impl ExplorationState {
     // lint: hot-path
     fn step(&mut self, graph: &AugmentedSummaryGraph<'_>, config: &SearchConfig) {
         debug_assert!(!self.finished, "step on a finished exploration");
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                self.aborted = true;
+                self.finished = true;
+                return;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if self.stats.queue_pops & DEADLINE_POLL_MASK == 0
+                && std::time::Instant::now() >= deadline
+            {
+                self.aborted = true;
+                self.finished = true;
+                return;
+            }
+        }
         if self.arena.len() >= config.max_cursors {
             self.stats.hit_cursor_limit = true;
             self.finished = true;
@@ -415,6 +501,23 @@ impl ExplorationState {
         config: &SearchConfig,
     ) -> Option<MatchingSubgraph> {
         loop {
+            // Poll the cancel token here as well as in `step`: a certified
+            // front can be emitted without expanding any cursor, and a
+            // cancelled caller must not receive it.
+            if let Some(cancel) = &self.cancel {
+                if cancel.is_cancelled() {
+                    self.aborted = true;
+                    self.finished = true;
+                }
+            }
+            if self.aborted {
+                // No completeness claim: certified results already handed out
+                // stand, but the retained rest is NOT flushed — a longer run
+                // could outrank any of it, and unlike the `max_cursors` case
+                // the caller asked for the cut, so it gets a truncated stream
+                // plus the `is_aborted` flag rather than uncertified tails.
+                return None;
+            }
             if self.certified < self.candidates.len() {
                 // A finished run certifies every retained candidate; a live
                 // run certifies the front once the queue bound reaches it.
@@ -647,6 +750,63 @@ mod tests {
                 assert_eq!(path.elements.len() as f64, path.cost);
             }
         }
+    }
+
+    #[test]
+    fn a_cancelled_token_aborts_the_run_without_flushing() {
+        let g = figure1_graph();
+        let aug = augmented(&g, &["2006", "cimiano", "aifb"]);
+        let config = SearchConfig::default();
+        let mut state = ExplorationState::new(&aug, &config);
+        let token = CancelToken::new();
+        token.cancel();
+        state.set_cancel(token);
+        assert!(state.next_certified(&aug, &config).is_none());
+        assert!(state.is_aborted());
+        assert!(state.is_finished());
+        assert_eq!(state.certified_count(), 0);
+        // The stream stays closed on a repeated poll.
+        assert!(state.next_certified(&aug, &config).is_none());
+    }
+
+    #[test]
+    fn an_expired_deadline_aborts_at_the_first_poll() {
+        let g = figure1_graph();
+        let aug = augmented(&g, &["2006", "cimiano", "aifb"]);
+        let config = SearchConfig::default();
+        let mut state = ExplorationState::new(&aug, &config);
+        state.set_deadline(Some(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        ));
+        assert!(state.next_certified(&aug, &config).is_none());
+        assert!(state.is_aborted());
+        // Clearing the deadline does not resurrect an aborted run.
+        state.set_deadline(None);
+        assert!(state.next_certified(&aug, &config).is_none());
+    }
+
+    #[test]
+    fn the_emission_lower_bound_tracks_the_certified_stream() {
+        let g = figure1_graph();
+        let aug = augmented(&g, &["cimiano", "aifb"]);
+        let config = SearchConfig::with_k(5);
+        let mut state = ExplorationState::new(&aug, &config);
+        let mut bound = state.emission_lower_bound();
+        let mut emitted = 0;
+        while let Some(subgraph) = state.next_certified(&aug, &config) {
+            let b = bound.expect("a pending emission implies a finite bound");
+            assert!(
+                subgraph.cost >= b - 1e-12,
+                "emission cost {} undercut the advertised bound {}",
+                subgraph.cost,
+                b
+            );
+            bound = state.emission_lower_bound();
+            emitted += 1;
+        }
+        assert!(emitted > 0);
+        // A drained stream advertises no bound at all.
+        assert!(state.emission_lower_bound().is_none());
     }
 
     #[test]

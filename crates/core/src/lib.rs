@@ -28,7 +28,13 @@
 //!    preparation from a [`SearchService`] worker pool,
 //! 8. [`persist`] saves a [`PreparedGraph`] to a checksummed, versioned
 //!    disk snapshot and loads it back with bulk buffer reads — an O(bytes)
-//!    cold start that skips re-indexing entirely.
+//!    cold start that skips re-indexing entirely,
+//! 9. [`shard`] partitions one data graph into edge-disjoint shards, each
+//!    with its own preparation (and snapshot), and serves keyword queries
+//!    scatter-gather across them from a [`ShardedService`] whose streaming
+//!    merge is provably rank-correct — merged results are emitted as soon
+//!    as the cross-shard bound certifies them, bit-identical to the
+//!    unsharded stream.
 //!
 //! Scoring (Section V) is configurable through [`ScoringFunction`]: path
 //! length (C1), popularity (C2), or popularity weighted by the keyword
@@ -54,6 +60,7 @@ pub mod result;
 pub mod scoring;
 pub mod serve;
 pub mod session;
+pub mod shard;
 pub mod subgraph;
 mod sync;
 pub mod topk;
@@ -68,6 +75,11 @@ pub use prepared::PreparedGraph;
 pub use query_map::map_subgraph_to_query;
 pub use result::RankedQuery;
 pub use scoring::ScoringFunction;
-pub use serve::{SearchRequest, SearchResponse, SearchService, SearchTicket, ServiceStats};
+pub use serve::{
+    SearchRequest, SearchResponse, SearchService, SearchTicket, ServeError, ServiceStats,
+    DEFAULT_QUEUE_CAPACITY,
+};
 pub use session::SearchSession;
+pub use shard::{PartitionPlan, ShardedService};
 pub use subgraph::{MatchingSubgraph, SubgraphPath};
+pub use sync::CancelToken;

@@ -9,6 +9,16 @@
 //! the augmentation cache inside the prepared graph is shared too, so hot
 //! keyword combinations are matched and augmented once, pool-wide.
 //!
+//! Admission is controlled: the submission queue is bounded
+//! ([`DEFAULT_QUEUE_CAPACITY`], or [`SearchService::start_with_capacity`]),
+//! and a full queue rejects the request with [`ServeError::Rejected`]
+//! instead of queueing unboundedly. Requests may also carry a deadline
+//! ([`SearchRequest::with_deadline`]): a request whose deadline expires
+//! while still queued is answered with [`ServeError::DeadlineExceeded`]
+//! without searching, and one that expires mid-exploration is cancelled
+//! cooperatively (the exploration loop polls the deadline between cursor
+//! pops) and answered the same way.
+//!
 //! Results are delivered through per-request [`SearchTicket`]s:
 //!
 //! ```
@@ -24,7 +34,7 @@
 //! );
 //! let tickets: Vec<_> = [vec!["cimiano".to_string()], vec!["aifb".to_string()]]
 //!     .into_iter()
-//!     .map(|keywords| service.submit(SearchRequest::new(keywords)))
+//!     .map(|keywords| service.submit(SearchRequest::new(keywords)).unwrap())
 //!     .collect();
 //! for ticket in tickets {
 //!     let response = ticket.wait();
@@ -52,6 +62,67 @@ use crate::error::SearchError;
 use crate::prepared::PreparedGraph;
 use crate::sync::{lock_unpoisoned, Arc, Condvar, Mutex};
 
+/// Queue capacity used by [`SearchService::start`]: deep enough that no
+/// realistic burst against a healthy pool is turned away, small enough that
+/// a stalled pool rejects instead of buffering requests without bound (see
+/// [`ServeError::Rejected`]).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Why the serving layer could not produce a [`SearchOutcome`] for a
+/// request: the shared failure contract of [`SearchService`] and the
+/// sharded coordinator ([`crate::shard::ShardedService`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Admission control turned the request away: the submission queue was
+    /// at capacity. The request was never enqueued; retry later or against
+    /// a larger pool.
+    Rejected {
+        /// The capacity of the queue that was full.
+        queue_capacity: usize,
+    },
+    /// The request's deadline expired before a complete result existed —
+    /// either while the request was still queued, or mid-exploration (the
+    /// partial stream is discarded: a deadline caller asked for bounded
+    /// latency, not a silently truncated top-k).
+    DeadlineExceeded {
+        /// The deadline the request carried.
+        deadline: Duration,
+    },
+    /// The search itself failed with a typed [`SearchError`].
+    Search(SearchError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Rejected { queue_capacity } => write!(
+                f,
+                "request rejected: submission queue at capacity ({queue_capacity})"
+            ),
+            Self::DeadlineExceeded { deadline } => {
+                write!(f, "request deadline ({deadline:?}) exceeded")
+            }
+            Self::Search(error) => write!(f, "{error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Search(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<SearchError> for ServeError {
+    fn from(error: SearchError) -> Self {
+        Self::Search(error)
+    }
+}
+
 /// One keyword search to be served by a [`SearchService`] worker.
 #[derive(Debug, Clone)]
 pub struct SearchRequest {
@@ -59,6 +130,10 @@ pub struct SearchRequest {
     pub keywords: Vec<String>,
     /// Per-request configuration; `None` uses the service default.
     pub config: Option<SearchConfig>,
+    /// Latency budget, measured from submission (so queueing counts
+    /// against it); `None` means no deadline. See
+    /// [`ServeError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
     /// When set, the worker interleaves the answer phase with the
     /// exploration ([`SearchSession::answers_until`](crate::SearchSession::answers_until))
     /// until at least this many answers exist, and the returned outcome
@@ -79,9 +154,18 @@ impl SearchRequest {
                 .map(|k| k.as_ref().to_string())
                 .collect(),
             config: None,
+            deadline: None,
             min_answers: None,
             inject_panic: false,
         }
+    }
+
+    /// Gives the request a latency budget, measured from submission: if no
+    /// complete result exists when it expires, the response is
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Test seam: the worker that picks this request up panics mid-job
@@ -110,8 +194,8 @@ impl SearchRequest {
 /// What a worker produced for one [`SearchRequest`].
 #[derive(Debug)]
 pub struct SearchResponse {
-    /// The search outcome, or the typed search error.
-    pub result: Result<SearchOutcome, SearchError>,
+    /// The search outcome, or the typed serving error.
+    pub result: Result<SearchOutcome, ServeError>,
     /// The answer phase, when the request asked for one.
     pub answer_phase: Option<AnswerPhase>,
     /// Wall-clock service time on the worker (queueing excluded).
@@ -145,6 +229,9 @@ impl SearchTicket {
 pub(crate) struct Job {
     pub(crate) request: SearchRequest,
     pub(crate) reply: mpsc::Sender<SearchResponse>,
+    /// Absolute form of `request.deadline`, fixed at submission so the
+    /// budget covers time spent queued, not just time on a worker.
+    pub(crate) deadline: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -161,6 +248,9 @@ pub struct ServiceStats {
     pub jobs_submitted: u64,
     /// Requests handed to a worker since startup.
     pub jobs_served: u64,
+    /// Requests turned away by admission control (full queue) since
+    /// startup. Rejected requests are not counted in `jobs_submitted`.
+    pub jobs_rejected: u64,
     /// The deepest the submission queue has ever been.
     pub peak_queue_depth: usize,
 }
@@ -178,29 +268,65 @@ pub(crate) struct JobQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
     metrics: Mutex<ServiceStats>,
+    /// Admission bound: pushes beyond this depth are rejected.
+    capacity: usize,
 }
 
 impl JobQueue {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         Self {
             state: Mutex::new(QueueState::default()),
             ready: Condvar::new(),
             metrics: Mutex::new(ServiceStats::default()),
+            capacity: capacity.max(1),
         }
     }
 
-    pub(crate) fn push(&self, job: Job) {
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn push(&self, job: Job) -> Result<(), ServeError> {
+        self.push_all(std::iter::once(job))
+    }
+
+    /// Enqueues a batch atomically — all jobs under one lock acquisition
+    /// and one wakeup, and all-or-nothing against the capacity bound, so a
+    /// partially admitted batch can never exist.
+    pub(crate) fn push_batch(&self, jobs: Vec<Job>) -> Result<(), ServeError> {
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        self.push_all(jobs.into_iter())
+    }
+
+    fn push_all(&self, jobs: impl ExactSizeIterator<Item = Job>) -> Result<(), ServeError> {
+        let count = jobs.len() as u64;
         let mut state = lock_unpoisoned(&self.state);
         debug_assert!(!state.closed, "submit after shutdown");
-        state.jobs.push_back(job);
+        if state.jobs.len() + jobs.len() > self.capacity {
+            // lint: allow(lock-discipline, reason = "documented order: queue state before metrics; the rejection count must snapshot the queue that caused it")
+            let mut metrics = lock_unpoisoned(&self.metrics);
+            metrics.jobs_rejected += count;
+            drop(metrics);
+            return Err(ServeError::Rejected {
+                queue_capacity: self.capacity,
+            });
+        }
+        state.jobs.extend(jobs);
         let depth = state.jobs.len();
         // lint: allow(lock-discipline, reason = "documented order: queue state before metrics; the depth snapshot must match the queue it measures")
         let mut metrics = lock_unpoisoned(&self.metrics);
-        metrics.jobs_submitted += 1;
+        metrics.jobs_submitted += count;
         metrics.peak_queue_depth = metrics.peak_queue_depth.max(depth);
         drop(metrics);
         drop(state);
-        self.ready.notify_one();
+        if count == 1 {
+            self.ready.notify_one();
+        } else {
+            self.ready.notify_all();
+        }
+        Ok(())
     }
 
     // lint: wait-loop
@@ -285,13 +411,26 @@ pub struct SearchService {
 
 impl SearchService {
     /// Starts a pool of `workers` threads (at least one) serving sessions
-    /// against `prepared` with `default_config`.
+    /// against `prepared` with `default_config`, admitting up to
+    /// [`DEFAULT_QUEUE_CAPACITY`] queued requests.
     pub fn start(
         prepared: Arc<PreparedGraph>,
         default_config: SearchConfig,
         workers: usize,
     ) -> Self {
-        let queue = Arc::new(JobQueue::new());
+        Self::start_with_capacity(prepared, default_config, workers, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// [`Self::start`] with an explicit submission-queue capacity (at least
+    /// one): submissions beyond `queue_capacity` outstanding requests are
+    /// rejected with [`ServeError::Rejected`].
+    pub fn start_with_capacity(
+        prepared: Arc<PreparedGraph>,
+        default_config: SearchConfig,
+        workers: usize,
+        queue_capacity: usize,
+    ) -> Self {
+        let queue = Arc::new(JobQueue::new(queue_capacity));
         let workers = (0..workers.max(1))
             .map(|worker| {
                 let prepared = Arc::clone(&prepared);
@@ -312,15 +451,50 @@ impl SearchService {
         }
     }
 
-    /// Enqueues a request and returns the ticket its response arrives on.
-    pub fn submit(&self, request: SearchRequest) -> SearchTicket {
+    /// Enqueues a request and returns the ticket its response arrives on,
+    /// or [`ServeError::Rejected`] when the queue is at capacity. The
+    /// request's deadline clock starts now, not when a worker picks it up.
+    pub fn submit(&self, request: SearchRequest) -> Result<SearchTicket, ServeError> {
         let (reply, receiver) = mpsc::channel();
-        self.queue.push(Job { request, reply });
-        SearchTicket { receiver }
+        let deadline = request.deadline.map(|budget| Instant::now() + budget);
+        self.queue.push(Job {
+            request,
+            reply,
+            deadline,
+        })?;
+        Ok(SearchTicket { receiver })
+    }
+
+    /// Enqueues a batch of requests atomically: one queue-lock acquisition
+    /// and one pool wakeup for the whole batch, and admission is
+    /// all-or-nothing — either every request fits under the capacity bound
+    /// (tickets returned in submission order) or none is enqueued.
+    pub fn submit_batch(
+        &self,
+        requests: impl IntoIterator<Item = SearchRequest>,
+    ) -> Result<Vec<SearchTicket>, ServeError> {
+        let now = Instant::now();
+        let mut jobs = Vec::new();
+        let mut tickets = Vec::new();
+        for request in requests {
+            let (reply, receiver) = mpsc::channel();
+            let deadline = request.deadline.map(|budget| now + budget);
+            jobs.push(Job {
+                request,
+                reply,
+                deadline,
+            });
+            tickets.push(SearchTicket { receiver });
+        }
+        self.queue.push_batch(jobs)?;
+        Ok(tickets)
     }
 
     /// Convenience: submits a plain top-k request for `keywords`.
-    pub fn submit_keywords<S: AsRef<str>>(&self, keywords: &[S]) -> SearchTicket {
+    pub fn submit_keywords<S: AsRef<str>>(
+        &self,
+        keywords: &[S],
+    ) -> Result<SearchTicket, ServeError> {
         self.submit(SearchRequest::new(keywords.iter().map(AsRef::as_ref)))
     }
 
@@ -332,6 +506,12 @@ impl SearchService {
     /// Number of submitted requests not yet picked up by a worker.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The admission bound: submissions beyond this many outstanding
+    /// requests are rejected.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
     }
 
     /// The shared preparation the pool serves.
@@ -407,24 +587,63 @@ fn worker_loop(
     queue: &JobQueue,
 ) {
     while let Some(job) = queue.pop() {
-        let Job { request, reply } = job;
+        let Job {
+            request,
+            reply,
+            deadline,
+        } = job;
         if request.inject_panic {
             panic!("injected worker panic (test seam)");
         }
         let start = Instant::now();
+        let deadline_error = || ServeError::DeadlineExceeded {
+            // Jobs carry an absolute deadline only when the request had a
+            // budget, so the unwrap-to-zero is unreachable in practice.
+            deadline: request.deadline.unwrap_or(Duration::ZERO),
+        };
+        // A request that spent its whole budget queued is answered without
+        // searching at all — tail-latency control means shedding work the
+        // caller has already given up on.
+        if deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+            let _ = reply.send(SearchResponse {
+                result: Err(deadline_error()),
+                answer_phase: None,
+                service_time: start.elapsed(),
+                worker,
+            });
+            continue;
+        }
         let config = request
             .config
             .clone()
             .unwrap_or_else(|| default_config.clone());
         let (result, answer_phase) = match prepared.session(&request.keywords, config) {
-            Ok(mut session) => match request.min_answers {
-                Some(min_answers) => {
-                    let phase = session.answers_until(min_answers);
-                    (Ok(session.into_partial_outcome()), Some(phase))
+            Ok(mut session) => {
+                session.set_deadline(deadline);
+                match request.min_answers {
+                    Some(min_answers) => {
+                        let phase = session.answers_until(min_answers);
+                        if session.aborted() {
+                            (Err(deadline_error()), None)
+                        } else {
+                            (Ok(session.into_partial_outcome()), Some(phase))
+                        }
+                    }
+                    None => {
+                        // Drain by hand instead of `into_outcome` so an
+                        // abort can still be observed on the session: a
+                        // deadline hit mid-stream discards the partial
+                        // prefix rather than passing it off as a top-k.
+                        while session.next_query().is_some() {}
+                        if session.aborted() {
+                            (Err(deadline_error()), None)
+                        } else {
+                            (Ok(session.into_partial_outcome()), None)
+                        }
+                    }
                 }
-                None => (Ok(session.into_outcome()), None),
-            },
-            Err(error) => (Err(error), None),
+            }
+            Err(error) => (Err(ServeError::Search(error)), None),
         };
         // A closed ticket (submitter gave up) is not an error.
         let _ = reply.send(SearchResponse {
@@ -456,7 +675,11 @@ mod tests {
             .unwrap()
             .into_outcome();
         let tickets: Vec<_> = (0..8)
-            .map(|_| service.submit_keywords(&["2006", "cimiano", "aifb"]))
+            .map(|_| {
+                service
+                    .submit_keywords(&["2006", "cimiano", "aifb"])
+                    .unwrap()
+            })
             .collect();
         for ticket in tickets {
             let response = ticket.wait();
@@ -475,6 +698,7 @@ mod tests {
         let service = service(2);
         let response = service
             .submit(SearchRequest::new(["publications"]).with_min_answers(2))
+            .unwrap()
             .wait();
         let phase = response.answer_phase.expect("answer phase was requested");
         assert!(phase.total_answers() >= 2, "two publications exist");
@@ -489,6 +713,7 @@ mod tests {
             .submit(
                 SearchRequest::new(["cimiano", "publication"]).with_config(SearchConfig::with_k(2)),
             )
+            .unwrap()
             .wait();
         assert!(response.result.unwrap().queries.len() <= 2);
     }
@@ -496,8 +721,12 @@ mod tests {
     #[test]
     fn unmatched_keywords_surface_as_typed_errors() {
         let service = service(1);
-        let response = service.submit_keywords(&["xyzzy-unknown"]).wait();
-        let SearchError::AllKeywordsUnmatched { keywords } = response.result.unwrap_err();
+        let response = service.submit_keywords(&["xyzzy-unknown"]).unwrap().wait();
+        let ServeError::Search(SearchError::AllKeywordsUnmatched { keywords }) =
+            response.result.unwrap_err()
+        else {
+            panic!("expected a search error");
+        };
         assert_eq!(keywords.len(), 1);
     }
 
@@ -505,7 +734,7 @@ mod tests {
     fn shutdown_drains_outstanding_requests() {
         let service = service(1);
         let tickets: Vec<_> = (0..4)
-            .map(|_| service.submit_keywords(&["publications"]))
+            .map(|_| service.submit_keywords(&["publications"]).unwrap())
             .collect();
         service.shutdown();
         for ticket in tickets {
@@ -517,7 +746,7 @@ mod tests {
     fn stats_track_submissions_served_jobs_and_peak_depth() {
         let service = service(1);
         let tickets: Vec<_> = (0..3)
-            .map(|_| service.submit_keywords(&["publications"]))
+            .map(|_| service.submit_keywords(&["publications"]).unwrap())
             .collect();
         for ticket in tickets {
             let _ = ticket.wait().result.unwrap();
@@ -539,9 +768,11 @@ mod tests {
         // that will never see the close flag, or that leaks live workers
         // after the first panicked join.
         let service = service(2);
-        let poisoned = service.submit(SearchRequest::new(["publications"]).with_injected_panic());
+        let poisoned = service
+            .submit(SearchRequest::new(["publications"]).with_injected_panic())
+            .unwrap();
         let healthy: Vec<_> = (0..4)
-            .map(|_| service.submit_keywords(&["publications"]))
+            .map(|_| service.submit_keywords(&["publications"]).unwrap())
             .collect();
         let result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || service.shutdown()));
@@ -565,7 +796,7 @@ mod tests {
     fn workers_share_the_augmentation_cache() {
         let service = service(4);
         let tickets: Vec<_> = (0..12)
-            .map(|_| service.submit_keywords(&["cimiano", "aifb"]))
+            .map(|_| service.submit_keywords(&["cimiano", "aifb"]).unwrap())
             .collect();
         for ticket in tickets {
             let _ = ticket.wait().result.unwrap();
@@ -573,5 +804,99 @@ mod tests {
         let stats = service.prepared().augmentation_cache().stats();
         // 12 identical requests: at least the non-racing majority hit.
         assert!(stats.hits >= 8, "expected shared-cache hits, got {stats:?}");
+    }
+
+    #[test]
+    fn a_full_queue_rejects_submissions_with_the_typed_error() {
+        // Deterministic construction of a stalled pool: the only worker
+        // dies on an injected panic, so nothing ever drains the queue and
+        // it can be filled to capacity without racing a consumer.
+        let engine = KeywordSearchEngine::builder(figure1_graph()).build();
+        let service = SearchService::start_with_capacity(
+            engine.prepared().clone(),
+            SearchConfig::default(),
+            1,
+            3,
+        );
+        assert_eq!(service.queue_capacity(), 3);
+        let kill = service
+            .submit(SearchRequest::new(["publications"]).with_injected_panic())
+            .unwrap();
+        // Wait until the worker has picked the poison job up (the queue
+        // length drops to zero), so capacity is measured on queued jobs
+        // only, never on the one in flight.
+        while service.pending() > 0 {
+            std::thread::yield_now();
+        }
+        let _parked: Vec<_> = (0..3)
+            .map(|_| service.submit_keywords(&["publications"]).unwrap())
+            .collect();
+        let rejected = service.submit_keywords(&["publications"]);
+        assert_eq!(
+            rejected.map(|_| ()).unwrap_err(),
+            ServeError::Rejected { queue_capacity: 3 }
+        );
+        assert_eq!(service.stats().jobs_rejected, 1);
+        // Shutdown re-raises the injected panic; the parked tickets die
+        // with the queue (their jobs were closed out, never served).
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || service.shutdown()));
+        assert!(result.is_err(), "the worker panic is re-raised from drop");
+        assert!(kill.receiver.recv().is_err(), "no reply from a dead worker");
+    }
+
+    #[test]
+    fn an_expired_deadline_is_a_typed_error_not_a_truncated_result() {
+        let service = service(2);
+        let response = service
+            .submit(SearchRequest::new(["2006", "cimiano", "aifb"]).with_deadline(Duration::ZERO))
+            .unwrap()
+            .wait();
+        assert_eq!(
+            response.result.unwrap_err(),
+            ServeError::DeadlineExceeded {
+                deadline: Duration::ZERO
+            }
+        );
+        assert!(response.answer_phase.is_none());
+        // A request without a deadline on the same service is unaffected.
+        let ok = service.submit_keywords(&["publications"]).unwrap().wait();
+        assert!(ok.result.is_ok());
+    }
+
+    #[test]
+    fn batch_submission_is_all_or_nothing() {
+        let engine = KeywordSearchEngine::builder(figure1_graph()).build();
+        let service = SearchService::start_with_capacity(
+            engine.prepared().clone(),
+            SearchConfig::default(),
+            1,
+            2,
+        );
+        let kill = service
+            .submit(SearchRequest::new(["publications"]).with_injected_panic())
+            .unwrap();
+        while service.pending() > 0 {
+            std::thread::yield_now();
+        }
+        // Three requests against capacity two: the whole batch is refused,
+        // and none of it reached the queue.
+        let oversized = service.submit_batch((0..3).map(|_| SearchRequest::new(["publications"])));
+        assert_eq!(
+            oversized.map(|_| ()).unwrap_err(),
+            ServeError::Rejected { queue_capacity: 2 }
+        );
+        assert_eq!(service.pending(), 0, "a rejected batch leaves no residue");
+        assert_eq!(service.stats().jobs_rejected, 3);
+        // A fitting batch is admitted whole.
+        let fits = service
+            .submit_batch((0..2).map(|_| SearchRequest::new(["publications"])))
+            .unwrap();
+        assert_eq!(fits.len(), 2);
+        assert_eq!(service.pending(), 2);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || service.shutdown()));
+        assert!(result.is_err(), "the worker panic is re-raised from drop");
+        assert!(kill.receiver.recv().is_err(), "no reply from a dead worker");
     }
 }

@@ -36,6 +36,7 @@ use crate::exploration::ExplorationState;
 use crate::prepared::PreparedGraph;
 use crate::query_map::map_subgraph_to_query;
 use crate::result::RankedQuery;
+use crate::sync::CancelToken;
 
 /// A resumable, streaming keyword search over one engine.
 ///
@@ -96,6 +97,11 @@ pub struct SearchSession<'e> {
     /// all advancing calls (the lazy equivalent of the batch
     /// `exploration_time`).
     exploration_time: Duration,
+    /// Deadline/cancellation installed by the serving layer, kept on the
+    /// session so a state rebuilt by [`Self::materialize`] or
+    /// [`Self::raise_k`] inherits it.
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
     /// debug-invariants: a shadow exploration over the cached snapshot that
     /// cross-checks every replayed emission against honest exploration.
     /// Deliberately separate from `exploration` so a replayed session still
@@ -238,6 +244,66 @@ impl<'e> SearchSession<'e> {
         Ok(session)
     }
 
+    /// Starts a session from an already-merged set of keyword matches,
+    /// bypassing the cache and the per-preparation keyword lookup — the
+    /// shard-runner entry point (see [`crate::shard`]). The scatter phase
+    /// looks keywords up on every shard and merges the per-shard match
+    /// lists into the exact global lists; each shard session then augments
+    /// its own graph with those *global* matches, which yields the same
+    /// augmented summary graph everywhere (the augmentation's structure
+    /// depends only on the shared summary and the matches, and shard
+    /// graphs retain the full vertex and label tables).
+    ///
+    /// `matches` must already be filtered of empty per-keyword lists and
+    /// `report` must cover the original keyword positions — the caller
+    /// owns the `AllKeywordsUnmatched` decision.
+    pub(crate) fn start_with_matches(
+        prepared: &'e PreparedGraph,
+        report: Vec<KeywordMatch>,
+        matches: &[Vec<kwsearch_keyword_index::KeywordMatch>],
+        config: SearchConfig,
+    ) -> Self {
+        let exploration_start = Instant::now();
+        let augmented = AugmentedSummaryGraph::build(prepared.graph(), prepared.summary(), matches);
+        let state = ExplorationState::new(&augmented, &config);
+        let exploration_time = exploration_start.elapsed();
+        let augmented_elements = augmented.element_count();
+        Self::assemble(
+            prepared,
+            config,
+            report,
+            Some((augmented, state)),
+            augmented_elements,
+            Duration::ZERO,
+            exploration_time,
+        )
+    }
+
+    /// A lower bound on the cost of every emission this session can still
+    /// produce: no future [`Self::next_query`] result costs less. `None`
+    /// means the stream is finished — nothing further will be emitted (an
+    /// infinite bound). The sharded coordinator's streaming merge gates on
+    /// this to certify cross-shard rank order (see [`crate::shard`]).
+    ///
+    /// Replay-served sessions conservatively report the last emission's
+    /// cost (emissions are non-decreasing within one run); sessions that
+    /// never explored report `Some(0.0)` until they start.
+    pub fn emission_lower_bound(&self) -> Option<f64> {
+        if self.drained || self.queries.len() >= self.config.k {
+            return None;
+        }
+        if let Some((log, position)) = &self.replay {
+            if *position >= log.len() {
+                return None;
+            }
+            return Some(self.queries.last().map_or(0.0, |q| q.cost));
+        }
+        match &self.exploration {
+            Some((_, state)) => state.emission_lower_bound(),
+            None => Some(0.0),
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn assemble(
         prepared: &'e PreparedGraph,
@@ -263,6 +329,8 @@ impl<'e> SearchSession<'e> {
             prior_stats: crate::exploration::ExplorationStats::default(),
             keyword_mapping_time,
             exploration_time,
+            deadline: None,
+            cancel: None,
             #[cfg(debug_assertions)]
             shadow: None,
             #[cfg(debug_assertions)]
@@ -292,13 +360,49 @@ impl<'e> SearchSession<'e> {
             .expect("negative entries never produce a session")
             .clone();
         let augmented = AugmentedSummaryGraph::from_snapshot(prepared.graph(), snapshot);
-        let state = ExplorationState::new(&augmented, &self.config);
+        let mut state = ExplorationState::new(&augmented, &self.config);
+        state.set_deadline(self.deadline);
+        if let Some(cancel) = &self.cancel {
+            state.set_cancel(cancel.clone());
+        }
         self.exploration = Some((augmented, state));
     }
 
     /// The prepared graph this session searches.
     pub fn prepared(&self) -> &'e PreparedGraph {
         self.prepared
+    }
+
+    /// Installs an absolute wall-clock deadline on the exploration: once it
+    /// passes, the cursor walk aborts at its next deadline poll and the
+    /// stream ends early with [`Self::aborted`] set. Queries already emitted
+    /// stand; nothing further is certified or flushed. Applies to real
+    /// exploration only — a cache-replay stream is O(results) and finishes
+    /// ahead of any meaningful deadline.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+        if let Some((_, state)) = self.exploration.as_mut() {
+            state.set_deadline(deadline);
+        }
+    }
+
+    /// Installs a shared cooperative-cancellation token (see
+    /// [`CancelToken`]): the serving layer cancels it on shutdown or when a
+    /// request's deadline fires while the job is queued.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        if let Some((_, state)) = self.exploration.as_mut() {
+            state.set_cancel(cancel.clone());
+        }
+        self.cancel = Some(cancel);
+    }
+
+    /// Whether the exploration was cut short by the deadline or the cancel
+    /// token. An aborted session's emitted prefix is still certified; the
+    /// stream simply ends without a completeness claim.
+    pub fn aborted(&self) -> bool {
+        self.exploration
+            .as_ref()
+            .is_some_and(|(_, state)| state.is_aborted())
     }
 
     /// The configuration the session runs with (its `k` bounds the stream).
@@ -500,6 +604,11 @@ impl<'e> SearchSession<'e> {
         if self.stats().hit_cursor_limit {
             return;
         }
+        // An aborted (deadline/cancel) drain is a truncated prefix, not the
+        // complete stream — caching it would serve short results forever.
+        if self.aborted() {
+            return;
+        }
         if let Some(entry) = &self.cache_entry {
             entry.store_results(&self.queries);
         }
@@ -556,6 +665,10 @@ impl<'e> SearchSession<'e> {
         if let Some((augmented, state)) = self.exploration.as_mut() {
             self.prior_stats.absorb(state.stats());
             *state = ExplorationState::new(augmented, &self.config);
+            state.set_deadline(self.deadline);
+            if let Some(cancel) = &self.cancel {
+                state.set_cancel(cancel.clone());
+            }
         } else {
             // A replay-served session that never explored: reconstruct the
             // graph and seed the walk under the raised configuration.
@@ -846,6 +959,40 @@ mod tests {
         assert_eq!(session.queries().len(), phase.queries_processed);
         let outcome = session.into_outcome();
         assert!(outcome.queries.len() >= phase.queries_processed);
+    }
+
+    #[test]
+    fn aborted_sessions_truncate_and_never_cache_their_log() {
+        let engine = engine();
+        let keywords = ["2006", "cimiano", "aifb"];
+        let mut session = engine.session(&keywords).unwrap();
+        let token = CancelToken::new();
+        session.set_cancel(token.clone());
+        let first = session.next_query();
+        assert!(first.is_some(), "the stream starts before the cancel");
+        assert!(!session.aborted());
+        token.cancel();
+        assert!(session.next_query().is_none());
+        assert!(session.aborted());
+        drop(session);
+        // The truncated prefix must not have been cached as a replay log: a
+        // fresh same-key session re-explores (pops > 0) instead of replaying
+        // a stream that would be short forever.
+        let full = engine.session(&keywords).unwrap().into_outcome();
+        assert!(
+            full.exploration.queue_pops > 0,
+            "a truncated log must never be replayed"
+        );
+        assert!(!full.queries.is_empty());
+    }
+
+    #[test]
+    fn an_expired_deadline_ends_the_stream_early() {
+        let engine = engine();
+        let mut session = engine.session(&["2006", "cimiano", "aifb"]).unwrap();
+        session.set_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(session.next_query().is_none());
+        assert!(session.aborted());
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Exact reassembly of global keyword matches from per-shard lookups.
+//!
+//! Shard graphs keep the full vertex and label tables (see
+//! [`kwsearch_rdf::DataGraph::edge_subset`]), so every shard's keyword
+//! index carries the **identical vocabulary** — per-shard lookups return
+//! the same elements with the same scores in the same order. The only
+//! per-shard difference is the *edge-derived* neighbourhood payload: a
+//! value's [`ValueConnection`]s come from its in-edges and an attribute's
+//! class list from an edge scan, both of which see only the shard's edges.
+//! Since the shards are edge-disjoint and the payload lists are kept in
+//! canonical sorted order on both sides, a per-element union reassembles
+//! the unsharded lookup **exactly** — this is the scatter half of the
+//! sharded phase 1.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+use kwsearch_keyword_index::{ElementRef, KeywordMatch, MatchedElement, ValueConnection};
+use kwsearch_rdf::VertexId;
+
+/// Merges per-shard `lookup_all` results (indexed `[shard][keyword]`) into
+/// the global per-keyword match lists, bit-identical to an unsharded
+/// lookup: per-element union of the neighbourhood payloads, then the
+/// index's canonical ordering (score descending, element ref ascending)
+/// and truncation.
+pub(crate) fn merge_keyword_matches(
+    per_shard: &[Vec<Vec<KeywordMatch>>],
+    max_matches_per_keyword: usize,
+) -> Vec<Vec<KeywordMatch>> {
+    let keyword_count = per_shard.first().map_or(0, |shard| shard.len());
+    (0..keyword_count)
+        .map(|k| {
+            let mut merged: BTreeMap<ElementRef, KeywordMatch> = BTreeMap::new();
+            for shard in per_shard {
+                for m in &shard[k] {
+                    match merged.entry(m.element.element_ref()) {
+                        Entry::Vacant(slot) => {
+                            slot.insert(m.clone());
+                        }
+                        Entry::Occupied(mut slot) => merge_into(slot.get_mut(), m),
+                    }
+                }
+            }
+            let mut list: Vec<KeywordMatch> = merged.into_values().collect();
+            list.sort_by(|a, b| {
+                b.score
+                    .total_cmp(&a.score)
+                    .then_with(|| a.element.element_ref().cmp(&b.element.element_ref()))
+            });
+            list.truncate(max_matches_per_keyword);
+            list
+        })
+        .collect()
+}
+
+/// Folds one shard's view of an element into the accumulated match:
+/// union of class lists, OR of untyped flags, per-attribute union of value
+/// connections. Scores are label-derived and therefore identical across
+/// shards (debug-asserted).
+fn merge_into(into: &mut KeywordMatch, from: &KeywordMatch) {
+    debug_assert_eq!(
+        into.score.to_bits(),
+        from.score.to_bits(),
+        "matching scores are label-derived and must agree across shards"
+    );
+    match (&mut into.element, &from.element) {
+        (MatchedElement::Class { .. }, MatchedElement::Class { .. })
+        | (MatchedElement::Relation { .. }, MatchedElement::Relation { .. }) => {}
+        (
+            MatchedElement::Attribute {
+                classes,
+                has_untyped_source,
+                ..
+            },
+            MatchedElement::Attribute {
+                classes: other_classes,
+                has_untyped_source: other_untyped,
+                ..
+            },
+        ) => {
+            union_sorted(classes, other_classes);
+            *has_untyped_source |= other_untyped;
+        }
+        (
+            MatchedElement::Value { connections, .. },
+            MatchedElement::Value {
+                connections: other_connections,
+                ..
+            },
+        ) => {
+            for conn in other_connections {
+                match connections
+                    .iter_mut()
+                    .find(|c| c.attribute == conn.attribute)
+                {
+                    Some(existing) => {
+                        union_sorted(&mut existing.classes, &conn.classes);
+                        existing.has_untyped_source |= conn.has_untyped_source;
+                    }
+                    None => connections.push(conn.clone()),
+                }
+            }
+            connections.sort_by_key(|c: &ValueConnection| c.attribute);
+        }
+        _ => debug_assert!(false, "one element ref cannot map to two element kinds"),
+    }
+}
+
+/// Merges the sorted, deduplicated `other` into the sorted, deduplicated
+/// `into`, preserving both invariants.
+fn union_sorted(into: &mut Vec<VertexId>, other: &[VertexId]) {
+    into.extend_from_slice(other);
+    into.sort_unstable();
+    into.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwsearch_keyword_index::KeywordIndex;
+    use kwsearch_rdf::fixtures::figure1_graph;
+
+    use crate::shard::partition;
+
+    /// The load-bearing fact of sharded phase 1: merged per-shard lookups
+    /// equal the unsharded lookup bit for bit — elements, scores, order,
+    /// truncation and the edge-derived neighbourhood payloads.
+    #[test]
+    fn merged_shard_lookups_equal_the_global_lookup() {
+        let graph = figure1_graph();
+        let global_index = KeywordIndex::build(&graph);
+        let keywords = ["cimiano", "publication", "aifb", "year", "author"];
+        let global = global_index.lookup_all(&keywords);
+
+        for shard_count in [1usize, 2, 3, 7] {
+            let plan = partition(&graph, shard_count);
+            let per_shard: Vec<_> = (0..shard_count)
+                .map(|s| KeywordIndex::build(&plan.shard_graph(&graph, s)).lookup_all(&keywords))
+                .collect();
+            let merged =
+                merge_keyword_matches(&per_shard, global_index.config().max_matches_per_keyword);
+            assert_eq!(merged.len(), global.len());
+            for (keyword, (got, want)) in keywords.iter().zip(merged.iter().zip(&global)) {
+                assert_eq!(
+                    got.len(),
+                    want.len(),
+                    "`{keyword}` match count diverges at {shard_count} shards"
+                );
+                for (g, w) in got.iter().zip(want) {
+                    assert_eq!(g.score.to_bits(), w.score.to_bits());
+                    assert_eq!(g.element, w.element, "`{keyword}` payload diverges");
+                }
+            }
+        }
+    }
+}

@@ -50,6 +50,49 @@ pub(crate) use std::sync::atomic;
 #[allow(unused_imports)]
 pub(crate) use kwsearch_modelcheck::sync::atomic;
 
+/// A shared cooperative-cancellation flag: the serving layer sets it when a
+/// request's deadline expires or the service shuts down, and
+/// `ExplorationState::step` polls it between cursor pops, so a running
+/// exploration stops within one pop of the signal. Built on the facade's
+/// atomics, so model-checked schedules see the store/load as events.
+#[derive(Clone)]
+pub struct CancelToken {
+    flag: Arc<atomic::AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self {
+            flag: Arc::new(atomic::AtomicBool::new(false)),
+        }
+    }
+
+    /// Signals cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, atomic::Ordering::Release);
+    }
+
+    /// Whether [`Self::cancel`] has been called on any clone of this token.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(atomic::Ordering::Acquire)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
 /// Locks `mutex`, recovering the guard when a previous holder panicked.
 /// Condvar re-acquisitions recover the same way, inline in the two
 /// `// lint: wait-loop` fns (`cache.rs` single-flight, `serve.rs` queue).

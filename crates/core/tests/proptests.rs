@@ -487,3 +487,67 @@ proptest! {
         prop_assert!(stats.insertions > capacity as u64, "the sequence overflows: {:?}", stats);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharded scatter-gather identity: for random graphs, every shard
+    /// count in {1, 2, 3, 7} and all three scoring functions, the
+    /// [`ShardedService`]'s streamed merge equals a drained unsharded
+    /// session on a fresh cache-disabled preparation — ranks dense, costs
+    /// bit-for-bit, canonical queries and element sets equal. This is the
+    /// randomized arm of the golden Figure-1 bit-identity tests.
+    #[test]
+    fn sharded_merge_equals_the_unsharded_stream(spec in random_graph()) {
+        use kwsearch_core::serve::SearchRequest;
+        use kwsearch_core::shard::ShardedService;
+        use kwsearch_core::PreparedGraph;
+
+        prop_assume!(spec.value_labels.len() >= 2);
+        let graph = build(&spec);
+        let keywords: Vec<String> = spec.value_labels.iter().take(2).cloned().collect();
+        let pristine = PreparedGraph::index_with(graph.clone(), Default::default(), 0);
+
+        for shard_count in [1usize, 2, 3, 7] {
+            let service = ShardedService::over(&graph, shard_count, SearchConfig::default());
+            for scoring in ScoringFunction::all() {
+                let config = SearchConfig::with_k(5).scoring(scoring);
+                let Ok(mut session) = pristine.session(&keywords, config.clone()) else {
+                    // No keyword matched: the service must agree on the miss.
+                    prop_assert!(service
+                        .search(SearchRequest::new(keywords.iter()).with_config(config))
+                        .is_err());
+                    continue;
+                };
+                let mut reference: Vec<RankedQuery> = Vec::new();
+                while let Some(ranked) = session.next_query() {
+                    reference.push(ranked);
+                }
+                let outcome = service
+                    .search(SearchRequest::new(keywords.iter()).with_config(config))
+                    .expect("the unsharded session matched, so the scatter must too");
+                prop_assert_eq!(
+                    outcome.queries.len(),
+                    reference.len(),
+                    "{} shards, scoring {}: stream length",
+                    shard_count,
+                    scoring
+                );
+                for (got, want) in outcome.queries.iter().zip(reference.iter()) {
+                    prop_assert_eq!(got.rank, want.rank);
+                    prop_assert_eq!(
+                        got.cost.to_bits(),
+                        want.cost.to_bits(),
+                        "{} shards, scoring {}, rank {}: cost drifted",
+                        shard_count,
+                        scoring,
+                        got.rank
+                    );
+                    prop_assert_eq!(got.query.canonicalized(), want.query.canonicalized());
+                    prop_assert_eq!(element_key(got), element_key(want));
+                }
+            }
+            service.shutdown();
+        }
+    }
+}

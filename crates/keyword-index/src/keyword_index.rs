@@ -248,13 +248,19 @@ impl KeywordIndex {
         let mut connections: Vec<ValueConnection> = per_attribute
             // lint: unordered-ok(reason = "drained into a Vec that is sorted by attribute id two lines below, erasing hash order")
             .into_iter()
-            .map(
-                |(attribute, (classes, has_untyped_source))| ValueConnection {
+            .map(|(attribute, (mut classes, has_untyped_source))| {
+                // Canonical class order (ascending vertex id), matching
+                // `classes_of_attribute`: the list must be a function of the
+                // edge *set*, not the edge insertion order, so that indexes
+                // built over edge-disjoint shards of one graph merge back to
+                // exactly this list (see `kwsearch_core::shard`).
+                classes.sort_unstable();
+                ValueConnection {
                     attribute,
                     classes,
                     has_untyped_source,
-                },
-            )
+                }
+            })
             .collect();
         connections.sort_by_key(|c| c.attribute);
         connections

@@ -106,11 +106,13 @@ fn cross_file_lock_order_cycle_is_reported_with_both_sites() {
     );
 }
 
-/// The serving stack's documented hierarchy (`state` before `metrics`, in
-/// `serve.rs`) must be visible in the workspace acquisition graph — an
-/// allow on the `lock-discipline` diagnostic must not hide the edge — and
-/// the graph as a whole must be acyclic (the seeded inverted edge in the
-/// mutated `pop` is explicitly waived as a fixture).
+/// The serving stack's documented hierarchy (`state` before `metrics` in
+/// `serve.rs`; the coordinator's `state` before every shard queue's
+/// `shard_state` in `shard/coordinator.rs`) must be visible in the
+/// workspace acquisition graph — an allow on the `lock-discipline`
+/// diagnostic must not hide the edges — and the graph as a whole must stay
+/// acyclic with the coordinator's edges merged in (the seeded inverted edge
+/// in the mutated `pop` is explicitly waived as a fixture).
 #[test]
 fn workspace_acquisition_graph_contains_the_serve_hierarchy_and_is_acyclic() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -125,11 +127,28 @@ fn workspace_acquisition_graph_contains_the_serve_hierarchy_and_is_acyclic() {
             .any(|e| e.first == "state" && e.second == "metrics"),
         "push/pop must contribute the documented state → metrics edge: {serve_edges:?}"
     );
+    let coordinator_edges: Vec<_> = edges
+        .iter()
+        .filter(|e| e.path == "crates/core/src/shard/coordinator.rs")
+        .collect();
+    assert!(
+        coordinator_edges
+            .iter()
+            .any(|e| e.first == "state" && e.second == "shard_state"),
+        "the scatter path must contribute the documented state → shard_state \
+         edge: {coordinator_edges:?}"
+    );
     assert!(
         !edges
             .iter()
             .any(|e| e.first == "metrics" && e.second == "state"),
         "the seeded inverted edge must stay waived via allow(lock-order)"
+    );
+    assert!(
+        !edges
+            .iter()
+            .any(|e| e.first == "shard_state" && e.second == "state"),
+        "no shard queue may nest the coordinator's admission lock"
     );
     let cycles = lock_order_cycles(&edges);
     assert!(

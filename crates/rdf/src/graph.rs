@@ -705,6 +705,58 @@ impl DataGraph {
     }
 
     // ------------------------------------------------------------------
+    // Edge-subset views (sharding)
+    // ------------------------------------------------------------------
+
+    /// Builds a new graph over the **same id space** as `self` — identical
+    /// interner, vertex table, vertex-lookup maps and edge-label table —
+    /// containing exactly the edges selected by `keep`.
+    ///
+    /// This is the construction primitive of graph sharding: every
+    /// [`VertexId`], [`Symbol`] and [`EdgeLabelId`] of the original graph
+    /// remains valid (and means the same thing) in every subset, so results
+    /// computed against different subsets are directly comparable — and
+    /// mergeable — without any id translation. Edge ids are re-densified;
+    /// kept edges preserve their relative insertion order, which keeps the
+    /// per-vertex adjacency order identical to a graph into which only the
+    /// kept triples had been inserted.
+    ///
+    /// Vertices that lose all their edges stay present (as isolated
+    /// vertices): dropping them would shift the id space and break
+    /// cross-subset comparability.
+    pub fn edge_subset(&self, mut keep: impl FnMut(EdgeId, &Edge) -> bool) -> DataGraph {
+        let n = self.vertices.len();
+        let mut edges = Vec::new();
+        let mut out_lists: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut in_lists: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut edge_set = HashSet::new();
+        for (i, edge) in self.edges.iter().enumerate() {
+            if !keep(EdgeId(i as u32), edge) {
+                continue;
+            }
+            let id = EdgeId(edges.len() as u32);
+            edges.push(*edge);
+            out_lists[edge.from.index()].push(id);
+            in_lists[edge.to.index()].push(id);
+            edge_set.insert((edge.from, edge.label, edge.to));
+        }
+        DataGraph {
+            interner: self.interner.clone(),
+            vertices: self.vertices.clone(),
+            edges,
+            edge_labels: self.edge_labels.clone(),
+            edge_label_ids: self.edge_label_ids.clone(),
+            out_adj: Adjacency::Lists(out_lists),
+            in_adj: Adjacency::Lists(in_lists),
+            entities: self.entities.clone(),
+            classes: self.classes.clone(),
+            values: self.values.clone(),
+            edge_set,
+            edge_set_stale: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Export
     // ------------------------------------------------------------------
 
@@ -1234,6 +1286,73 @@ mod tests {
         for e in owned.edges() {
             assert_eq!(streamed.edge(e), owned.edge(e));
         }
+    }
+
+    #[test]
+    fn edge_subset_preserves_the_id_space() {
+        let g = example_graph();
+        // Keep every second edge: ids, labels and lookups must keep working.
+        let sub = g.edge_subset(|e, _| e.index() % 2 == 0);
+        assert_eq!(sub.vertex_count(), g.vertex_count());
+        assert_eq!(sub.edge_label_count(), g.edge_label_count());
+        assert_eq!(sub.edge_count(), g.edge_count().div_ceil(2));
+        for v in g.vertices() {
+            assert_eq!(sub.vertex(v), g.vertex(v));
+            assert_eq!(sub.vertex_label(v), g.vertex_label(v));
+        }
+        assert_eq!(sub.entity("pub1URI"), g.entity("pub1URI"));
+        assert_eq!(sub.class("Researcher"), g.class("Researcher"));
+        assert_eq!(sub.value("2006"), g.value("2006"));
+        // Every kept edge carries the original endpoints and label id.
+        let kept: Vec<Edge> = g
+            .edges()
+            .filter(|e| e.index() % 2 == 0)
+            .map(|e| g.edge(e))
+            .collect();
+        let got: Vec<Edge> = sub.edges().map(|e| sub.edge(e)).collect();
+        assert_eq!(got, kept, "kept edges preserve order and contents");
+    }
+
+    #[test]
+    fn edge_subset_matches_a_graph_built_from_the_kept_triples() {
+        // Adjacency order of a subset must equal the order of a graph into
+        // which only the kept triples were inserted (per-vertex edge lists
+        // filtered in place) — sharding depends on this for determinism.
+        let g = example_graph();
+        let sub = g.edge_subset(|_, edge| g.edge_label(edge.label) != EdgeLabel::SubClass);
+        for v in g.vertices() {
+            let want_out: Vec<Edge> = g
+                .out_edges(v)
+                .iter()
+                .filter(|&&e| g.edge_label(g.edge(e).label) != EdgeLabel::SubClass)
+                .map(|&e| g.edge(e))
+                .collect();
+            let got_out: Vec<Edge> = sub.out_edges(v).iter().map(|&e| sub.edge(e)).collect();
+            assert_eq!(got_out, want_out);
+            let want_in: Vec<Edge> = g
+                .in_edges(v)
+                .iter()
+                .filter(|&&e| g.edge_label(g.edge(e).label) != EdgeLabel::SubClass)
+                .map(|&e| g.edge(e))
+                .collect();
+            let got_in: Vec<Edge> = sub.in_edges(v).iter().map(|&e| sub.edge(e)).collect();
+            assert_eq!(got_in, want_in);
+        }
+        // Class-structure queries keep working on the subset.
+        let re1 = sub.entity("re1URI").unwrap();
+        assert_eq!(sub.classes_of(re1), g.classes_of(re1));
+        let researcher = sub.class("Researcher").unwrap();
+        assert!(sub.superclasses_of(researcher).is_empty());
+    }
+
+    #[test]
+    fn edge_subset_still_deduplicates_on_mutation() {
+        let g = example_graph();
+        let mut sub = g.edge_subset(|_, _| true);
+        let before = sub.edge_count();
+        sub.insert_triple(&Triple::relation("pub1URI", "author", "re1URI"))
+            .unwrap();
+        assert_eq!(sub.edge_count(), before, "subset keeps the dedup set");
     }
 
     #[test]

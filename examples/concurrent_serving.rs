@@ -41,13 +41,15 @@ fn main() {
     // accepts submissions from any thread and replies through tickets.
     let service = SearchService::start(engine.prepared().clone(), engine.config().clone(), 4);
     let started = Instant::now();
-    let tickets: Vec<_> = (0..ROUNDS)
-        .flat_map(|_| {
+    // Batched submission: one queue-lock acquisition and one pool wakeup
+    // for the whole workload, admitted all-or-nothing.
+    let tickets = service
+        .submit_batch((0..ROUNDS).flat_map(|_| {
             workload
                 .iter()
-                .map(|keywords| service.submit(SearchRequest::new(keywords.iter())))
-        })
-        .collect();
+                .map(|keywords| SearchRequest::new(keywords.iter()))
+        }))
+        .expect("the workload fits the admission bound");
     let submitted = tickets.len();
 
     let mut answered = 0usize;
@@ -81,6 +83,7 @@ fn main() {
     // query computation with evaluation until enough answers exist.
     let response = service
         .submit(SearchRequest::new(["publications"]).with_min_answers(3))
+        .expect("the queue is idle")
         .wait();
     if let (Ok(outcome), Some(phase)) = (&response.result, &response.answer_phase) {
         println!(

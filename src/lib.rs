@@ -43,7 +43,7 @@
 //! let graph = searchwebdb::rdf::fixtures::figure1_graph();
 //! let engine = KeywordSearchEngine::builder(graph).build();
 //! let service = SearchService::start(engine.prepared().clone(), engine.config().clone(), 2);
-//! let ticket = service.submit(SearchRequest::new(["cimiano", "aifb"]));
+//! let ticket = service.submit(SearchRequest::new(["cimiano", "aifb"])).unwrap();
 //! assert!(!ticket.wait().result.unwrap().queries.is_empty());
 //! ```
 //!
@@ -72,9 +72,9 @@ pub use kwsearch_summary as summary;
 pub mod prelude {
     pub use kwsearch_core::{
         AnswerPhase, AugmentationCache, CacheStats, EngineBuilder, KeywordMatch,
-        KeywordSearchEngine, PreparedGraph, RankedQuery, ScoringFunction, SearchConfig,
-        SearchError, SearchOutcome, SearchRequest, SearchResponse, SearchService, SearchSession,
-        SearchTicket,
+        KeywordSearchEngine, PartitionPlan, PreparedGraph, RankedQuery, ScoringFunction,
+        SearchConfig, SearchError, SearchOutcome, SearchRequest, SearchResponse, SearchService,
+        SearchSession, SearchTicket, ServeError, ShardedService,
     };
     pub use kwsearch_keyword_index::KeywordIndex;
     pub use kwsearch_query::{AnswerSet, ConjunctiveQuery, QueryBuilder};

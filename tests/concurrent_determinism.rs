@@ -16,6 +16,8 @@
 use std::sync::Arc;
 use std::thread;
 
+use searchwebdb::core::serve::SearchRequest;
+use searchwebdb::core::shard::{partition, ShardedService};
 use searchwebdb::core::{PreparedGraph, SearchConfig, SearchSession};
 use searchwebdb::datagen::workload::dblp_performance_queries;
 use searchwebdb::datagen::DblpDataset;
@@ -196,6 +198,74 @@ fn snapshot_loaded_scenarios_are_bit_identical_across_threads() {
     built.save(&mut bytes).expect("in-memory save");
     let loaded = PreparedGraph::load(bytes.as_slice()).expect("load own snapshot");
     assert_shared_runs_match_reference(Arc::new(loaded), &graph, workload);
+}
+
+/// The sharded analogue of the suite's proof obligation: N threads hammering
+/// one `Arc<ShardedService>` (scatter, per-shard exploration, streaming
+/// merge) must return streams bit-identical to single-threaded unsharded
+/// sessions on a fresh, cache-disabled preparation.
+#[test]
+fn sharded_scatter_gather_is_bit_identical_across_threads() {
+    let graph = figure1_graph();
+    let workload: Vec<Vec<String>> = vec![
+        vec!["2006".into(), "cimiano".into(), "aifb".into()],
+        vec!["cimiano".into(), "publication".into()],
+        vec!["publications".into()],
+    ];
+
+    let pristine = PreparedGraph::index_with(graph.clone(), Default::default(), 0);
+    let reference: Vec<Vec<QueryKey>> = workload
+        .iter()
+        .map(|keywords| {
+            let mut session = pristine
+                .session(keywords, SearchConfig::default())
+                .expect("workload keywords always match");
+            let mut queries = Vec::new();
+            while let Some(ranked) = session.next_query() {
+                queries.push(query_key(&ranked));
+            }
+            queries
+        })
+        .collect();
+
+    let plan = partition(&graph, 3);
+    let shards = plan.prepare_shards(&graph, Default::default());
+    let service = Arc::new(ShardedService::start(
+        shards,
+        SearchConfig::default(),
+        Default::default(),
+    ));
+    thread::scope(|scope| {
+        for thread_id in 0..THREADS {
+            let service = Arc::clone(&service);
+            let workload = &workload;
+            let reference = &reference;
+            scope.spawn(move || {
+                for repeat in 0..REPEATS {
+                    let offset = (thread_id + repeat) % workload.len();
+                    for step in 0..workload.len() {
+                        let kw_index = (offset + step) % workload.len();
+                        let keywords = &workload[kw_index];
+                        let outcome = service
+                            .search(SearchRequest::new(keywords.iter()))
+                            .expect("workload keywords always match");
+                        let got: Vec<QueryKey> = outcome.queries.iter().map(query_key).collect();
+                        assert_eq!(
+                            &got, &reference[kw_index],
+                            "thread {thread_id}, repeat {repeat}: the sharded merge \
+                             over {keywords:?} diverged from the unsharded reference"
+                        );
+                        let ranks: Vec<usize> = outcome.queries.iter().map(|q| q.rank).collect();
+                        assert_eq!(
+                            ranks,
+                            (1..=outcome.queries.len()).collect::<Vec<_>>(),
+                            "merged ranks must stay dense"
+                        );
+                    }
+                }
+            });
+        }
+    });
 }
 
 #[test]
