@@ -18,6 +18,7 @@ use std::fmt;
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
 use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+use std::time::{Duration, Instant};
 
 pub use std::sync::LockResult;
 
@@ -190,6 +191,19 @@ impl<T> Drop for MutexGuard<'_, T> {
 // Condvar
 // ---------------------------------------------------------------------------
 
+/// Model twin of [`std::sync::WaitTimeoutResult`]: whether a
+/// [`Condvar::wait_timeout`] returned because its timeout elapsed rather
+/// than because of a notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timing out.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// Model twin of [`std::sync::Condvar`]. Model waiters are woken in FIFO
 /// order by `notify_one` (deterministic); there are no spurious wakeups, so
 /// a genuinely lost notification shows up as a hang, not as flakiness.
@@ -247,6 +261,60 @@ impl Condvar {
             }
             drop(gen_guard);
             lock.lock()
+        }
+    }
+
+    /// Releases the guard's mutex and waits for a notification, giving up
+    /// once `timeout` has elapsed.
+    ///
+    /// Inside an exploration the model has no clock, so the timeout never
+    /// fires and the call is exactly [`Self::wait`] — a notification that
+    /// never arrives still surfaces as a deterministic lost-wakeup hang,
+    /// which is the failure signal the explorer exists to report. Outside
+    /// an exploration this is a real timed wait.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if exec::current().is_some() {
+            return match self.wait(guard) {
+                Ok(guard) => Ok((guard, WaitTimeoutResult(false))),
+                Err(poisoned) => Err(PoisonError::new((
+                    poisoned.into_inner(),
+                    WaitTimeoutResult(false),
+                ))),
+            };
+        }
+        let lock = guard.lock;
+        let mut gen_guard = self
+            .fallback_gen
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let gen = *gen_guard;
+        std::mem::forget(guard);
+        lock.raw_unlock(false);
+        let deadline = Instant::now() + timeout;
+        let mut timed_out = false;
+        while *gen_guard == gen {
+            let now = Instant::now();
+            if now >= deadline {
+                timed_out = true;
+                break;
+            }
+            gen_guard = self
+                .fallback
+                .wait_timeout(gen_guard, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        drop(gen_guard);
+        match lock.lock() {
+            Ok(guard) => Ok((guard, WaitTimeoutResult(timed_out))),
+            Err(poisoned) => Err(PoisonError::new((
+                poisoned.into_inner(),
+                WaitTimeoutResult(timed_out),
+            ))),
         }
     }
 

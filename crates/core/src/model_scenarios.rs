@@ -349,7 +349,7 @@ pub fn shard_scatter_gather_rendezvous_body() {
     };
     let mut merged = Vec::new();
     let early = gather
-        .merge_certified(10, Duration::ZERO, &mut merged)
+        .merge_certified(10, None, Duration::ZERO, &mut merged)
         .unwrap();
     shard0.join().unwrap();
     shard1.join().unwrap();
@@ -358,6 +358,65 @@ pub fn shard_scatter_gather_rendezvous_body() {
     assert_eq!(merged[0].cost.to_bits(), 1.0f64.to_bits());
     assert_eq!(merged[1].cost.to_bits(), 2.0f64.to_bits());
     assert!(early <= 2, "early emissions never exceed the merged stream");
+}
+
+/// **Backpressure with full one-slot buffers on both shards.** A
+/// `pending_limit` of 1: each worker buffers one owned emission, blocks on
+/// `space` pushing its second, and the merge must keep the pipeline moving.
+/// Shard 0 owns global ranks 1 (cost 1.0) and 3 (cost 2.0); shard 1 owns
+/// ranks 2 (cost 2.0) and 4 (cost 3.0). Every interleaving must merge the
+/// dense `[1, 2, 3, 4]`.
+///
+/// This is the regression harness for the merge's `space` broadcast: the
+/// waiters have *distinct* predicates (each watches its own shard's
+/// buffer), so a pop that signalled with `notify_one` could wake the
+/// still-full shard's worker (which re-waits) while the freed shard's
+/// worker sleeps forever — its stale bound (2.0, not *strictly* greater
+/// than the 2.0 candidate) then keeps the gate shut and the merge blocks
+/// on `progress` with every thread asleep. The checker convicts exactly
+/// that interleaving as a lost wakeup if the `notify_all` ever regresses.
+pub fn shard_backpressure_full_buffers(config: Config) -> Report {
+    explore(config, shard_backpressure_full_buffers_body)
+}
+
+/// The closed program behind [`shard_backpressure_full_buffers`], exposed
+/// so a failing schedule can be [`kwsearch_modelcheck::replay`]ed against
+/// the identical body.
+pub fn shard_backpressure_full_buffers_body() {
+    let gather = Arc::new(GatherState::new(2, 1));
+    let shard0 = {
+        let gather = Arc::clone(&gather);
+        thread::spawn(move || {
+            // Owns ranks 1 and 3; after rank 1 the cheapest it can still
+            // emit is rank 3's cost 2.0, and after rank 3 it is drained.
+            assert!(gather.push_emission(0, ranked(1, 1.0), Some(2.0)));
+            assert!(gather.push_emission(0, ranked(3, 2.0), None));
+            gather.finish(0, false);
+        })
+    };
+    let shard1 = {
+        let gather = Arc::clone(&gather);
+        thread::spawn(move || {
+            // Owns ranks 2 and 4.
+            assert!(gather.push_emission(1, ranked(2, 2.0), Some(3.0)));
+            assert!(gather.push_emission(1, ranked(4, 3.0), None));
+            gather.finish(1, false);
+        })
+    };
+    let mut merged = Vec::new();
+    let early = gather
+        .merge_certified(10, None, Duration::ZERO, &mut merged)
+        .unwrap();
+    shard0.join().unwrap();
+    shard1.join().unwrap();
+    let ranks: Vec<usize> = merged.iter().map(|q| q.rank).collect();
+    assert_eq!(
+        ranks,
+        vec![1, 2, 3, 4],
+        "the dense order must survive backpressure"
+    );
+    assert_eq!(merged[1].cost.to_bits(), 2.0f64.to_bits());
+    assert!(early <= 4, "early emissions never exceed the merged stream");
 }
 
 /// **Deadline fires during the merge.** Shard 0 delivers its owned rank-1
@@ -393,8 +452,10 @@ pub fn shard_deadline_fires_during_merge_body() {
     };
     let mut merged = Vec::new();
     let deadline = Duration::from_millis(7);
+    // The absolute deadline stays `None`: model time never advances, so the
+    // scenario's expiry is the shard-side abort, not the merge's timed wait.
     let err = gather
-        .merge_certified(10, deadline, &mut merged)
+        .merge_certified(10, None, deadline, &mut merged)
         .expect_err("an aborted shard must fail the whole request");
     assert!(
         matches!(err, ServeError::DeadlineExceeded { deadline: d } if d == deadline),
@@ -443,7 +504,7 @@ pub fn shard_shutdown_with_inflight(config: Config) -> Report {
         queue.close();
         let mut merged = Vec::new();
         let early = gather
-            .merge_certified(10, Duration::ZERO, &mut merged)
+            .merge_certified(10, None, Duration::ZERO, &mut merged)
             .unwrap();
         assert_eq!(early, 0, "nothing was emitted, so nothing was early");
         assert!(merged.is_empty(), "an empty job merges an empty stream");

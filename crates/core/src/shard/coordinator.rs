@@ -22,8 +22,11 @@
 //!    the cross-shard form of the paper's threshold certificate, so
 //!    rank-correct results stream out **before** the slowest shard drains.
 //! 5. **Deadlines** — a request deadline is installed on every shard
-//!    session; the cursor walk aborts cooperatively within one poll of
-//!    expiry and the merged partial stream is discarded with
+//!    session *and* enforced by the merge loop itself: the cursor walks
+//!    abort cooperatively within one poll of expiry, and the coordinator's
+//!    condvar wait times out at the request's absolute deadline, so an
+//!    expired request fails even when every shard worker is blocked or
+//!    silent. Either way the merged partial stream is discarded with
 //!    [`ServeError::DeadlineExceeded`].
 //!
 //! Lock order (checked by the workspace lint's acquisition graph): the
@@ -338,6 +341,11 @@ impl GatherState {
     /// are appended to `merged` in global rank order; returns the number
     /// released before the last shard finished (the early-emission count).
     ///
+    /// When `deadline` is set the merge enforces it independently of shard
+    /// progress: the wait times out at the absolute deadline and the
+    /// request fails with [`ServeError::DeadlineExceeded`] (carrying the
+    /// original `deadline_budget`) even if every worker is blocked.
+    ///
     /// Correctness: every shard session explores the identical augmented
     /// graph, so the per-shard streams are the *same* global stream
     /// filtered by ownership, with non-decreasing costs. If some shard
@@ -352,17 +360,21 @@ impl GatherState {
     pub(crate) fn merge_certified(
         &self,
         k: usize,
-        deadline: Duration,
+        deadline: Option<Instant>,
+        deadline_budget: Duration,
         merged: &mut Vec<RankedQuery>,
     ) -> Result<usize, ServeError> {
         let mut early = 0usize;
         let mut gather = lock_unpoisoned(&self.gather);
         loop {
-            if gather.shards.iter().any(|s| s.aborted) {
+            let expired = deadline.is_some_and(|deadline| Instant::now() >= deadline);
+            if expired || gather.shards.iter().any(|s| s.aborted) {
                 gather.cancelled = true;
                 drop(gather);
                 self.space.notify_all();
-                return Err(ServeError::DeadlineExceeded { deadline });
+                return Err(ServeError::DeadlineExceeded {
+                    deadline: deadline_budget,
+                });
             }
             // The cheapest buffered head, ties broken toward the lower
             // global rank (ranks are dense, so ties are always resolvable).
@@ -402,7 +414,15 @@ impl GatherState {
                         early += 1;
                     }
                     merged.push(emission);
-                    self.space.notify_one();
+                    // The `space` waiters have *distinct* predicates — each
+                    // watches its own shard's buffer — and this pop freed
+                    // exactly one shard's slot, so wake them all: a
+                    // `notify_one` here could pick a worker whose buffer is
+                    // still full (it re-waits) while the freed shard's
+                    // worker sleeps forever behind its stale bound, hanging
+                    // the merge. Waiters number at most `shard_count`, so
+                    // the broadcast is cheap.
+                    self.space.notify_all();
                     if merged.len() >= k {
                         gather.cancelled = true;
                         drop(gather);
@@ -414,10 +434,23 @@ impl GatherState {
             } else if gather.shards.iter().all(|s| s.done) {
                 return Ok(early);
             }
-            gather = self
-                .progress
-                .wait(gather)
-                .unwrap_or_else(|e| e.into_inner());
+            gather = match deadline {
+                // The merge enforces the deadline itself: the wait times
+                // out at the request's absolute deadline, so the expiry
+                // check at the loop top runs even when no worker ever
+                // signals progress again.
+                Some(deadline) => {
+                    let timeout = deadline.saturating_duration_since(Instant::now());
+                    self.progress
+                        .wait_timeout(gather, timeout)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+                None => self
+                    .progress
+                    .wait(gather)
+                    .unwrap_or_else(|e| e.into_inner()),
+            };
         }
     }
 }
@@ -691,7 +724,8 @@ impl ShardedService {
         // 4. The streaming merge, on the caller's thread.
         let merge_start = Instant::now();
         let mut queries = Vec::with_capacity(config.k);
-        let merge_result = gather.merge_certified(config.k, deadline_budget, &mut queries);
+        let merge_result =
+            gather.merge_certified(config.k, deadline, deadline_budget, &mut queries);
         // Whatever happened, release any still-blocked workers.
         gather.cancel();
         cancel.cancel();
@@ -1074,6 +1108,59 @@ mod tests {
         assert!(matches!(err, ServeError::Rejected { queue_capacity: 0 }));
         assert_eq!(service.stats().requests_rejected, 1);
         assert_eq!(service.stats().requests_admitted, 0);
+    }
+
+    /// Backpressure regression: with a one-slot pending buffer the workers
+    /// block between emissions and every pop must wake the freed shard's
+    /// worker (the merge broadcasts on `space`). A `notify_one` there can
+    /// strand the freed shard's worker behind its stale bound and hang the
+    /// merge — the deterministic conviction lives in the model scenario
+    /// `shard_backpressure_full_buffers`; this exercises the real service.
+    #[test]
+    fn a_one_slot_pending_buffer_still_merges_the_full_stream() {
+        let keywords = ["2006", "cimiano", "aifb"];
+        let config = SearchConfig::default();
+        let want = unsharded_stream(&config, &keywords);
+        let graph = figure1_graph();
+        let plan = partition(&graph, 2);
+        let shards = plan.prepare_shards(&graph, Default::default());
+        let service = ShardedService::start(
+            shards,
+            config,
+            ShardedServiceOptions {
+                pending_limit: 1,
+                ..ShardedServiceOptions::default()
+            },
+        );
+        let outcome = service
+            .search(SearchRequest::new(keywords.iter()))
+            .expect("the running example always matches");
+        assert_eq!(outcome.queries.len(), want.len());
+        for (got, want) in outcome.queries.iter().zip(&want) {
+            assert_eq!(got.rank, want.rank);
+            assert_eq!(got.cost.to_bits(), want.cost.to_bits());
+        }
+    }
+
+    /// The merge loop enforces the request deadline on its own: a shard
+    /// that never reports progress (blocked, lost, stuck) cannot hold the
+    /// merge past the deadline — the coordinator's timed wait fires and
+    /// fails the request instead of hanging forever.
+    #[test]
+    fn the_merge_wait_enforces_the_deadline_without_worker_progress() {
+        let gather = GatherState::new(1, 4);
+        let budget = Duration::from_millis(20);
+        let deadline = Instant::now() + budget;
+        let mut merged = Vec::new();
+        let err = gather
+            .merge_certified(10, Some(deadline), budget, &mut merged)
+            .expect_err("a silent shard must not outlive the deadline");
+        assert!(matches!(err, ServeError::DeadlineExceeded { deadline } if deadline == budget));
+        assert!(merged.is_empty(), "nothing was certified, nothing leaks");
+        assert!(
+            gather.is_cancelled(),
+            "an expired merge releases its workers"
+        );
     }
 
     #[test]

@@ -166,6 +166,17 @@ mod tests {
         let cond = Condvar::new();
         assert_eq!(exercise(&mutex, &cond), 3);
 
+        // Timed waits: both twins expose `wait_timeout` returning the guard
+        // plus a `timed_out()` flag (the model twin's timeout never fires
+        // inside an exploration; on ordinary threads — like this test — it
+        // is a real timed wait, so with no notifier it must elapse).
+        let guard = lock_unpoisoned(&mutex);
+        let (guard, timeout) = cond
+            .wait_timeout(guard, std::time::Duration::from_millis(1))
+            .unwrap_or_else(|e| e.into_inner());
+        assert!(timeout.timed_out());
+        drop(guard);
+
         // Arc surface: new / clone / deref / ptr_eq.
         let arc = Arc::new(5u32);
         let clone = Arc::clone(&arc);

@@ -43,6 +43,14 @@ fn the_shard_rendezvous_merges_the_dense_order_in_every_interleaving() {
 }
 
 #[test]
+fn backpressure_with_full_buffers_never_strands_a_worker() {
+    let schedules =
+        scenarios::shard_backpressure_full_buffers(Config::with_preemptions(2)).assert_pass();
+    assert_eq!(schedules, 10208, "explored-space fingerprint moved");
+    println!("backpressure full buffers: {schedules} interleavings, all correct");
+}
+
+#[test]
 fn a_deadline_during_the_merge_always_discards_the_partial_stream() {
     let schedules =
         scenarios::shard_deadline_fires_during_merge(Config::with_preemptions(2)).assert_pass();

@@ -77,6 +77,13 @@ pub enum SnapshotError {
         /// Id of the absent section.
         section: u32,
     },
+    /// A multi-snapshot set (e.g. a sharded index directory) is missing
+    /// its manifest or disagrees with it — the set cannot be proven
+    /// complete, so loading a silent subset is refused.
+    BadManifest {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
     /// An underlying I/O failure (other than a clean truncation).
     Io(io::Error),
 }
@@ -98,6 +105,9 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::MissingSection { section } => {
                 write!(f, "snapshot is missing required section {section}")
+            }
+            SnapshotError::BadManifest { detail } => {
+                write!(f, "bad snapshot-set manifest: {detail}")
             }
             SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
         }

@@ -37,7 +37,11 @@ fn main() {
     );
 
     // Prepare one index per shard and persist each as its own snapshot —
-    // shards deploy (and restart) independently.
+    // shards deploy (and restart) independently. `persist_shards` commits
+    // the set with a `shards.manifest` written last; `load_shards` refuses
+    // a directory whose manifest is missing or disagrees with the
+    // snapshots, so a partially-persisted set fails loudly instead of
+    // silently serving a subset of the data.
     let shards = plan.prepare_shards(graph, Default::default());
     let dir = std::env::temp_dir().join("searchwebdb-sharded-serving");
     std::fs::create_dir_all(&dir).expect("creating the snapshot directory");
