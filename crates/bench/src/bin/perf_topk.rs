@@ -37,9 +37,14 @@
 //!   [`ShardedService`] over [`SHARD_COUNT`] partitioned preparations, at
 //!   each worker-per-shard level: QPS and p50/p99 end-to-end latency, the
 //!   mean scatter/merge/total split, and the early-emit ratio of the
-//!   rank-correct streaming merge.
+//!   rank-correct streaming merge,
+//! * **freshness** — the dataset wrapped in a `LiveGraph` over its loaded
+//!   snapshot: write-ack and write-to-query-visibility latency of a stream
+//!   of delta batches, read QPS with and without a concurrent writer, and
+//!   the time to compact the accumulated overlays (with the built-in
+//!   byte-identity proof) back into a flat preparation.
 //!
-//! See the README "Performance" section for the JSON schema (v6).
+//! See the README "Performance" section for the JSON schema (v7).
 
 // lint: allow-file(no-unwrap, reason = "benchmark harness: a panic aborts the run with a clear message, which is the desired failure mode")
 
@@ -197,12 +202,46 @@ struct ShardedReport {
     levels: Vec<ShardedLevel>,
 }
 
+/// The freshness section of one dataset: a [`kwsearch_core::LiveGraph`] over the loaded
+/// base snapshot absorbs a stream of single-triple write batches while its
+/// read path is measured — write-ack and write-to-query-visibility
+/// latency, read throughput with and without a concurrent writer, and the
+/// time to compact the accumulated overlays back into a flat preparation
+/// (proven byte-identical to a from-scratch build inside `compact`).
+struct FreshnessReport {
+    /// Write batches of the latency measurement.
+    writes: usize,
+    /// Median wall time of `LiveGraph::apply` (write acknowledged).
+    ack_p50_ms: f64,
+    /// 99th-percentile apply wall time.
+    ack_p99_ms: f64,
+    /// Median wall time from apply start until a query over the written
+    /// keyword returns its first certified result on a fresh snapshot.
+    visible_p50_ms: f64,
+    /// 99th-percentile write-to-visibility wall time.
+    visible_p99_ms: f64,
+    /// Read QPS of the reader pool with no writer running.
+    baseline_qps: f64,
+    /// Read QPS of the same reader pool while the writer applies deltas.
+    concurrent_qps: f64,
+    /// Writes the writer landed during the concurrent measurement.
+    writes_during: usize,
+    /// Wall time of `LiveGraph::compact` (fold + byte-identity proof +
+    /// reload).
+    compact_ms: f64,
+    /// Triple-store delta rows the compaction folded into the base.
+    compact_folded_rows: usize,
+    /// Size of the proven compacted snapshot.
+    compact_bytes: usize,
+}
+
 struct DatasetReport {
     name: &'static str,
     records: Vec<QueryRecord>,
     concurrency: ConcurrencyReport,
     ingest: IngestReport,
     sharded: ShardedReport,
+    freshness: FreshnessReport,
 }
 
 impl DatasetReport {
@@ -522,6 +561,161 @@ fn measure_ingest(name: &str, graph: &kwsearch_rdf::DataGraph) -> IngestReport {
     }
 }
 
+/// Write batches of the freshness latency measurement.
+const FRESHNESS_WRITES: usize = 24;
+/// Reader threads of the freshness QPS measurement.
+const FRESHNESS_READERS: usize = 4;
+
+/// The freshness section: the dataset's graph round-tripped through the
+/// snapshot path (so deltas ride the production CSR-overlay read path) and
+/// wrapped in a [`kwsearch_core::LiveGraph`], then measured on three axes — write-ack and
+/// write-to-visibility latency, read QPS under a concurrent writer vs. the
+/// same readers alone, and compaction time.
+fn run_freshness(
+    graph: &kwsearch_rdf::DataGraph,
+    queries: &[(String, Vec<String>)],
+    config: &SearchConfig,
+) -> FreshnessReport {
+    use kwsearch_core::{DeltaBatch, LiveGraph};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let mut bytes = Vec::new();
+    kwsearch_core::PreparedGraph::index(graph.clone())
+        .save(&mut bytes)
+        .expect("in-memory base snapshot");
+    let live = LiveGraph::new(
+        kwsearch_core::PreparedGraph::load(bytes.as_slice()).expect("load own snapshot"),
+    );
+    drop(bytes);
+
+    // Existing subject IRIs to hang the written attributes off, so every
+    // write touches the real graph rather than a disconnected island.
+    let subjects: Vec<String> = {
+        let mut seen = std::collections::HashSet::new();
+        let mut subjects = Vec::new();
+        for t in graph.triples() {
+            if seen.insert(t.subject.value().to_string()) {
+                subjects.push(t.subject.value().to_string());
+                if subjects.len() >= 64 {
+                    break;
+                }
+            }
+        }
+        subjects
+    };
+    assert!(!subjects.is_empty(), "dataset graphs are never empty");
+
+    // Write-ack → query-visibility: each batch attaches one fresh value to
+    // an existing entity; visibility is the time until a query over that
+    // value's keyword certifies its first result on a fresh snapshot.
+    let mut ack_samples = Vec::with_capacity(FRESHNESS_WRITES);
+    let mut visible_samples = Vec::with_capacity(FRESHNESS_WRITES);
+    for i in 0..FRESHNESS_WRITES {
+        let subject = subjects[i % subjects.len()].clone();
+        let value = format!("freshkw{i}");
+        let batch = DeltaBatch::new().add(kwsearch_rdf::Triple::attribute(
+            subject,
+            "benchAnnotation",
+            value.clone(),
+        ));
+        let t0 = Instant::now();
+        live.apply(&batch).expect("freshness batch applies");
+        ack_samples.push(t0.elapsed().as_secs_f64() * 1000.0);
+        let snapshot = live.snapshot();
+        let mut session = snapshot
+            .session(&[value.as_str()], config.clone())
+            .expect("the just-written keyword is visible");
+        assert!(
+            std::hint::black_box(session.next_query()).is_some(),
+            "the just-written keyword must certify a query"
+        );
+        visible_samples.push(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    ack_samples.sort_by(f64::total_cmp);
+    visible_samples.sort_by(f64::total_cmp);
+
+    // Read QPS, same reader pool and job count, without and with a
+    // concurrent single writer landing one-triple batches.
+    let jobs_per_reader = MIN_CONCURRENT_JOBS.div_ceil(FRESHNESS_READERS).max(1);
+    let writes_during = AtomicUsize::new(0);
+    let measure_qps = |with_writer: bool| -> f64 {
+        let live = &live;
+        let subjects = &subjects;
+        let writes_during = &writes_during;
+        let stop = AtomicBool::new(false);
+        let stop = &stop;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let writer = with_writer.then(|| {
+                scope.spawn(|| {
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let subject = subjects[(i * 7 + 3) % subjects.len()].clone();
+                        let batch = DeltaBatch::new().add(kwsearch_rdf::Triple::attribute(
+                            subject,
+                            "benchAnnotation",
+                            format!("livekw{i}"),
+                        ));
+                        live.apply(&batch).expect("freshness batch applies");
+                        writes_during.fetch_add(1, Ordering::Relaxed);
+                        i += 1;
+                    }
+                })
+            });
+            let readers: Vec<_> = (0..FRESHNESS_READERS)
+                .map(|reader| {
+                    scope.spawn(move || {
+                        for step in 0..jobs_per_reader {
+                            let keywords = &queries[(reader + step) % queries.len()].1;
+                            let snapshot = live.snapshot();
+                            let session = snapshot
+                                .session(keywords, config.clone())
+                                .expect("workload keywords always match");
+                            let _ = std::hint::black_box(session.into_outcome());
+                        }
+                    })
+                })
+                .collect();
+            for handle in readers {
+                handle.join().expect("freshness reader thread");
+            }
+            stop.store(true, Ordering::Relaxed);
+            if let Some(handle) = writer {
+                handle.join().expect("freshness writer thread");
+            }
+        });
+        let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+        (FRESHNESS_READERS * jobs_per_reader) as f64 / wall_s
+    };
+    let baseline_qps = measure_qps(false);
+    let concurrent_qps = measure_qps(true);
+
+    // Compaction: fold every accumulated overlay back into a flat
+    // preparation; `compact` internally proves the fold byte-identical to
+    // a from-scratch build, so this times the full trust-but-verify path.
+    let t0 = Instant::now();
+    let compaction = live.compact().expect("compaction proves itself");
+    let compact_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    assert!(
+        compaction.compacted,
+        "the write stream left overlays behind"
+    );
+
+    FreshnessReport {
+        writes: FRESHNESS_WRITES,
+        ack_p50_ms: percentile(&ack_samples, 0.50),
+        ack_p99_ms: percentile(&ack_samples, 0.99),
+        visible_p50_ms: percentile(&visible_samples, 0.50),
+        visible_p99_ms: percentile(&visible_samples, 0.99),
+        baseline_qps,
+        concurrent_qps,
+        writes_during: writes_during.into_inner(),
+        compact_ms,
+        compact_folded_rows: compaction.folded_rows,
+        compact_bytes: compaction.snapshot_bytes,
+    }
+}
+
 fn run_workload(
     name: &'static str,
     engine: &KeywordSearchEngine,
@@ -614,12 +808,14 @@ fn run_workload(
     let concurrency = run_concurrency(engine, queries, config, worker_levels);
     let ingest = measure_ingest(name, engine.graph());
     let sharded = run_sharded(engine.graph(), queries, config, worker_levels);
+    let freshness = run_freshness(engine.graph(), queries, config);
     DatasetReport {
         name,
         records,
         concurrency,
         ingest,
         sharded,
+        freshness,
     }
 }
 
@@ -863,6 +1059,58 @@ fn print_ingest_table(report: &DatasetReport) {
     );
 }
 
+fn print_freshness_table(report: &DatasetReport) {
+    let fresh = &report.freshness;
+    println!("== {} freshness (live writes) ==", report.name);
+    let mut table = Table::new([
+        "writes",
+        "ack p50 (ms)",
+        "ack p99 (ms)",
+        "visible p50 (ms)",
+        "visible p99 (ms)",
+        "base qps",
+        "write qps",
+        "writes landed",
+    ]);
+    table.row([
+        fresh.writes.to_string(),
+        format!("{:.3}", fresh.ack_p50_ms),
+        format!("{:.3}", fresh.ack_p99_ms),
+        format!("{:.3}", fresh.visible_p50_ms),
+        format!("{:.3}", fresh.visible_p99_ms),
+        format!("{:.0}", fresh.baseline_qps),
+        format!("{:.0}", fresh.concurrent_qps),
+        fresh.writes_during.to_string(),
+    ]);
+    table.print();
+    println!(
+        "compaction: {:.3} ms, folded {} delta rows into a {}-byte proven snapshot\n",
+        fresh.compact_ms, fresh.compact_folded_rows, fresh.compact_bytes
+    );
+}
+
+fn freshness_json(fresh: &FreshnessReport) -> String {
+    format!(
+        concat!(
+            "{{\"writes\": {}, \"ack_p50_ms\": {}, \"ack_p99_ms\": {}, ",
+            "\"visible_p50_ms\": {}, \"visible_p99_ms\": {}, ",
+            "\"baseline_qps\": {}, \"concurrent_qps\": {}, \"writes_during\": {}, ",
+            "\"compact_ms\": {}, \"compact_folded_rows\": {}, \"compact_bytes\": {}}}"
+        ),
+        fresh.writes,
+        json_f64(fresh.ack_p50_ms),
+        json_f64(fresh.ack_p99_ms),
+        json_f64(fresh.visible_p50_ms),
+        json_f64(fresh.visible_p99_ms),
+        json_f64(fresh.baseline_qps),
+        json_f64(fresh.concurrent_qps),
+        fresh.writes_during,
+        json_f64(fresh.compact_ms),
+        fresh.compact_folded_rows,
+        fresh.compact_bytes,
+    )
+}
+
 fn ingest_json(ing: &IngestReport) -> String {
     format!(
         concat!(
@@ -1005,7 +1253,7 @@ fn report_json(
                     "\"answer_phase\": {{\"min_answers\": {}, \"total_wall_ms\": {}, ",
                     "\"total_materializing_wall_ms\": {}}}, ",
                     "\"ingest\": {}, ",
-                    "\"concurrency\": {}, \"sharded\": {}, ",
+                    "\"concurrency\": {}, \"sharded\": {}, \"freshness\": {}, ",
                     "\"queries\": [\n      {}\n    ]}}"
                 ),
                 json_string(report.name),
@@ -1018,6 +1266,7 @@ fn report_json(
                 ingest_json(&report.ingest),
                 concurrency_json(&report.concurrency),
                 sharded_json(&report.sharded),
+                freshness_json(&report.freshness),
                 queries.join(",\n      ")
             )
         })
@@ -1026,7 +1275,7 @@ fn report_json(
     format!(
         concat!(
             "{{\n",
-            "  \"schema_version\": 6,\n",
+            "  \"schema_version\": 7,\n",
             "  \"scale\": {},\n",
             "  \"config\": {{\"k\": {}, \"dmax\": {}, \"scoring\": {}, \"min_answers\": {}}},\n",
             "  \"workers\": [{}],\n",
@@ -1103,6 +1352,7 @@ fn main() {
     print_concurrency_table(&dblp_report);
     print_sharded_table(&dblp_report);
     print_ingest_table(&dblp_report);
+    print_freshness_table(&dblp_report);
 
     let tap = tap_dataset(profile);
     let tap_engine = KeywordSearchEngine::builder(tap.graph.clone()).build();
@@ -1117,6 +1367,7 @@ fn main() {
     print_concurrency_table(&tap_report);
     print_sharded_table(&tap_report);
     print_ingest_table(&tap_report);
+    print_freshness_table(&tap_report);
 
     let lubm = lubm_dataset(profile);
     let lubm_engine = KeywordSearchEngine::builder(lubm.graph.clone()).build();
@@ -1133,6 +1384,7 @@ fn main() {
     print_concurrency_table(&lubm_report);
     print_sharded_table(&lubm_report);
     print_ingest_table(&lubm_report);
+    print_freshness_table(&lubm_report);
 
     let out_path =
         std::env::var("KWSEARCH_BENCH_OUT").unwrap_or_else(|_| "BENCH_topk.json".to_string());

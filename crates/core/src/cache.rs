@@ -43,9 +43,10 @@
 //! configuration simply populate their own keys, and switching back rehits
 //! the old ones.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::PoisonError;
 
+use kwsearch_keyword_index::ElementRef;
 use kwsearch_summary::AugmentationSnapshot;
 
 use crate::config::SearchConfig;
@@ -54,8 +55,9 @@ use crate::result::RankedQuery;
 use crate::sync::{lock_unpoisoned, Arc, Condvar, Mutex};
 
 /// The key of one cached augmentation: the search configuration (embedded
-/// verbatim — see [`SearchConfig`]'s `Eq + Hash` note) plus the normalized
-/// query terms of every keyword, in query order.
+/// verbatim — see [`SearchConfig`]'s `Eq + Hash` note), the normalized
+/// query terms of every keyword in query order, and the write epoch of the
+/// preparation the entry was computed against.
 ///
 /// The snapshot itself is configuration-independent (augmentation takes no
 /// [`SearchConfig`]), so keying it under the config deliberately trades
@@ -65,18 +67,43 @@ use crate::sync::{lock_unpoisoned, Arc, Condvar, Mutex};
 /// Splitting the key (snapshot by terms, log by config + terms) would share
 /// the snapshot across sweeps and is the natural next step if that
 /// duplication ever shows up in [`CacheStats::heap_bytes`].
+///
+/// The epoch serves the live write path (see [`crate::live`]): a cache
+/// shared across a [`LiveGraph`](crate::live::LiveGraph)'s succession of
+/// prepared snapshots folds each snapshot's monotone write epoch into the
+/// key, so an entry computed before a write — its matches, its snapshot,
+/// and above all its replay log — can never be served to a reader of a
+/// later snapshot. Frozen, standalone preparations stay at epoch 0 and
+/// behave exactly as before.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AugmentationKey {
     config: SearchConfig,
     terms: Vec<Vec<String>>,
+    epoch: u64,
 }
 
 impl AugmentationKey {
     /// Builds a key from a configuration and the per-keyword normalized
     /// term lists (one entry per input keyword, in query order; keywords
-    /// that normalize to nothing contribute an empty list).
+    /// that normalize to nothing contribute an empty list). The key starts
+    /// at write epoch 0 — the frozen-preparation case.
     pub fn new(config: SearchConfig, terms: Vec<Vec<String>>) -> Self {
-        Self { config, terms }
+        Self {
+            config,
+            terms,
+            epoch: 0,
+        }
+    }
+
+    /// Folds a write epoch into the key fingerprint (see the type docs).
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The write epoch folded into this key.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of keywords the key covers.
@@ -101,6 +128,13 @@ pub(crate) struct CachedAugmentation {
     /// failing query from re-running (or, worse, serializing coalesced
     /// waiters behind) the matching on every request.
     pub(crate) snapshot: Option<AugmentationSnapshot>,
+    /// The distinct elements the keywords matched, in canonical (sorted)
+    /// order — the fan-in side of the cache's per-element reverse map. A
+    /// write that touches any of these elements invalidates the entry (see
+    /// [`AugmentationCache::advance_epoch`]); an entry whose elements are
+    /// all untouched can be carried forward to the new epoch. Empty for
+    /// negative entries (nothing matched, so nothing to touch).
+    pub(crate) elements: Vec<ElementRef>,
     /// The complete ranked-query stream a drained session under this key
     /// emitted, in emission order. `None` until the first session drains.
     /// The exploration is deterministic over the (immutable) indexes and the
@@ -113,9 +147,23 @@ pub(crate) struct CachedAugmentation {
 
 impl CachedAugmentation {
     pub(crate) fn new(element_matches: Vec<usize>, snapshot: Option<AugmentationSnapshot>) -> Self {
+        Self::with_elements(element_matches, snapshot, Vec::new())
+    }
+
+    /// Like [`Self::new`], with the matched element set for keyed
+    /// invalidation. `elements` need not be sorted; it is canonicalized
+    /// here.
+    pub(crate) fn with_elements(
+        element_matches: Vec<usize>,
+        snapshot: Option<AugmentationSnapshot>,
+        mut elements: Vec<ElementRef>,
+    ) -> Self {
+        elements.sort_unstable();
+        elements.dedup();
         Self {
             element_matches,
             snapshot,
+            elements,
             results: Mutex::new(None),
         }
     }
@@ -180,6 +228,12 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries evicted to respect the capacity bound.
     pub evictions: u64,
+    /// Entries dropped by keyed invalidation: a write touched one of the
+    /// entry's matched elements (see `AugmentationCache::advance_epoch`).
+    pub invalidations: u64,
+    /// Entries carried forward to a new write epoch because the write
+    /// touched none of their matched elements.
+    pub promotions: u64,
     /// Entries currently resident.
     pub len: usize,
     /// The capacity bound (0 means the cache is disabled).
@@ -210,6 +264,15 @@ struct CacheInner {
     /// matching and augmentation — the thundering-herd guard for serving
     /// workloads, where the same hot query arrives on many workers at once.
     in_flight: HashMap<AugmentationKey, Arc<InFlight>>,
+    /// Per-element reverse map: which resident keys matched each element.
+    /// Maintained by insert/remove so keyed invalidation
+    /// ([`AugmentationCache::advance_epoch`]) never scans entry payloads.
+    reverse: HashMap<ElementRef, HashSet<AugmentationKey>>,
+    /// Monotone clear-generation: [`AugmentationCache::clear`] bumps it so
+    /// in-flight owners whose computation started before the clear cannot
+    /// re-insert (resurrect) their entry afterwards. Compare
+    /// [`ComputeTicket::complete`].
+    generation: u64,
     /// Monotonic logical clock stamping every hit/insert for LRU eviction.
     tick: u64,
     /// Approximate heap bytes of the resident entries (kept incrementally).
@@ -218,6 +281,8 @@ struct CacheInner {
     misses: u64,
     insertions: u64,
     evictions: u64,
+    invalidations: u64,
+    promotions: u64,
 }
 
 #[derive(Debug)]
@@ -230,7 +295,55 @@ impl CacheInner {
     fn remove(&mut self, key: &AugmentationKey) -> Option<Entry> {
         let entry = self.map.remove(key)?;
         self.heap_bytes = self.heap_bytes.saturating_sub(entry.payload.heap_bytes());
+        for element in &entry.payload.elements {
+            if let Some(keys) = self.reverse.get_mut(element) {
+                keys.remove(key);
+                if keys.is_empty() {
+                    self.reverse.remove(element);
+                }
+            }
+        }
         Some(entry)
+    }
+
+    /// Inserts `payload` under `key` with a fresh LRU tick, maintaining the
+    /// heap estimate and the per-element reverse map.
+    fn insert(&mut self, key: AugmentationKey, payload: Arc<CachedAugmentation>) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.heap_bytes += payload.heap_bytes();
+        for element in &payload.elements {
+            self.reverse
+                .entry(*element)
+                .or_default()
+                .insert(key.clone());
+        }
+        self.map.insert(
+            key,
+            Entry {
+                last_used: tick,
+                payload,
+            },
+        );
+    }
+
+    /// Evicts least-recently-used entries until at most `capacity` remain.
+    fn evict_to(&mut self, capacity: usize) {
+        while self.map.len() > capacity {
+            // O(capacity) scan; capacities are small (default 128) and
+            // eviction is off the hit path.
+            let Some(oldest) = self
+                .map
+                // lint: unordered-ok(reason = "min_by_key over last_used ticks, which the monotonic clock keeps unique — the selected entry is independent of hash order")
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            self.remove(&oldest);
+            self.evictions += 1;
+        }
     }
 }
 
@@ -287,18 +400,37 @@ pub(crate) struct ComputeTicket<'c> {
     cache: &'c AugmentationCache,
     key: Option<AugmentationKey>,
     flight: Arc<InFlight>,
+    /// The cache's clear-generation at miss time; a [`AugmentationCache::clear`]
+    /// in between orphans this owner's write-back (see [`Self::complete`]).
+    generation: u64,
 }
 
 impl ComputeTicket<'_> {
     /// Publishes the computed augmentation: inserts it (evicting LRU entries
     /// past the capacity bound), wakes every waiter joined on the key, and
     /// returns the resident entry for the replay-log write-back.
+    ///
+    /// If [`AugmentationCache::clear`] ran since this owner took the miss,
+    /// the computed entry is **not** inserted — the clear's contract is that
+    /// nothing computed before it survives it, and without the generation
+    /// check an in-flight owner would resurrect a stale entry (and, worse,
+    /// a stale replay log) right after the clear. The orphaned payload is
+    /// still returned so the owning session can finish normally; its
+    /// waiters are released empty-handed and retry under the new
+    /// generation.
     pub(crate) fn complete(mut self, payload: CachedAugmentation) -> Arc<CachedAugmentation> {
         // lint: allow(no-unwrap, reason = "completion consumes the ticket by value, so the key is always present; the Option exists only for the Drop impl")
         let key = self.key.take().expect("ticket completed twice");
-        let payload = self.cache.insert_resolved(&key, payload);
-        self.flight.finish(Some(Arc::clone(&payload)));
-        payload
+        match self.cache.insert_resolved(&key, payload, self.generation) {
+            Ok(resident) => {
+                self.flight.finish(Some(Arc::clone(&resident)));
+                resident
+            }
+            Err(orphan) => {
+                self.flight.finish(None);
+                orphan
+            }
+        }
     }
 }
 
@@ -364,17 +496,95 @@ impl AugmentationCache {
             misses: inner.misses,
             insertions: inner.insertions,
             evictions: inner.evictions,
+            invalidations: inner.invalidations,
+            promotions: inner.promotions,
             len: inner.map.len(),
             capacity: self.capacity,
             heap_bytes: inner.heap_bytes,
         }
     }
 
-    /// Drops every entry (the counters keep accumulating).
+    /// Drops every entry (the counters keep accumulating) and bumps the
+    /// clear-generation, so in-flight owners that took their miss before
+    /// this call cannot re-insert afterwards (their write-backs are
+    /// orphaned — see `ComputeTicket::complete`). In-flight registrations
+    /// are left in place: post-clear probes still coalesce on the running
+    /// owner, are released empty-handed when its insert is refused, and
+    /// retry under the new generation.
     pub fn clear(&self) {
         let mut inner = lock_unpoisoned(&self.inner);
         inner.map.clear();
+        inner.reverse.clear();
         inner.heap_bytes = 0;
+        inner.generation += 1;
+    }
+
+    /// Advances the live write epoch (see [`crate::live`]): processes every
+    /// resident entry keyed at epoch `from` — the snapshot the write
+    /// replaced. Entries whose matched elements intersect `touched` are
+    /// removed (keyed invalidation via the per-element reverse map; they
+    /// describe state the write changed). When `promote` is set — the
+    /// caller proved the write changed neither the match vocabulary nor the
+    /// summary structure — the remaining (untouched) entries are carried
+    /// forward: re-inserted under the same config/terms at epoch `to`,
+    /// sharing the payload, so readers of the new snapshot keep hitting.
+    /// Without `promote` the untouched entries merely stay behind at their
+    /// old epoch, serving concurrent readers of the replaced snapshot until
+    /// LRU pressure or [`Self::prune_below_epoch`] retires them.
+    pub(crate) fn advance_epoch(&self, from: u64, to: u64, touched: &[ElementRef], promote: bool) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = lock_unpoisoned(&self.inner);
+        // Keys to drop: resolved through the reverse map, so the cost is
+        // proportional to the touched entries, not the cache size.
+        // The collected keys are sorted-deduped below, so removal order over
+        // a set of distinct keys cannot affect the resulting map.
+        let mut stale: Vec<AugmentationKey> = touched
+            .iter()
+            .filter_map(|element| inner.reverse.get(element))
+            .flat_map(|keys| keys.iter().filter(|k| k.epoch == from).cloned())
+            .collect();
+        stale.sort_by(|a, b| a.terms.cmp(&b.terms).then(a.epoch.cmp(&b.epoch)));
+        stale.dedup();
+        for key in stale {
+            if inner.remove(&key).is_some() {
+                inner.invalidations += 1;
+            }
+        }
+        if promote {
+            let survivors: Vec<AugmentationKey> = inner
+                .map
+                // lint: unordered-ok(reason = "promotion re-keys every surviving entry exactly once; the per-entry LRU ticks it assigns only bias later eviction order, never a served result")
+                .keys()
+                .filter(|k| k.epoch == from)
+                .cloned()
+                .collect();
+            for key in survivors {
+                let payload = Arc::clone(&inner.map[&key].payload);
+                inner.insert(key.with_epoch(to), payload);
+                inner.promotions += 1;
+            }
+            inner.evict_to(self.capacity);
+        }
+    }
+
+    /// Drops every entry keyed below `epoch` — the compaction-time sweep
+    /// retiring entries that only ever served readers of replaced
+    /// snapshots.
+    pub(crate) fn prune_below_epoch(&self, epoch: u64) {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let old: Vec<AugmentationKey> = inner
+            .map
+            // lint: unordered-ok(reason = "removing a fixed set of keys; the resulting map is independent of removal order")
+            .keys()
+            .filter(|k| k.epoch < epoch)
+            .cloned()
+            .collect();
+        for key in old {
+            inner.remove(&key);
+            inner.invalidations += 1;
+        }
     }
 
     /// Probes a key: a resident entry (or one an in-flight owner finishes
@@ -406,10 +616,12 @@ impl AugmentationCache {
                         let flight = Arc::new(InFlight::default());
                         inner.in_flight.insert(key.clone(), Arc::clone(&flight));
                         inner.misses += 1;
+                        let generation = inner.generation;
                         return CacheProbe::Compute(ComputeTicket {
                             cache: self,
                             key: Some(key),
                             flight,
+                            generation,
                         });
                     }
                 }
@@ -431,40 +643,35 @@ impl AugmentationCache {
     /// Publishes an owner's finished augmentation: deregisters the in-flight
     /// marker and inserts the entry, evicting least-recently-used entries
     /// past the capacity bound. Returns the resident entry (the freshly
-    /// inserted one; the in-flight marker guarantees no same-key race).
+    /// inserted one; the in-flight marker guarantees no same-key race) —
+    /// or, when [`Self::clear`] ran after the owner took its miss
+    /// (`generation` is stale), refuses the insert and hands the payload
+    /// back as `Err` so the owner's session can still use it privately.
     fn insert_resolved(
         &self,
         key: &AugmentationKey,
         payload: CachedAugmentation,
-    ) -> Arc<CachedAugmentation> {
+        generation: u64,
+    ) -> Result<Arc<CachedAugmentation>, Arc<CachedAugmentation>> {
         let mut inner = lock_unpoisoned(&self.inner);
-        inner.tick += 1;
-        let tick = inner.tick;
         inner.in_flight.remove(key);
-        while inner.map.len() >= self.capacity {
-            // O(capacity) scan; capacities are small (default 128) and
-            // eviction is off the hit path.
-            let Some(oldest) = inner
-                .map
-                // lint: unordered-ok(reason = "min_by_key over last_used ticks, which the monotonic clock keeps unique — the selected entry is independent of hash order")
-                .iter()
-                .min_by_key(|(_, entry)| entry.last_used)
-                .map(|(key, _)| key.clone())
-            else {
-                break;
-            };
-            inner.remove(&oldest);
-            inner.evictions += 1;
-        }
         let payload = Arc::new(payload);
-        inner.heap_bytes += payload.heap_bytes();
-        inner.map.insert(
-            key.clone(),
-            Entry {
-                last_used: tick,
-                payload: Arc::clone(&payload),
-            },
-        );
+        // Seeded mutation (d): skipping this generation check lets an owner
+        // that took its miss before a `clear()` resurrect the stale entry —
+        // and its stale replay log — right after the clear; the model
+        // checker must observe the resurrected hit and report the panic
+        // (`tests/model_mutations.rs`).
+        #[cfg(not(all(kwsearch_model, kwsearch_model_mutation)))]
+        if generation != inner.generation {
+            // Orphaned by a clear(): resurrecting the entry would undo the
+            // clear's visible effect (model scenario `cache_clear_orphans_
+            // inflight_writeback` pins the schedule space).
+            return Err(payload);
+        }
+        #[cfg(all(kwsearch_model, kwsearch_model_mutation))]
+        let _ = generation;
+        inner.insert(key.clone(), Arc::clone(&payload));
+        inner.evict_to(self.capacity);
         inner.insertions += 1;
         // debug-invariants: the eviction loop above must have restored the
         // capacity bound, and the incremental heap-byte estimate must agree
@@ -486,8 +693,23 @@ impl AugmentationCache {
                 recount, inner.heap_bytes,
                 "incremental heap-byte estimate drifted from the recount"
             );
+            // The reverse map must list exactly the resident keys of every
+            // element (no leaked keys after remove/clear, none missing after
+            // insert/promotion).
+            let mut expected: HashMap<ElementRef, HashSet<AugmentationKey>> = HashMap::new();
+            // Building a set-valued map: insertion order over a hash map
+            // cannot change the resulting sets.
+            for (key, entry) in &inner.map {
+                for element in &entry.payload.elements {
+                    expected.entry(*element).or_default().insert(key.clone());
+                }
+            }
+            assert_eq!(
+                expected, inner.reverse,
+                "per-element reverse map drifted from the resident entries"
+            );
         }
-        payload
+        Ok(payload)
     }
 }
 
@@ -666,5 +888,114 @@ mod tests {
             hit(&cache, "doomed").is_some(),
             "the retry populated the key"
         );
+    }
+
+    #[test]
+    fn epoch_distinguishes_otherwise_equal_keys() {
+        let base = key("same");
+        assert_eq!(base.clone(), base.clone().with_epoch(0));
+        assert_ne!(base.clone(), base.clone().with_epoch(1));
+        assert_eq!(base.clone().with_epoch(3).epoch(), 3);
+
+        let cache = AugmentationCache::new(4);
+        fill(&cache, "same", &["aifb"]);
+        match cache.probe(key("same").with_epoch(1)) {
+            CacheProbe::Compute(_) => {} // dropped: the epoch-1 twin is absent
+            CacheProbe::Hit(_) => panic!("an epoch-0 entry must not serve epoch-1 readers"),
+        };
+    }
+
+    #[test]
+    fn clear_orphans_the_inflight_writeback() {
+        let cache = AugmentationCache::new(4);
+        let ticket = match cache.probe(key("stale")) {
+            CacheProbe::Compute(ticket) => ticket,
+            CacheProbe::Hit(_) => panic!("the key cannot be resident yet"),
+        };
+        // The owner computed against pre-clear state; the clear must win.
+        cache.clear();
+        let orphan = ticket.complete(payload(&["aifb"]));
+        assert_eq!(
+            orphan.element_matches.len(),
+            1,
+            "the owning session still gets its payload"
+        );
+        assert!(
+            hit(&cache, "stale").is_none(),
+            "the write-back must not resurrect the cleared entry"
+        );
+        assert_eq!(cache.stats().insertions, 0);
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    /// An entry whose declared elements include `element`.
+    fn fill_with_element(cache: &AugmentationCache, tag: &str, element: ElementRef) {
+        match cache.probe(key(tag)) {
+            CacheProbe::Compute(ticket) => {
+                let base = payload(&["aifb"]);
+                ticket.complete(CachedAugmentation::with_elements(
+                    base.element_matches.clone(),
+                    base.snapshot.clone(),
+                    vec![element],
+                ));
+            }
+            CacheProbe::Hit(_) => panic!("key {tag} unexpectedly resident"),
+        }
+    }
+
+    #[test]
+    fn advance_epoch_invalidates_touched_entries_and_promotes_the_rest() {
+        let touched_element = ElementRef::Value(kwsearch_rdf::VertexId::from_index(7));
+        let safe_element = ElementRef::Value(kwsearch_rdf::VertexId::from_index(9));
+        let cache = AugmentationCache::new(4);
+        fill_with_element(&cache, "touched", touched_element);
+        fill_with_element(&cache, "safe", safe_element);
+
+        cache.advance_epoch(0, 1, &[touched_element], true);
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1, "{stats:?}");
+        assert_eq!(stats.promotions, 1, "{stats:?}");
+
+        // The touched entry is gone at both epochs.
+        assert!(hit(&cache, "touched").is_none());
+        match cache.probe(key("touched").with_epoch(1)) {
+            CacheProbe::Compute(_) => {}
+            CacheProbe::Hit(_) => panic!("the touched entry must not survive the write"),
+        }
+        // The safe entry is resident at the old epoch *and* the new one,
+        // sharing one payload.
+        let old = hit(&cache, "safe").expect("old-epoch readers keep hitting");
+        match cache.probe(key("safe").with_epoch(1)) {
+            CacheProbe::Hit(promoted) => assert!(Arc::ptr_eq(&promoted, &old)),
+            CacheProbe::Compute(_) => panic!("the promoted entry must hit at the new epoch"),
+        };
+    }
+
+    #[test]
+    fn advance_epoch_without_promotion_leaves_survivors_behind() {
+        let safe_element = ElementRef::Value(kwsearch_rdf::VertexId::from_index(3));
+        let cache = AugmentationCache::new(4);
+        fill_with_element(&cache, "safe", safe_element);
+        cache.advance_epoch(0, 1, &[], false);
+        assert_eq!(cache.stats().promotions, 0);
+        assert!(hit(&cache, "safe").is_some(), "old epoch still serves");
+        match cache.probe(key("safe").with_epoch(1)) {
+            CacheProbe::Compute(_) => {}
+            CacheProbe::Hit(_) => panic!("no promotion was requested"),
+        };
+    }
+
+    #[test]
+    fn prune_below_epoch_retires_old_entries_only() {
+        let element = ElementRef::Value(kwsearch_rdf::VertexId::from_index(1));
+        let cache = AugmentationCache::new(4);
+        fill_with_element(&cache, "old", element);
+        cache.advance_epoch(0, 1, &[], true); // "old" promoted to epoch 1
+        cache.prune_below_epoch(1);
+        assert!(hit(&cache, "old").is_none(), "the epoch-0 copy was pruned");
+        match cache.probe(key("old").with_epoch(1)) {
+            CacheProbe::Hit(_) => {}
+            CacheProbe::Compute(_) => panic!("the current-epoch copy must survive the prune"),
+        };
     }
 }

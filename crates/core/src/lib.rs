@@ -34,7 +34,13 @@
 //!    scatter-gather across them from a [`ShardedService`] whose streaming
 //!    merge is provably rank-correct — merged results are emitted as soon
 //!    as the cross-shard bound certifies them, bit-identical to the
-//!    unsharded stream.
+//!    unsharded stream,
+//! 10. [`live`] absorbs writes with measured freshness: a [`LiveGraph`]
+//!     maintains a lineage of immutable prepared snapshots whose delta
+//!     overlays (triple store, adjacency, keyword vocabulary, summary)
+//!     keep every read bit-identical to a from-scratch rebuild over the
+//!     merged data, with epoch-keyed cache invalidation and a compaction
+//!     that proves itself byte-identical to a fresh preparation.
 //!
 //! Scoring (Section V) is configurable through [`ScoringFunction`]: path
 //! length (C1), popularity (C2), or popularity weighted by the keyword
@@ -51,6 +57,7 @@ pub mod engine;
 pub mod error;
 pub mod exploration;
 pub mod invariants;
+pub mod live;
 #[cfg(kwsearch_model)]
 pub mod model_scenarios;
 pub mod persist;
@@ -71,6 +78,7 @@ pub use engine::{AnswerPhase, EngineBuilder, KeywordSearchEngine, SearchOutcome}
 pub use error::{KeywordMatch, SearchError};
 pub use exploration::{ExplorationOutcome, ExplorationState, ExplorationStats, Explorer};
 pub use kwsearch_rdf::snapshot::SnapshotError;
+pub use live::{CompactionReport, DeltaBatch, LiveGraph, WriteTicket};
 pub use prepared::PreparedGraph;
 pub use query_map::map_subgraph_to_query;
 pub use result::RankedQuery;

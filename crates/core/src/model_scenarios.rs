@@ -22,7 +22,9 @@
 
 use std::time::Duration;
 
+use kwsearch_keyword_index::ElementRef;
 use kwsearch_modelcheck::{explore, thread, Config, Report};
+use kwsearch_rdf::VertexId;
 
 use crate::cache::{AugmentationCache, AugmentationKey, CacheProbe, CachedAugmentation};
 use crate::serve::{Job, JobQueue, SearchRequest, ServeError};
@@ -214,6 +216,124 @@ pub fn cache_store_results_vs_eviction(config: Config) -> Report {
         let stats = cache.stats();
         assert_eq!(stats.len, 1, "capacity 1 holds exactly one entry");
         assert_eq!(stats.evictions, 1, "the first entry was evicted");
+    })
+}
+
+/// **`clear()` orphans in-flight write-backs.** An owner takes its miss,
+/// then a concurrent thread clears the cache while the owner's computation
+/// is still in flight. The clear's contract is that *nothing computed
+/// before it survives it*: whichever side wins the race — write-back lands
+/// first and the clear wipes it, or the clear's generation bump orphans the
+/// write-back — the cache ends empty and the next probe is a genuine miss.
+/// The owner itself always gets its computed payload back, resident or
+/// orphaned.
+///
+/// Under seeded mutation (d) — the skipped generation check in
+/// `AugmentationCache::insert_resolved` — the interleaving where the clear
+/// runs between the miss and the write-back resurrects the stale entry,
+/// which the final probe observes as a hit and the checker reports as a
+/// panic with the provoking schedule.
+pub fn cache_clear_orphans_inflight_writeback(config: Config) -> Report {
+    explore(config, cache_clear_orphans_inflight_writeback_body)
+}
+
+/// The closed program behind [`cache_clear_orphans_inflight_writeback`],
+/// exposed so the seeded-mutation tests can [`kwsearch_modelcheck::replay`]
+/// a failing schedule against the identical body.
+pub fn cache_clear_orphans_inflight_writeback_body() {
+    let cache = Arc::new(AugmentationCache::new(4));
+    // The ownership is taken *before* the clearing thread exists, so every
+    // interleaving races the same in-flight write-back against the clear.
+    let ticket = match cache.probe(key("live")) {
+        CacheProbe::Compute(ticket) => ticket,
+        CacheProbe::Hit(_) => unreachable!("fresh cache cannot hit"),
+    };
+    let clearer = {
+        let cache = Arc::clone(&cache);
+        thread::spawn(move || cache.clear())
+    };
+    let finished = ticket.complete(payload());
+    assert_eq!(
+        finished.element_matches,
+        vec![1],
+        "the owner keeps its computed payload, resident or orphaned"
+    );
+    clearer.join().unwrap();
+    let stats = cache.stats();
+    assert_eq!(
+        stats.len, 0,
+        "nothing computed before the clear may survive it"
+    );
+    match cache.probe(key("live")) {
+        CacheProbe::Compute(ticket) => drop(ticket),
+        CacheProbe::Hit(_) => panic!("orphaned write-back resurrected a cleared entry"),
+    };
+}
+
+/// A cache key pinned to a write epoch, as the live write path mints them.
+fn epoch_key(term: &str, epoch: u64) -> AugmentationKey {
+    key(term).with_epoch(epoch)
+}
+
+/// Seeds one resident epoch-0 entry whose matched-element set is the single
+/// V-vertex `element`, returning the resident `Arc` so scenarios can prove
+/// promotion shares the payload rather than copying it.
+fn seed_epoch0(cache: &AugmentationCache, term: &str, element: u32) -> Arc<CachedAugmentation> {
+    match cache.probe(epoch_key(term, 0)) {
+        CacheProbe::Compute(ticket) => ticket.complete(CachedAugmentation::with_elements(
+            vec![element as usize],
+            None,
+            vec![ElementRef::Value(VertexId::from_index(element))],
+        )),
+        CacheProbe::Hit(_) => unreachable!("fresh cache cannot hit"),
+    }
+}
+
+/// **Epoch advance vs. in-flight write-back** — the write/invalidate/replay
+/// race behind [`crate::LiveGraph`]'s keyed invalidation. An owner takes an
+/// epoch-0 miss whose augmentation matches element `V3`; concurrently a
+/// write touching `V3` advances the cache from epoch 0 to epoch 1 (with
+/// promotion). In every interleaving:
+///
+/// * the advanced epoch starts clean of the touched entry — if the
+///   write-back landed first, keyed invalidation dropped it; if the advance
+///   ran first, the write-back lands keyed at epoch 0, unreachable from
+///   epoch-1 readers (epoch-0 readers still hold the old snapshot, for
+///   which the entry remains correct);
+/// * the untouched resident entry crosses over to epoch 1 as the *same*
+///   `Arc` — promotion shares the payload (and its replay log), never
+///   copies it.
+pub fn cache_epoch_advance_races_inflight_writeback(config: Config) -> Report {
+    explore(config, || {
+        let cache = Arc::new(AugmentationCache::new(8));
+        let stable = seed_epoch0(&cache, "stable", 7);
+        let ticket = match cache.probe(epoch_key("hot", 0)) {
+            CacheProbe::Compute(ticket) => ticket,
+            CacheProbe::Hit(_) => unreachable!("fresh key cannot hit"),
+        };
+        let writer = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                cache.advance_epoch(0, 1, &[ElementRef::Value(VertexId::from_index(3))], true);
+            })
+        };
+        ticket.complete(CachedAugmentation::with_elements(
+            vec![3],
+            None,
+            vec![ElementRef::Value(VertexId::from_index(3))],
+        ));
+        writer.join().unwrap();
+        match cache.probe(epoch_key("hot", 1)) {
+            CacheProbe::Compute(ticket) => drop(ticket),
+            CacheProbe::Hit(_) => panic!("stale augmentation served at the advanced epoch"),
+        };
+        match cache.probe(epoch_key("stable", 1)) {
+            CacheProbe::Hit(entry) => assert!(
+                Arc::ptr_eq(&entry, &stable),
+                "promotion must share the seeded payload Arc, not copy it"
+            ),
+            CacheProbe::Compute(_) => panic!("untouched entry lost its promotion"),
+        };
     })
 }
 

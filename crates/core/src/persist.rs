@@ -73,6 +73,18 @@ impl PreparedGraph {
     /// iteration is sorted or avoided on the write path), so snapshots can
     /// be diffed and content-addressed.
     pub fn save<W: Write>(&self, writer: &mut W) -> Result<(), SnapshotError> {
+        // Live-update deltas of the graph and the store flatten on write
+        // (their snapshots merge base and overlay), but the keyword index's
+        // delta vocabulary has no frozen representation — refuse with a
+        // typed error before its snapshot writer asserts.
+        if self.keyword_index().has_delta() {
+            return Err(SnapshotError::Corrupt {
+                section: SECTION_KEYWORD,
+                detail: "keyword index carries a live-update delta; \
+                         compact the LiveGraph before saving"
+                    .into(),
+            });
+        }
         let mut snapshot = SnapshotWriter::new();
 
         let mut meta = SectionEncoder::new();

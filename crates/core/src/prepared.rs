@@ -65,7 +65,14 @@ pub struct PreparedGraph {
     keyword_index: KeywordIndex,
     summary: SummaryGraph,
     store: TripleStore,
-    cache: AugmentationCache,
+    /// Shared with every other snapshot of the same [`crate::live::LiveGraph`]
+    /// (frozen preparations own theirs exclusively); entries are kept
+    /// epoch-correct via the write epoch folded into every cache key.
+    cache: crate::sync::Arc<AugmentationCache>,
+    /// Monotone write epoch of the live lineage this preparation belongs
+    /// to; 0 for frozen preparations. Folded into every augmentation cache
+    /// key (see [`crate::cache::AugmentationKey`]).
+    write_epoch: u64,
     index_build_time: Duration,
 }
 
@@ -101,7 +108,8 @@ impl PreparedGraph {
             keyword_index,
             summary,
             store,
-            cache: AugmentationCache::new(cache_capacity),
+            cache: crate::sync::Arc::new(AugmentationCache::new(cache_capacity)),
+            write_epoch: 0,
             index_build_time,
         }
     }
@@ -117,14 +125,46 @@ impl PreparedGraph {
         cache_capacity: usize,
         index_build_time: Duration,
     ) -> Self {
+        Self::from_shared_parts(
+            graph,
+            keyword_index,
+            summary,
+            store,
+            crate::sync::Arc::new(AugmentationCache::new(cache_capacity)),
+            0,
+            index_build_time,
+        )
+    }
+
+    /// Assembles a prepared graph around an already-shared augmentation
+    /// cache at an explicit write epoch — the [`crate::live`] path, where a
+    /// succession of snapshots shares one cache and distinguishes entries
+    /// by epoch.
+    pub(crate) fn from_shared_parts(
+        graph: DataGraph,
+        keyword_index: KeywordIndex,
+        summary: SummaryGraph,
+        store: TripleStore,
+        cache: crate::sync::Arc<AugmentationCache>,
+        write_epoch: u64,
+        index_build_time: Duration,
+    ) -> Self {
         Self {
             graph,
             keyword_index,
             summary,
             store,
-            cache: AugmentationCache::new(cache_capacity),
+            cache,
+            write_epoch,
             index_build_time,
         }
+    }
+
+    /// Disassembles the preparation into its component structures — the
+    /// compaction path, which reloads a freshly-written snapshot and
+    /// re-wraps its parts around the live lineage's shared cache.
+    pub(crate) fn into_parts(self) -> (DataGraph, KeywordIndex, SummaryGraph, TripleStore) {
+        (self.graph, self.keyword_index, self.summary, self.store)
     }
 
     // ------------------------------------------------------------------
@@ -154,6 +194,19 @@ impl PreparedGraph {
     /// The augmentation cache (stats, clearing; see [`crate::cache`]).
     pub fn augmentation_cache(&self) -> &AugmentationCache {
         &self.cache
+    }
+
+    /// The shared cache handle — cloned into every successor snapshot of a
+    /// live lineage (see [`crate::live`]).
+    pub(crate) fn shared_cache(&self) -> crate::sync::Arc<AugmentationCache> {
+        crate::sync::Arc::clone(&self.cache)
+    }
+
+    /// The monotone write epoch this preparation was assembled at (0 for
+    /// frozen preparations). Folded into every augmentation cache key so
+    /// entries computed before a live write are never served after it.
+    pub fn write_epoch(&self) -> u64 {
+        self.write_epoch
     }
 
     /// How long the off-line preprocessing took.
@@ -216,6 +269,7 @@ impl PreparedGraph {
             answers,
             queries_processed,
             answer_time: start.elapsed(),
+            truncated: false,
         }
     }
 }

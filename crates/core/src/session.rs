@@ -130,13 +130,19 @@ impl<'e> SearchSession<'e> {
         let mapping_start = Instant::now();
         let cache = prepared.augmentation_cache();
         let probe = cache.is_enabled().then(|| {
-            cache.probe(AugmentationKey::new(
-                config.clone(),
-                keywords
-                    .iter()
-                    .map(|k| prepared.keyword_index().normalized_query_terms(k.as_ref()))
-                    .collect(),
-            ))
+            cache.probe(
+                AugmentationKey::new(
+                    config.clone(),
+                    keywords
+                        .iter()
+                        .map(|k| prepared.keyword_index().normalized_query_terms(k.as_ref()))
+                        .collect(),
+                )
+                // Live lineages share one cache across snapshots; the epoch
+                // keeps every entry pinned to the snapshot it was computed
+                // against (frozen preparations stay at epoch 0).
+                .with_epoch(prepared.write_epoch()),
+            )
         });
         let ticket = match probe {
             Some(CacheProbe::Hit(cached)) => {
@@ -222,9 +228,14 @@ impl<'e> SearchSession<'e> {
         let augmented =
             AugmentedSummaryGraph::build(prepared.graph(), prepared.summary(), &matches);
         let cache_entry = ticket.map(|ticket| {
-            ticket.complete(CachedAugmentation::new(
+            ticket.complete(CachedAugmentation::with_elements(
                 report.iter().map(|k| k.element_matches).collect(),
                 Some(augmented.to_snapshot()),
+                matches
+                    .iter()
+                    .flat_map(|per_keyword| per_keyword.iter())
+                    .map(|m| m.element.element_ref())
+                    .collect(),
             ))
         });
         let state = ExplorationState::new(&augmented, &config);
@@ -717,6 +728,7 @@ impl<'e> SearchSession<'e> {
             answers,
             queries_processed,
             answer_time: start.elapsed().saturating_sub(interleaved),
+            truncated: self.aborted(),
         }
     }
 

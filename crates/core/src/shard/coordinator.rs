@@ -747,10 +747,13 @@ impl ShardedService {
             state.stats.early_emissions += early_emissions as u64;
         }
 
-        // 5. The sharded answer phase, if asked for.
-        let answer_phase = request
-            .min_answers
-            .map(|min_answers| answer_queries_sharded(&self.shards, &queries, min_answers));
+        // 5. The sharded answer phase, if asked for. The scatter token was
+        // burned above to release blocked workers, so the phase is driven by
+        // the request deadline (plus its own token for embedders that want
+        // out-of-band aborts — none here).
+        let answer_phase = request.min_answers.map(|min_answers| {
+            answer_queries_sharded(&self.shards, &queries, min_answers, deadline, None)
+        });
 
         Ok(ShardedOutcome {
             queries,
@@ -804,24 +807,44 @@ impl std::fmt::Debug for ShardedService {
 /// Row order differs from the unsharded streaming evaluator (per-group
 /// unions are globally sorted), but the row *sets* are exact and the whole
 /// phase is deterministic.
+///
+/// `deadline` and `cancel` bound the phase: both are polled per processed
+/// query and per emitted cross-product row (see [`evaluate_sharded`]), so an
+/// expired request cannot sit inside a huge join. A truncated phase reports
+/// `truncated = true`; the rows already emitted are exact.
 pub(crate) fn answer_queries_sharded(
     shards: &[Arc<PreparedGraph>],
     queries: &[RankedQuery],
     min_answers: usize,
+    deadline: Option<Instant>,
+    cancel: Option<&CancelToken>,
 ) -> AnswerPhase {
     let start = Instant::now();
+    let expired = || {
+        deadline.is_some_and(|d| Instant::now() >= d) || cancel.is_some_and(|c| c.is_cancelled())
+    };
     let mut answers = Vec::new();
     let mut total = 0usize;
     let mut queries_processed = 0usize;
+    let mut truncated = false;
     for ranked in queries {
+        if expired() {
+            truncated = true;
+            break;
+        }
         queries_processed += 1;
-        let set = evaluate_sharded(
+        let (set, cut) = evaluate_sharded(
             shards,
             &ranked.query,
             min_answers.saturating_sub(total).max(1),
+            &expired,
         );
         total += set.len();
         answers.push(set);
+        if cut {
+            truncated = true;
+            break;
+        }
         if total >= min_answers {
             break;
         }
@@ -830,6 +853,7 @@ pub(crate) fn answer_queries_sharded(
         answers,
         queries_processed,
         answer_time: start.elapsed(),
+        truncated,
     }
 }
 
@@ -842,11 +866,18 @@ pub(crate) fn answer_queries_sharded(
 /// every shard, union the (shard-disjoint) row sets, and cross-product the
 /// independent groups. Constant-only atoms (`subclass` schema constraints)
 /// are boolean guards, checked against the replicated schema edges.
+/// `expired` is the caller's deadline/cancellation poll; it is consulted
+/// between per-shard group evaluations and before every emitted
+/// cross-product row, so the odometer materialization — whose output size is
+/// bounded only by `limit` — aborts within one row of the signal. Returns
+/// the (exact, possibly short) answer set plus whether the evaluation was
+/// cut off.
 fn evaluate_sharded(
     shards: &[Arc<PreparedGraph>],
     query: &ConjunctiveQuery,
     limit: usize,
-) -> AnswerSet {
+    expired: &dyn Fn() -> bool,
+) -> (AnswerSet, bool) {
     let variables = query.effective_distinguished();
 
     // Split atoms into constant-only guards and variable-connected groups.
@@ -891,7 +922,7 @@ fn evaluate_sharded(
             .iter()
             .any(|shard| constant_atom_holds(shard.graph(), guard));
         if !holds {
-            return AnswerSet::empty(variables);
+            return (AnswerSet::empty(variables), false);
         }
     }
 
@@ -916,6 +947,11 @@ fn evaluate_sharded(
         let sub_vars = sub.effective_distinguished();
         let mut rows: BTreeSet<Vec<VertexId>> = BTreeSet::new();
         for shard in shards {
+            // A truncated group union would make the cross product below
+            // silently incomplete-but-plausible; give back nothing instead.
+            if expired() {
+                return (AnswerSet::empty(variables), true);
+            }
             if let Ok(set) = Evaluator::with_borrowed_store(shard.graph(), shard.store())
                 .evaluate_with_limit(&sub, Some(limit))
             {
@@ -923,7 +959,7 @@ fn evaluate_sharded(
             }
         }
         if rows.is_empty() {
-            return AnswerSet::empty(variables);
+            return (AnswerSet::empty(variables), false);
         }
         group_results.push((sub_vars, rows.into_iter().collect()));
     }
@@ -931,7 +967,7 @@ fn evaluate_sharded(
     if group_results.is_empty() {
         // Guards only (all satisfied) — a single empty binding, projected
         // onto zero variables.
-        return AnswerSet::new(variables, vec![Vec::new()]);
+        return (AnswerSet::new(variables, vec![Vec::new()]), false);
     }
 
     // Cross-product the groups into the query's projection order.
@@ -947,6 +983,12 @@ fn evaluate_sharded(
     let mut rows: Vec<Vec<VertexId>> = Vec::new();
     let mut cursor = vec![0usize; group_results.len()];
     'product: loop {
+        // One poll per emitted row: the cross product is the only place in
+        // the answer phase whose size is not bounded by per-shard evaluator
+        // limits, so an expired deadline must be able to stop it mid-join.
+        if expired() {
+            return (AnswerSet::new(variables, rows), true);
+        }
         let row: Vec<VertexId> = variables
             .iter()
             .filter_map(|var| {
@@ -969,7 +1011,7 @@ fn evaluate_sharded(
         }
         break;
     }
-    AnswerSet::new(variables, rows)
+    (AnswerSet::new(variables, rows), false)
 }
 
 /// Whether a constant-only atom holds on `graph` — an edge with the
@@ -1140,6 +1182,44 @@ mod tests {
             assert_eq!(got.rank, want.rank);
             assert_eq!(got.cost.to_bits(), want.cost.to_bits());
         }
+    }
+
+    /// Cancellation regression: the answer phase used to materialize its
+    /// odometer cross-product without ever polling the deadline or the
+    /// cancel token, so an expired request could sit inside a huge join.
+    /// Both signals must now truncate the phase (flagged, exact prefix)
+    /// instead of running it to completion.
+    #[test]
+    fn the_answer_phase_polls_deadline_and_cancellation() {
+        let graph = figure1_graph();
+        let plan = partition(&graph, 2);
+        let shards: Vec<Arc<PreparedGraph>> = plan
+            .prepare_shards(&graph, Default::default())
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let config = SearchConfig::default();
+        let queries = unsharded_stream(&config, &["publications"]);
+        assert!(!queries.is_empty());
+
+        // Control arm: unbounded, the phase completes and finds answers.
+        let full = answer_queries_sharded(&shards, &queries, 2, None, None);
+        assert!(!full.truncated);
+        assert!(full.total_answers() >= 2, "two publications exist");
+
+        // A tiny (already expired) deadline truncates before any join work.
+        let expired = Instant::now() - Duration::from_millis(1);
+        let phase = answer_queries_sharded(&shards, &queries, 2, Some(expired), None);
+        assert!(phase.truncated, "an expired deadline must cut the phase");
+        assert_eq!(phase.total_answers(), 0);
+        assert_eq!(phase.queries_processed, 0);
+
+        // A cancelled token truncates identically.
+        let token = CancelToken::new();
+        token.cancel();
+        let phase = answer_queries_sharded(&shards, &queries, 2, None, Some(&token));
+        assert!(phase.truncated, "a cancelled token must cut the phase");
+        assert_eq!(phase.total_answers(), 0);
     }
 
     /// The merge loop enforces the request deadline on its own: a shard

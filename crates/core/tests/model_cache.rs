@@ -50,3 +50,20 @@ fn replay_log_write_back_survives_concurrent_eviction() {
     assert_eq!(schedules, 41, "explored-space fingerprint moved");
     println!("store vs eviction: {schedules} interleavings, all correct");
 }
+
+#[test]
+fn clear_orphans_the_inflight_writeback_in_every_interleaving() {
+    let schedules = scenarios::cache_clear_orphans_inflight_writeback(Config::with_preemptions(2))
+        .assert_pass();
+    assert_eq!(schedules, 19, "explored-space fingerprint moved");
+    println!("clear vs in-flight write-back: {schedules} interleavings, all correct");
+}
+
+#[test]
+fn epoch_advance_never_leaks_a_touched_entry_to_the_new_epoch() {
+    let schedules =
+        scenarios::cache_epoch_advance_races_inflight_writeback(Config::with_preemptions(2))
+            .assert_pass();
+    assert_eq!(schedules, 25, "explored-space fingerprint moved");
+    println!("epoch advance vs write-back: {schedules} interleavings, all correct");
+}

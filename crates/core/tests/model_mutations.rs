@@ -2,7 +2,7 @@
 //! catches the bug classes it exists for.
 //!
 //! Under `RUSTFLAGS="--cfg kwsearch_model --cfg kwsearch_model_mutation"`
-//! three deliberate bugs are compiled into the serving stack:
+//! four deliberate bugs are compiled into the serving stack:
 //!
 //! * **(a)** `InFlight::finish` in `cache.rs` drops its `notify_all` — the
 //!   owner publishes, but coalesced waiters blocked on the condvar are
@@ -12,7 +12,11 @@
 //!   cycle;
 //! * **(c)** `GatherState::finish` in `shard/coordinator.rs` drops its
 //!   shard-completion `notify_one` — a merging coordinator that blocked
-//!   before the last shard finished is never woken.
+//!   before the last shard finished is never woken;
+//! * **(d)** `AugmentationCache::insert_resolved` in `cache.rs` skips its
+//!   clear-generation check — an owner that took its miss before a
+//!   `clear()` resurrects the cleared entry (and its stale replay log)
+//!   with its write-back.
 //!
 //! Each test runs the same healthy scenario the `model_cache.rs` /
 //! `model_serve.rs` suites prove correct, and asserts the checker reports
@@ -62,6 +66,28 @@ fn inverted_pop_lock_order_is_reported_as_deadlock() {
     )
     .expect("replaying the printed schedule must reproduce the deadlock");
     assert_eq!(replayed.kind, FailureKind::Deadlock);
+}
+
+#[test]
+fn skipped_generation_check_is_reported_as_a_resurrected_entry() {
+    let report = scenarios::cache_clear_orphans_inflight_writeback(Config::with_preemptions(2));
+    let failure = report.expect_failure();
+    assert_eq!(failure.kind, FailureKind::Panic, "{failure}");
+    assert!(!failure.schedule.is_empty(), "schedule must be replayable");
+    // The scenario has two tripwires for a resurrected entry — the end-state
+    // residency count and the follow-up probe — and the checker stops at the
+    // first one the provoking schedule reaches; both name the clear.
+    assert!(
+        failure.message.contains("clear"),
+        "the panic names the violated clear contract: {failure}"
+    );
+    let replayed = replay(
+        Config::with_preemptions(2),
+        &failure.schedule,
+        scenarios::cache_clear_orphans_inflight_writeback_body,
+    )
+    .expect("replaying the printed schedule must reproduce the resurrection");
+    assert_eq!(replayed.kind, FailureKind::Panic);
 }
 
 #[test]

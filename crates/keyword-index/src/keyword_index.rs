@@ -12,6 +12,7 @@
 //! attribute labels are.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use kwsearch_rdf::snapshot::{SectionDecoder, SectionEncoder, SnapshotError};
 use kwsearch_rdf::{DataGraph, EdgeLabel, EdgeLabelId, VertexId, VertexKind};
@@ -130,20 +131,84 @@ impl Default for KeywordIndexConfig {
     }
 }
 
+/// Post-freeze additions unioned into every lookup — the live-update
+/// overlay. Kept deliberately small: it only ever holds what a handful of
+/// write batches touched, and compaction folds it back into the frozen
+/// columns.
+///
+/// Lookup results over base + delta are bit-identical to a from-scratch
+/// build over the merged graph: [`record`] keeps the *maximum* score per
+/// (element, query term), so visiting an element through both the frozen
+/// and the delta side (or in a different order) cannot change any score,
+/// and the final match list is canonically sorted.
+#[derive(Debug, Clone, Default)]
+struct DeltaIndex {
+    /// Extra `term → packed postings`, sorted by term (binary-searched and
+    /// iterated in order, like the frozen vocabulary).
+    terms: Vec<(String, Vec<u32>)>,
+    /// Overridden `[V-vertex, A-edge, (C-vertex…)]` structures for values
+    /// that are new or whose neighbourhood changed; consulted before the
+    /// frozen [`ConnectionTable`].
+    values: HashMap<VertexId, Vec<ValueConnection>>,
+    /// Overridden `(C-vertex…)` structures for attribute labels that are
+    /// new or whose usage changed; consulted before the frozen
+    /// [`AttributeTable`].
+    attributes: HashMap<EdgeLabelId, (Vec<VertexId>, bool)>,
+}
+
+impl DeltaIndex {
+    fn is_empty(&self) -> bool {
+        self.terms.is_empty() && self.values.is_empty() && self.attributes.is_empty()
+    }
+
+    fn get_packed(&self, term: &str) -> &[u32] {
+        match self.terms.binary_search_by(|(t, _)| t.as_str().cmp(term)) {
+            Ok(i) => &self.terms[i].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// Registers `element` under `term`, keeping the vocabulary sorted and
+    /// each posting list duplicate-free.
+    fn insert(&mut self, term: &str, element: ElementRef) {
+        let packed = crate::postings::pack(element);
+        match self.terms.binary_search_by(|(t, _)| t.as_str().cmp(term)) {
+            Ok(i) => {
+                if !self.terms[i].1.contains(&packed) {
+                    self.terms[i].1.push(packed);
+                }
+            }
+            Err(i) => self.terms.insert(i, (term.to_string(), vec![packed])),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.terms
+            .iter()
+            .map(|(t, p)| t.len() + p.len() * std::mem::size_of::<u32>())
+            .sum::<usize>()
+            + (self.values.len() + self.attributes.len()) * 64
+    }
+}
+
 /// The keyword index: an IR engine over the labels of the data graph.
 ///
 /// Construction accumulates into a hash-based [`InvertedIndex`] and then
 /// freezes everything into flat, offset-indexed columns
 /// ([`PostingLists`], [`ConnectionTable`], [`AttributeTable`]) — the shape
-/// that both lookups and disk snapshots operate on.
+/// that both lookups and disk snapshots operate on. The frozen columns are
+/// `Arc`-shared, so cloning an index (the live-update snapshot path) costs
+/// O(delta), and live writes land in a small `DeltaIndex` overlay that
+/// every lookup unions with the frozen side.
 #[derive(Debug, Clone)]
 pub struct KeywordIndex {
     analyzer: Analyzer,
     thesaurus: Thesaurus,
     config: KeywordIndexConfig,
-    postings: PostingLists,
-    values: ConnectionTable,
-    attributes: AttributeTable,
+    postings: Arc<PostingLists>,
+    values: Arc<ConnectionTable>,
+    attributes: Arc<AttributeTable>,
+    delta: DeltaIndex,
     indexed_elements: usize,
 }
 
@@ -221,11 +286,79 @@ impl KeywordIndex {
             analyzer,
             thesaurus,
             config,
-            postings: PostingLists::from_inverted(&index),
-            values,
-            attributes,
+            postings: Arc::new(PostingLists::from_inverted(&index)),
+            values: Arc::new(values),
+            attributes: Arc::new(attributes),
+            delta: DeltaIndex::default(),
             indexed_elements,
         }
+    }
+
+    /// Extends the index in place with a live-update delta against the
+    /// *merged* (post-write) `graph`.
+    ///
+    /// `new_elements` are elements that did not exist before the write:
+    /// their labels are analyzed and indexed into the delta vocabulary.
+    /// `touched` are pre-existing values and attribute labels whose
+    /// neighbourhood data (`[V-vertex, A-edge, (C-vertex…)]` or
+    /// `(C-vertex…)`) may have changed; their enrichment is recomputed from
+    /// `graph` and overrides the frozen side tables. Both recomputations
+    /// use exactly the code paths of a from-scratch build, so lookups stay
+    /// bit-identical to a fresh index over the merged graph.
+    pub fn apply_delta(
+        &mut self,
+        graph: &DataGraph,
+        new_elements: &[ElementRef],
+        touched: &[ElementRef],
+    ) {
+        for &element in new_elements {
+            let label = match element {
+                ElementRef::Class(v) | ElementRef::Value(v) => graph.vertex_label(v).to_string(),
+                ElementRef::Relation(l) | ElementRef::Attribute(l) => {
+                    graph.edge_label_name(l).to_string()
+                }
+            };
+            for term in self.analyzer.analyze_unique(&label) {
+                self.delta.insert(&term, element);
+            }
+            self.indexed_elements += 1;
+        }
+        for &element in new_elements.iter().chain(touched) {
+            match element {
+                ElementRef::Value(v) => {
+                    self.delta
+                        .values
+                        .insert(v, Self::connections_of_value(graph, v));
+                }
+                ElementRef::Attribute(l) => {
+                    self.delta
+                        .attributes
+                        .insert(l, Self::classes_of_attribute(graph, l));
+                }
+                ElementRef::Class(_) | ElementRef::Relation(_) => {}
+            }
+        }
+    }
+
+    /// Whether a live-update delta is overlaid on the frozen columns
+    /// (snapshots refuse to serialise such an index — compact first).
+    pub fn has_delta(&self) -> bool {
+        !self.delta.is_empty()
+    }
+
+    /// Rebuilds the index from scratch over `graph` with the same analyzer,
+    /// thesaurus and configuration — the compaction path, folding the delta
+    /// overlay back into frozen columns. Lookups over the result are
+    /// bit-identical to lookups over the delta'd index (pinned by the
+    /// `delta_lookups_are_bit_identical_to_a_rebuild` test), and the result
+    /// has no delta, so it serialises.
+    pub fn rebuilt(&self, graph: &DataGraph) -> Self {
+        Self::build_with(
+            graph,
+            self.analyzer.clone(),
+            self.thesaurus.clone(),
+            self.config.clone(),
+        )
     }
 
     /// Collects, for one V-vertex, the attribute labels and source-entity
@@ -317,14 +450,25 @@ impl KeywordIndex {
         for (term_idx, raw) in raw_tokens.iter().enumerate() {
             let stemmed = crate::stemmer::porter_stem(raw);
 
-            // 1. Exact (post-analysis) matches.
+            // 1. Exact (post-analysis) matches, frozen side and delta side.
             for &packed in self.postings.get_packed(&stemmed) {
                 record(&mut per_element, unpack(packed), term_idx, num_terms, 1.0);
             }
+            for &packed in self.delta.get_packed(&stemmed) {
+                record(&mut per_element, unpack(packed), term_idx, num_terms, 1.0);
+            }
 
-            // 2. Fuzzy matches against the (sorted) vocabulary.
+            // 2. Fuzzy matches against the (sorted) vocabulary — the frozen
+            // one, then the delta one. A term living on both sides is
+            // visited twice with the same similarity, which `record`'s
+            // max-per-(element, term) semantics make a no-op.
             if self.config.fuzzy {
-                for (vocab_term, packed_postings) in self.postings.iter() {
+                let delta_vocab = self
+                    .delta
+                    .terms
+                    .iter()
+                    .map(|(t, p)| (t.as_str(), p.as_slice()));
+                for (vocab_term, packed_postings) in self.postings.iter().chain(delta_vocab) {
                     if vocab_term == stemmed {
                         continue;
                     }
@@ -360,7 +504,12 @@ impl KeywordIndex {
                     for related in self.thesaurus.related(&variant) {
                         let weight = related.relation.weight();
                         for expanded in self.analyzer.analyze_unique(&related.term) {
-                            for &packed in self.postings.get_packed(&expanded) {
+                            for &packed in self
+                                .postings
+                                .get_packed(&expanded)
+                                .iter()
+                                .chain(self.delta.get_packed(&expanded))
+                            {
                                 record(
                                     &mut per_element,
                                     unpack(packed),
@@ -409,7 +558,13 @@ impl KeywordIndex {
             ElementRef::Class(class) => MatchedElement::Class { class },
             ElementRef::Relation(label) => MatchedElement::Relation { label },
             ElementRef::Attribute(label) => {
-                let (classes, has_untyped_source) = self.attributes.get(label).unwrap_or_default();
+                let (classes, has_untyped_source) = self
+                    .delta
+                    .attributes
+                    .get(&label)
+                    .cloned()
+                    .or_else(|| self.attributes.get(label))
+                    .unwrap_or_default();
                 MatchedElement::Attribute {
                     label,
                     classes,
@@ -418,7 +573,12 @@ impl KeywordIndex {
             }
             ElementRef::Value(value) => MatchedElement::Value {
                 value,
-                connections: self.values.get(value),
+                connections: self
+                    .delta
+                    .values
+                    .get(&value)
+                    .cloned()
+                    .unwrap_or_else(|| self.values.get(value)),
             },
         }
     }
@@ -440,7 +600,10 @@ impl KeywordIndex {
 
     /// Approximate heap size in bytes (Fig. 6b index-size report).
     pub fn heap_bytes(&self) -> usize {
-        self.postings.heap_bytes() + self.values.heap_bytes() + self.attributes.heap_bytes()
+        self.postings.heap_bytes()
+            + self.values.heap_bytes()
+            + self.attributes.heap_bytes()
+            + self.delta.heap_bytes()
     }
 
     /// The configuration in use.
@@ -451,6 +614,10 @@ impl KeywordIndex {
     /// Serialises the complete index — analysis configuration, thesaurus,
     /// frozen posting lists and augmentation side tables — into one section.
     pub fn write_snapshot(&self, enc: &mut SectionEncoder) {
+        assert!(
+            !self.has_delta(),
+            "a keyword index with a live delta cannot be snapshotted; compact first"
+        );
         enc.put_u32(u32::from(self.analyzer.stemming));
         enc.put_u32(u32::from(self.analyzer.remove_stop_words));
         enc.put_u32(u32::from(self.analyzer.split_camel_case));
@@ -483,9 +650,9 @@ impl KeywordIndex {
             max_matches_per_keyword: dec.get_u64()? as usize,
         };
         let thesaurus = Thesaurus::read_snapshot(dec)?;
-        let postings = PostingLists::read_snapshot(dec)?;
-        let values = ConnectionTable::read_snapshot(dec)?;
-        let attributes = AttributeTable::read_snapshot(dec)?;
+        let postings = Arc::new(PostingLists::read_snapshot(dec)?);
+        let values = Arc::new(ConnectionTable::read_snapshot(dec)?);
+        let attributes = Arc::new(AttributeTable::read_snapshot(dec)?);
         let indexed_elements = dec.get_u64()? as usize;
         Ok(Self {
             analyzer,
@@ -494,6 +661,7 @@ impl KeywordIndex {
             postings,
             values,
             attributes,
+            delta: DeltaIndex::default(),
             indexed_elements,
         })
     }
@@ -745,6 +913,97 @@ mod tests {
         }
         // Save → load → save is byte-identical.
         assert_eq!(bytes_of(&loaded), bytes);
+    }
+
+    #[test]
+    fn delta_lookups_are_bit_identical_to_a_rebuild() {
+        use kwsearch_rdf::Triple;
+        let mut g = figure1_graph();
+        let mut idx = KeywordIndex::build(&g);
+        assert!(!idx.has_delta());
+
+        // A write batch: a new publication with a new title value, a new
+        // class, a year attribute on a fresh entity, plus a new type edge —
+        // touching an existing attribute label ("year") and the existing
+        // "2006" value's neighbourhood is left alone.
+        let batch = [
+            Triple::relation("pub9URI", "type", "Poster"),
+            Triple::attribute("pub9URI", "title", "Graph Summaries"),
+            Triple::attribute("pub9URI", "year", "2006"),
+        ];
+        for t in &batch {
+            g.insert_triple(t).unwrap();
+        }
+        // New elements: class Poster, value "Graph Summaries", attribute
+        // label "title" (if new). Touched: attribute "year" (new source
+        // class set), value "2006" (new in-edge).
+        let poster = g.class("Poster").unwrap();
+        let title_value = g.value("Graph Summaries").unwrap();
+        let title_label = g
+            .edge_label_id(&kwsearch_rdf::EdgeLabel::Attribute(
+                g.symbol("title").unwrap(),
+            ))
+            .unwrap();
+        let year_label = g
+            .edge_label_id(&kwsearch_rdf::EdgeLabel::Attribute(
+                g.symbol("year").unwrap(),
+            ))
+            .unwrap();
+        let value_2006 = g.value("2006").unwrap();
+        idx.apply_delta(
+            &g,
+            &[ElementRef::Class(poster), ElementRef::Value(title_value)],
+            &[
+                // "title" and "year" predate the batch but gained a source.
+                ElementRef::Attribute(title_label),
+                ElementRef::Attribute(year_label),
+                ElementRef::Value(value_2006),
+            ],
+        );
+        assert!(idx.has_delta());
+
+        let fresh = KeywordIndex::build(&g);
+        for keyword in [
+            "poster",
+            "graph summaries",
+            "title",
+            "year",
+            "2006",
+            "publications",
+            "cimiano",
+            "AIFB",
+            "papers",
+            "cimano",
+            "summaries",
+            "postr", // fuzzy against the delta vocabulary
+        ] {
+            let live = idx.lookup(keyword);
+            let rebuilt = fresh.lookup(keyword);
+            assert_eq!(live.len(), rebuilt.len(), "{keyword}: match count");
+            for (a, b) in live.iter().zip(rebuilt.iter()) {
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "{keyword}: score bits"
+                );
+                assert_eq!(a.element, b.element, "{keyword}: element");
+            }
+        }
+        assert_eq!(idx.element_count(), fresh.element_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "compact first")]
+    fn snapshotting_a_delta_index_panics() {
+        use kwsearch_rdf::Triple;
+        let mut g = figure1_graph();
+        let mut idx = KeywordIndex::build(&g);
+        g.insert_triple(&Triple::attribute("pub1URI", "note", "Addendum"))
+            .unwrap();
+        let note_value = g.value("Addendum").unwrap();
+        idx.apply_delta(&g, &[ElementRef::Value(note_value)], &[]);
+        let mut enc = SectionEncoder::new();
+        idx.write_snapshot(&mut enc);
     }
 
     #[test]

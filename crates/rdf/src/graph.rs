@@ -50,6 +50,14 @@ impl EdgeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs an edge id from its dense index. The caller is
+    /// responsible for the index being in range for the graph the id is
+    /// used with.
+    #[inline]
+    pub fn from_index(index: u32) -> Self {
+        Self(index)
+    }
 }
 
 /// Index of a distinct edge label inside a [`DataGraph`].
@@ -146,23 +154,83 @@ pub struct Edge {
     pub to: VertexId,
 }
 
+/// The edges of one vertex: a frozen slice plus a (usually empty) live
+/// overlay of edges appended after the graph was frozen to CSR form.
+///
+/// Iteration yields the frozen edges first, then the overlay — exactly the
+/// insertion order a never-frozen graph would have, so the two physical
+/// forms are observationally identical.
+#[derive(Clone, Copy)]
+pub struct EdgesRef<'a> {
+    base: &'a [EdgeId],
+    overlay: &'a [EdgeId],
+}
+
+impl<'a> EdgesRef<'a> {
+    /// Total number of edges (frozen + overlay).
+    pub fn len(&self) -> usize {
+        self.base.len() + self.overlay.len()
+    }
+
+    /// Whether the vertex has no edges in this direction.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.overlay.is_empty()
+    }
+
+    /// Iterates over all edges, frozen before overlay.
+    pub fn iter(
+        &self,
+    ) -> std::iter::Chain<std::slice::Iter<'a, EdgeId>, std::slice::Iter<'a, EdgeId>> {
+        self.base.iter().chain(self.overlay.iter())
+    }
+}
+
+impl<'a> IntoIterator for EdgesRef<'a> {
+    type Item = &'a EdgeId;
+    type IntoIter = std::iter::Chain<std::slice::Iter<'a, EdgeId>, std::slice::Iter<'a, EdgeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.base.iter().chain(self.overlay.iter())
+    }
+}
+
+impl PartialEq for EdgesRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for EdgesRef<'_> {}
+
+impl std::fmt::Debug for EdgesRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 /// Per-vertex edge lists in one of two physical forms.
 ///
-/// A graph built by inserts uses the inflated list-of-lists form. A graph
-/// loaded from a snapshot keeps the two flat CSR columns it was stored as —
-/// re-inflating them would cost one small allocation *per vertex*, the
-/// single hottest part of a load at 10⁶-edge scale — and inflates lazily on
-/// the first mutation, the same strategy as the lazily rebuilt edge-dedup
-/// set. Reads are slices in both forms, so lookups never pay for the split.
+/// A graph built by inserts uses the list-of-lists form. A graph loaded
+/// from a snapshot keeps the two flat CSR columns it was stored as —
+/// re-packing them into lists would cost one small allocation *per
+/// vertex*, the single hottest part of a load at 10⁶-edge scale. Later
+/// mutations do **not** inflate the frozen columns either: new edges land
+/// in a sparse per-vertex overlay (the live-update path appends a small
+/// delta to a large loaded base, so rewriting the base would turn an
+/// O(delta) write into an O(graph) one). Reads see base-then-overlay via
+/// [`EdgesRef`], which is insertion order in both forms.
 #[derive(Debug, Clone)]
 enum Adjacency {
     /// Append-friendly form: `lists[v]` are the edges of vertex `v`.
     Lists(Vec<Vec<EdgeId>>),
     /// Frozen snapshot form: the edges of vertex `v` are
-    /// `flat[offsets[v]..offsets[v + 1]]`.
+    /// `flat[offsets[v]..offsets[v + 1]]`, followed by `overlay[v]` (the
+    /// overlay is grown lazily and is empty until the first post-load
+    /// mutation).
     Csr {
         offsets: Vec<u32>,
         flat: Vec<EdgeId>,
+        overlay: Vec<Vec<EdgeId>>,
     },
 }
 
@@ -172,43 +240,62 @@ impl Default for Adjacency {
     }
 }
 
+const NO_EDGES: &[EdgeId] = &[];
+
 impl Adjacency {
     /// The edges of vertex `v`.
     #[inline]
-    fn edges(&self, v: usize) -> &[EdgeId] {
+    fn edges(&self, v: usize) -> EdgesRef<'_> {
         match self {
-            Adjacency::Lists(lists) => &lists[v],
-            Adjacency::Csr { offsets, flat } => &flat[offsets[v] as usize..offsets[v + 1] as usize],
+            Adjacency::Lists(lists) => EdgesRef {
+                base: &lists[v],
+                overlay: NO_EDGES,
+            },
+            Adjacency::Csr {
+                offsets,
+                flat,
+                overlay,
+            } => EdgesRef {
+                base: &flat[offsets[v] as usize..offsets[v + 1] as usize],
+                overlay: overlay.get(v).map_or(NO_EDGES, |l| l.as_slice()),
+            },
         }
     }
 
-    /// Converts the frozen form to lists; no-op when already inflated.
-    fn inflate(&mut self) {
-        if let Adjacency::Csr { offsets, flat } = self {
-            let lists = offsets
-                .windows(2)
-                .map(|pair| flat[pair[0] as usize..pair[1] as usize].to_vec())
-                .collect();
-            *self = Adjacency::Lists(lists);
-        }
-    }
-
-    fn lists_mut(&mut self) -> &mut Vec<Vec<EdgeId>> {
-        self.inflate();
+    /// Whether any overlay edges have been appended on top of frozen CSR
+    /// columns.
+    fn has_overlay(&self) -> bool {
         match self {
-            Adjacency::Lists(lists) => lists,
-            Adjacency::Csr { .. } => unreachable!("inflate leaves the lists form"),
+            Adjacency::Lists(_) => false,
+            Adjacency::Csr { overlay, .. } => overlay.iter().any(|l| !l.is_empty()),
         }
     }
 
     /// Appends an empty edge list for a new vertex.
     fn push_vertex(&mut self) {
-        self.lists_mut().push(Vec::new());
+        match self {
+            Adjacency::Lists(lists) => lists.push(Vec::new()),
+            // A new vertex starts with an empty frozen slice; overlay
+            // entries are grown on demand by `push_edge`.
+            Adjacency::Csr { offsets, .. } => {
+                // lint: allow(no-unwrap, reason = "CSR offsets are built with a leading 0 sentinel, so the vector is never empty")
+                let end = *offsets.last().expect("CSR offsets start at 0");
+                offsets.push(end);
+            }
+        }
     }
 
     /// Appends an edge to the list of vertex `v`.
     fn push_edge(&mut self, v: usize, e: EdgeId) {
-        self.lists_mut()[v].push(e);
+        match self {
+            Adjacency::Lists(lists) => lists[v].push(e),
+            Adjacency::Csr { overlay, .. } => {
+                if overlay.len() <= v {
+                    overlay.resize_with(v + 1, Vec::new);
+                }
+                overlay[v].push(e);
+            }
+        }
     }
 }
 
@@ -617,13 +704,19 @@ impl DataGraph {
     }
 
     /// Outgoing edges of `v`.
-    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+    pub fn out_edges(&self, v: VertexId) -> EdgesRef<'_> {
         self.out_adj.edges(v.index())
     }
 
     /// Incoming edges of `v`.
-    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
+    pub fn in_edges(&self, v: VertexId) -> EdgesRef<'_> {
         self.in_adj.edges(v.index())
+    }
+
+    /// Whether any adjacency overlay edges sit on top of frozen CSR
+    /// columns (true only for snapshot-loaded graphs mutated afterwards).
+    pub fn has_adjacency_overlay(&self) -> bool {
+        self.out_adj.has_overlay() || self.in_adj.has_overlay()
     }
 
     /// Undirected degree of `v`.
@@ -977,22 +1070,34 @@ impl DataGraph {
 /// — so save/load round trips are byte-stable regardless of how the graph
 /// came to be.
 fn write_csr(enc: &mut SectionEncoder, adj: &Adjacency) {
-    match adj {
-        Adjacency::Lists(lists) => {
-            let mut offsets = Vec::with_capacity(lists.len() + 1);
-            let mut flat = Vec::new();
-            offsets.push(0u32);
-            for list in lists {
-                flat.extend(list.iter().map(|e| e.0));
-                offsets.push(flat.len() as u32);
-            }
-            enc.put_u32_slice(&offsets);
-            enc.put_u32_slice(&flat);
+    let flatten_lists = |enc: &mut SectionEncoder, n: usize| {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut flat = Vec::new();
+        offsets.push(0u32);
+        for v in 0..n {
+            flat.extend(adj.edges(v).iter().map(|e| e.0));
+            offsets.push(flat.len() as u32);
         }
-        Adjacency::Csr { offsets, flat } => {
-            enc.put_u32_slice(offsets);
-            let flat: Vec<u32> = flat.iter().map(|e| e.0).collect();
-            enc.put_u32_slice(&flat);
+        enc.put_u32_slice(&offsets);
+        enc.put_u32_slice(&flat);
+    };
+    match adj {
+        Adjacency::Lists(lists) => flatten_lists(enc, lists.len()),
+        Adjacency::Csr {
+            offsets,
+            flat,
+            overlay,
+        } => {
+            if overlay.iter().any(|l| !l.is_empty()) {
+                // A live overlay sits on the frozen columns: flatten the
+                // merged view so the bytes are identical to those of a
+                // never-frozen graph with the same edges.
+                flatten_lists(enc, offsets.len() - 1);
+            } else {
+                enc.put_u32_slice(offsets);
+                let flat: Vec<u32> = flat.iter().map(|e| e.0).collect();
+                enc.put_u32_slice(&flat);
+            }
         }
     }
 }
@@ -1027,7 +1132,11 @@ fn read_csr(
         }
         flat.push(EdgeId(e));
     }
-    Ok(Adjacency::Csr { offsets, flat })
+    Ok(Adjacency::Csr {
+        offsets,
+        flat,
+        overlay: Vec::new(),
+    })
 }
 
 #[cfg(test)]
@@ -1257,6 +1366,56 @@ mod tests {
             .insert_triple(&Triple::relation("pub1URI", "cites", "pub2URI"))
             .unwrap();
         assert_eq!(loaded.edge_count(), before + 1);
+    }
+
+    #[test]
+    fn mutating_a_loaded_graph_overlays_instead_of_inflating() {
+        let g = example_graph();
+        let mut loaded = snapshot_round_trip(&g);
+        assert!(!loaded.has_adjacency_overlay());
+        // New edge between existing vertices, a brand-new entity, and a new
+        // value — all post-freeze mutations.
+        loaded
+            .insert_triple(&Triple::relation("pub1URI", "cites", "pub2URI"))
+            .unwrap();
+        loaded
+            .insert_triple(&Triple::relation("pub3URI", "author", "re1URI"))
+            .unwrap();
+        loaded
+            .insert_triple(&Triple::attribute("pub3URI", "year", "2009"))
+            .unwrap();
+        assert!(
+            loaded.has_adjacency_overlay(),
+            "live inserts must land in the overlay, not inflate the CSR"
+        );
+
+        // The merged view must equal a graph that saw every triple through
+        // the plain insert path.
+        let mut flat = DataGraph::new();
+        for t in loaded.triples() {
+            flat.insert_triple(&t).unwrap();
+        }
+        assert_eq!(flat.vertex_count(), loaded.vertex_count());
+        assert_eq!(flat.edge_count(), loaded.edge_count());
+        for v in loaded.vertices() {
+            assert_eq!(loaded.out_edges(v), flat.out_edges(v));
+            assert_eq!(loaded.in_edges(v), flat.in_edges(v));
+            assert_eq!(loaded.degree(v), flat.degree(v));
+            assert_eq!(loaded.neighbors(v), flat.neighbors(v));
+        }
+
+        // Snapshot bytes must not betray which physical form produced them.
+        let overlaid_bytes = {
+            let mut enc = SectionEncoder::new();
+            loaded.write_snapshot(&mut enc);
+            enc.into_bytes()
+        };
+        let flat_bytes = {
+            let mut enc = SectionEncoder::new();
+            flat.write_snapshot(&mut enc);
+            enc.into_bytes()
+        };
+        assert_eq!(overlaid_bytes, flat_bytes);
     }
 
     #[test]

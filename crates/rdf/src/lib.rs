@@ -41,7 +41,9 @@ pub mod vocab;
 
 pub use builder::GraphBuilder;
 pub use error::RdfError;
-pub use graph::{DataGraph, Edge, EdgeId, EdgeLabel, EdgeLabelId, Vertex, VertexId, VertexKind};
+pub use graph::{
+    DataGraph, Edge, EdgeId, EdgeLabel, EdgeLabelId, EdgesRef, Vertex, VertexId, VertexKind,
+};
 pub use interner::{Interner, Symbol};
 pub use ntriples::{ingest_ntriples, IngestStats};
 pub use snapshot::{SectionDecoder, SectionEncoder, SnapshotError, SnapshotReader, SnapshotWriter};

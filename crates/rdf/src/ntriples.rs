@@ -301,6 +301,26 @@ pub fn parse_document(input: &str) -> Result<Vec<Triple>> {
     Ok(triples)
 }
 
+/// Attaches the offending line number to a graph-insertion error.
+///
+/// A line can parse cleanly and still be rejected by the graph's typing
+/// rules (Definition 1) — e.g. a `type` predicate with a literal object.
+/// Those classification errors come out of [`DataGraph::insert_triple_ref`]
+/// without positional context; the ingest paths wrap them so every
+/// per-line failure reports the line it came from, exactly like syntax
+/// errors do.
+fn insert_error_at_line(err: RdfError, line_no: usize) -> RdfError {
+    match err {
+        // Already positioned (cannot currently come out of insertion, but
+        // never double-wrap).
+        err @ RdfError::Parse { .. } => err,
+        other => RdfError::Parse {
+            line: line_no,
+            message: other.to_string(),
+        },
+    }
+}
+
 /// Parses a document directly into a [`DataGraph`] over the streamed,
 /// allocation-free path.
 pub fn parse_graph(input: &str) -> Result<DataGraph> {
@@ -308,7 +328,9 @@ pub fn parse_graph(input: &str) -> Result<DataGraph> {
     let mut scratch = String::new();
     for (i, line) in input.lines().enumerate() {
         if let Some(t) = parse_line_ref(line, i + 1, &mut scratch)? {
-            graph.insert_triple_ref(&t)?;
+            graph
+                .insert_triple_ref(&t)
+                .map_err(|e| insert_error_at_line(e, i + 1))?;
         }
     }
     Ok(graph)
@@ -343,7 +365,9 @@ pub fn ingest_ntriples<R: BufRead>(mut reader: R, graph: &mut DataGraph) -> Resu
         }
         stats.lines += 1;
         if let Some(t) = parse_line_ref(&line, stats.lines, &mut scratch)? {
-            graph.insert_triple_ref(&t)?;
+            graph
+                .insert_triple_ref(&t)
+                .map_err(|e| insert_error_at_line(e, stats.lines))?;
             stats.triples += 1;
         }
     }
@@ -494,6 +518,69 @@ mod tests {
         match err {
             RdfError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    /// Asserts the streamed ingest fails on exactly `line` for `doc`.
+    fn ingest_error_line(doc: &str) -> usize {
+        let mut g = DataGraph::new();
+        match ingest_ntriples(doc.as_bytes(), &mut g).unwrap_err() {
+            RdfError::Parse { line, .. } => line,
+            other => panic!("expected a positioned parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_line_endings_do_not_shift_error_line_numbers() {
+        // CRLF terminators everywhere; the bad line is the third.
+        let doc = "<s> <p> <o> .\r\n<s> <q> <o> .\r\n<s> <p> broken .\r\n";
+        assert_eq!(ingest_error_line(doc), 3);
+        // CRLF documents also ingest cleanly when well-formed.
+        let mut g = DataGraph::new();
+        let stats = ingest_ntriples("<s> <p> <o> .\r\n".as_bytes(), &mut g).unwrap();
+        assert_eq!((stats.lines, stats.triples), (1, 1));
+    }
+
+    #[test]
+    fn trailing_whitespace_after_the_dot_is_accepted_and_does_not_shift_lines() {
+        // Trailing spaces and tabs after the terminating `.` are legal and
+        // must neither reject the line nor disturb later error positions.
+        let doc = "<s> <p> <o> .   \t\n<s> <q> <o> . \n<s> <p> broken .\n";
+        assert_eq!(ingest_error_line(doc), 3);
+        let mut g = DataGraph::new();
+        let stats = ingest_ntriples("<s> <p> <o> .   \n".as_bytes(), &mut g).unwrap();
+        assert_eq!((stats.lines, stats.triples), (1, 1));
+    }
+
+    #[test]
+    fn interleaved_comments_and_blank_lines_keep_error_lines_physical() {
+        // Comments and blank lines count as physical lines: the malformed
+        // triple below sits on physical line 6, not on "triple number 2".
+        let doc = "# header\n\n<s> <p> <o> .\n   \n# more\n<s> <p> broken .\n";
+        assert_eq!(ingest_error_line(doc), 6);
+        // Same document through the in-memory path reports the same line.
+        match parse_graph(doc).unwrap_err() {
+            RdfError::Parse { line, .. } => assert_eq!(line, 6),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_insertion_errors_carry_the_offending_line_number() {
+        // Line 3 parses fine but violates Definition 1 (`type` with a
+        // literal object); the classification error must still be positioned.
+        let doc = "# schema\n<s> <p> <o> .\n<s> <type> \"Person\" .\n";
+        let mut g = DataGraph::new();
+        match ingest_ntriples(doc.as_bytes(), &mut g).unwrap_err() {
+            RdfError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("literal object"), "got: {message}");
+            }
+            other => panic!("expected a positioned error, got {other:?}"),
+        }
+        match parse_graph(doc).unwrap_err() {
+            RdfError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected a positioned error, got {other:?}"),
         }
     }
 }

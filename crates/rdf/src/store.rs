@@ -7,6 +7,8 @@
 //! (SPO, POS, OSP), so that any triple pattern with bound/unbound positions
 //! can be answered by a binary-searched range scan.
 
+use std::sync::Arc;
+
 use crate::graph::{DataGraph, EdgeLabelId, VertexId};
 use crate::snapshot::{parallel_load, SectionDecoder, SectionEncoder, SnapshotError, U32Column};
 
@@ -65,15 +67,36 @@ pub struct SpoRow {
     pub object: VertexId,
 }
 
-/// Sorted-permutation index over the edges of a [`DataGraph`].
-#[derive(Debug, Clone, Default)]
-pub struct TripleStore {
+/// The frozen bulk of a [`TripleStore`]: three sorted permutations built
+/// once and shared (via [`Arc`]) across every clone of the store, so a
+/// live-update snapshot clones in O(delta), not O(base).
+#[derive(Debug, Default)]
+struct BaseRows {
     /// Rows sorted by (subject, predicate, object).
     spo: Vec<SpoRow>,
     /// Rows sorted by (predicate, object, subject).
     pos: Vec<SpoRow>,
     /// Rows sorted by (object, subject, predicate).
     osp: Vec<SpoRow>,
+}
+
+/// Sorted-permutation index over the edges of a [`DataGraph`].
+///
+/// The store is a frozen, `Arc`-shared base plus a small sorted delta per
+/// permutation (the live-update overlay; empty for frozen builds). Every
+/// scan binary-searches both sides and merges, so results are always in
+/// permutation order and bit-identical to a from-scratch build over the
+/// same row set — per-permutation keys are unique, which makes the merge
+/// order unambiguous.
+#[derive(Debug, Clone, Default)]
+pub struct TripleStore {
+    base: Arc<BaseRows>,
+    /// Delta rows sorted by (subject, predicate, object).
+    delta_spo: Vec<SpoRow>,
+    /// Delta rows sorted by (predicate, object, subject).
+    delta_pos: Vec<SpoRow>,
+    /// Delta rows sorted by (object, subject, predicate).
+    delta_osp: Vec<SpoRow>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -94,7 +117,7 @@ fn key(row: &SpoRow, perm: Permutation) -> (u32, u32, u32) {
 impl TripleStore {
     /// Builds the store from all edges of `graph`.
     pub fn build(graph: &DataGraph) -> Self {
-        let mut rows: Vec<SpoRow> = graph
+        let rows: Vec<SpoRow> = graph
             .edges()
             .map(|e| {
                 let edge = graph.edge(e);
@@ -105,28 +128,98 @@ impl TripleStore {
                 }
             })
             .collect();
+        Self::from_rows(rows)
+    }
+
+    /// Builds a flat (delta-free) store from an arbitrary row set.
+    fn from_rows(mut rows: Vec<SpoRow>) -> Self {
         rows.sort_by_key(|r| key(r, Permutation::Spo));
         let spo = rows.clone();
         rows.sort_by_key(|r| key(r, Permutation::Pos));
         let pos = rows.clone();
         rows.sort_by_key(|r| key(r, Permutation::Osp));
         let osp = rows;
-        Self { spo, pos, osp }
+        Self {
+            base: Arc::new(BaseRows { spo, pos, osp }),
+            delta_spo: Vec::new(),
+            delta_pos: Vec::new(),
+            delta_osp: Vec::new(),
+        }
+    }
+
+    /// Appends `rows` to the delta overlay. The caller (the live-update
+    /// layer) guarantees the rows are not already present — the data graph
+    /// deduplicates edges before they ever reach the store.
+    pub fn add_rows(&mut self, rows: &[SpoRow]) {
+        if rows.is_empty() {
+            return;
+        }
+        debug_assert!(
+            rows.iter().all(|r| {
+                self.scan(TriplePattern {
+                    subject: Some(r.subject),
+                    predicate: Some(r.predicate),
+                    object: Some(r.object),
+                })
+                .is_empty()
+            }),
+            "delta rows must not duplicate existing rows"
+        );
+        self.delta_spo.extend_from_slice(rows);
+        self.delta_pos.extend_from_slice(rows);
+        self.delta_osp.extend_from_slice(rows);
+        self.delta_spo.sort_by_key(|r| key(r, Permutation::Spo));
+        self.delta_pos.sort_by_key(|r| key(r, Permutation::Pos));
+        self.delta_osp.sort_by_key(|r| key(r, Permutation::Osp));
+    }
+
+    /// Whether any delta rows are overlaid on the shared base.
+    pub fn has_delta(&self) -> bool {
+        !self.delta_spo.is_empty()
+    }
+
+    /// Number of delta rows overlaid on the shared base.
+    pub fn delta_len(&self) -> usize {
+        self.delta_spo.len()
+    }
+
+    /// Merges the delta into a fresh, exclusively-owned base (the
+    /// compaction path). The result is bit-identical to building from
+    /// scratch over the same row set.
+    pub fn flattened(&self) -> Self {
+        if !self.has_delta() {
+            return self.clone();
+        }
+        Self::from_rows(self.merged(Permutation::Spo))
+    }
+
+    /// All rows of one permutation, base and delta merged in key order.
+    fn merged(&self, perm: Permutation) -> Vec<SpoRow> {
+        let (base, delta) = self.rows(perm);
+        merge_sorted(base, delta, perm)
+    }
+
+    fn rows(&self, perm: Permutation) -> (&[SpoRow], &[SpoRow]) {
+        match perm {
+            Permutation::Spo => (&self.base.spo, &self.delta_spo),
+            Permutation::Pos => (&self.base.pos, &self.delta_pos),
+            Permutation::Osp => (&self.base.osp, &self.delta_osp),
+        }
     }
 
     /// Number of rows (equal to the graph's edge count).
     pub fn len(&self) -> usize {
-        self.spo.len()
+        self.base.spo.len() + self.delta_spo.len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.len() == 0
     }
 
     /// Approximate heap size in bytes (for the Fig. 6b index-size report).
     pub fn heap_bytes(&self) -> usize {
-        3 * self.spo.len() * std::mem::size_of::<SpoRow>()
+        3 * self.len() * std::mem::size_of::<SpoRow>()
     }
 
     fn scan_permutation(
@@ -135,7 +228,7 @@ impl TripleStore {
         first: Option<u32>,
         second: Option<u32>,
         third: Option<u32>,
-    ) -> &[SpoRow] {
+    ) -> Vec<SpoRow> {
         debug_assert!(
             !(first.is_none() && (second.is_some() || third.is_some())),
             "bound positions must form a prefix of the permutation"
@@ -144,23 +237,24 @@ impl TripleStore {
             !(second.is_none() && third.is_some()),
             "bound positions must form a prefix of the permutation"
         );
-        let rows = match perm {
-            Permutation::Spo => &self.spo,
-            Permutation::Pos => &self.pos,
-            Permutation::Osp => &self.osp,
-        };
         let lower = (first.unwrap_or(0), second.unwrap_or(0), third.unwrap_or(0));
         let upper = (
             first.unwrap_or(u32::MAX),
             second.unwrap_or(u32::MAX),
             third.unwrap_or(u32::MAX),
         );
-        let start = rows.partition_point(|r| key(r, perm) < lower);
-        let end = rows.partition_point(|r| {
-            let k = key(r, perm);
-            k <= upper
-        });
-        &rows[start..end]
+        let range = |rows: &[SpoRow]| {
+            let start = rows.partition_point(|r| key(r, perm) < lower);
+            let end = rows.partition_point(|r| key(r, perm) <= upper);
+            (start, end)
+        };
+        let (base, delta) = self.rows(perm);
+        let (bs, be) = range(base);
+        if delta.is_empty() {
+            return base[bs..be].to_vec();
+        }
+        let (ds, de) = range(delta);
+        merge_sorted(&base[bs..be], &delta[ds..de], perm)
     }
 
     /// Returns all rows matching `pattern`.
@@ -173,7 +267,7 @@ impl TripleStore {
             predicate: p,
             object: o,
         } = pattern;
-        let rows = match (s, p, o) {
+        match (s, p, o) {
             // Fully bound or s-prefix bound -> SPO.
             (Some(s), p, _) => {
                 // SPO supports (s), (s,p), (s,p,o).
@@ -185,11 +279,9 @@ impl TripleStore {
                         o.map(|v| v.0),
                     ),
                     (None, None) => self.scan_permutation(Permutation::Spo, Some(s.0), None, None),
+                    // (s, ?, o) -> OSP prefix (o, s).
                     (None, Some(o)) => {
-                        // (s, ?, o) -> OSP prefix (o, s).
-                        return self
-                            .scan_permutation(Permutation::Osp, Some(o.0), Some(s.0), None)
-                            .to_vec();
+                        self.scan_permutation(Permutation::Osp, Some(o.0), Some(s.0), None)
                     }
                 }
             }
@@ -200,9 +292,8 @@ impl TripleStore {
             // Object-only bound -> OSP.
             (None, None, Some(o)) => self.scan_permutation(Permutation::Osp, Some(o.0), None, None),
             // Nothing bound -> full scan.
-            (None, None, None) => &self.spo,
-        };
-        rows.to_vec()
+            (None, None, None) => self.merged(Permutation::Spo),
+        }
     }
 
     /// Counts the rows matching `pattern` without materialising them.
@@ -211,9 +302,12 @@ impl TripleStore {
     }
 
     /// Serialises all three sorted permutations as flat columns, so a load
-    /// needs no re-sorting.
+    /// needs no re-sorting. Any delta overlay is merged in, so the written
+    /// bytes are identical to those of a from-scratch build over the same
+    /// row set (the live-update compaction proof relies on this).
     pub fn write_snapshot(&self, enc: &mut SectionEncoder) {
-        for rows in [&self.spo, &self.pos, &self.osp] {
+        for perm in [Permutation::Spo, Permutation::Pos, Permutation::Osp] {
+            let rows = self.merged(perm);
             let s: Vec<u32> = rows.iter().map(|r| r.subject.0).collect();
             let p: Vec<u32> = rows.iter().map(|r| r.predicate.0).collect();
             let o: Vec<u32> = rows.iter().map(|r| r.object.0).collect();
@@ -291,8 +385,38 @@ impl TripleStore {
         if spo.len() != pos.len() || spo.len() != osp.len() {
             return Err(dec.corrupt("triple store permutations differ in length"));
         }
-        Ok(Self { spo, pos, osp })
+        Ok(Self {
+            base: Arc::new(BaseRows { spo, pos, osp }),
+            delta_spo: Vec::new(),
+            delta_pos: Vec::new(),
+            delta_osp: Vec::new(),
+        })
     }
+}
+
+/// Merges two runs that are each sorted (and jointly duplicate-free) under
+/// `perm`'s key into one sorted vector.
+fn merge_sorted(base: &[SpoRow], delta: &[SpoRow], perm: Permutation) -> Vec<SpoRow> {
+    if delta.is_empty() {
+        return base.to_vec();
+    }
+    if base.is_empty() {
+        return delta.to_vec();
+    }
+    let mut out = Vec::with_capacity(base.len() + delta.len());
+    let (mut i, mut j) = (0, 0);
+    while i < base.len() && j < delta.len() {
+        if key(&base[i], perm) <= key(&delta[j], perm) {
+            out.push(base[i]);
+            i += 1;
+        } else {
+            out.push(delta[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&base[i..]);
+    out.extend_from_slice(&delta[j..]);
+    out
 }
 
 #[cfg(test)]
@@ -407,6 +531,74 @@ mod tests {
         let store = TripleStore::build(&g);
         assert!(store.is_empty());
         assert!(store.scan(TriplePattern::any()).is_empty());
+    }
+
+    /// Splits the figure-1 rows into a base store plus a delta overlay and
+    /// checks every scan (and the snapshot bytes) match the flat build.
+    #[test]
+    fn delta_overlay_scans_match_a_flat_build() {
+        let (flat, g) = store_and_graph();
+        let all = flat.scan(TriplePattern::any());
+        let (head, tail) = all.split_at(all.len() / 2);
+        // Deliberately feed the base and delta in scrambled order.
+        let mut head_rows = head.to_vec();
+        head_rows.reverse();
+        let mut overlaid = TripleStore::from_rows(head_rows);
+        let mut scrambled_tail = tail.to_vec();
+        scrambled_tail.reverse();
+        overlaid.add_rows(&scrambled_tail);
+
+        assert!(overlaid.has_delta());
+        assert_eq!(overlaid.delta_len(), tail.len());
+        assert_eq!(overlaid.len(), flat.len());
+        let mut patterns = vec![TriplePattern::any()];
+        for v in g.vertices() {
+            patterns.push(TriplePattern::any().with_subject(v));
+            patterns.push(TriplePattern::any().with_object(v));
+        }
+        for row in &all {
+            patterns.push(TriplePattern {
+                subject: Some(row.subject),
+                predicate: Some(row.predicate),
+                object: Some(row.object),
+            });
+            patterns.push(
+                TriplePattern::any()
+                    .with_subject(row.subject)
+                    .with_object(row.object),
+            );
+            patterns.push(TriplePattern::any().with_predicate(row.predicate));
+            patterns.push(
+                TriplePattern::any()
+                    .with_predicate(row.predicate)
+                    .with_object(row.object),
+            );
+        }
+        for pattern in patterns {
+            assert_eq!(
+                overlaid.scan(pattern),
+                flat.scan(pattern),
+                "pattern {pattern:?} must not see the base/delta split"
+            );
+        }
+
+        let snapshot_bytes = |store: &TripleStore| {
+            let mut enc = SectionEncoder::new();
+            store.write_snapshot(&mut enc);
+            enc.into_bytes()
+        };
+        assert_eq!(
+            snapshot_bytes(&overlaid),
+            snapshot_bytes(&flat),
+            "snapshot bytes must be independent of the base/delta split"
+        );
+
+        let flattened = overlaid.flattened();
+        assert!(!flattened.has_delta());
+        assert_eq!(
+            flattened.scan(TriplePattern::any()),
+            flat.scan(TriplePattern::any())
+        );
     }
 
     #[test]

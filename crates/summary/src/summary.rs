@@ -118,6 +118,121 @@ impl SummaryGraph {
         summary
     }
 
+    /// Applies an add-only write batch incrementally: `graph` is the
+    /// *merged* (post-write) data graph, and all vertices with index `>=
+    /// first_new_vertex` / edges with index `>= first_new_edge` are the
+    /// batch's additions.
+    ///
+    /// Returns the updated summary, or `None` when the batch cannot be
+    /// applied incrementally and the caller must rebuild from scratch:
+    ///
+    /// * a **new class vertex** — a rebuild would renumber the summary
+    ///   nodes (classes come before `Thing` in node order), and
+    /// * a **new `type` edge on an entity with pre-existing R-edges** —
+    ///   those R-edges would project onto different summary edges in a
+    ///   rebuild, changing summary-edge ids mid-sequence.
+    ///
+    /// Outside those two cases the result is *byte-identical* (via
+    /// [`Self::write_snapshot`]) to `SummaryGraph::build(graph)`: new data
+    /// edges sit at the end of the edge-id order, so the summary edges they
+    /// introduce are appended exactly where a rebuild would create them,
+    /// and all aggregates are recomputed from the merged graph.
+    pub fn apply_adds(
+        &self,
+        graph: &DataGraph,
+        first_new_vertex: usize,
+        first_new_edge: usize,
+    ) -> Option<SummaryGraph> {
+        // Rule 1: no new classes.
+        for i in first_new_vertex..graph.vertex_count() {
+            let v = VertexId::from_index(i as u32);
+            if graph.vertex(v).kind == kwsearch_rdf::VertexKind::Class {
+                return None;
+            }
+        }
+        // Rule 2: no new `type` edge on an entity that already had R-edges
+        // (in either direction) before the batch.
+        for i in first_new_edge..graph.edge_count() {
+            let edge = graph.edge(kwsearch_rdf::EdgeId::from_index(i as u32));
+            if graph.edge_label(edge.label) != EdgeLabel::Type {
+                continue;
+            }
+            let had_base_relation = graph
+                .out_edges(edge.from)
+                .iter()
+                .chain(graph.in_edges(edge.from))
+                .any(|&e| {
+                    e.index() < first_new_edge
+                        && matches!(
+                            graph.edge_label(graph.edge(e).label),
+                            EdgeLabel::Relation(_)
+                        )
+                });
+            if had_base_relation {
+                return None;
+            }
+        }
+
+        let mut summary = self.clone();
+        // Recover the build-time dedup map from the existing edges.
+        let mut edge_index: HashMap<
+            (SummaryNodeId, SummaryEdgeKind, SummaryNodeId),
+            SummaryEdgeId,
+        > = summary
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ((e.from, e.kind, e.to), SummaryEdgeId(i as u32)))
+            .collect();
+
+        // Project the new data edges in edge-id order — the order a rebuild
+        // over the merged graph would visit them in.
+        for i in first_new_edge..graph.edge_count() {
+            let edge = graph.edge(kwsearch_rdf::EdgeId::from_index(i as u32));
+            match graph.edge_label(edge.label) {
+                EdgeLabel::Relation(_) => {
+                    summary.total_relation_edges += 1;
+                    let from_nodes = summary.schema_nodes_of_entity(graph, edge.from);
+                    let to_nodes = summary.schema_nodes_of_entity(graph, edge.to);
+                    for &f in &from_nodes {
+                        for &t in &to_nodes {
+                            summary.bump_edge(
+                                &mut edge_index,
+                                SummaryEdgeKind::Relation { label: edge.label },
+                                f,
+                                t,
+                            );
+                        }
+                    }
+                }
+                EdgeLabel::SubClass => {
+                    // Both endpoints are pre-existing classes (rule 1).
+                    let f = summary.class_nodes[&edge.from];
+                    let t = summary.class_nodes[&edge.to];
+                    summary.bump_edge(&mut edge_index, SummaryEdgeKind::SubClass, f, t);
+                }
+                EdgeLabel::Attribute(_) | EdgeLabel::Type => {}
+            }
+        }
+
+        // Recompute the aggregates from the merged graph — exactly the
+        // values a rebuild would record.
+        for node in &mut summary.nodes {
+            node.aggregated = match node.kind {
+                SummaryNodeKind::Class { class } => graph.instances_of(class).len(),
+                SummaryNodeKind::Thing => graph
+                    .vertices_of_kind(kwsearch_rdf::VertexKind::Entity)
+                    .filter(|&v| graph.is_untyped_entity(v))
+                    .count(),
+                // The base summary holds no value nodes; they only appear
+                // in per-query augmented copies.
+                SummaryNodeKind::Value { .. } | SummaryNodeKind::ArtificialValue => node.aggregated,
+            };
+        }
+        summary.total_entities = graph.vertex_count_of_kind(kwsearch_rdf::VertexKind::Entity);
+        Some(summary)
+    }
+
     fn push_class_node(&mut self, class: VertexId, aggregated: usize) -> SummaryNodeId {
         let id = SummaryNodeId(self.nodes.len() as u32);
         self.nodes.push(SummaryNode {
@@ -660,6 +775,82 @@ mod tests {
             SummaryGraph::read_snapshot(&mut dec),
             Err(SnapshotError::Corrupt { .. })
         ));
+    }
+
+    fn summary_bytes(s: &SummaryGraph) -> Vec<u8> {
+        let mut enc = SectionEncoder::new();
+        s.write_snapshot(&mut enc);
+        enc.into_bytes()
+    }
+
+    #[test]
+    fn apply_adds_matches_a_rebuild_byte_for_byte() {
+        let base = figure1_graph();
+        let summary = SummaryGraph::build(&base);
+        let (nv, ne) = (base.vertex_count(), base.edge_count());
+
+        // An add-only batch: a new untyped entity with relations into the
+        // base, a new relation between base entities, a new attribute, and
+        // a new subclass edge between existing classes — everything the
+        // incremental path supports.
+        let mut merged = base.clone();
+        for t in [
+            Triple::relation("visitor1", "worksAt", "inst1URI"),
+            Triple::relation("pub2URI", "cites", "pub1URI"),
+            Triple::attribute("pub2URI", "note", "Revised"),
+            Triple::subclass("Institute", "Agent"),
+            Triple::relation("re1URI", "author", "pub2URI"),
+        ] {
+            merged.insert_triple(&t).unwrap();
+        }
+
+        let incremental = summary
+            .apply_adds(&merged, nv, ne)
+            .expect("batch is incrementally applicable");
+        let rebuilt = SummaryGraph::build(&merged);
+        assert_eq!(
+            summary_bytes(&incremental),
+            summary_bytes(&rebuilt),
+            "incremental summary must be byte-identical to a rebuild"
+        );
+    }
+
+    #[test]
+    fn apply_adds_refuses_new_classes_and_retyped_entities() {
+        let base = figure1_graph();
+        let summary = SummaryGraph::build(&base);
+        let (nv, ne) = (base.vertex_count(), base.edge_count());
+
+        // A new class vertex forces a rebuild.
+        let mut with_class = base.clone();
+        with_class
+            .insert_triple(&Triple::typed("poster1", "Poster"))
+            .unwrap();
+        assert!(summary.apply_adds(&with_class, nv, ne).is_none());
+
+        // A type edge on an entity with pre-existing R-edges forces a
+        // rebuild (its base edges would re-project).
+        let mut retyped = base.clone();
+        retyped
+            .insert_triple(&Triple::typed("pub1URI", "Agent"))
+            .unwrap();
+        assert!(summary.apply_adds(&retyped, nv, ne).is_none());
+
+        // But typing a *fresh* entity in the same batch is fine.
+        let mut fresh = base.clone();
+        fresh
+            .insert_triple(&Triple::typed("pub3URI", "Publication"))
+            .unwrap();
+        fresh
+            .insert_triple(&Triple::relation("pub3URI", "author", "re1URI"))
+            .unwrap();
+        let incremental = summary
+            .apply_adds(&fresh, nv, ne)
+            .expect("typing a new entity is incremental");
+        assert_eq!(
+            summary_bytes(&incremental),
+            summary_bytes(&SummaryGraph::build(&fresh))
+        );
     }
 
     #[test]

@@ -18,11 +18,11 @@ use std::thread;
 
 use searchwebdb::core::serve::SearchRequest;
 use searchwebdb::core::shard::{partition, ShardedService};
-use searchwebdb::core::{PreparedGraph, SearchConfig, SearchSession};
+use searchwebdb::core::{DeltaBatch, LiveGraph, PreparedGraph, SearchConfig, SearchSession};
 use searchwebdb::datagen::workload::dblp_performance_queries;
 use searchwebdb::datagen::DblpDataset;
 use searchwebdb::rdf::fixtures::figure1_graph;
-use searchwebdb::rdf::DataGraph;
+use searchwebdb::rdf::{DataGraph, Triple};
 
 /// Worker threads sharing one preparation.
 const THREADS: usize = 4;
@@ -266,6 +266,136 @@ fn sharded_scatter_gather_is_bit_identical_across_threads() {
             });
         }
     });
+}
+
+/// Read-during-write determinism: reader threads hammer a [`LiveGraph`]
+/// while a writer thread applies a stream of delta batches. Every snapshot
+/// a reader takes is pinned to some write epoch, and its results must be
+/// **bit-identical** to a single-threaded, cache-disabled preparation
+/// indexed from scratch over exactly that epoch's merged triples — the
+/// overlay read path, the shared epoch-keyed cache, and concurrent epoch
+/// advances may change timings, never results.
+#[test]
+fn reads_during_writes_are_bit_identical_per_epoch() {
+    let graph = figure1_graph();
+    // Round-trip the base through the snapshot path so the live overlays
+    // ride on the frozen CSR adjacency, as in production.
+    let mut bytes = Vec::new();
+    PreparedGraph::index(graph.clone())
+        .save(&mut bytes)
+        .expect("in-memory save");
+    let live = Arc::new(LiveGraph::new(
+        PreparedGraph::load(bytes.as_slice()).expect("load own snapshot"),
+    ));
+
+    // The write stream: each batch introduces at least one new edge, so
+    // each apply advances the epoch by exactly one. The first batch is
+    // attribute-only (existing value, existing label) to also drive the
+    // cache-promotion path under concurrency.
+    let addition_stream: Vec<Vec<Triple>> = vec![
+        vec![Triple::attribute("pub1URI", "year", "2008")],
+        vec![
+            Triple::typed("pub3URI", "Publication"),
+            Triple::attribute("pub3URI", "title", "Streaming RDF Joins"),
+        ],
+        vec![Triple::relation("pub3URI", "author", "re2URI")],
+        vec![Triple::attribute("inst2URI", "name", "IPE")],
+    ];
+    let final_epoch = addition_stream.len() as u64;
+
+    // Keywords that match at every epoch, so every snapshot can run the
+    // full scenario set no matter which write it observed.
+    let workload: Vec<Vec<String>> = vec![
+        vec!["2006".into(), "cimiano".into(), "aifb".into()],
+        vec!["cimiano".into(), "publication".into()],
+    ];
+
+    // One single-threaded reference per epoch, each indexed from scratch
+    // over the base plus the prefix of the write stream visible there.
+    let mut references = Vec::new();
+    let mut merged = graph.clone();
+    references.push(reference_runs(&merged, &workload));
+    for additions in &addition_stream {
+        for t in additions {
+            merged
+                .insert_triple(t)
+                .expect("write stream is well-formed");
+        }
+        references.push(reference_runs(&merged, &workload));
+    }
+
+    thread::scope(|scope| {
+        {
+            let live = Arc::clone(&live);
+            scope.spawn(move || {
+                for additions in addition_stream {
+                    let mut batch = DeltaBatch::new();
+                    for t in additions {
+                        batch = batch.add(t);
+                    }
+                    live.apply(&batch).expect("write stream is well-formed");
+                    // Give the readers a chance to observe this epoch
+                    // before the next write lands.
+                    thread::yield_now();
+                }
+            });
+        }
+        for thread_id in 0..THREADS {
+            let live = Arc::clone(&live);
+            let workload = &workload;
+            let references = &references;
+            scope.spawn(move || {
+                let mut loops = 0usize;
+                loop {
+                    let snapshot = live.snapshot();
+                    let epoch = snapshot.write_epoch();
+                    for (kw_index, keywords) in workload.iter().enumerate() {
+                        for (s, scenario) in SCENARIOS.into_iter().enumerate() {
+                            let got = run_scenario(&snapshot, scenario, keywords);
+                            let want = &references[epoch as usize][kw_index * SCENARIOS.len() + s];
+                            assert_eq!(
+                                &got, want,
+                                "thread {thread_id}: {scenario:?} over {keywords:?} at \
+                                 epoch {epoch} diverged from its single-threaded reference"
+                            );
+                        }
+                    }
+                    loops += 1;
+                    if epoch == final_epoch {
+                        break;
+                    }
+                    assert!(
+                        loops < 10_000,
+                        "writer never reached epoch {final_epoch} (stuck at {epoch})"
+                    );
+                }
+            });
+        }
+    });
+
+    // Read-your-writes: the final snapshot sees every batch, including the
+    // keywords the write stream introduced.
+    let settled = live.snapshot();
+    assert_eq!(settled.write_epoch(), final_epoch);
+    let fresh = PreparedGraph::index_with(merged, Default::default(), 0);
+    for keywords in [
+        vec!["streaming".to_string(), "cimiano".to_string()],
+        vec!["ipe".to_string()],
+    ] {
+        for scenario in SCENARIOS {
+            let got = run_scenario(&settled, scenario, &keywords);
+            let want = run_scenario(&fresh, scenario, &keywords);
+            assert_eq!(
+                got, want,
+                "{scenario:?} over the write-introduced {keywords:?} diverged"
+            );
+        }
+    }
+    let stats = settled.augmentation_cache().stats();
+    assert!(
+        stats.hits > 0,
+        "the repeated per-epoch workload must exercise cache hits: {stats:?}"
+    );
 }
 
 #[test]
